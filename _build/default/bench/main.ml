@@ -1,0 +1,669 @@
+(* Benchmark and figure-reproduction harness.
+
+   The paper (Middleware 2003) is a design/implementation paper whose
+   published evaluation is qualitative; its figures are an architecture
+   diagram (Fig. 1), the extended architecture (Fig. 2) and an example
+   policy (Fig. 3). This harness regenerates all three as executable
+   artifacts, and adds the quantitative microbenchmarks (T1-T7 in
+   DESIGN.md) that measure the cost of the paper's design decisions:
+   what the authorization callout adds to the critical path, how policy
+   evaluation scales, and what each integration backend (flat-file,
+   Akenti, CAS) costs.
+
+   Usage:
+     dune exec bench/main.exe            # everything
+     dune exec bench/main.exe -- f1 t2   # selected experiments *)
+
+open Core
+open Bechamel
+open Toolkit
+
+(* ------------------------------------------------------------------ *)
+(* Measurement helpers                                                 *)
+
+let run_tests ?(quota = 0.5) tests =
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  let instances = [ Instance.monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second quota) ~kde:None () in
+  let raw = Benchmark.all cfg instances (Test.make_grouped ~name:"" ~fmt:"%s%s" tests) in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  (* name -> ns/run *)
+  Hashtbl.fold
+    (fun name ols acc ->
+      match Analyze.OLS.estimates ols with
+      | Some (ns :: _) -> (name, ns) :: acc
+      | Some [] | None -> acc)
+    results []
+
+let print_table title rows =
+  Printf.printf "\n-- %s\n" title;
+  Printf.printf "   %-42s %14s\n" "case" "ns/op";
+  List.iter
+    (fun (name, ns) -> Printf.printf "   %-42s %14.0f\n" name ns)
+    (List.sort (fun (a, _) (b, _) -> compare a b) rows)
+
+let section name = Printf.printf "\n=== %s ===\n" name
+
+(* ------------------------------------------------------------------ *)
+(* Figure reproductions                                                 *)
+
+(* Figure 1: interaction of the main components of GRAM (GT2 baseline). *)
+let figure1 () =
+  section "Figure 1: GT2 GRAM component interaction (baseline mode)";
+  let w = Fusion.build ~backend:`Baseline () in
+  (match
+     Gram.Client.submit_sync w.Fusion.kate
+       ~rsl:"&(executable=TRANSP)(directory=/sandbox/test)(simduration=100)"
+   with
+  | Ok r -> begin
+    ignore (Gram.Client.status_sync w.Fusion.kate ~contact:r.Gram.Protocol.job_contact);
+    Testbed.run w.Fusion.testbed
+  end
+  | Error e -> Printf.printf "unexpected: %s\n" (Gram.Protocol.submit_error_to_string e));
+  Fmt.pr "%a@." Sim.Trace.pp (Gram.Resource.trace w.Fusion.resource);
+  Printf.printf
+    "(no 'authorization callout' arrows: GT2 authorizes only via the gridmap)\n"
+
+(* Figure 2: the changed GRAM with authorization callouts in the JM. *)
+let figure2 () =
+  section "Figure 2: extended GRAM with PEP callouts (changed Job Manager)";
+  let w = Fusion.build () in
+  (match
+     Gram.Client.submit_sync w.Fusion.kate
+       ~rsl:"&(executable=TRANSP)(directory=/sandbox/test)(jobtag=NFC)(simduration=10000)"
+   with
+  | Ok r ->
+    (* A third party (the VO admin) cancels: the callout runs again. *)
+    ignore
+      (Gram.Client.manage_sync w.Fusion.vo_admin ~contact:r.Gram.Protocol.job_contact
+         Gram.Protocol.Cancel)
+  | Error e -> Printf.printf "unexpected: %s\n" (Gram.Protocol.submit_error_to_string e));
+  Fmt.pr "%a@." Sim.Trace.pp (Gram.Resource.trace w.Fusion.resource);
+  let callouts =
+    Sim.Trace.count (Gram.Resource.trace w.Fusion.resource) ~label:"authorization callout"
+  in
+  Printf.printf "(authorization callout invoked %d times: job start + management)\n" callouts
+
+(* Figure 3: the example policy, as a decision matrix. *)
+let figure3 () =
+  section "Figure 3: example VO policy, decision matrix";
+  let policy = Policy.Figure3.get () in
+  let start who rsl =
+    Policy.Types.start_request ~subject:(Gsi.Dn.parse who)
+      ~job:(Rsl.Parser.parse_clause_exn rsl)
+  in
+  let cancel who ~owner ~tag =
+    Policy.Types.management_request ~subject:(Gsi.Dn.parse who)
+      ~action:Policy.Types.Action.Cancel ~jobowner:(Gsi.Dn.parse owner) ~jobtag:(Some tag)
+  in
+  let cases =
+    [ ("Bo Liu: test1 /sandbox/test ADS count=3",
+       start Policy.Figure3.bo_liu
+         "&(executable=test1)(directory=/sandbox/test)(jobtag=ADS)(count=3)");
+      ("Bo Liu: test1 ADS count=4 (over limit)",
+       start Policy.Figure3.bo_liu
+         "&(executable=test1)(directory=/sandbox/test)(jobtag=ADS)(count=4)");
+      ("Bo Liu: test2 /sandbox/test NFC count=2",
+       start Policy.Figure3.bo_liu
+         "&(executable=test2)(directory=/sandbox/test)(jobtag=NFC)(count=2)");
+      ("Bo Liu: TRANSP (not her executable)",
+       start Policy.Figure3.bo_liu
+         "&(executable=TRANSP)(directory=/sandbox/test)(jobtag=NFC)");
+      ("Bo Liu: test1 without jobtag (requirement)",
+       start Policy.Figure3.bo_liu "&(executable=test1)(directory=/sandbox/test)");
+      ("Kate: TRANSP /sandbox/test NFC",
+       start Policy.Figure3.kate_keahey
+         "&(executable=TRANSP)(directory=/sandbox/test)(jobtag=NFC)");
+      ("Kate: cancel Bo's NFC job",
+       cancel Policy.Figure3.kate_keahey ~owner:Policy.Figure3.bo_liu ~tag:"NFC");
+      ("Kate: cancel Bo's ADS job",
+       cancel Policy.Figure3.kate_keahey ~owner:Policy.Figure3.bo_liu ~tag:"ADS");
+      ("Bo Liu: cancel Kate's NFC job",
+       cancel Policy.Figure3.bo_liu ~owner:Policy.Figure3.kate_keahey ~tag:"NFC");
+      ("Outsider: test1 ADS",
+       start "/O=Grid/O=Other/CN=Outsider"
+         "&(executable=test1)(directory=/sandbox/test)(jobtag=ADS)") ]
+  in
+  List.iter
+    (fun (label, request) ->
+      Printf.printf "   %-45s %s\n" label
+        (Policy.Eval.decision_to_string (Policy.Eval.evaluate policy request)))
+    cases
+
+(* ------------------------------------------------------------------ *)
+(* T1: policy evaluation latency vs policy size                         *)
+
+let synthetic_policy n =
+  let statement i =
+    Printf.sprintf
+      "/O=Grid/O=Synth/CN=user%04d: &(action = start)(executable = app%04d)(directory = /work)(count < 16)"
+      i i
+  in
+  Policy.Parse.parse (String.concat "\n" (List.init n statement))
+
+let t1_authz_latency () =
+  section "T1: policy evaluation latency vs number of statements";
+  let sizes = [ 1; 10; 100; 1000 ] in
+  let tests =
+    List.map
+      (fun n ->
+        let policy = synthetic_policy n in
+        (* Worst case: the matching statement is the last one. *)
+        let request =
+          Policy.Types.start_request
+            ~subject:(Gsi.Dn.parse (Printf.sprintf "/O=Grid/O=Synth/CN=user%04d" (n - 1)))
+            ~job:
+              (Rsl.Parser.parse_clause_exn
+                 (Printf.sprintf "&(executable=app%04d)(directory=/work)(count=4)" (n - 1)))
+        in
+        Test.make
+          ~name:(Printf.sprintf "eval/%04d-statements" n)
+          (Staged.stage (fun () -> ignore (Policy.Eval.evaluate policy request))))
+      sizes
+  in
+  print_table "decision latency (flat-file PEP, worst-case rule position)" (run_tests tests)
+
+(* ------------------------------------------------------------------ *)
+(* T2: end-to-end job startup, baseline vs callout backends             *)
+
+let cas_world () =
+  let tb = Testbed.create () in
+  let vo = Fusion.build_vo () in
+  let cas = Cas.Server.create ~vo "fusion-cas" in
+  let engine = Testbed.engine tb in
+  let callout =
+    Cas.Pep.callout ~cas_key:(Cas.Server.public_key cas)
+      ~now:(fun () -> Sim.Engine.now engine)
+  in
+  let resource =
+    Testbed.make_resource tb ~name:"cas-site" ~nodes:64 ~cpus_per_node:8
+      ~gridmap:(Gsi.Gridmap.parse Fusion.gridmap_text) ~backend:(Custom callout)
+  in
+  let kate_id = Testbed.add_user tb Fusion.kate_keahey in
+  let kate_proxy =
+    Result.get_ok (Cas.Server.grant_proxy cas ~trust:(Testbed.trust tb) ~now:0.0 kate_id)
+  in
+  (tb, Testbed.client tb ~user:kate_proxy ~resource)
+
+let akenti_callout_for tb =
+  let mk seed =
+    let kp = Crypto.Keypair.generate ~seed_material:seed in
+    Crypto.Keypair.register kp;
+    kp
+  in
+  let site_kp = mk "bench-site" and vo_kp = mk "bench-vo" and aa_kp = mk "bench-aa" in
+  let site = { Akenti.Engine.dn = Gsi.Dn.parse "/O=B/CN=Site"; key = Crypto.Keypair.public site_kp } in
+  let vo_s = { Akenti.Engine.dn = Gsi.Dn.parse "/O=B/CN=VO"; key = Crypto.Keypair.public vo_kp } in
+  let aa = { Akenti.Engine.dn = Gsi.Dn.parse "/O=B/CN=AA"; key = Crypto.Keypair.public aa_kp } in
+  let engine =
+    Akenti.Engine.create ~resource:"gram-job-manager" ~stakeholders:[ site; vo_s ]
+      ~attribute_authorities:[ aa ]
+  in
+  let constr attribute op values =
+    { Policy.Types.attribute; op; values = List.map (fun v -> Policy.Types.Str v) values }
+  in
+  Akenti.Engine.publish_condition engine
+    (Akenti.Use_condition.make ~resource:"gram-job-manager" ~stakeholder:site.Akenti.Engine.dn
+       ~actions:Policy.Types.Action.all
+       ~constraints:[ constr "queue" Rsl.Ast.Neq [ "reserved" ] ]
+       ~required_attributes:[] ~not_before:0.0 ~not_after:1e12
+       ~signing_key:(Crypto.Keypair.secret site_kp));
+  Akenti.Engine.publish_condition engine
+    (Akenti.Use_condition.make ~resource:"gram-job-manager" ~stakeholder:vo_s.Akenti.Engine.dn
+       ~actions:Policy.Types.Action.all
+       ~constraints:[ constr "executable" Rsl.Ast.Eq [ "TRANSP" ] ]
+       ~required_attributes:[ ("group", "analysts") ] ~not_before:0.0 ~not_after:1e12
+       ~signing_key:(Crypto.Keypair.secret vo_kp));
+  Akenti.Engine.publish_attribute engine
+    (Akenti.Attr_cert.make ~subject:(Gsi.Dn.parse Fusion.kate_keahey) ~attribute:"group"
+       ~value:"analysts" ~issuer:aa.Akenti.Engine.dn ~not_before:0.0 ~not_after:1e12
+       ~signing_key:(Crypto.Keypair.secret aa_kp));
+  let sim_engine = Testbed.engine tb in
+  Akenti.Akenti_pep.callout ~engine ~now:(fun () -> Sim.Engine.now sim_engine)
+
+(* One measured iteration: fresh credential, full gatekeeper+JMI path,
+   then drain the engine so the zero-length job completes and frees
+   capacity. *)
+let submit_iteration tb client rsl =
+  Staged.stage (fun () ->
+      match Gram.Client.submit_sync client ~rsl with
+      | Ok _ -> Testbed.run tb
+      | Error e -> failwith (Gram.Protocol.submit_error_to_string e))
+
+let t2_startup_overhead () =
+  section "T2: end-to-end job startup cost per authorization backend";
+  let tagged = "&(executable=TRANSP)(directory=/sandbox/test)(jobtag=NFC)(simduration=0)" in
+  let untagged = "&(executable=TRANSP)(directory=/sandbox/test)(simduration=0)" in
+  let wb = Fusion.build ~backend:`Baseline ~nodes:64 ~cpus_per_node:8 () in
+  let wf = Fusion.build ~nodes:64 ~cpus_per_node:8 () in
+  let tb_cas, kate_cas = cas_world () in
+  let tb_ak = Testbed.create () in
+  let ak_callout = akenti_callout_for tb_ak in
+  let ak_resource =
+    Testbed.make_resource tb_ak ~name:"akenti-site" ~nodes:64 ~cpus_per_node:8
+      ~gridmap:(Gsi.Gridmap.parse Fusion.gridmap_text) ~backend:(Custom ak_callout)
+  in
+  let kate_ak =
+    Testbed.client tb_ak ~user:(Testbed.add_user tb_ak Fusion.kate_keahey)
+      ~resource:ak_resource
+  in
+  let tests =
+    [ Test.make ~name:"submit/1-baseline-gridmap"
+        (submit_iteration wb.Fusion.testbed wb.Fusion.kate untagged);
+      Test.make ~name:"submit/2-extended-flat-file"
+        (submit_iteration wf.Fusion.testbed wf.Fusion.kate tagged);
+      Test.make ~name:"submit/3-extended-akenti"
+        (submit_iteration tb_ak kate_ak untagged);
+      Test.make ~name:"submit/4-extended-cas" (submit_iteration tb_cas kate_cas tagged) ]
+  in
+  print_table "full submit (authn + authz + mapping + JMI + LRM + completion)"
+    (run_tests tests);
+  Printf.printf
+    "   shape: baseline < flat-file < akenti/cas (certificate work dominates)\n"
+
+(* ------------------------------------------------------------------ *)
+(* T3: management-request authorization                                 *)
+
+let t3_management () =
+  section "T3: management request cost, owner-only (GT2) vs policy-based";
+  let wb = Fusion.build ~backend:`Baseline ~nodes:64 ~cpus_per_node:8 () in
+  let wf = Fusion.build ~nodes:64 ~cpus_per_node:8 () in
+  let start (w : Fusion.world) rsl =
+    match Gram.Client.submit_sync w.Fusion.kate ~rsl with
+    | Ok r -> r.Gram.Protocol.job_contact
+    | Error e -> failwith (Gram.Protocol.submit_error_to_string e)
+  in
+  let cb = start wb "&(executable=TRANSP)(directory=/sandbox/test)(simduration=1000000)" in
+  let cf =
+    start wf "&(executable=TRANSP)(directory=/sandbox/test)(jobtag=NFC)(simduration=1000000)"
+  in
+  let status client contact =
+    Staged.stage (fun () ->
+        match Gram.Client.manage_sync client ~contact Gram.Protocol.Status with
+        | Ok _ -> ()
+        | Error e -> failwith (Gram.Protocol.management_error_to_string e))
+  in
+  let tests =
+    [ Test.make ~name:"status/1-baseline-owner-rule" (status wb.Fusion.kate cb);
+      Test.make ~name:"status/2-extended-owner-via-policy" (status wf.Fusion.kate cf);
+      Test.make ~name:"status/3-extended-third-party" (status wf.Fusion.vo_admin cf) ]
+  in
+  print_table "status request (authn + management authz + LRM query)" (run_tests tests);
+  Printf.printf "   note: the baseline cannot express case 3 at all - it denies it.\n"
+
+(* ------------------------------------------------------------------ *)
+(* T4: delegation chain verification                                    *)
+
+let t4_delegation () =
+  section "T4: credential validation vs proxy delegation depth";
+  Util.Ids.reset ();
+  Crypto.Keypair.reset_keystore ();
+  let ca = Gsi.Ca.create ~now:0.0 "/O=Bench/CN=CA" in
+  let trust = Gsi.Ca.Trust_store.create () in
+  Gsi.Ca.Trust_store.add trust (Gsi.Ca.certificate ca);
+  let base = Gsi.Identity.create ~ca ~now:0.0 "/O=Bench/CN=User" in
+  let tests =
+    List.map
+      (fun depth ->
+        let rec delegate id n =
+          if n = 0 then id else delegate (Gsi.Identity.delegate id ~now:0.0) (n - 1)
+        in
+        let id = delegate base depth in
+        let cred = Gsi.Credential.of_identity id ~challenge:"c" in
+        Test.make
+          ~name:(Printf.sprintf "validate/depth-%02d" depth)
+          (Staged.stage (fun () ->
+               match Gsi.Credential.validate cred ~trust ~now:1.0 with
+               | Ok _ -> ()
+               | Error e -> failwith (Gsi.Credential.error_to_string e))))
+      [ 0; 1; 2; 4; 8; 16 ]
+  in
+  print_table "chain validation (signatures + naming + possession proof)" (run_tests tests)
+
+(* ------------------------------------------------------------------ *)
+(* T5: combined decision vs number of policy sources                    *)
+
+let t5_combination () =
+  section "T5: combined decision cost vs number of policy sources";
+  let request =
+    Policy.Types.start_request
+      ~subject:(Gsi.Dn.parse "/O=Grid/O=Synth/CN=user0000")
+      ~job:(Rsl.Parser.parse_clause_exn "&(executable=app0000)(directory=/work)(count=4)")
+  in
+  let tests =
+    List.map
+      (fun k ->
+        let sources =
+          List.init k (fun i ->
+              Policy.Combine.source
+                ~name:(Printf.sprintf "source-%d" i)
+                (synthetic_policy 10))
+        in
+        Test.make
+          ~name:(Printf.sprintf "combine/%02d-sources" k)
+          (Staged.stage (fun () -> ignore (Policy.Combine.evaluate sources request))))
+      [ 1; 2; 4; 8 ]
+  in
+  print_table "conjunctive combination (10-statement policies each)" (run_tests tests)
+
+(* ------------------------------------------------------------------ *)
+(* T6: RSL parse throughput                                             *)
+
+let t6_rsl_parse () =
+  section "T6: RSL parse cost vs request size";
+  let request_of n =
+    "&(executable=/sandbox/app)(directory=/work)(jobtag=NFC)"
+    ^ String.concat ""
+        (List.init n (fun i -> Printf.sprintf "(attr%03d=value%03d)" i i))
+  in
+  let tests =
+    List.map
+      (fun n ->
+        let text = request_of n in
+        Test.make
+          ~name:(Printf.sprintf "parse/%03d-relations" (n + 3))
+          (Staged.stage (fun () -> ignore (Rsl.Parser.parse text))))
+      [ 0; 5; 29; 125 ]
+  in
+  print_table "RSL text to AST" (run_tests tests)
+
+(* ------------------------------------------------------------------ *)
+(* T7: dynamic account pool                                             *)
+
+let t7_accounts () =
+  section "T7: dynamic account pool operations";
+  let tests =
+    List.map
+      (fun size ->
+        let pool = Accounts.Pool.create ~size ~lease_lifetime:1e9 () in
+        let holder = Gsi.Dn.parse "/O=Bench/CN=Holder" in
+        Test.make
+          ~name:(Printf.sprintf "pool/%04d-acquire-release" size)
+          (Staged.stage (fun () ->
+               match Accounts.Pool.acquire pool ~now:0.0 ~holder with
+               | Ok lease ->
+                 ignore (Accounts.Pool.release pool ~lease_id:lease.Accounts.Pool.lease_id)
+               | Error e -> failwith (Accounts.Pool.error_to_string e))))
+      [ 10; 100; 1000 ]
+  in
+  let gridmap =
+    Gsi.Gridmap.parse
+      (String.concat ""
+         (List.init 100 (fun i -> Printf.sprintf "\"/O=B/CN=user%03d\" acct%03d\n" i i)))
+  in
+  let probe = Gsi.Dn.parse "/O=B/CN=user099" in
+  let static =
+    Test.make ~name:"gridmap/100-entries-lookup"
+      (Staged.stage (fun () -> ignore (Gsi.Gridmap.lookup gridmap probe)))
+  in
+  print_table "account resolution" (run_tests (static :: tests))
+
+(* ------------------------------------------------------------------ *)
+(* T8: PEP placement ablation (Section 5.2 discusses multiple decision  *)
+(* domains: Gatekeeper vs Job Manager)                                  *)
+
+let t8_pep_placement () =
+  section "T8: PEP placement ablation (gatekeeper vs job manager vs both)";
+  (* The gatekeeper-only configuration rides on the GT2-baseline JM,
+     whose protocol has no jobtag — so its PEP evaluates a tag-free
+     policy of comparable size; cost is what is compared here. *)
+  let pep ~with_requirement () =
+    if with_requirement then
+      Callout.File_pep.of_sources (Fusion.policy_sources (Fusion.build_vo ()))
+    else
+      Callout.File_pep.of_texts
+        [ ("owner", Fusion.organization ^ ": &(action = start)(queue != reserved)");
+          ("vo",
+           Fusion.organization
+           ^ "/CN=Kate Keahey: &(action = start)(executable = TRANSP)(directory = /sandbox/test)") ]
+  in
+  let world ~gk ~jm =
+    let tb = Testbed.create () in
+    let backend = if jm then Flat_file (Fusion.policy_sources (Fusion.build_vo ())) else Baseline in
+    let resource =
+      Testbed.make_resource tb ~name:"ablate" ~nodes:64 ~cpus_per_node:8
+        ~gridmap:(Gsi.Gridmap.parse Fusion.gridmap_text)
+        ?gatekeeper_pep:(if gk then Some (pep ~with_requirement:jm ()) else None)
+        ~backend
+    in
+    (tb, Testbed.client tb ~user:(Testbed.add_user tb Fusion.kate_keahey) ~resource)
+  in
+  let tagged = "&(executable=TRANSP)(directory=/sandbox/test)(jobtag=NFC)(simduration=0)" in
+  let untagged = "&(executable=TRANSP)(directory=/sandbox/test)(simduration=0)" in
+  let tb0, c0 = world ~gk:false ~jm:false in
+  let tb1, c1 = world ~gk:true ~jm:false in
+  let tb2, c2 = world ~gk:false ~jm:true in
+  let tb3, c3 = world ~gk:true ~jm:true in
+  let tests =
+    [ Test.make ~name:"placement/0-none-(baseline)" (submit_iteration tb0 c0 untagged);
+      Test.make ~name:"placement/1-gatekeeper-only" (submit_iteration tb1 c1 untagged);
+      Test.make ~name:"placement/2-job-manager-only" (submit_iteration tb2 c2 tagged);
+      Test.make ~name:"placement/3-both" (submit_iteration tb3 c3 tagged) ]
+  in
+  print_table "submit cost by PEP placement" (run_tests tests);
+  Printf.printf
+    "   semantics differ: only a JM-side PEP also authorizes management\n";
+  Printf.printf
+    "   requests; the gatekeeper PEP sees job invocations exclusively.\n"
+
+(* ------------------------------------------------------------------ *)
+(* T9: policy syntax front ends (Section 6.3)                          *)
+
+let t9_policy_syntax () =
+  section "T9: policy parse cost, RSL-based syntax vs XACML-style XML";
+  let sizes = [ 1; 10; 100 ] in
+  let tests =
+    List.concat_map
+      (fun n ->
+        let policy = synthetic_policy n in
+        let rsl_text = Policy.Types.to_string policy in
+        let xml_text = Policy.Xacml.to_string policy in
+        [ Test.make
+            ~name:(Printf.sprintf "syntax/rsl-%03d-statements" n)
+            (Staged.stage (fun () -> ignore (Policy.Parse.parse rsl_text)));
+          Test.make
+            ~name:(Printf.sprintf "syntax/xml-%03d-statements" n)
+            (Staged.stage (fun () -> ignore (Policy.Xacml.parse xml_text))) ])
+      sizes
+  in
+  print_table "parse cost (same policies, two concrete syntaxes)" (run_tests tests);
+  Printf.printf
+    "   both compile to the same AST; decisions are identical (tested),\n";
+  Printf.printf "   so the syntax choice is purely an administration-cost question.\n"
+
+(* ------------------------------------------------------------------ *)
+(* T10: information service query scaling                               *)
+
+let t10_discovery () =
+  section "T10: information-service query cost vs registry size";
+  let tests =
+    List.map
+      (fun n ->
+        let tb = Testbed.create () in
+        let dir = Mds.Directory.create (Testbed.engine tb) in
+        for i = 0 to n - 1 do
+          Mds.Directory.register dir
+            { Mds.Directory.resource_name = Printf.sprintf "site-%04d" i;
+              site = (if i mod 2 = 0 then "anl" else "nersc");
+              total_cpus = 64;
+              queues = [ "batch" ] };
+          Mds.Directory.publish dir
+            ~resource_name:(Printf.sprintf "site-%04d" i)
+            { Mds.Directory.free_cpus = i mod 64; running_jobs = i mod 7; pending_jobs = 0;
+              published_at = 0.0 }
+        done;
+        Test.make
+          ~name:(Printf.sprintf "query/%04d-resources" n)
+          (Staged.stage (fun () ->
+               ignore (Mds.Directory.query ~min_free_cpus:32 ~queue:"batch" dir))))
+      [ 10; 100; 1000 ]
+  in
+  print_table "filtered+sorted directory query" (run_tests tests)
+
+(* ------------------------------------------------------------------ *)
+(* T11: coarse-grained allocation enforcement overhead (Section 2)      *)
+
+let t11_allocation () =
+  section "T11: submit cost with and without VO allocation enforcement";
+  let world ~with_bank =
+    let tb = Testbed.create () in
+    let allocation =
+      if with_bank then begin
+        let bank = Accounts.Allocation.create () in
+        Accounts.Allocation.open_account bank ~party:Fusion.organization ~budget:1e12;
+        Some (Accounts.Allocation.enforcement bank)
+      end
+      else None
+    in
+    let resource =
+      Testbed.make_resource tb ~name:"alloc" ~nodes:64 ~cpus_per_node:8
+        ~gridmap:(Gsi.Gridmap.parse Fusion.gridmap_text) ?allocation ~backend:Baseline
+    in
+    (tb, Testbed.client tb ~user:(Testbed.add_user tb Fusion.kate_keahey) ~resource)
+  in
+  let rsl = "&(executable=/bin/sim)(count=2)(maxwalltime=1)(simduration=0)" in
+  let tb0, c0 = world ~with_bank:false in
+  let tb1, c1 = world ~with_bank:true in
+  let tests =
+    [ Test.make ~name:"allocate/0-no-bank" (submit_iteration tb0 c0 rsl);
+      Test.make ~name:"allocate/1-reserve+settle" (submit_iteration tb1 c1 rsl) ]
+  in
+  print_table "submit + completion (reservation and settlement included)" (run_tests tests)
+
+(* ------------------------------------------------------------------ *)
+(* T12: sustained workload throughput                                   *)
+
+let t12_workload () =
+  section "T12: sustained mixed-workload throughput, baseline vs extended";
+  let jobs = 3000 in
+  let run backend =
+    let w = Fusion.build ~backend ~nodes:16 ~cpus_per_node:8 () in
+    let profiles =
+      [ { Workload.identity = Gram.Client.identity w.Fusion.bo;
+          rsl_templates =
+            [ "&(executable=test1)(directory=/sandbox/test)(jobtag=ADS)(count=2)(simduration=30)";
+              "&(executable=test1)(directory=/sandbox/test)(jobtag=ADS)(count=4)" ];
+          weight = 1 };
+        { Workload.identity = Gram.Client.identity w.Fusion.kate;
+          rsl_templates =
+            [ "&(executable=TRANSP)(directory=/sandbox/test)(jobtag=NFC)(count=4)(simduration=60)" ];
+          weight = 1 } ]
+    in
+    (* Baseline mode cannot parse jobtag: use tag-free templates there. *)
+    let profiles =
+      match backend with
+      | `Baseline ->
+        List.map
+          (fun p ->
+            { p with
+              Workload.rsl_templates =
+                [ "&(executable=test1)(directory=/sandbox/test)(count=2)(simduration=30)" ] })
+          profiles
+      | `Flat_file -> profiles
+    in
+    let t0 = Sys.time () in
+    let stats =
+      Workload.run
+        ~engine:(Testbed.engine w.Fusion.testbed)
+        ~resource:w.Fusion.resource ~profiles
+        { Workload.default_config with
+          Workload.job_count = jobs;
+          arrival_rate = 5.0;
+          seed = 11 }
+    in
+    let elapsed = Sys.time () -. t0 in
+    (stats, elapsed)
+  in
+  let report label (stats, elapsed) =
+    Printf.printf "   %-22s %6.2f s cpu  %8.0f jobs/s  (%s)\n" label elapsed
+      (float_of_int jobs /. elapsed)
+      (Fmt.str "%a" Workload.pp_stats stats)
+  in
+  report "baseline" (run `Baseline);
+  report "extended (flat-file)" (run `Flat_file);
+  Printf.printf
+    "   shape: extended throughput within a small factor of baseline; the\n";
+  Printf.printf "   denied templates show policy working under sustained load.\n"
+
+(* ------------------------------------------------------------------ *)
+(* T13: Akenti decision cache (the pull model's optimization)           *)
+
+let t13_akenti_cache () =
+  section "T13: Akenti decision latency, cold vs cached";
+  let tb = Testbed.create () in
+  ignore tb;
+  let make_engine ~cached =
+    let mk seed =
+      let kp = Crypto.Keypair.generate ~seed_material:seed in
+      Crypto.Keypair.register kp;
+      kp
+    in
+    let site_kp = mk "t13-site" and vo_kp = mk "t13-vo" and aa_kp = mk "t13-aa" in
+    let site = { Akenti.Engine.dn = Gsi.Dn.parse "/O=B/CN=S"; key = Crypto.Keypair.public site_kp } in
+    let vo_s = { Akenti.Engine.dn = Gsi.Dn.parse "/O=B/CN=V"; key = Crypto.Keypair.public vo_kp } in
+    let aa = { Akenti.Engine.dn = Gsi.Dn.parse "/O=B/CN=A"; key = Crypto.Keypair.public aa_kp } in
+    let engine =
+      Akenti.Engine.create ~resource:"r" ~stakeholders:[ site; vo_s ]
+        ~attribute_authorities:[ aa ]
+    in
+    let constr attribute values =
+      { Policy.Types.attribute; op = Grid_rsl.Ast.Eq;
+        values = List.map (fun v -> Policy.Types.Str v) values }
+    in
+    List.iter
+      (fun (stakeholder, kp) ->
+        Akenti.Engine.publish_condition engine
+          (Akenti.Use_condition.make ~resource:"r" ~stakeholder
+             ~actions:Policy.Types.Action.all
+             ~constraints:[ constr "executable" [ "TRANSP" ] ]
+             ~required_attributes:[ ("group", "analysts") ] ~not_before:0.0
+             ~not_after:1e12 ~signing_key:(Crypto.Keypair.secret kp)))
+      [ (site.Akenti.Engine.dn, site_kp); (vo_s.Akenti.Engine.dn, vo_kp) ];
+    Akenti.Engine.publish_attribute engine
+      (Akenti.Attr_cert.make ~subject:(Gsi.Dn.parse Fusion.kate_keahey) ~attribute:"group"
+         ~value:"analysts" ~issuer:aa.Akenti.Engine.dn ~not_before:0.0 ~not_after:1e12
+         ~signing_key:(Crypto.Keypair.secret aa_kp));
+    if cached then Akenti.Engine.enable_cache engine ~ttl:1e9;
+    engine
+  in
+  let request =
+    Policy.Types.start_request
+      ~subject:(Gsi.Dn.parse Fusion.kate_keahey)
+      ~job:(Rsl.Parser.parse_clause_exn "&(executable=TRANSP)(count=2)")
+  in
+  let cold = make_engine ~cached:false in
+  let warm = make_engine ~cached:true in
+  ignore (Akenti.Engine.decide warm ~now:0.0 request);
+  let tests =
+    [ Test.make ~name:"akenti/1-uncached"
+        (Staged.stage (fun () -> ignore (Akenti.Engine.decide cold ~now:1.0 request)));
+      Test.make ~name:"akenti/2-cached"
+        (Staged.stage (fun () -> ignore (Akenti.Engine.decide warm ~now:1.0 request))) ]
+  in
+  print_table "two-stakeholder decision with attribute certificates" (run_tests tests)
+
+(* ------------------------------------------------------------------ *)
+
+let experiments =
+  [ ("f1", figure1); ("f2", figure2); ("f3", figure3);
+    ("t1", t1_authz_latency); ("t2", t2_startup_overhead); ("t3", t3_management);
+    ("t4", t4_delegation); ("t5", t5_combination); ("t6", t6_rsl_parse);
+    ("t7", t7_accounts); ("t8", t8_pep_placement); ("t9", t9_policy_syntax);
+    ("t10", t10_discovery); ("t11", t11_allocation); ("t12", t12_workload);
+    ("t13", t13_akenti_cache) ]
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as names) -> names
+    | _ -> List.map fst experiments
+  in
+  Printf.printf "Fine-grain GRID authorization: benchmark & figure harness\n";
+  Printf.printf "(figures F1-F3 reproduce the paper's artifacts; T1-T7 are the\n";
+  Printf.printf " quantitative microbenchmarks defined in DESIGN.md)\n";
+  List.iter
+    (fun name ->
+      match List.assoc_opt name experiments with
+      | Some f -> f ()
+      | None -> Printf.printf "unknown experiment %S (known: f1 f2 f3 t1..t7)\n" name)
+    requested

@@ -1,0 +1,339 @@
+(* gridctl: command-line front end for the fine-grain authorization
+   library.
+
+     gridctl check  POLICY_FILE...            validate policy files
+     gridctl eval   --subject DN --action A [--rsl R] [--jobowner DN]
+                    [--jobtag T] POLICY_FILE...
+                                              evaluate a request
+     gridctl show   POLICY_FILE               parse and pretty-print
+     gridctl figure3                          the paper's decision matrix
+
+   Policies are in the paper's Figure 3 concrete syntax; multiple files
+   are combined conjunctively (resource owner AND VO), each file being
+   one source named after its path. *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* Policies come in two syntaxes (paper Section 5.1 and the Section 6.3
+   XACML replacement); files are dispatched on their first character. *)
+let parse_policy_text text =
+  if Grid_util.Strings.starts_with ~prefix:"<" (Grid_util.Strings.strip text) then
+    Grid_policy.Xacml.parse_result text
+  else Grid_policy.Parse.parse_result text
+
+let load_sources paths =
+  List.map
+    (fun path ->
+      let text = read_file path in
+      match parse_policy_text text with
+      | Error m -> Printf.ksprintf failwith "%s: %s" path m
+      | Ok policy -> begin
+        match Grid_policy.Eval.validate policy with
+        | Error m -> Printf.ksprintf failwith "%s: %s" path m
+        | Ok () -> Grid_policy.Combine.source ~name:(Filename.basename path) policy
+      end)
+    paths
+
+(* --- arguments ------------------------------------------------------- *)
+
+let policy_files =
+  Arg.(non_empty & pos_all file [] & info [] ~docv:"POLICY" ~doc:"Policy file(s).")
+
+let subject =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "s"; "subject" ] ~docv:"DN" ~doc:"Grid identity making the request.")
+
+let action =
+  let parse s =
+    match Grid_policy.Types.Action.of_string s with
+    | Some a -> Ok a
+    | None -> Error (`Msg "expected start, cancel, information or signal")
+  in
+  let print ppf a = Fmt.string ppf (Grid_policy.Types.Action.to_string a) in
+  Arg.(
+    required
+    & opt (some (conv (parse, print))) None
+    & info [ "a"; "action" ] ~docv:"ACTION" ~doc:"start, cancel, information or signal.")
+
+let rsl =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "r"; "rsl" ] ~docv:"RSL" ~doc:"Job description (start requests).")
+
+let jobowner =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "jobowner" ] ~docv:"DN" ~doc:"Owner of the target job (management requests).")
+
+let jobtag =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "jobtag" ] ~docv:"TAG" ~doc:"Jobtag of the target job (management requests).")
+
+let explain =
+  Arg.(value & flag & info [ "explain" ] ~doc:"Show per-source decisions.")
+
+(* --- commands --------------------------------------------------------- *)
+
+let check_cmd =
+  let run paths =
+    try
+      List.iter
+        (fun path ->
+          let text = read_file path in
+          match parse_policy_text text with
+          | Error m ->
+            Printf.printf "%s: PARSE ERROR: %s\n" path m;
+            exit 1
+          | Ok policy -> begin
+            match Grid_policy.Eval.validate policy with
+            | Error m ->
+              Printf.printf "%s: INVALID: %s\n" path m;
+              exit 1
+            | Ok () ->
+              Printf.printf "%s: ok (%d statements)\n" path (List.length policy)
+          end)
+        paths
+    with Failure m ->
+      prerr_endline m;
+      exit 1
+  in
+  Cmd.v
+    (Cmd.info "check" ~doc:"Parse and validate policy files.")
+    Term.(const run $ policy_files)
+
+let show_cmd =
+  let run paths =
+    try
+      List.iter
+        (fun path ->
+          let sources = load_sources [ path ] in
+          List.iter
+            (fun (s : Grid_policy.Combine.source) ->
+              Printf.printf "# %s\n%s\n" s.Grid_policy.Combine.name
+                (Grid_policy.Types.to_string s.Grid_policy.Combine.policy))
+            sources)
+        paths
+    with Failure m ->
+      prerr_endline m;
+      exit 1
+  in
+  Cmd.v
+    (Cmd.info "show" ~doc:"Parse and pretty-print policy files.")
+    Term.(const run $ policy_files)
+
+let eval_cmd =
+  let run subject action rsl jobowner jobtag explain paths =
+    try
+      let sources = load_sources paths in
+      let subject = Grid_gsi.Dn.parse subject in
+      let request =
+        match (action, rsl) with
+        | Grid_policy.Types.Action.Start, Some rsl ->
+          Grid_policy.Types.start_request ~subject
+            ~job:(Grid_rsl.Parser.parse_clause_exn rsl)
+        | Grid_policy.Types.Action.Start, None ->
+          failwith "start requests need --rsl"
+        | action, _ ->
+          let jobowner =
+            match jobowner with
+            | Some o -> Grid_gsi.Dn.parse o
+            | None -> failwith "management requests need --jobowner"
+          in
+          Grid_policy.Types.management_request ~subject ~action ~jobowner ~jobtag
+      in
+      if explain then
+        List.iter
+          (fun (name, decision) ->
+            Printf.printf "%-30s %s\n" name (Grid_policy.Eval.decision_to_string decision))
+          (Grid_policy.Combine.evaluate_all sources request);
+      let combined = Grid_policy.Combine.evaluate sources request in
+      Printf.printf "%s\n" (Grid_policy.Combine.decision_to_string combined);
+      exit (if Grid_policy.Combine.is_permit combined then 0 else 1)
+    with
+    | Failure m | Grid_rsl.Parser.Error m ->
+      prerr_endline m;
+      exit 2
+    | Grid_gsi.Dn.Parse_error m ->
+      prerr_endline ("bad DN: " ^ m);
+      exit 2
+  in
+  Cmd.v
+    (Cmd.info "eval" ~doc:"Evaluate a request against one or more policy files.")
+    Term.(const run $ subject $ action $ rsl $ jobowner $ jobtag $ explain $ policy_files)
+
+let rights_cmd =
+  let run subject paths =
+    try
+      let sources = load_sources paths in
+      let subject = Grid_gsi.Dn.parse subject in
+      List.iter
+        (fun (s : Grid_policy.Combine.source) ->
+          Printf.printf "# source: %s\n" s.Grid_policy.Combine.name;
+          Fmt.pr "%a@." Grid_policy.Query.pp_rights
+            (s.Grid_policy.Combine.policy, subject))
+        sources
+    with
+    | Failure m ->
+      prerr_endline m;
+      exit 2
+    | Grid_gsi.Dn.Parse_error m ->
+      prerr_endline ("bad DN: " ^ m);
+      exit 2
+  in
+  Cmd.v
+    (Cmd.info "rights" ~doc:"Report what a subject may do under each policy source.")
+    Term.(const run $ subject $ policy_files)
+
+let lint_cmd =
+  let run paths =
+    try
+      let any_errors = ref false in
+      List.iter
+        (fun path ->
+          let text = read_file path in
+          match parse_policy_text text with
+          | Error m ->
+            Printf.printf "%s: PARSE ERROR: %s\n" path m;
+            any_errors := true
+          | Ok policy -> begin
+            match Grid_policy.Lint.lint policy with
+            | [] -> Printf.printf "%s: clean (%d statements)\n" path (List.length policy)
+            | findings ->
+              List.iter
+                (fun f ->
+                  Printf.printf "%s: %s\n" path (Grid_policy.Lint.finding_to_string f))
+                findings;
+              if Grid_policy.Lint.has_errors findings then any_errors := true
+          end)
+        paths;
+      exit (if !any_errors then 1 else 0)
+    with Failure m ->
+      prerr_endline m;
+      exit 2
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Diagnose unsatisfiable, dead or over-broad policy (exit 1 on errors, 0 on \
+          clean/warnings).")
+    Term.(const run $ policy_files)
+
+let simulate_cmd =
+  let jobs =
+    Arg.(value & opt int 200 & info [ "j"; "jobs" ] ~docv:"N" ~doc:"Jobs to generate.")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Workload seed.") in
+  let baseline =
+    Arg.(value & flag & info [ "baseline" ] ~doc:"Run unmodified GT2 instead of extended GRAM.")
+  in
+  let run jobs seed baseline =
+    let backend = if baseline then `Baseline else `Flat_file in
+    let w = Core.Fusion.build ~backend ~nodes:8 ~cpus_per_node:8 () in
+    let templates_bo =
+      if baseline then
+        [ "&(executable=test1)(directory=/sandbox/test)(count=2)(simduration=40)" ]
+      else
+        [ "&(executable=test1)(directory=/sandbox/test)(jobtag=ADS)(count=2)(simduration=40)";
+          "&(executable=test1)(directory=/sandbox/test)(jobtag=ADS)(count=4)";
+          "&(executable=test1)(directory=/sandbox/test)" ]
+    in
+    let templates_kate =
+      if baseline then
+        [ "&(executable=TRANSP)(directory=/sandbox/test)(simduration=120)" ]
+      else
+        [ "&(executable=TRANSP)(directory=/sandbox/test)(jobtag=NFC)(count=4)(simduration=120)" ]
+    in
+    let profiles =
+      [ { Core.Workload.identity = Core.Gram.Client.identity w.Core.Fusion.bo;
+          rsl_templates = templates_bo;
+          weight = 3 };
+        { Core.Workload.identity = Core.Gram.Client.identity w.Core.Fusion.kate;
+          rsl_templates = templates_kate;
+          weight = 2 } ]
+    in
+    Printf.printf "Simulating %d jobs on the fusion testbed (%s mode, seed %d)...\n" jobs
+      (if baseline then "GT2 baseline" else "extended") seed;
+    let stats =
+      Core.Workload.run
+        ~engine:(Core.Testbed.engine w.Core.Fusion.testbed)
+        ~resource:w.Core.Fusion.resource ~profiles
+        { Core.Workload.default_config with Core.Workload.job_count = jobs; seed }
+    in
+    Fmt.pr "%a@." Core.Workload.pp_stats stats;
+    let audit = Core.Gram.Resource.audit w.Core.Fusion.resource in
+    Printf.printf "audit records: %d (%d failures)\n\n"
+      (Core.Audit.Audit.count audit)
+      (List.length (Core.Audit.Audit.failures audit));
+    Fmt.pr "%a@." Core.Audit.Reports.pp audit
+  in
+  Cmd.v
+    (Cmd.info "simulate"
+       ~doc:"Run a synthetic workload against the National Fusion Collaboratory testbed.")
+    Term.(const run $ jobs $ seed $ baseline)
+
+let convert_cmd =
+  let syntax =
+    Arg.(
+      required
+      & opt (some (enum [ ("rsl", `Rsl); ("xml", `Xml) ])) None
+      & info [ "t"; "to" ] ~docv:"SYNTAX" ~doc:"Target syntax: rsl or xml.")
+  in
+  let run target paths =
+    try
+      List.iter
+        (fun path ->
+          let text = read_file path in
+          match parse_policy_text text with
+          | Error m -> failwith (path ^ ": " ^ m)
+          | Ok policy -> begin
+            match target with
+            | `Rsl -> print_endline (Grid_policy.Types.to_string policy)
+            | `Xml ->
+              print_string
+                (Grid_policy.Xacml.to_string
+                   ~policy_id:(Filename.remove_extension (Filename.basename path))
+                   policy)
+          end)
+        paths
+    with Failure m ->
+      prerr_endline m;
+      exit 1
+  in
+  Cmd.v
+    (Cmd.info "convert"
+       ~doc:"Convert policies between the RSL-based and XACML-style syntaxes.")
+    Term.(const run $ syntax $ policy_files)
+
+let figure3_cmd =
+  let run () =
+    print_endline Grid_policy.Figure3.text;
+    let policy = Grid_policy.Figure3.get () in
+    Printf.printf "(%d statements, validates: %b)\n" (List.length policy)
+      (Result.is_ok (Grid_policy.Eval.validate policy))
+  in
+  Cmd.v
+    (Cmd.info "figure3" ~doc:"Print the paper's Figure 3 example policy.")
+    Term.(const run $ const ())
+
+let () =
+  let info =
+    Cmd.info "gridctl" ~version:Core.version
+      ~doc:"Fine-grain authorization policies for grid resource management."
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ check_cmd; show_cmd; eval_cmd; convert_cmd; lint_cmd; rights_cmd;
+            simulate_cmd; figure3_cmd ]))

@@ -1,0 +1,1 @@
+examples/discovery_broker.ml: Core Fmt Fusion Gram Gsi List Mds Policy Printf Testbed

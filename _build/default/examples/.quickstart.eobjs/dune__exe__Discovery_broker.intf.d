@@ -1,0 +1,1 @@
+examples/discovery_broker.mli:

@@ -1,0 +1,1 @@
+examples/fusion_collaboratory.ml: Core Fusion Gram Gsi List Policy Printf Rsl Vo

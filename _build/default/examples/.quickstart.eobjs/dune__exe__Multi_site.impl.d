@@ -1,0 +1,1 @@
+examples/multi_site.ml: Core Fusion Gram Gsi Policy Printf Testbed Vo

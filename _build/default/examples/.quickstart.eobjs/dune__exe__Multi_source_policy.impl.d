@@ -1,0 +1,1 @@
+examples/multi_source_policy.ml: Akenti Callout Cas Core Crypto Fusion Gsi List Policy Printf Result Rsl Testbed

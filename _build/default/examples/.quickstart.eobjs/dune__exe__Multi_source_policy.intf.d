@@ -1,0 +1,1 @@
+examples/multi_source_policy.mli:

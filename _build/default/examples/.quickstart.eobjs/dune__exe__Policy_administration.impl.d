@@ -1,0 +1,1 @@
+examples/policy_administration.ml: Core Fmt Gsi List Policy Printf Rsl String

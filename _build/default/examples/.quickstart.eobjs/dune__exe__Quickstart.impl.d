@@ -1,0 +1,1 @@
+examples/quickstart.ml: Audit Core Fmt Gram Gsi Policy Printf Testbed

@@ -1,0 +1,1 @@
+examples/sc02_priority_demo.ml: Audit Core Fmt Fusion Gram List Printf Testbed

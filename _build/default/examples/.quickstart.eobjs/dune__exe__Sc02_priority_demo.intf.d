@@ -1,0 +1,1 @@
+examples/sc02_priority_demo.mli:

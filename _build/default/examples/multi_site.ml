@@ -1,0 +1,85 @@
+(* Multi-site VO policy: "the VO coordinate[s] policy across resources in
+   different domains to form a consistent policy environment" (Section 1).
+
+   One fusion VO, two sites with different owners: ANL allows any queue
+   but caps cpu counts; NERSC reserves its "priority" queue and admits
+   larger jobs. Both combine their own policy with the same VO policy, so
+   a member's VO-level rights are identical across sites while site rules
+   differ — and the VO admin can manage the VO's jobs wherever they run.
+
+   Run with: dune exec examples/multi_site.exe *)
+
+open Core
+
+let say fmt = Printf.printf fmt
+
+let () =
+  let tb = Testbed.create () in
+  let vo = Fusion.build_vo () in
+  let vo_source = Vo.Vo.policy_source vo in
+
+  let site name owner_policy_text =
+    let owner = Policy.Combine.source ~name:(name ^ "-owner") (Policy.Parse.parse owner_policy_text) in
+    Testbed.make_resource tb ~name ~nodes:8 ~cpus_per_node:8
+      ~gridmap:(Gsi.Gridmap.parse Fusion.gridmap_text)
+      ~backend:(Flat_file [ owner; vo_source ])
+  in
+  let anl =
+    site "anl"
+      (Fusion.organization
+     ^ {|: &(action = start)(count <= 8) &(action = cancel) &(action = information) &(action = signal)|})
+  in
+  let nersc =
+    site "nersc"
+      (Fusion.organization
+     ^ {|: &(action = start)(queue != priority) &(action = cancel) &(action = information) &(action = signal)|})
+  in
+
+  let kate_id = Testbed.add_user tb Fusion.kate_keahey in
+  let admin_id = Testbed.add_user tb Fusion.admin in
+  let kate_at resource = Testbed.client tb ~user:kate_id ~resource in
+  let admin_at resource = Testbed.client tb ~user:admin_id ~resource in
+
+  let submit site_name client rsl =
+    match Gram.Client.submit_sync client ~rsl with
+    | Ok r ->
+      say "  %-6s %-68s -> PERMIT\n" site_name rsl;
+      Some r.Gram.Protocol.job_contact
+    | Error e ->
+      say "  %-6s %-68s -> DENY\n         %s\n" site_name rsl
+        (Gram.Protocol.submit_error_to_string e);
+      None
+  in
+
+  say "== The same VO right works at both sites ==\n";
+  let transp = "&(executable=TRANSP)(directory=/sandbox/test)(jobtag=NFC)(simduration=9000)" in
+  let at_anl = submit "anl" (kate_at anl) transp in
+  let _at_nersc = submit "nersc" (kate_at nersc) transp in
+
+  say "\n== Site-specific owner rules differ ==\n";
+  (* ANL caps count at 8. *)
+  ignore
+    (submit "anl" (kate_at anl)
+       "&(executable=TRANSP)(directory=/sandbox/test)(jobtag=NFC)(count=9)");
+  (* NERSC admits 9 cpus but reserves its priority queue. *)
+  ignore
+    (submit "nersc" (kate_at nersc)
+       "&(executable=TRANSP)(directory=/sandbox/test)(jobtag=NFC)(count=9)");
+  ignore
+    (submit "nersc" (kate_at nersc)
+       "&(executable=TRANSP)(directory=/sandbox/test)(jobtag=NFC)(queue=priority)");
+  ignore
+    (submit "anl" (kate_at anl)
+       "&(executable=TRANSP)(directory=/sandbox/test)(jobtag=NFC)(queue=priority)(simduration=60)");
+
+  say "\n== VO-wide management crosses sites ==\n";
+  (match at_anl with
+  | Some contact -> begin
+    match Gram.Client.manage_sync (admin_at anl) ~contact Gram.Protocol.Cancel with
+    | Ok _ -> say "  VO admin cancels Kate's NFC job at ANL -> PERMIT\n"
+    | Error e -> say "  cancel failed: %s\n" (Gram.Protocol.management_error_to_string e)
+  end
+  | None -> ());
+
+  say "\n== The compiled VO policy shipped to both sites ==\n%s\n"
+    (Policy.Types.to_string (Vo.Vo.compile_policy vo))

@@ -1,0 +1,124 @@
+(* Three authorization backends, one policy: the flat-file PEP (the
+   paper's prototype), Akenti use-condition certificates (the SC02
+   integration), and CAS capabilities (the push-model generality test of
+   Section 5). The same requests are evaluated against each backend to
+   show the callout API makes them interchangeable.
+
+   Run with: dune exec examples/multi_source_policy.exe *)
+
+open Core
+
+let org = Fusion.organization
+let kate = Fusion.kate_keahey
+
+let requests =
+  [ ("TRANSP in /sandbox/test, tag NFC", "&(executable=TRANSP)(directory=/sandbox/test)(jobtag=NFC)");
+    ("TRANSP without a jobtag", "&(executable=TRANSP)(directory=/sandbox/test)");
+    ("arbitrary executable", "&(executable=/bin/sh)(directory=/sandbox/test)(jobtag=NFC)") ]
+
+let query rsl kate_credential =
+  { Callout.Callout.requester = Gsi.Dn.parse kate;
+    requester_credential = kate_credential;
+    job_owner = None;
+    action = Policy.Types.Action.Start;
+    job_id = Some "job-x";
+    rsl = Some (Rsl.Parser.parse_clause_exn rsl);
+    jobtag = None }
+
+let show name callout credential =
+  Printf.printf "%s\n" name;
+  List.iter
+    (fun (label, rsl) ->
+      match callout (query rsl credential) with
+      | Ok () -> Printf.printf "  %-40s -> PERMIT\n" label
+      | Error e ->
+        Printf.printf "  %-40s -> DENY: %s\n" label (Callout.Callout.error_to_string e))
+    requests;
+  print_newline ()
+
+let () =
+  let tb = Testbed.create () in
+  let vo = Fusion.build_vo () in
+  let kate_id = Testbed.add_user tb kate in
+
+  (* --- Backend 1: flat-file policies on the resource (pull). --------- *)
+  let file_callout = Callout.File_pep.of_sources (Fusion.policy_sources vo) in
+  show "[flat-file PEP: resource-owner + VO policy files]" file_callout None;
+
+  (* --- Backend 2: Akenti (pull: use-conditions + attribute certs). --- *)
+  let site_kp = Crypto.Keypair.generate ~seed_material:"site" in
+  let vo_kp = Crypto.Keypair.generate ~seed_material:"vo" in
+  let aa_kp = Crypto.Keypair.generate ~seed_material:"attr-authority" in
+  Crypto.Keypair.register site_kp;
+  Crypto.Keypair.register vo_kp;
+  Crypto.Keypair.register aa_kp;
+  let site =
+    { Akenti.Engine.dn = Gsi.Dn.parse "/O=Grid/CN=Site"; key = Crypto.Keypair.public site_kp }
+  in
+  let vo_stakeholder =
+    { Akenti.Engine.dn = Gsi.Dn.parse "/O=Grid/CN=Fusion VO";
+      key = Crypto.Keypair.public vo_kp }
+  in
+  let authority =
+    { Akenti.Engine.dn = Gsi.Dn.parse "/O=Grid/CN=Fusion AA";
+      key = Crypto.Keypair.public aa_kp }
+  in
+  let engine =
+    Akenti.Engine.create ~resource:"gram-job-manager" ~stakeholders:[ site; vo_stakeholder ]
+      ~attribute_authorities:[ authority ]
+  in
+  let constraints rsl =
+    List.map
+      (fun (r : Rsl.Ast.relation) ->
+        { Policy.Types.attribute = r.attribute;
+          op = r.op;
+          values =
+            List.map
+              (function
+                | Rsl.Ast.Literal "NULL" -> Policy.Types.Null
+                | Rsl.Ast.Literal s -> Policy.Types.Str s
+                | Rsl.Ast.Variable _ | Rsl.Ast.Binding _ -> assert false)
+              r.values })
+      (Rsl.Parser.parse_clause_exn rsl)
+  in
+  Akenti.Engine.publish_condition engine
+    (Akenti.Use_condition.make ~resource:"gram-job-manager" ~stakeholder:site.Akenti.Engine.dn
+       ~actions:Policy.Types.Action.all ~constraints:(constraints "&(queue != reserved)")
+       ~required_attributes:[] ~not_before:0.0 ~not_after:1e9
+       ~signing_key:(Crypto.Keypair.secret site_kp));
+  Akenti.Engine.publish_condition engine
+    (Akenti.Use_condition.make ~resource:"gram-job-manager"
+       ~stakeholder:vo_stakeholder.Akenti.Engine.dn ~actions:[ Policy.Types.Action.Start ]
+       ~constraints:(constraints "&(executable=TRANSP)(directory=/sandbox/test)(jobtag != NULL)")
+       ~required_attributes:[ ("group", "analysts") ] ~not_before:0.0 ~not_after:1e9
+       ~signing_key:(Crypto.Keypair.secret vo_kp));
+  Akenti.Engine.publish_attribute engine
+    (Akenti.Attr_cert.make ~subject:(Gsi.Dn.parse kate) ~attribute:"group" ~value:"analysts"
+       ~issuer:authority.Akenti.Engine.dn ~not_before:0.0 ~not_after:1e9
+       ~signing_key:(Crypto.Keypair.secret aa_kp));
+  let akenti_callout = Akenti.Akenti_pep.callout ~engine ~now:(fun () -> 1.0) in
+  show "[Akenti PEP: use-conditions from 2 stakeholders + attribute certs]" akenti_callout
+    None;
+
+  (* --- Backend 3: CAS (push: capability carried by the user). -------- *)
+  let cas = Cas.Server.create ~vo "fusion-cas" in
+  let kate_proxy =
+    Result.get_ok (Cas.Server.grant_proxy cas ~trust:(Testbed.trust tb) ~now:0.0 kate_id)
+  in
+  let challenge = Gsi.Authn.fresh_challenge () in
+  let kate_credential = Gsi.Credential.of_identity kate_proxy ~challenge in
+  let cas_callout =
+    Cas.Pep.callout ~cas_key:(Cas.Server.public_key cas) ~now:(fun () -> 1.0)
+  in
+  show "[CAS PEP: capability credential issued by the community server]" cas_callout
+    (Some kate_credential);
+
+  (* The callout API makes the backends composable: require ALL of them. *)
+  let belt_and_braces =
+    Callout.Callout.all [ file_callout; akenti_callout; cas_callout ]
+  in
+  show "[conjunction of all three backends]"
+    (fun q -> belt_and_braces { q with Callout.Callout.requester_credential = Some kate_credential })
+    (Some kate_credential);
+
+  Printf.printf "Note: %s is the organization prefix all three backends scope to.\n" org

@@ -1,0 +1,86 @@
+(* The SC02 / Section 2 scenario: "users often have long-running
+   computational jobs ... and the VO often has short-notice high-priority
+   jobs that require immediate access to resources. This requires
+   suspending existing jobs ... something that normally only the user that
+   submitted the job has the right to do."
+
+   A VO administrator — not the job owner — suspends a long-running
+   analysis to make room for a funding-agency demo, then resumes it.
+
+   Run with: dune exec examples/sc02_priority_demo.exe *)
+
+open Core
+
+let say fmt = Printf.printf fmt
+
+let state client contact =
+  match Gram.Client.status_sync client ~contact with
+  | Ok st -> Gram.Protocol.job_state_to_string st.Gram.Protocol.state
+  | Error e -> "?" ^ Gram.Protocol.management_error_to_string e
+
+let () =
+  (* A small cluster so the demo genuinely cannot fit beside the
+     analysis. *)
+  let w = Fusion.build ~nodes:1 ~cpus_per_node:4 () in
+  let now () = Testbed.now w.Fusion.testbed in
+
+  say "t=%6.1fs  Kate starts a long TRANSP analysis on all 4 cpus.\n" (now ());
+  let analysis =
+    match
+      Gram.Client.submit_sync w.Fusion.kate
+        ~rsl:
+          "&(executable=TRANSP)(directory=/sandbox/test)(jobtag=NFC)(count=4)(simduration=86400)"
+    with
+    | Ok r -> r.Gram.Protocol.job_contact
+    | Error e -> failwith (Gram.Protocol.submit_error_to_string e)
+  in
+  say "t=%6.1fs  analysis %s is %s\n" (now ()) analysis (state w.Fusion.kate analysis);
+
+  Testbed.run_for w.Fusion.testbed 3600.0;
+  say "t=%6.1fs  An agency demo arrives: the VO admin submits it (jobtag DEMO).\n" (now ());
+  let demo =
+    match
+      Gram.Client.submit_sync w.Fusion.vo_admin
+        ~rsl:"&(executable=demo)(directory=/sandbox/test)(jobtag=DEMO)(count=4)(simduration=1800)"
+    with
+    | Ok r -> r.Gram.Protocol.job_contact
+    | Error e -> failwith (Gram.Protocol.submit_error_to_string e)
+  in
+  say "t=%6.1fs  demo %s is %s (cluster full)\n" (now ()) demo (state w.Fusion.vo_admin demo);
+
+  say "t=%6.1fs  Kate is unreachable; the admin suspends her job under the\n" (now ());
+  say "           VO-wide management grant over jobtag NFC.\n";
+  (match
+     Gram.Client.manage_sync w.Fusion.vo_admin ~contact:analysis
+       (Gram.Protocol.Signal Gram.Protocol.Suspend)
+   with
+  | Ok _ -> ()
+  | Error e -> failwith (Gram.Protocol.management_error_to_string e));
+  say "t=%6.1fs  analysis: %s, demo: %s\n" (now ())
+    (state w.Fusion.vo_admin analysis)
+    (state w.Fusion.vo_admin demo);
+
+  Testbed.run_for w.Fusion.testbed 1900.0;
+  say "t=%6.1fs  demo: %s — the admin resumes the analysis.\n" (now ())
+    (state w.Fusion.vo_admin demo);
+  (match
+     Gram.Client.manage_sync w.Fusion.vo_admin ~contact:analysis
+       (Gram.Protocol.Signal Gram.Protocol.Resume)
+   with
+  | Ok _ -> ()
+  | Error e -> failwith (Gram.Protocol.management_error_to_string e));
+  say "t=%6.1fs  analysis: %s\n" (now ()) (state w.Fusion.vo_admin analysis);
+
+  say "\nContrast: a developer (Bo Liu) attempting the same suspension:\n";
+  (match
+     Gram.Client.manage_sync w.Fusion.bo ~contact:analysis
+       (Gram.Protocol.Signal Gram.Protocol.Suspend)
+   with
+  | Ok _ -> say "  unexpectedly permitted!\n"
+  | Error e -> say "  denied: %s\n" (Gram.Protocol.management_error_to_string e));
+
+  say "\nManagement audit trail:\n";
+  let audit = Gram.Resource.audit w.Fusion.resource in
+  List.iter
+    (fun r -> Fmt.pr "  %a@." Audit.Audit.pp_record r)
+    (Audit.Audit.by_kind audit Audit.Audit.Job_management)

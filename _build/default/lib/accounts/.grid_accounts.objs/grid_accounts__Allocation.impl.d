@@ -1,0 +1,1 @@
+lib/accounts/allocation.ml: Float Grid_gsi Grid_util Hashtbl Option Printf String

@@ -1,0 +1,1 @@
+lib/accounts/allocation.mli: Grid_gsi

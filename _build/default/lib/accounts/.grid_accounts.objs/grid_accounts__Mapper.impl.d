@@ -1,0 +1,1 @@
+lib/accounts/mapper.ml: Grid_gsi Pool Sandbox

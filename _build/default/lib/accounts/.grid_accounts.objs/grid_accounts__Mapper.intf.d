@@ -1,0 +1,1 @@
+lib/accounts/mapper.mli: Grid_gsi Grid_sim Pool Sandbox

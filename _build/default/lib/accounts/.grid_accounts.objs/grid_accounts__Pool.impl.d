@@ -1,0 +1,1 @@
+lib/accounts/pool.ml: Grid_gsi Grid_sim Grid_util List Option Printf

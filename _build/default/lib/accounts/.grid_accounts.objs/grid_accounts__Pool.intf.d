@@ -1,0 +1,1 @@
+lib/accounts/pool.mli: Grid_gsi Grid_sim

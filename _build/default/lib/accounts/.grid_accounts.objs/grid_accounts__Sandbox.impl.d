@@ -1,0 +1,1 @@
+lib/accounts/sandbox.ml: Float Grid_policy Grid_rsl Grid_util List Option Printf String

@@ -1,0 +1,1 @@
+lib/accounts/sandbox.mli: Grid_policy Grid_rsl

@@ -1,0 +1,54 @@
+(* Account mapping: the Gatekeeper's "determine the account in which the
+   job should be run" step.
+
+   Resolution order mirrors deployed practice: a static grid-mapfile entry
+   wins; otherwise, if a dynamic pool is configured, lease an account on
+   the fly; otherwise the user has no local credential and the request
+   fails — shortcoming (5) of Section 4.3, which dynamic accounts
+   alleviate. Each mapping carries the sandbox limits to apply to the
+   account. *)
+
+type mapping = {
+  account : string;
+  source : [ `Static | `Dynamic of Pool.lease ];
+  limits : Sandbox.limits;
+}
+
+type t = {
+  gridmap : Grid_gsi.Gridmap.t;
+  pool : Pool.t option;
+  static_limits : Grid_gsi.Dn.t -> Sandbox.limits;
+  dynamic_limits : Sandbox.limits;
+}
+
+type error =
+  | No_local_account of Grid_gsi.Dn.t
+  | Pool_error of Pool.error
+
+let error_to_string = function
+  | No_local_account dn -> "no local account for " ^ Grid_gsi.Dn.to_string dn
+  | Pool_error e -> Pool.error_to_string e
+
+let create ?pool ?(static_limits = fun _ -> Sandbox.unrestricted)
+    ?(dynamic_limits = Sandbox.unrestricted) gridmap =
+  { gridmap; pool; static_limits; dynamic_limits }
+
+let resolve t ~now dn =
+  match Grid_gsi.Gridmap.lookup t.gridmap dn with
+  | Some account -> Ok { account; source = `Static; limits = t.static_limits dn }
+  | None -> begin
+    match t.pool with
+    | None -> Error (No_local_account dn)
+    | Some pool -> begin
+      match Pool.acquire pool ~now ~holder:dn with
+      | Ok lease ->
+        Ok { account = lease.Pool.account; source = `Dynamic lease; limits = t.dynamic_limits }
+      | Error e -> Error (Pool_error e)
+    end
+  end
+
+let release t mapping =
+  match (mapping.source, t.pool) with
+  | `Dynamic lease, Some pool ->
+    ignore (Pool.release pool ~lease_id:lease.Pool.lease_id)
+  | `Dynamic _, None | `Static, _ -> ()

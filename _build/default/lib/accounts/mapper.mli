@@ -1,0 +1,29 @@
+(** Grid-identity-to-local-account resolution: static grid-mapfile first,
+    dynamic pool fallback, with sandbox limits attached per mapping. *)
+
+type mapping = {
+  account : string;
+  source : [ `Static | `Dynamic of Pool.lease ];
+  limits : Sandbox.limits;
+}
+
+type t
+
+type error =
+  | No_local_account of Grid_gsi.Dn.t
+  | Pool_error of Pool.error
+
+val error_to_string : error -> string
+
+val create :
+  ?pool:Pool.t ->
+  ?static_limits:(Grid_gsi.Dn.t -> Sandbox.limits) ->
+  ?dynamic_limits:Sandbox.limits ->
+  Grid_gsi.Gridmap.t ->
+  t
+(** Limits default to {!Sandbox.unrestricted}. *)
+
+val resolve : t -> now:Grid_sim.Clock.time -> Grid_gsi.Dn.t -> (mapping, error) result
+
+val release : t -> mapping -> unit
+(** Return a dynamic lease to the pool; no-op for static mappings. *)

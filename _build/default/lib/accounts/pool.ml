@@ -1,0 +1,100 @@
+(* Dynamic accounts (Section 6.1).
+
+   "Dynamic Accounts are accounts created and configured on the fly by a
+   resource management facility[, enabling it] to run jobs ... for users
+   that do not have an account on that system." The pool hands out leases
+   on a fixed set of template accounts; a lease binds an account to one
+   grid identity for a limited time, is renewed on reuse, and is reclaimed
+   on release or expiry. A holder that already has a live lease gets the
+   same account back — account state (files, quotas) stays coherent within
+   a session. *)
+
+type lease = {
+  lease_id : string;
+  account : string;
+  holder : Grid_gsi.Dn.t;
+  granted_at : Grid_sim.Clock.time;
+  mutable expires_at : Grid_sim.Clock.time;
+}
+
+type t = {
+  accounts : string list;
+  lease_lifetime : Grid_sim.Clock.time;
+  mutable leases : lease list;
+  mutable grants : int;
+  mutable reuses : int;
+  mutable exhaustions : int;
+}
+
+type error =
+  | Pool_exhausted of { size : int }
+  | Unknown_lease of string
+
+let error_to_string = function
+  | Pool_exhausted { size } ->
+    Printf.sprintf "dynamic account pool exhausted (%d accounts, all leased)" size
+  | Unknown_lease id -> "unknown lease: " ^ id
+
+let create ?(prefix = "grid") ~size ~lease_lifetime () =
+  if size <= 0 then invalid_arg "Pool.create: size must be positive";
+  { accounts = List.init size (fun i -> Printf.sprintf "%s%03d" prefix i);
+    lease_lifetime;
+    leases = [];
+    grants = 0;
+    reuses = 0;
+    exhaustions = 0 }
+
+let live_leases t ~now = List.filter (fun l -> now <= l.expires_at) t.leases
+
+(* Reclaim expired leases; returns how many were collected. *)
+let expire t ~now =
+  let before = List.length t.leases in
+  t.leases <- live_leases t ~now;
+  before - List.length t.leases
+
+let acquire t ~now ~holder =
+  ignore (expire t ~now);
+  match List.find_opt (fun l -> Grid_gsi.Dn.equal l.holder holder) t.leases with
+  | Some lease ->
+    (* Renew rather than double-allocate. *)
+    lease.expires_at <- Grid_sim.Clock.add now t.lease_lifetime;
+    t.reuses <- t.reuses + 1;
+    Ok lease
+  | None -> begin
+    let in_use = List.map (fun l -> l.account) t.leases in
+    match List.find_opt (fun a -> not (List.mem a in_use)) t.accounts with
+    | None ->
+      t.exhaustions <- t.exhaustions + 1;
+      Error (Pool_exhausted { size = List.length t.accounts })
+    | Some account ->
+      let lease =
+        { lease_id = Grid_util.Ids.lease ();
+          account;
+          holder;
+          granted_at = now;
+          expires_at = Grid_sim.Clock.add now t.lease_lifetime }
+      in
+      t.grants <- t.grants + 1;
+      t.leases <- lease :: t.leases;
+      Ok lease
+  end
+
+let release t ~lease_id =
+  if List.exists (fun l -> l.lease_id = lease_id) t.leases then begin
+    t.leases <- List.filter (fun l -> l.lease_id <> lease_id) t.leases;
+    Ok ()
+  end
+  else Error (Unknown_lease lease_id)
+
+let holder_of t ~account ~now =
+  List.find_opt (fun l -> l.account = account) (live_leases t ~now)
+  |> Option.map (fun l -> l.holder)
+
+let size t = List.length t.accounts
+let in_use t ~now = List.length (live_leases t ~now)
+let available t ~now = size t - in_use t ~now
+
+type stats = { total_grants : int; total_reuses : int; total_exhaustions : int }
+
+let stats t =
+  { total_grants = t.grants; total_reuses = t.reuses; total_exhaustions = t.exhaustions }

@@ -1,0 +1,177 @@
+(* Sandboxes (Section 6.1).
+
+   "A sandbox is an environment that imposes restrictions on resource
+   usage ... having the resource operating system act as the policy
+   evaluation and enforcement modules." The gateway PEP authorizes a
+   request once; the sandbox is the *continuous* enforcement the paper
+   identifies as the gateway model's missing half. A sandbox profile is
+   attached to a local account when a job is mapped to it and is checked
+   against the concrete job parameters handed to the LRM — and again at
+   runtime operations. *)
+
+type limits = {
+  max_cpus : int option;
+  max_memory_mb : int option;
+  max_walltime : float option;            (* seconds *)
+  allowed_directories : string list;      (* job working dirs; [] = any *)
+  allowed_executables : string list;      (* [] = any *)
+}
+
+let unrestricted =
+  { max_cpus = None;
+    max_memory_mb = None;
+    max_walltime = None;
+    allowed_directories = [];
+    allowed_executables = [] }
+
+type violation =
+  | Cpus_exceeded of { requested : int; limit : int }
+  | Memory_exceeded of { requested : int; limit : int }
+  | Walltime_exceeded of { requested : float; limit : float }
+  | Directory_forbidden of string
+  | Executable_forbidden of string
+
+let violation_to_string = function
+  | Cpus_exceeded { requested; limit } ->
+    Printf.sprintf "sandbox: %d cpus requested, limit %d" requested limit
+  | Memory_exceeded { requested; limit } ->
+    Printf.sprintf "sandbox: %d MB requested, limit %d" requested limit
+  | Walltime_exceeded { requested; limit } ->
+    Printf.sprintf "sandbox: %.0f s walltime requested, limit %.0f" requested limit
+  | Directory_forbidden d -> "sandbox: directory not permitted: " ^ d
+  | Executable_forbidden e -> "sandbox: executable not permitted: " ^ e
+
+(* Path containment: /sandbox/test permits /sandbox/test and
+   /sandbox/test/sub but not /sandbox/testing. *)
+let path_within ~root path =
+  String.equal root path
+  || Grid_util.Strings.starts_with ~prefix:(root ^ "/") path
+
+(* Tightest-of-both combination: used when account-level limits meet
+   limits derived from the authorizing policy clause. *)
+let intersect (a : limits) (b : limits) : limits =
+  let min_opt x y =
+    match (x, y) with
+    | None, v | v, None -> v
+    | Some x, Some y -> Some (min x y)
+  in
+  let join_lists x y =
+    match (x, y) with
+    | [], v | v, [] -> v
+    | x, y -> begin
+      (* Both restrict: keep the intersection; if disjoint, nothing is
+         allowed (represented by an impossible sentinel entry rather
+         than [], which means "anything"). *)
+      match List.filter (fun e -> List.mem e y) x with
+      | [] -> [ "\000nothing" ]
+      | common -> common
+    end
+  in
+  { max_cpus = min_opt a.max_cpus b.max_cpus;
+    max_memory_mb = min_opt a.max_memory_mb b.max_memory_mb;
+    max_walltime = min_opt a.max_walltime b.max_walltime;
+    allowed_directories = join_lists a.allowed_directories b.allowed_directories;
+    allowed_executables = join_lists a.allowed_executables b.allowed_executables }
+
+(* Derive an enforcement envelope from the policy clause that authorized
+   a request (the paper's Section 7 "GT3" direction: the job description
+   — and here, the authorization decision — configures the local
+   enforcement). Only constraints with an enforceable reading
+   contribute; everything else is ignored. *)
+let of_policy_clause (clause : Grid_policy.Types.clause) : limits =
+  let strings_of values =
+    List.filter_map
+      (function Grid_policy.Types.Str s -> Some s | Grid_policy.Types.Null | Grid_policy.Types.Self -> None)
+      values
+  in
+  let bound_of op values =
+    match (op, strings_of values) with
+    | Grid_rsl.Ast.Lt, [ v ] -> Option.map (fun f -> f -. 1.0) (float_of_string_opt v)
+    | Grid_rsl.Ast.Le, [ v ] -> float_of_string_opt v
+    | (Grid_rsl.Ast.Eq | Grid_rsl.Ast.Neq | Grid_rsl.Ast.Gt | Grid_rsl.Ast.Ge), _ -> None
+    | (Grid_rsl.Ast.Lt | Grid_rsl.Ast.Le), _ -> None
+  in
+  List.fold_left
+    (fun acc (c : Grid_policy.Types.constr) ->
+      match c.Grid_policy.Types.attribute with
+      | "executable" when c.Grid_policy.Types.op = Grid_rsl.Ast.Eq ->
+        { acc with
+          allowed_executables =
+            acc.allowed_executables @ strings_of c.Grid_policy.Types.values }
+      | "directory" when c.Grid_policy.Types.op = Grid_rsl.Ast.Eq ->
+        { acc with
+          allowed_directories =
+            acc.allowed_directories @ strings_of c.Grid_policy.Types.values }
+      | "count" -> begin
+        match bound_of c.Grid_policy.Types.op c.Grid_policy.Types.values with
+        | Some bound ->
+          { acc with
+            max_cpus =
+              Some
+                (match acc.max_cpus with
+                | Some existing -> min existing (int_of_float bound)
+                | None -> int_of_float bound) }
+        | None -> acc
+      end
+      | "maxmemory" -> begin
+        match bound_of c.Grid_policy.Types.op c.Grid_policy.Types.values with
+        | Some bound ->
+          { acc with
+            max_memory_mb =
+              Some
+                (match acc.max_memory_mb with
+                | Some existing -> min existing (int_of_float bound)
+                | None -> int_of_float bound) }
+        | None -> acc
+      end
+      | "maxwalltime" (* minutes in RSL *) -> begin
+        match bound_of c.Grid_policy.Types.op c.Grid_policy.Types.values with
+        | Some minutes ->
+          let seconds = minutes *. 60.0 in
+          { acc with
+            max_walltime =
+              Some
+                (match acc.max_walltime with
+                | Some existing -> Float.min existing seconds
+                | None -> seconds) }
+        | None -> acc
+      end
+      | _ -> acc)
+    unrestricted clause
+
+let check (limits : limits) (job : Grid_rsl.Job.t) : violation list =
+  let cpus =
+    match limits.max_cpus with
+    | Some limit when job.Grid_rsl.Job.count > limit ->
+      [ Cpus_exceeded { requested = job.Grid_rsl.Job.count; limit } ]
+    | Some _ | None -> []
+  in
+  let memory =
+    match (limits.max_memory_mb, job.Grid_rsl.Job.max_memory) with
+    | Some limit, Some requested when requested > limit ->
+      [ Memory_exceeded { requested; limit } ]
+    | _ -> []
+  in
+  let walltime =
+    match (limits.max_walltime, job.Grid_rsl.Job.max_wall_time) with
+    | Some limit, Some minutes when minutes *. 60.0 > limit ->
+      [ Walltime_exceeded { requested = minutes *. 60.0; limit } ]
+    | _ -> []
+  in
+  let directory =
+    match (limits.allowed_directories, job.Grid_rsl.Job.directory) with
+    | [], _ | _, None -> []
+    | roots, Some dir ->
+      if List.exists (fun root -> path_within ~root dir) roots then []
+      else [ Directory_forbidden dir ]
+  in
+  let executable =
+    match limits.allowed_executables with
+    | [] -> []
+    | allowed ->
+      if List.mem job.Grid_rsl.Job.executable allowed then []
+      else [ Executable_forbidden job.Grid_rsl.Job.executable ]
+  in
+  cpus @ memory @ walltime @ directory @ executable
+
+let permits limits job = check limits job = []

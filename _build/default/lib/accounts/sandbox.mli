@@ -1,0 +1,36 @@
+(** Sandbox resource limits: continuous enforcement attached to a local
+    account (paper Section 6.1). *)
+
+type limits = {
+  max_cpus : int option;
+  max_memory_mb : int option;
+  max_walltime : float option;
+  allowed_directories : string list;
+  allowed_executables : string list;
+}
+
+val unrestricted : limits
+
+type violation =
+  | Cpus_exceeded of { requested : int; limit : int }
+  | Memory_exceeded of { requested : int; limit : int }
+  | Walltime_exceeded of { requested : float; limit : float }
+  | Directory_forbidden of string
+  | Executable_forbidden of string
+
+val violation_to_string : violation -> string
+
+val path_within : root:string -> string -> bool
+(** Proper path containment (no prefix-string false positives). *)
+
+val intersect : limits -> limits -> limits
+(** Tightest-of-both: numeric caps take the minimum; allow-lists take
+    the set intersection (two disjoint restrictions allow nothing). *)
+
+val of_policy_clause : Grid_policy.Types.clause -> limits
+(** Enforcement envelope implied by an authorizing policy clause:
+    executable/directory allow-lists from [=] constraints, numeric caps
+    from [<]/[<=] bounds on count, maxmemory and maxwalltime. *)
+
+val check : limits -> Grid_rsl.Job.t -> violation list
+val permits : limits -> Grid_rsl.Job.t -> bool

@@ -1,0 +1,1 @@
+lib/akenti/akenti_pep.ml: Engine Grid_callout Grid_sim

@@ -1,0 +1,1 @@
+lib/akenti/attr_cert.mli: Fmt Grid_crypto Grid_gsi Grid_sim

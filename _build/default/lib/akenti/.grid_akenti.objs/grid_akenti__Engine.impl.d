@@ -1,0 +1,1 @@
+lib/akenti/engine.ml: Attr_cert Fmt Grid_crypto Grid_gsi Grid_policy Grid_sim Hashtbl List Printf Use_condition

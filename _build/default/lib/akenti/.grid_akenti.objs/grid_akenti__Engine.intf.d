@@ -1,0 +1,1 @@
+lib/akenti/engine.mli: Attr_cert Grid_crypto Grid_gsi Grid_policy Grid_sim Use_condition

@@ -1,0 +1,1 @@
+lib/akenti/use_condition.mli: Grid_crypto Grid_gsi Grid_policy Grid_sim

@@ -1,0 +1,143 @@
+(* The Akenti decision engine (pull model).
+
+   The engine is configured resource-side with:
+     - trusted stakeholders per resource (every stakeholder must grant);
+     - trusted attribute authorities;
+     - stores of use-condition and attribute certificates (in a real
+       deployment these are fetched from web/LDAP repositories; the
+       fetch-and-verify structure is the same).
+
+   Decision procedure for (user, action, request view) on a resource:
+     1. gather this resource's use-conditions, dropping any that fail
+        signature/lifetime verification against the stakeholder's key;
+     2. every trusted stakeholder must contribute at least one applicable
+        (action-governing) condition that is satisfied — Akenti's
+        conjunctive multi-stakeholder semantics;
+     3. a condition is satisfied when its request constraints hold and
+        every required attribute is covered by a verified attribute
+        certificate from a trusted authority. *)
+
+type principal = {
+  dn : Grid_gsi.Dn.t;
+  key : Grid_crypto.Keypair.public;
+}
+
+type verdict =
+  | Granted
+  | Refused of string
+
+type t = {
+  resource : string;
+  stakeholders : principal list;
+  attribute_authorities : principal list;
+  mutable conditions : Use_condition.t list;
+  mutable attribute_certs : Attr_cert.t list;
+  (* Decision cache: real Akenti deployments cache decisions and fetched
+     certificates because certificate collection dominates latency. The
+     cache is keyed on the full request rendering, bounded by a TTL, and
+     flushed whenever the certificate stores change. *)
+  mutable cache_ttl : Grid_sim.Clock.time option;
+  cache : (string, verdict * Grid_sim.Clock.time) Hashtbl.t;
+  mutable cache_hits : int;
+  mutable cache_misses : int;
+}
+
+let create ~resource ~stakeholders ~attribute_authorities =
+  if stakeholders = [] then invalid_arg "Akenti engine needs at least one stakeholder";
+  { resource; stakeholders; attribute_authorities; conditions = []; attribute_certs = [];
+    cache_ttl = None; cache = Hashtbl.create 64; cache_hits = 0; cache_misses = 0 }
+
+let enable_cache t ~ttl = t.cache_ttl <- Some ttl
+let cache_hits t = t.cache_hits
+let cache_misses t = t.cache_misses
+
+let flush_cache t = Hashtbl.reset t.cache
+
+let publish_condition t uc =
+  flush_cache t;
+  t.conditions <- t.conditions @ [ uc ]
+
+let publish_attribute t ac =
+  flush_cache t;
+  t.attribute_certs <- t.attribute_certs @ [ ac ]
+
+let user_holds t ~user ~now (attribute, value) =
+  List.exists
+    (fun (ac : Attr_cert.t) ->
+      Grid_gsi.Dn.equal ac.subject user
+      && ac.attribute = attribute && ac.value = value
+      && (match
+            List.find_opt
+              (fun p -> Grid_gsi.Dn.equal p.dn ac.Attr_cert.issuer)
+              t.attribute_authorities
+          with
+         | None -> false (* untrusted issuer *)
+         | Some authority -> Attr_cert.verify ac ~issuer_key:authority.key ~now))
+    t.attribute_certs
+
+let condition_satisfied t ~user ~view ~now (uc : Use_condition.t) =
+  Grid_policy.Eval.clause_satisfied ~subject:user view uc.constraints
+  && List.for_all (user_holds t ~user ~now) uc.required_attributes
+
+let decide_uncached t ~now (request : Grid_policy.Types.request) : verdict =
+  let user = request.Grid_policy.Types.subject in
+  let view = Grid_policy.Eval.View.of_request request in
+  let verified_conditions =
+    List.filter
+      (fun (uc : Use_condition.t) ->
+        uc.resource = t.resource
+        &&
+        match
+          List.find_opt (fun p -> Grid_gsi.Dn.equal p.dn uc.Use_condition.stakeholder)
+            t.stakeholders
+        with
+        | None -> false
+        | Some stakeholder -> Use_condition.verify uc ~stakeholder_key:stakeholder.key ~now)
+      t.conditions
+  in
+  let stakeholder_grants (p : principal) =
+    let own =
+      List.filter
+        (fun (uc : Use_condition.t) ->
+          Grid_gsi.Dn.equal uc.stakeholder p.dn
+          && Use_condition.governs uc request.Grid_policy.Types.action)
+        verified_conditions
+    in
+    if own = [] then
+      (* A stakeholder with no applicable condition has not granted the
+         action: Akenti denies. *)
+      Error
+        (Printf.sprintf "stakeholder %s publishes no use-condition for action %s"
+           (Grid_gsi.Dn.to_string p.dn)
+           (Grid_policy.Types.Action.to_string request.Grid_policy.Types.action))
+    else if List.exists (condition_satisfied t ~user ~view ~now) own then Ok ()
+    else
+      Error
+        (Printf.sprintf "no use-condition of stakeholder %s is satisfied"
+           (Grid_gsi.Dn.to_string p.dn))
+  in
+  let rec check = function
+    | [] -> Granted
+    | p :: rest -> begin
+      match stakeholder_grants p with
+      | Ok () -> check rest
+      | Error m -> Refused m
+    end
+  in
+  check t.stakeholders
+
+let decide t ~now (request : Grid_policy.Types.request) : verdict =
+  match t.cache_ttl with
+  | None -> decide_uncached t ~now request
+  | Some ttl -> begin
+    let key = Fmt.str "%a" Grid_policy.Types.pp_request request in
+    match Hashtbl.find_opt t.cache key with
+    | Some (verdict, at) when now -. at <= ttl ->
+      t.cache_hits <- t.cache_hits + 1;
+      verdict
+    | Some _ | None ->
+      t.cache_misses <- t.cache_misses + 1;
+      let verdict = decide_uncached t ~now request in
+      Hashtbl.replace t.cache key (verdict, now);
+      verdict
+  end

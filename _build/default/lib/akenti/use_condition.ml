@@ -1,0 +1,46 @@
+(* Akenti-style use-condition certificates.
+
+   A stakeholder in a resource signs the conditions under which the
+   resource may be used: which actions are governed, what request
+   constraints must hold (we reuse the policy language's clause/constraint
+   semantics — the paper reports representing "the same policies" in
+   Akenti), and which attributes the user must hold via attribute
+   certificates from trusted issuers. *)
+
+type t = {
+  resource : string;                           (* e.g. "gram-job-manager" *)
+  stakeholder : Grid_gsi.Dn.t;
+  actions : Grid_policy.Types.Action.t list;   (* actions this condition governs *)
+  constraints : Grid_policy.Types.clause;      (* over the request view *)
+  required_attributes : (string * string) list;(* user must hold all of these *)
+  not_before : Grid_sim.Clock.time;
+  not_after : Grid_sim.Clock.time;
+  signature : string;
+}
+
+let signing_bytes ~resource ~stakeholder ~actions ~constraints ~required_attributes
+    ~not_before ~not_after =
+  Printf.sprintf "akenti-uc|%s|%s|%s|%s|%s|%.6f|%.6f" resource
+    (Grid_gsi.Dn.to_string stakeholder)
+    (Grid_util.Strings.concat_map "," Grid_policy.Types.Action.to_string actions)
+    (Grid_policy.Types.clause_to_string constraints)
+    (Grid_util.Strings.concat_map "," (fun (a, v) -> a ^ "=" ^ v) required_attributes)
+    not_before not_after
+
+let make ~resource ~stakeholder ~actions ~constraints ~required_attributes ~not_before
+    ~not_after ~signing_key =
+  let body =
+    signing_bytes ~resource ~stakeholder ~actions ~constraints ~required_attributes
+      ~not_before ~not_after
+  in
+  { resource; stakeholder; actions; constraints; required_attributes; not_before;
+    not_after; signature = Grid_crypto.Keypair.sign signing_key body }
+
+let verify t ~stakeholder_key ~now =
+  t.not_before <= now && now <= t.not_after
+  && Grid_crypto.Keypair.verify stakeholder_key ~signature:t.signature
+       (signing_bytes ~resource:t.resource ~stakeholder:t.stakeholder ~actions:t.actions
+          ~constraints:t.constraints ~required_attributes:t.required_attributes
+          ~not_before:t.not_before ~not_after:t.not_after)
+
+let governs t action = List.exists (Grid_policy.Types.Action.equal action) t.actions

@@ -1,0 +1,29 @@
+(** Akenti-style use-condition certificates: a stakeholder's signed terms
+    of use for a resource. *)
+
+type t = {
+  resource : string;
+  stakeholder : Grid_gsi.Dn.t;
+  actions : Grid_policy.Types.Action.t list;
+  constraints : Grid_policy.Types.clause;
+  required_attributes : (string * string) list;
+  not_before : Grid_sim.Clock.time;
+  not_after : Grid_sim.Clock.time;
+  signature : string;
+}
+
+val make :
+  resource:string ->
+  stakeholder:Grid_gsi.Dn.t ->
+  actions:Grid_policy.Types.Action.t list ->
+  constraints:Grid_policy.Types.clause ->
+  required_attributes:(string * string) list ->
+  not_before:Grid_sim.Clock.time ->
+  not_after:Grid_sim.Clock.time ->
+  signing_key:Grid_crypto.Keypair.secret ->
+  t
+
+val verify :
+  t -> stakeholder_key:Grid_crypto.Keypair.public -> now:Grid_sim.Clock.time -> bool
+
+val governs : t -> Grid_policy.Types.Action.t -> bool

@@ -1,0 +1,1 @@
+lib/audit/audit.ml: Fmt Grid_gsi Grid_sim List Option

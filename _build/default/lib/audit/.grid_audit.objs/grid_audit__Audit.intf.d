@@ -1,0 +1,1 @@
+lib/audit/audit.mli: Fmt Grid_gsi Grid_sim

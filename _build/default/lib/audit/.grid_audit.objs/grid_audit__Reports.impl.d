@@ -1,0 +1,1 @@
+lib/audit/reports.ml: Audit Fmt Grid_gsi Hashtbl List Option

@@ -1,0 +1,1 @@
+lib/audit/reports.mli: Audit Fmt Grid_gsi

@@ -1,0 +1,71 @@
+(* Structured audit log.
+
+   Every security-relevant event in the Gatekeeper and Job Manager is
+   recorded: authentication outcomes, authorization decisions (with the
+   deciding source), account mappings, job lifecycle transitions and
+   management requests. The paper's Section 4.3 notes shared accounts
+   "introduce many security, audit, accounting and other problems" — the
+   audit trail is what lets per-identity accountability survive dynamic
+   account reuse. *)
+
+type outcome =
+  | Success
+  | Failure of string
+
+type kind =
+  | Authentication
+  | Authorization
+  | Account_mapping
+  | Job_submission
+  | Job_management
+  | Job_state
+
+let kind_to_string = function
+  | Authentication -> "authn"
+  | Authorization -> "authz"
+  | Account_mapping -> "mapping"
+  | Job_submission -> "submit"
+  | Job_management -> "manage"
+  | Job_state -> "state"
+
+type record = {
+  at : Grid_sim.Clock.time;
+  kind : kind;
+  subject : Grid_gsi.Dn.t option;
+  job_id : string option;
+  outcome : outcome;
+  detail : string;
+}
+
+type t = { mutable records : record list (* reverse order *) }
+
+let create () = { records = [] }
+
+let log t ~at ~kind ?subject ?job_id ~outcome detail =
+  t.records <- { at; kind; subject; job_id; outcome; detail } :: t.records
+
+let records t = List.rev t.records
+
+let count t = List.length t.records
+
+let by_kind t kind = List.filter (fun r -> r.kind = kind) (records t)
+
+let by_subject t dn =
+  List.filter
+    (fun r -> match r.subject with Some s -> Grid_gsi.Dn.equal s dn | None -> false)
+    (records t)
+
+let by_job t job_id =
+  List.filter (fun r -> r.job_id = Some job_id) (records t)
+
+let failures t =
+  List.filter (fun r -> match r.outcome with Failure _ -> true | Success -> false) (records t)
+
+let pp_record ppf r =
+  let outcome = match r.outcome with Success -> "ok" | Failure m -> "FAIL(" ^ m ^ ")" in
+  Fmt.pf ppf "%8.3fs %-8s %-32s %-12s %-6s %s" r.at (kind_to_string r.kind)
+    (match r.subject with Some s -> Grid_gsi.Dn.to_string s | None -> "-")
+    (Option.value r.job_id ~default:"-")
+    outcome r.detail
+
+let pp ppf t = Fmt.pf ppf "@[<v>%a@]" (Fmt.list pp_record) (records t)

@@ -1,0 +1,50 @@
+(** Structured audit log for security-relevant events. *)
+
+type outcome =
+  | Success
+  | Failure of string
+
+type kind =
+  | Authentication
+  | Authorization
+  | Account_mapping
+  | Job_submission
+  | Job_management
+  | Job_state
+
+val kind_to_string : kind -> string
+
+type record = {
+  at : Grid_sim.Clock.time;
+  kind : kind;
+  subject : Grid_gsi.Dn.t option;
+  job_id : string option;
+  outcome : outcome;
+  detail : string;
+}
+
+type t
+
+val create : unit -> t
+
+val log :
+  t ->
+  at:Grid_sim.Clock.time ->
+  kind:kind ->
+  ?subject:Grid_gsi.Dn.t ->
+  ?job_id:string ->
+  outcome:outcome ->
+  string ->
+  unit
+
+val records : t -> record list
+(** Chronological order. *)
+
+val count : t -> int
+val by_kind : t -> kind -> record list
+val by_subject : t -> Grid_gsi.Dn.t -> record list
+val by_job : t -> string -> record list
+val failures : t -> record list
+
+val pp_record : record Fmt.t
+val pp : t Fmt.t

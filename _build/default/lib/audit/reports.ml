@@ -1,0 +1,107 @@
+(* Accounting reports over the audit trail.
+
+   Section 4.3 lists "security, audit, accounting" among the problems of
+   shared accounts; the per-identity audit trail restores accountability,
+   and these reports aggregate it: per-subject activity, denial reasons,
+   and a per-kind breakdown — what a site administrator pulls after an
+   incident or at the end of an allocation period. *)
+
+type subject_summary = {
+  subject : Grid_gsi.Dn.t;
+  authentications : int;
+  authn_failures : int;
+  authorizations : int;
+  authz_denials : int;
+  submissions : int;
+  submission_failures : int;
+  management_actions : int;
+}
+
+let empty_summary subject =
+  { subject;
+    authentications = 0;
+    authn_failures = 0;
+    authorizations = 0;
+    authz_denials = 0;
+    submissions = 0;
+    submission_failures = 0;
+    management_actions = 0 }
+
+let add_record (s : subject_summary) (r : Audit.record) =
+  let failed = match r.Audit.outcome with Audit.Failure _ -> true | Audit.Success -> false in
+  match r.Audit.kind with
+  | Audit.Authentication ->
+    { s with
+      authentications = s.authentications + 1;
+      authn_failures = s.authn_failures + (if failed then 1 else 0) }
+  | Audit.Authorization ->
+    { s with
+      authorizations = s.authorizations + 1;
+      authz_denials = s.authz_denials + (if failed then 1 else 0) }
+  | Audit.Job_submission ->
+    { s with
+      submissions = s.submissions + 1;
+      submission_failures = s.submission_failures + (if failed then 1 else 0) }
+  | Audit.Job_management -> { s with management_actions = s.management_actions + 1 }
+  | Audit.Account_mapping | Audit.Job_state -> s
+
+let by_subject (audit : Audit.t) : subject_summary list =
+  let table : (string, subject_summary) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun (r : Audit.record) ->
+      match r.Audit.subject with
+      | None -> ()
+      | Some subject ->
+        let key = Grid_gsi.Dn.to_string subject in
+        let existing =
+          match Hashtbl.find_opt table key with
+          | Some s -> s
+          | None -> empty_summary subject
+        in
+        Hashtbl.replace table key (add_record existing r))
+    (Audit.records audit);
+  Hashtbl.fold (fun _ s acc -> s :: acc) table []
+  |> List.sort (fun a b -> Grid_gsi.Dn.compare a.subject b.subject)
+
+(* Denial reasons, most frequent first. *)
+let denial_reasons (audit : Audit.t) : (string * int) list =
+  let table : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun (r : Audit.record) ->
+      match r.Audit.outcome with
+      | Audit.Failure reason ->
+        Hashtbl.replace table reason (1 + Option.value (Hashtbl.find_opt table reason) ~default:0)
+      | Audit.Success -> ())
+    (Audit.records audit);
+  Hashtbl.fold (fun reason n acc -> (reason, n) :: acc) table []
+  |> List.sort (fun (_, a) (_, b) -> compare b a)
+
+let kind_counts (audit : Audit.t) : (Audit.kind * int) list =
+  List.map
+    (fun kind -> (kind, List.length (Audit.by_kind audit kind)))
+    [ Audit.Authentication; Audit.Authorization; Audit.Account_mapping;
+      Audit.Job_submission; Audit.Job_management; Audit.Job_state ]
+
+let pp_subject_summary ppf s =
+  Fmt.pf ppf "%-50s authn %d/%d  authz %d/%d  submit %d/%d  manage %d"
+    (Grid_gsi.Dn.to_string s.subject)
+    (s.authentications - s.authn_failures)
+    s.authentications
+    (s.authorizations - s.authz_denials)
+    s.authorizations
+    (s.submissions - s.submission_failures)
+    s.submissions s.management_actions
+
+let pp ppf audit =
+  Fmt.pf ppf "@[<v>Per-subject activity (succeeded/total):@,";
+  List.iter (fun s -> Fmt.pf ppf "  %a@," pp_subject_summary s) (by_subject audit);
+  (match denial_reasons audit with
+  | [] -> ()
+  | reasons ->
+    Fmt.pf ppf "Denial reasons:@,";
+    List.iter (fun (reason, n) -> Fmt.pf ppf "  %4d  %s@," n reason) reasons);
+  Fmt.pf ppf "Record counts:@,";
+  List.iter
+    (fun (kind, n) -> Fmt.pf ppf "  %-10s %d@," (Audit.kind_to_string kind) n)
+    (kind_counts audit);
+  Fmt.pf ppf "@]"

@@ -1,0 +1,1 @@
+lib/callout/callout.ml: Fmt Grid_gsi Grid_policy Grid_rsl

@@ -1,0 +1,1 @@
+lib/callout/callout.mli: Fmt Grid_gsi Grid_policy Grid_rsl

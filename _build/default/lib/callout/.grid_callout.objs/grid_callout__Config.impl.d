@@ -1,0 +1,1 @@
+lib/callout/config.ml: Callout Grid_util List Printf Registry

@@ -1,0 +1,1 @@
+lib/callout/config.mli: Callout Registry

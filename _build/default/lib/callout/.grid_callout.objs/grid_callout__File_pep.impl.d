@@ -1,0 +1,1 @@
+lib/callout/file_pep.ml: Callout Grid_policy List Option Printf

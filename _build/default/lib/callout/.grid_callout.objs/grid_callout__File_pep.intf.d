@@ -1,0 +1,1 @@
+lib/callout/file_pep.mli: Callout Grid_policy

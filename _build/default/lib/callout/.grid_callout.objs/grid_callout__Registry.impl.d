@@ -1,0 +1,1 @@
+lib/callout/registry.ml: Callout Hashtbl Printf

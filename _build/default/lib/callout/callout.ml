@@ -1,0 +1,86 @@
+(* The GRAM authorization callout API (Section 5.2).
+
+   The paper inserts a policy evaluation point into the Job Manager through
+   a callout: a function invoked before creating a job manager request and
+   before cancel/query/signal on a running job. The callout receives the
+   credential of the requesting user, the credential (identity) of the user
+   who started the job, the action, a unique job identifier and the RSL job
+   description, and answers success or a typed authorization error. *)
+
+type query = {
+  requester : Grid_gsi.Dn.t;              (* authenticated grid identity *)
+  requester_credential : Grid_gsi.Credential.t option;
+  job_owner : Grid_gsi.Dn.t option;       (* initiator of the target job *)
+  action : Grid_policy.Types.Action.t;
+  job_id : string option;                 (* unique job identifier *)
+  rsl : Grid_rsl.Ast.clause option;       (* job description, start only *)
+  jobtag : string option;                 (* target job's tag, management *)
+}
+
+type error =
+  | Denied of string
+    (* the policy evaluated and said no *)
+  | System_error of string
+    (* the authorization system itself failed (paper: "authorization
+       system failures" are distinguished from denials in the extended
+       GRAM protocol errors) *)
+  | Bad_configuration of string
+    (* the callout could not even be located/loaded *)
+
+type decision = (unit, error) result
+type t = query -> decision
+
+let error_to_string = function
+  | Denied m -> "authorization denied: " ^ m
+  | System_error m -> "authorization system failure: " ^ m
+  | Bad_configuration m -> "authorization callout misconfigured: " ^ m
+
+let pp_error ppf e = Fmt.string ppf (error_to_string e)
+
+let start_query ~requester ?credential ~job_id ~rsl () =
+  { requester; requester_credential = credential; job_owner = None;
+    action = Grid_policy.Types.Action.Start; job_id = Some job_id; rsl = Some rsl;
+    jobtag = None }
+
+let management_query ~requester ?credential ~action ~job_id ~job_owner ~jobtag () =
+  { requester; requester_credential = credential; job_owner = Some job_owner; action;
+    job_id = Some job_id; rsl = None; jobtag }
+
+(* Translate a callout query into a policy-engine request. *)
+let to_policy_request (q : query) : Grid_policy.Types.request =
+  { Grid_policy.Types.subject = q.requester;
+    action = q.action;
+    job = q.rsl;
+    jobowner = q.job_owner;
+    jobtag = q.jobtag }
+
+(* --- Combinators ---------------------------------------------------- *)
+
+(* Every callout in the list must authorize (the multi-PEP conjunction of
+   the interaction model: local policy AND VO policy). *)
+let all (callouts : t list) : t =
+ fun q ->
+  let rec go = function
+    | [] -> Ok ()
+    | c :: rest -> begin
+      match c q with
+      | Ok () -> go rest
+      | Error _ as e -> e
+    end
+  in
+  if callouts = [] then Error (Bad_configuration "no authorization callouts configured")
+  else go callouts
+
+let permit_all : t = fun _ -> Ok ()
+
+let deny_all ~reason : t = fun _ -> Error (Denied reason)
+
+let failing ~message : t = fun _ -> Error (System_error message)
+
+(* Instrumentation wrapper: count invocations (benchmarks, tests). *)
+let counting (c : t) : t * (unit -> int) =
+  let n = ref 0 in
+  ( (fun q ->
+      incr n;
+      c q),
+    fun () -> !n )

@@ -1,0 +1,63 @@
+(** The GRAM authorization callout API (paper Section 5.2).
+
+    A callout is the seam between GRAM and any policy evaluation point. It
+    is invoked before job-manager-request creation and before every
+    cancel/query/signal on a running job, and answers success or a typed
+    authorization error distinguishing denial from authorization-system
+    failure — the error-code extension the paper added to the GRAM
+    protocol. *)
+
+type query = {
+  requester : Grid_gsi.Dn.t;
+  requester_credential : Grid_gsi.Credential.t option;
+  job_owner : Grid_gsi.Dn.t option;
+  action : Grid_policy.Types.Action.t;
+  job_id : string option;
+  rsl : Grid_rsl.Ast.clause option;
+  jobtag : string option;
+}
+
+type error =
+  | Denied of string
+  | System_error of string
+  | Bad_configuration of string
+
+type decision = (unit, error) result
+
+type t = query -> decision
+
+val error_to_string : error -> string
+val pp_error : error Fmt.t
+
+val start_query :
+  requester:Grid_gsi.Dn.t ->
+  ?credential:Grid_gsi.Credential.t ->
+  job_id:string ->
+  rsl:Grid_rsl.Ast.clause ->
+  unit ->
+  query
+
+val management_query :
+  requester:Grid_gsi.Dn.t ->
+  ?credential:Grid_gsi.Credential.t ->
+  action:Grid_policy.Types.Action.t ->
+  job_id:string ->
+  job_owner:Grid_gsi.Dn.t ->
+  jobtag:string option ->
+  unit ->
+  query
+
+val to_policy_request : query -> Grid_policy.Types.request
+
+val all : t list -> t
+(** Conjunction: every callout must authorize; the first error wins. An
+    empty list is a configuration error (fail closed). *)
+
+val permit_all : t
+(** Authorizes everything — the "no PEP" baseline for benchmarks. *)
+
+val deny_all : reason:string -> t
+val failing : message:string -> t
+
+val counting : t -> t * (unit -> int)
+(** Wrap a callout with an invocation counter. *)

@@ -1,0 +1,63 @@
+(* The flat-file policy evaluation point.
+
+   The paper's prototype "experimented with policies written in plain text
+   files on the resource[,] includ[ing] both local resource and VO
+   policies". This PEP evaluates a callout query against a list of named
+   policy sources with conjunctive combination and maps the policy
+   decision onto callout errors. *)
+
+let of_sources (sources : Grid_policy.Combine.source list) : Callout.t =
+ fun query ->
+  let request = Callout.to_policy_request query in
+  match Grid_policy.Combine.evaluate sources request with
+  | Grid_policy.Combine.Permit -> Ok ()
+  | Grid_policy.Combine.Deny { source; reason } ->
+    Error
+      (Callout.Denied
+         (Printf.sprintf "%s: %s" source (Grid_policy.Eval.reason_to_string reason)))
+
+let of_policy ~name policy = of_sources [ Grid_policy.Combine.source ~name policy ]
+
+(* Advice for policy-derived enforcement: the conjunction of the clauses
+   that matched in each source. A permitted request has a matched clause
+   in every source, so the concatenation is the full set of constraints
+   the decision rested on — the enforcement layer can derive a sandbox
+   envelope from it. Returns None when any source lacks a match (the
+   request was not permitted, or the source grants via requirements
+   only). *)
+let advice (sources : Grid_policy.Combine.source list) : Callout.query -> Grid_policy.Types.clause option =
+ fun query ->
+  let request = Callout.to_policy_request query in
+  let matched =
+    List.map
+      (fun (s : Grid_policy.Combine.source) ->
+        (Grid_policy.Eval.explain s.Grid_policy.Combine.policy request)
+          .Grid_policy.Eval.matched_clause)
+      sources
+  in
+  if List.exists Option.is_none matched then None
+  else Some (List.concat_map Option.get matched)
+
+(* Parse policy files (already read into strings) into a PEP. A parse
+   failure is an authorization *system* error at evaluation time: the PEP
+   exists but cannot interpret its policy — it must fail closed without
+   masquerading as a mere denial. *)
+let of_texts (named_texts : (string * string) list) : Callout.t =
+  let parsed =
+    List.map
+      (fun (name, text) ->
+        match Grid_policy.Parse.parse_result text with
+        | Ok policy -> begin
+          match Grid_policy.Eval.validate policy with
+          | Ok () -> Ok (Grid_policy.Combine.source ~name policy)
+          | Error m -> Error (Printf.sprintf "policy %s invalid: %s" name m)
+        end
+        | Error m -> Error (Printf.sprintf "policy %s unparseable: %s" name m))
+      named_texts
+  in
+  match
+    List.find_map (function Error m -> Some m | Ok _ -> None) parsed
+  with
+  | Some message -> fun _ -> Error (Callout.System_error message)
+  | None ->
+    of_sources (List.filter_map (function Ok s -> Some s | Error _ -> None) parsed)

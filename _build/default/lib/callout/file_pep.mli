@@ -1,0 +1,21 @@
+(** Flat-file policy evaluation point: the paper's prototype PEP. *)
+
+val of_sources : Grid_policy.Combine.source list -> Callout.t
+(** Conjunctive evaluation over named policy sources; denial messages name
+    the denying source. *)
+
+val of_policy : name:string -> Grid_policy.Types.t -> Callout.t
+
+val advice :
+  Grid_policy.Combine.source list ->
+  Callout.query ->
+  Grid_policy.Types.clause option
+(** The conjunction of the clauses on which a permit decision rested
+    (one per source); [None] when the request is not permitted. Feed to
+    [Grid_accounts.Sandbox.of_policy_clause] for policy-derived
+    enforcement. *)
+
+val of_texts : (string * string) list -> Callout.t
+(** Build a PEP from (source name, policy text) pairs. Unparseable or
+    invalid policy text yields a PEP that fails closed with
+    [System_error] on every query. *)

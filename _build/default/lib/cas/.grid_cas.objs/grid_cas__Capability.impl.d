@@ -1,0 +1,1 @@
+lib/cas/capability.ml: Grid_crypto Grid_gsi Grid_sim List Printf String

@@ -1,0 +1,1 @@
+lib/cas/capability.mli: Grid_crypto Grid_gsi Grid_sim

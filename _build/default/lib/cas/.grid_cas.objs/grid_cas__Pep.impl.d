@@ -1,0 +1,1 @@
+lib/cas/pep.ml: Capability Grid_callout Grid_crypto Grid_policy Grid_sim Printf

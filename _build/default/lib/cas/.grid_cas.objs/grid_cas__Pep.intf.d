@@ -1,0 +1,1 @@
+lib/cas/pep.mli: Grid_callout Grid_crypto Grid_sim

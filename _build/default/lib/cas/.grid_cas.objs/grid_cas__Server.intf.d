@@ -1,0 +1,1 @@
+lib/cas/server.mli: Capability Grid_crypto Grid_gsi Grid_policy Grid_sim Grid_vo

@@ -1,0 +1,96 @@
+(* CAS capability credentials.
+
+   The Community Authorization Service implements the *push* model: the
+   user first asks the CAS for a credential embedding the subset of
+   community policy that applies to them, then presents it with requests;
+   the resource's PEP verifies the CAS signature and evaluates the carried
+   policy without contacting the VO. (Contrast the flat-file and Akenti
+   backends, where the resource pulls policy locally.) *)
+
+type t = {
+  holder : Grid_gsi.Dn.t;       (* who may wield this capability *)
+  vo : string;                  (* issuing community *)
+  policy_text : string;         (* the policy subset, concrete syntax *)
+  issued_at : Grid_sim.Clock.time;
+  not_after : Grid_sim.Clock.time;
+  signature : string;           (* by the CAS server's key *)
+}
+
+let signing_bytes ~holder ~vo ~policy_text ~issued_at ~not_after =
+  Printf.sprintf "cas-capability|%s|%s|%s|%.6f|%.6f"
+    (Grid_gsi.Dn.to_string holder)
+    vo
+    (Grid_crypto.Base64.encode policy_text)
+    issued_at not_after
+
+let make ~holder ~vo ~policy_text ~issued_at ~not_after ~signing_key =
+  let body = signing_bytes ~holder ~vo ~policy_text ~issued_at ~not_after in
+  { holder; vo; policy_text; issued_at; not_after;
+    signature = Grid_crypto.Keypair.sign signing_key body }
+
+type verify_error =
+  | Bad_signature
+  | Expired
+  | Holder_mismatch of { expected : Grid_gsi.Dn.t; actual : Grid_gsi.Dn.t }
+
+let verify_error_to_string = function
+  | Bad_signature -> "capability signature invalid"
+  | Expired -> "capability expired"
+  | Holder_mismatch { expected; actual } ->
+    Printf.sprintf "capability held by %s presented by %s"
+      (Grid_gsi.Dn.to_string expected) (Grid_gsi.Dn.to_string actual)
+
+let verify t ~cas_key ~presenter ~now =
+  let body =
+    signing_bytes ~holder:t.holder ~vo:t.vo ~policy_text:t.policy_text
+      ~issued_at:t.issued_at ~not_after:t.not_after
+  in
+  if not (Grid_crypto.Keypair.verify cas_key ~signature:t.signature body) then
+    Error Bad_signature
+  else if not (t.issued_at <= now && now <= t.not_after) then Error Expired
+  else if not (Grid_gsi.Dn.equal t.holder presenter) then
+    Error (Holder_mismatch { expected = t.holder; actual = presenter })
+  else Ok ()
+
+(* --- Wire encoding (for embedding in a proxy extension) ------------- *)
+
+let extension_oid = "cas-capability"
+
+let encode t =
+  String.concat "\n"
+    [ Grid_gsi.Dn.to_string t.holder;
+      t.vo;
+      Grid_crypto.Base64.encode t.policy_text;
+      Printf.sprintf "%.6f" t.issued_at;
+      Printf.sprintf "%.6f" t.not_after;
+      t.signature ]
+
+let decode s =
+  match String.split_on_char '\n' s with
+  | [ holder; vo; policy_b64; issued; expiry; signature ] -> begin
+    try
+      Ok
+        { holder = Grid_gsi.Dn.parse holder;
+          vo;
+          policy_text = Grid_crypto.Base64.decode policy_b64;
+          issued_at = float_of_string issued;
+          not_after = float_of_string expiry;
+          signature }
+    with Grid_gsi.Dn.Parse_error m -> Error ("bad holder DN: " ^ m)
+       | Failure _ | Invalid_argument _ -> Error "malformed capability encoding"
+  end
+  | _ -> Error "malformed capability encoding"
+
+let to_extension t =
+  { Grid_gsi.Cert.oid = extension_oid; critical = false; payload = encode t }
+
+(* Find a capability in a presented credential's certificate chain (the
+   leaf proxy carries it in real CAS deployments; we accept it anywhere in
+   the chain the holder controls). *)
+let find_in_credential (cred : Grid_gsi.Credential.t) =
+  List.find_map
+    (fun cert ->
+      match Grid_gsi.Cert.find_extension cert extension_oid with
+      | Some ext -> Some (decode ext.Grid_gsi.Cert.payload)
+      | None -> None)
+    cred.Grid_gsi.Credential.chain

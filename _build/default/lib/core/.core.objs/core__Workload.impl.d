@@ -1,0 +1,1 @@
+lib/core/workload.ml: Fmt Grid_gram Grid_gsi Grid_sim Grid_util List

@@ -1,0 +1,1 @@
+lib/core/workload.mli: Fmt Grid_gram Grid_gsi Grid_sim

@@ -1,0 +1,187 @@
+(* Public facade: fine-grain authorization for grid resource management.
+
+   Downstream users program against this module. It re-exports the
+   subsystem libraries under stable names and provides [Testbed], a
+   builder that assembles a complete simulated grid — CA, trust, VO,
+   users, GRAM resource with a chosen authorization backend — in a few
+   calls. The examples, integration tests and benchmarks are all written
+   on top of it. *)
+
+module Util = Grid_util
+module Crypto = Grid_crypto
+module Sim = Grid_sim
+module Gsi = Grid_gsi
+module Rsl = Grid_rsl
+module Policy = Grid_policy
+module Callout = Grid_callout
+module Vo = Grid_vo
+module Cas = Grid_cas
+module Akenti = Grid_akenti
+module Lrm = Grid_lrm
+module Accounts = Grid_accounts
+module Gram = Grid_gram
+module Mds = Grid_mds
+module Audit = Grid_audit
+
+module Workload = Workload
+
+(** Which policy evaluation point backs the extended GRAM mode. *)
+type backend =
+  | Baseline
+    (** unmodified GT2: gridmap-only authorization, owner-only management *)
+  | Flat_file of Grid_policy.Combine.source list
+    (** the prototype's plain-text policies (resource owner + VO) *)
+  | Custom of Grid_callout.Callout.t
+    (** any callout (Akenti adapter, CAS PEP, chains, fault injectors) *)
+
+module Testbed = struct
+  type t = {
+    engine : Grid_sim.Engine.t;
+    ca : Grid_gsi.Ca.t;
+    trust : Grid_gsi.Ca.Trust_store.store;
+    mutable users : (string * Grid_gsi.Identity.t) list;
+  }
+
+  (* Fresh world with deterministic ids. The process-global keystore is
+     deliberately NOT reset: several worlds can coexist (the benchmark
+     harness builds one per backend), and keypair derivation is
+     deterministic in the seed material, so re-registration is
+     idempotent. *)
+  let create ?(ca_name = "/O=Grid/CN=Testbed CA") () =
+    Grid_util.Ids.reset ();
+    let engine = Grid_sim.Engine.create () in
+    let ca = Grid_gsi.Ca.create ~now:(Grid_sim.Engine.now engine) ca_name in
+    let trust = Grid_gsi.Ca.Trust_store.create () in
+    Grid_gsi.Ca.Trust_store.add trust (Grid_gsi.Ca.certificate ca);
+    { engine; ca; trust; users = [] }
+
+  let engine t = t.engine
+  let ca t = t.ca
+  let trust t = t.trust
+  let now t = Grid_sim.Engine.now t.engine
+
+  let add_user t dn_string =
+    let identity =
+      Grid_gsi.Identity.create ~ca:t.ca ~now:(Grid_sim.Engine.now t.engine) dn_string
+    in
+    t.users <- (dn_string, identity) :: t.users;
+    identity
+
+  let user t dn_string =
+    match List.assoc_opt dn_string t.users with
+    | Some identity -> identity
+    | None -> invalid_arg ("Testbed.user: unknown user " ^ dn_string)
+
+  let mode_of_backend = function
+    | Baseline -> Grid_gram.Mode.Gt2_baseline
+    | Flat_file sources ->
+      (* Flat-file backends get policy-derived sandboxes for free: the
+         clause the decision rested on configures the enforcement
+         envelope (DESIGN.md, Section 7 direction). *)
+      Grid_gram.Mode.extended
+        ~advice:(Grid_callout.File_pep.advice sources)
+        (Grid_callout.File_pep.of_sources sources)
+    | Custom authorization -> Grid_gram.Mode.extended authorization
+
+  let make_resource ?(name = "resource") ?(nodes = 4) ?(cpus_per_node = 8) ?queues
+      ?(gridmap = Grid_gsi.Gridmap.empty) ?dynamic_accounts ?static_limits
+      ?dynamic_limits ?gatekeeper_pep ?allocation ~backend t =
+    let lrm = Grid_lrm.Lrm.create ?queues ~nodes ~cpus_per_node t.engine in
+    let pool =
+      Option.map
+        (fun size ->
+          Grid_accounts.Pool.create ~size ~lease_lifetime:(Grid_sim.Clock.hours 8.0) ())
+        dynamic_accounts
+    in
+    let mapper =
+      Grid_accounts.Mapper.create ?pool ?static_limits ?dynamic_limits gridmap
+    in
+    Grid_gram.Resource.create ~name ?gatekeeper_pep ?allocation ~trust:t.trust ~mapper
+      ~mode:(mode_of_backend backend) ~lrm ~engine:t.engine ()
+
+  let client _t ~user ~resource =
+    Grid_gram.Client.create ~identity:user ~resource
+
+  let run t = Grid_sim.Engine.run t.engine
+  let run_for t seconds = Grid_sim.Engine.run_until t.engine (now t +. seconds)
+end
+
+(** The National Fusion Collaboratory world of the paper's use case: one
+    VO with developer/analyst/admin groups, the Figure 3 members, and a
+    resource enforcing resource-owner + VO policy through the flat-file
+    PEP. Examples, integration tests and benches share it. *)
+module Fusion = struct
+  let organization = Grid_policy.Figure3.organization
+  let bo_liu = Grid_policy.Figure3.bo_liu
+  let kate_keahey = Grid_policy.Figure3.kate_keahey
+  let admin = organization ^ "/CN=VO Admin"
+  let outsider = "/O=Grid/O=Globus/OU=cs.wisc.edu/CN=Outsider"
+
+  let build_vo () =
+    let vo = Grid_vo.Vo.create ~member_prefix:organization "fusion-vo" in
+    Grid_vo.Vo.register_jobtag vo "NFC";
+    Grid_vo.Vo.register_jobtag vo "ADS";
+    Grid_vo.Vo.register_jobtag vo "DEMO";
+    Grid_vo.Vo.require_jobtag vo;
+    Grid_vo.Vo.add_profile vo
+      (Grid_vo.Profile.make "developers"
+         ~start_rules:
+           [ Grid_vo.Profile.start_rule ~directory:"/sandbox/test" ~jobtag:"ADS"
+               ~max_count:4 [ "test1"; "test2"; "compiler"; "debugger" ] ]);
+    Grid_vo.Vo.add_profile vo
+      (Grid_vo.Profile.make "analysts"
+         ~start_rules:
+           [ Grid_vo.Profile.start_rule ~directory:"/sandbox/test" ~jobtag:"NFC"
+               [ "TRANSP" ] ]);
+    Grid_vo.Vo.add_profile vo
+      (Grid_vo.Profile.make "admins" ~manage_tags:[ "NFC"; "ADS"; "DEMO" ]
+         ~start_rules:
+           [ Grid_vo.Profile.start_rule ~directory:"/sandbox/test" ~jobtag:"DEMO"
+               [ "TRANSP"; "demo" ] ]);
+    Grid_vo.Vo.add_member vo ~dn:bo_liu ~groups:[ "developers" ];
+    Grid_vo.Vo.add_member vo ~dn:kate_keahey ~groups:[ "analysts"; "admins" ];
+    Grid_vo.Vo.add_member vo ~dn:admin ~groups:[ "admins" ];
+    vo
+
+  let resource_owner_policy_text =
+    {|# resource owner: fusion VO members may compute, but never on the
+# reserved queue; management is open to policy (the VO decides details).
+/O=Grid/O=Globus/OU=mcs.anl.gov: &(action = start)(queue != reserved)
+/O=Grid/O=Globus/OU=mcs.anl.gov: &(action = cancel) &(action = information) &(action = signal)|}
+
+  let resource_owner_policy () = Grid_policy.Parse.parse resource_owner_policy_text
+
+  let policy_sources vo =
+    [ Grid_policy.Combine.source ~name:"resource-owner" (resource_owner_policy ());
+      Grid_vo.Vo.policy_source vo ]
+
+  type world = {
+    testbed : Testbed.t;
+    vo : Grid_vo.Vo.t;
+    resource : Grid_gram.Resource.t;
+    bo : Grid_gram.Client.t;
+    kate : Grid_gram.Client.t;
+    vo_admin : Grid_gram.Client.t;
+  }
+
+  let gridmap_text =
+    Printf.sprintf "%S bliu\n%S keahey\n%S voadmin\n" bo_liu kate_keahey admin
+
+  let build ?(backend = `Flat_file) ?(nodes = 4) ?(cpus_per_node = 8) () =
+    let testbed = Testbed.create () in
+    let vo = build_vo () in
+    let backend =
+      match backend with
+      | `Baseline -> Baseline
+      | `Flat_file -> Flat_file (policy_sources vo)
+      | `Custom callout -> Custom callout
+    in
+    let resource =
+      Testbed.make_resource testbed ~name:"fusion-site" ~nodes ~cpus_per_node
+        ~gridmap:(Grid_gsi.Gridmap.parse gridmap_text) ~backend
+    in
+    let mk dn = Testbed.client testbed ~user:(Testbed.add_user testbed dn) ~resource in
+    { testbed; vo; resource; bo = mk bo_liu; kate = mk kate_keahey; vo_admin = mk admin }
+end
+
+let version = "1.0.0"

@@ -1,0 +1,107 @@
+(* Synthetic workload generation.
+
+   Drives a resource with a randomized but reproducible stream of job
+   submissions and management requests — the substrate for the
+   sustained-throughput benchmark (T12) and for stress tests asserting
+   global invariants (every submission accounted for, no CPU
+   oversubscription, all jobs terminal). Arrivals are Poisson
+   (exponential inter-arrival times); users and RSL templates are chosen
+   by weight. *)
+
+type user_profile = {
+  identity : Grid_gsi.Identity.t;
+  rsl_templates : string list; (* chosen uniformly per submission *)
+  weight : int;                (* relative share of the arrival stream *)
+}
+
+type config = {
+  arrival_rate : float;        (* jobs per simulated second *)
+  job_count : int;             (* total submissions to generate *)
+  management_probability : float; (* chance a job gets a follow-up action *)
+  seed : int;
+}
+
+let default_config =
+  { arrival_rate = 1.0; job_count = 100; management_probability = 0.3; seed = 42 }
+
+type stats = {
+  mutable submitted : int;
+  mutable accepted : int;
+  mutable denied_authorization : int;
+  mutable denied_other : int;
+  mutable management_requests : int;
+  mutable management_denied : int;
+}
+
+let fresh_stats () =
+  { submitted = 0;
+    accepted = 0;
+    denied_authorization = 0;
+    denied_other = 0;
+    management_requests = 0;
+    management_denied = 0 }
+
+let pp_stats ppf s =
+  Fmt.pf ppf
+    "submitted %d; accepted %d; denied (authz) %d; denied (other) %d; managed %d (%d denied)"
+    s.submitted s.accepted s.denied_authorization s.denied_other s.management_requests
+    s.management_denied
+
+let pick_weighted rng profiles =
+  let total = List.fold_left (fun acc p -> acc + p.weight) 0 profiles in
+  if total <= 0 then invalid_arg "Workload: weights must sum to a positive number";
+  let ticket = Grid_util.Rng.int rng total in
+  let rec go acc = function
+    | [] -> invalid_arg "Workload: empty profile list"
+    | [ p ] -> p
+    | p :: rest -> if ticket < acc + p.weight then p else go (acc + p.weight) rest
+  in
+  go 0 profiles
+
+let exponential rng rate = -.log (1.0 -. Grid_util.Rng.float rng 1.0) /. rate
+
+(* Run a workload to completion: schedules all arrivals, drains the
+   engine, returns the tally. Management follow-ups are sent by the job
+   owner a short while after acceptance. *)
+let run ~(engine : Grid_sim.Engine.t) ~(resource : Grid_gram.Resource.t)
+    ~(profiles : user_profile list) (config : config) : stats =
+  if profiles = [] then invalid_arg "Workload.run: no user profiles";
+  let rng = Grid_util.Rng.create ~seed:config.seed in
+  let stats = fresh_stats () in
+  let arrival_time = ref (Grid_sim.Engine.now engine) in
+  for _ = 1 to config.job_count do
+    arrival_time := !arrival_time +. exponential rng config.arrival_rate;
+    let profile = pick_weighted rng profiles in
+    let rsl = Grid_util.Rng.pick rng profile.rsl_templates in
+    Grid_sim.Engine.schedule_at engine !arrival_time (fun () ->
+        stats.submitted <- stats.submitted + 1;
+        let client = Grid_gram.Client.create ~identity:profile.identity ~resource in
+        Grid_gram.Client.submit client ~rsl ~reply:(fun result ->
+            match result with
+            | Error (Grid_gram.Protocol.Authorization_failed _)
+            | Error (Grid_gram.Protocol.Gatekeeper_refused _) ->
+              stats.denied_authorization <- stats.denied_authorization + 1
+            | Error _ -> stats.denied_other <- stats.denied_other + 1
+            | Ok reply ->
+              stats.accepted <- stats.accepted + 1;
+              if Grid_util.Rng.float rng 1.0 < config.management_probability then begin
+                let action =
+                  Grid_util.Rng.pick rng
+                    [ Grid_gram.Protocol.Status;
+                      Grid_gram.Protocol.Cancel;
+                      Grid_gram.Protocol.Signal Grid_gram.Protocol.Suspend ]
+                in
+                let delay = 1.0 +. Grid_util.Rng.float rng 30.0 in
+                Grid_sim.Engine.schedule_after engine delay (fun () ->
+                    stats.management_requests <- stats.management_requests + 1;
+                    Grid_gram.Client.manage client
+                      ~contact:reply.Grid_gram.Protocol.job_contact action
+                      ~reply:(fun result ->
+                        match result with
+                        | Ok _ -> ()
+                        | Error _ ->
+                          stats.management_denied <- stats.management_denied + 1))
+              end))
+  done;
+  Grid_sim.Engine.run engine;
+  stats

@@ -1,0 +1,39 @@
+(** Synthetic workload generation: reproducible Poisson job streams with
+    follow-up management actions, for stress tests and throughput
+    benchmarks. *)
+
+type user_profile = {
+  identity : Grid_gsi.Identity.t;
+  rsl_templates : string list;
+  weight : int;
+}
+
+type config = {
+  arrival_rate : float;
+  job_count : int;
+  management_probability : float;
+  seed : int;
+}
+
+val default_config : config
+(** 1 job/s, 100 jobs, 30% management follow-ups, seed 42. *)
+
+type stats = {
+  mutable submitted : int;
+  mutable accepted : int;
+  mutable denied_authorization : int;
+  mutable denied_other : int;
+  mutable management_requests : int;
+  mutable management_denied : int;
+}
+
+val pp_stats : stats Fmt.t
+
+val run :
+  engine:Grid_sim.Engine.t ->
+  resource:Grid_gram.Resource.t ->
+  profiles:user_profile list ->
+  config ->
+  stats
+(** Schedule the whole arrival stream, drain the engine, and tally the
+    outcomes. Deterministic for a given seed. *)

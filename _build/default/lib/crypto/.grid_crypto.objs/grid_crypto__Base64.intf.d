@@ -1,0 +1,1 @@
+lib/crypto/base64.mli:

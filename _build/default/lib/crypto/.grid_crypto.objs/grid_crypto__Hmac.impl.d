@@ -1,0 +1,1 @@
+lib/crypto/hmac.ml: Char Hex Sha256 String

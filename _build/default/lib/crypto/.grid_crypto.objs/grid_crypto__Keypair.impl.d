@@ -1,0 +1,1 @@
+lib/crypto/keypair.ml: Fmt Hashtbl Hmac Sha256 String

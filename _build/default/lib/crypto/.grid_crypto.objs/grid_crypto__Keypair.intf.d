@@ -1,0 +1,1 @@
+lib/crypto/keypair.mli: Fmt

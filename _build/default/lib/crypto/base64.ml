@@ -1,0 +1,69 @@
+(* Base64 (RFC 4648, with padding) for wire-encoding credentials. *)
+
+let alphabet = "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/"
+
+let encode s =
+  let n = String.length s in
+  let buf = Buffer.create (((n + 2) / 3) * 4) in
+  let byte i = Char.code s.[i] in
+  let rec go i =
+    if i + 3 <= n then begin
+      let b = (byte i lsl 16) lor (byte (i + 1) lsl 8) lor byte (i + 2) in
+      Buffer.add_char buf alphabet.[(b lsr 18) land 63];
+      Buffer.add_char buf alphabet.[(b lsr 12) land 63];
+      Buffer.add_char buf alphabet.[(b lsr 6) land 63];
+      Buffer.add_char buf alphabet.[b land 63];
+      go (i + 3)
+    end
+    else if i + 2 = n then begin
+      let b = (byte i lsl 16) lor (byte (i + 1) lsl 8) in
+      Buffer.add_char buf alphabet.[(b lsr 18) land 63];
+      Buffer.add_char buf alphabet.[(b lsr 12) land 63];
+      Buffer.add_char buf alphabet.[(b lsr 6) land 63];
+      Buffer.add_char buf '='
+    end
+    else if i + 1 = n then begin
+      let b = byte i lsl 16 in
+      Buffer.add_char buf alphabet.[(b lsr 18) land 63];
+      Buffer.add_char buf alphabet.[(b lsr 12) land 63];
+      Buffer.add_string buf "=="
+    end
+  in
+  go 0;
+  Buffer.contents buf
+
+let index c =
+  match c with
+  | 'A' .. 'Z' -> Char.code c - Char.code 'A'
+  | 'a' .. 'z' -> Char.code c - Char.code 'a' + 26
+  | '0' .. '9' -> Char.code c - Char.code '0' + 52
+  | '+' -> 62
+  | '/' -> 63
+  | _ -> invalid_arg "Base64.decode: bad character"
+
+let decode s =
+  let n = String.length s in
+  if n mod 4 <> 0 then invalid_arg "Base64.decode: length not a multiple of 4";
+  if n = 0 then ""
+  else begin
+    let pad =
+      if s.[n - 2] = '=' then 2
+      else if s.[n - 1] = '=' then 1
+      else 0
+    in
+    let out = Buffer.create ((n / 4) * 3) in
+    for q = 0 to (n / 4) - 1 do
+      let i = q * 4 in
+      let c0 = index s.[i]
+      and c1 = index s.[i + 1]
+      and c2 = if s.[i + 2] = '=' then 0 else index s.[i + 2]
+      and c3 = if s.[i + 3] = '=' then 0 else index s.[i + 3] in
+      let b = (c0 lsl 18) lor (c1 lsl 12) lor (c2 lsl 6) lor c3 in
+      Buffer.add_char out (Char.chr ((b lsr 16) land 0xFF));
+      if not (q = (n / 4) - 1 && pad = 2) then
+        Buffer.add_char out (Char.chr ((b lsr 8) land 0xFF));
+      if not (q = (n / 4) - 1 && pad >= 1) then
+        Buffer.add_char out (Char.chr (b land 0xFF))
+    done;
+    Buffer.contents out
+  end

@@ -1,0 +1,6 @@
+(** Base64 (RFC 4648, padded) used when wire-encoding credentials. *)
+
+val encode : string -> string
+
+val decode : string -> string
+(** Inverse of {!encode}. Raises [Invalid_argument] on malformed input. *)

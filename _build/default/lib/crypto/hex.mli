@@ -1,0 +1,8 @@
+(** Hexadecimal encoding/decoding of raw byte strings. *)
+
+val encode : string -> string
+(** Lowercase hex; output is twice the input length. *)
+
+val decode : string -> string
+(** Inverse of {!encode}; accepts either case. Raises [Invalid_argument] on
+    malformed input. *)

@@ -1,0 +1,26 @@
+(* HMAC-SHA-256 (RFC 2104). *)
+
+let block_size = 64
+
+let normalize_key key =
+  let key = if String.length key > block_size then Sha256.digest key else key in
+  key ^ String.make (block_size - String.length key) '\000'
+
+let sha256 ~key msg =
+  let key = normalize_key key in
+  let xor_pad byte = String.map (fun c -> Char.chr (Char.code c lxor byte)) key in
+  let ipad = xor_pad 0x36 and opad = xor_pad 0x5c in
+  Sha256.digest (opad ^ Sha256.digest (ipad ^ msg))
+
+let sha256_hex ~key msg = Hex.encode (sha256 ~key msg)
+
+(* Constant-time comparison; MACs must not be compared with [=] lest a
+   timing side channel leak prefix matches. The simulator has no real
+   adversary, but the code path should model the production discipline. *)
+let verify ~key ~mac msg =
+  let expected = sha256 ~key msg in
+  String.length mac = String.length expected
+  &&
+  let diff = ref 0 in
+  String.iteri (fun i c -> diff := !diff lor (Char.code c lxor Char.code expected.[i])) mac;
+  !diff = 0

@@ -1,0 +1,9 @@
+(** HMAC-SHA-256 (RFC 2104): the signature primitive of the simulated PKI. *)
+
+val sha256 : key:string -> string -> string
+(** [sha256 ~key msg] is the 32-byte MAC of [msg] under [key]. *)
+
+val sha256_hex : key:string -> string -> string
+
+val verify : key:string -> mac:string -> string -> bool
+(** Constant-time MAC verification. *)

@@ -1,0 +1,1 @@
+lib/gram/client.ml: Grid_gsi Grid_sim Protocol Resource

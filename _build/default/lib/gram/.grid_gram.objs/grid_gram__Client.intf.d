@@ -1,0 +1,1 @@
+lib/gram/client.mli: Grid_gsi Protocol Resource

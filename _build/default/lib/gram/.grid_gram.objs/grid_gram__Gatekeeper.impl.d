@@ -1,0 +1,1 @@
+lib/gram/gatekeeper.ml: Grid_accounts Grid_audit Grid_callout Grid_gsi Grid_lrm Grid_policy Grid_rsl Grid_sim Hashtbl Job_manager Mode Printf Protocol

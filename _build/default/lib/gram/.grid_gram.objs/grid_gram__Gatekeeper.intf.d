@@ -1,0 +1,1 @@
+lib/gram/gatekeeper.mli: Grid_accounts Grid_audit Grid_callout Grid_gsi Grid_lrm Grid_sim Job_manager Mode Protocol

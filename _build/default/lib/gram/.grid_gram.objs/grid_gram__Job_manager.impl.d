@@ -1,0 +1,1 @@
+lib/gram/job_manager.ml: Float Grid_accounts Grid_audit Grid_callout Grid_gsi Grid_lrm Grid_policy Grid_rsl Grid_sim Grid_util List Mode Option Printf Protocol String

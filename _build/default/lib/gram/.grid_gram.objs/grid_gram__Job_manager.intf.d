@@ -1,0 +1,1 @@
+lib/gram/job_manager.mli: Grid_accounts Grid_audit Grid_gsi Grid_lrm Grid_rsl Grid_sim Mode Protocol

@@ -1,0 +1,1 @@
+lib/gram/mode.ml: Grid_callout Grid_policy

@@ -1,0 +1,1 @@
+lib/gram/mode.mli: Grid_callout Grid_policy

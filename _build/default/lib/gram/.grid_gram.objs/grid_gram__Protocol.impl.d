@@ -1,0 +1,1 @@
+lib/gram/protocol.ml: Grid_callout Grid_gsi Grid_lrm Grid_policy Printf String

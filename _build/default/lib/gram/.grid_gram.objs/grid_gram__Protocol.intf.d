@@ -1,0 +1,1 @@
+lib/gram/protocol.mli: Grid_callout Grid_gsi Grid_lrm Grid_policy

@@ -1,0 +1,1 @@
+lib/gram/resource.ml: Gatekeeper Grid_audit Grid_gsi Grid_lrm Grid_sim Hashtbl Job_manager List Printf Protocol String

@@ -1,0 +1,1 @@
+lib/gram/resource.mli: Gatekeeper Grid_accounts Grid_audit Grid_callout Grid_gsi Grid_lrm Grid_sim Job_manager Mode Protocol

@@ -1,0 +1,62 @@
+(* The GRAM client.
+
+   Submits jobs and issues management requests on behalf of a grid
+   identity. Section 5.2's client-side extension is visible here:
+   management requests carry the requester's own identity, which may
+   differ from the job originator's — the client "recognizes the identity
+   of the job originator" via the job status it can query.
+
+   The [*_sync] helpers drive the simulation engine until the reply
+   arrives, giving tests and examples a blocking API over the
+   asynchronous wire protocol. *)
+
+type t = {
+  identity : Grid_gsi.Identity.t;
+  resource : Resource.t;
+}
+
+let create ~identity ~resource = { identity; resource }
+
+let identity t = t.identity
+let subject t = Grid_gsi.Identity.subject t.identity
+
+let credential_for t =
+  let challenge = Resource.new_challenge t.resource in
+  Grid_gsi.Credential.of_identity t.identity ~challenge
+
+let submit t ~rsl ~reply =
+  Resource.submit t.resource ~credential:(credential_for t) ~rsl ~reply
+
+let manage t ~contact action ~reply =
+  Resource.manage t.resource ~requester:(Grid_gsi.Identity.effective_subject t.identity)
+    ~credential:(credential_for t) ~contact action ~reply
+
+(* --- Blocking wrappers ------------------------------------------------ *)
+
+let await engine cell =
+  let guard = ref 0 in
+  while !cell = None && !guard < 1_000_000 do
+    if not (Grid_sim.Engine.step engine) then guard := 1_000_000 else incr guard
+  done;
+  match !cell with
+  | Some v -> v
+  | None -> failwith "Client: no reply (simulation drained)"
+
+let submit_sync t ~rsl =
+  let cell = ref None in
+  submit t ~rsl ~reply:(fun r -> cell := Some r);
+  await (Resource.engine t.resource) cell
+
+let manage_sync t ~contact action =
+  let cell = ref None in
+  manage t ~contact action ~reply:(fun r -> cell := Some r);
+  await (Resource.engine t.resource) cell
+
+let watch t ~contact ~on_state_change =
+  Resource.register_callback t.resource ~contact ~on_state_change
+
+let status_sync t ~contact =
+  match manage_sync t ~contact Protocol.Status with
+  | Ok (Protocol.Job_status st) -> Ok st
+  | Ok Protocol.Ack -> Error (Protocol.Invalid_request "status returned no body")
+  | Error _ as e -> e

@@ -1,0 +1,44 @@
+(** The GRAM client: submission and (possibly third-party) job
+    management on behalf of a grid identity. *)
+
+type t
+
+val create : identity:Grid_gsi.Identity.t -> resource:Resource.t -> t
+
+val identity : t -> Grid_gsi.Identity.t
+val subject : t -> Grid_gsi.Dn.t
+
+val credential_for : t -> Grid_gsi.Credential.t
+(** Fresh credential bound to a challenge newly minted by the resource. *)
+
+val submit :
+  t ->
+  rsl:string ->
+  reply:((Protocol.submit_reply, Protocol.submit_error) result -> unit) ->
+  unit
+
+val manage :
+  t ->
+  contact:string ->
+  Protocol.management_action ->
+  reply:((Protocol.management_reply, Protocol.management_error) result -> unit) ->
+  unit
+
+val submit_sync : t -> rsl:string -> (Protocol.submit_reply, Protocol.submit_error) result
+(** Drive the simulation until the reply arrives. *)
+
+val manage_sync :
+  t ->
+  contact:string ->
+  Protocol.management_action ->
+  (Protocol.management_reply, Protocol.management_error) result
+
+val watch :
+  t ->
+  contact:string ->
+  on_state_change:(Protocol.job_state -> unit) ->
+  (unit, Protocol.management_error) result
+(** Register a GT2-style callback contact: subsequent state transitions
+    of the job are delivered asynchronously. *)
+
+val status_sync : t -> contact:string -> (Protocol.job_status, Protocol.management_error) result

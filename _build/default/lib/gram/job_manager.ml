@@ -1,0 +1,303 @@
+(* The Job Manager Instance (JMI).
+
+   One JMI exists per job (Figure 1). It parses the user's request,
+   interfaces with the local job control system to initiate the job, then
+   monitors it and services management requests. In GT2 baseline mode the
+   JMI does no authorization on startup (the Gatekeeper already did) and
+   authorizes management with the static rule "requester = initiator"; in
+   extended mode it calls the authorization callout before creating the
+   job manager request and before every cancel/status/signal (Section
+   5.2).
+
+   The JMI runs under the job owner's local credential; [account] is that
+   credential. The simulator's LRM enforces per-account limits through the
+   sandbox profile attached at mapping time. *)
+
+type t = {
+  contact : string;                         (* the GRAM job contact *)
+  owner : Grid_gsi.Dn.t;                    (* grid identity of the initiator *)
+  account : string;                         (* local credential the JMI runs under *)
+  limits : Grid_accounts.Sandbox.limits;
+  job : Grid_rsl.Job.t;
+  jobtag : string option;
+  mode : Mode.t;
+  allocation : Grid_accounts.Allocation.enforcement option;
+  lrm : Grid_lrm.Lrm.t;
+  engine : Grid_sim.Engine.t;
+  audit : Grid_audit.Audit.t;
+  trace : Grid_sim.Trace.t;
+  mutable lrm_job : string option;          (* local scheduler job id *)
+  mutable callout_invocations : int;
+}
+
+(* Simulation-only RSL attribute giving the job's compute need in seconds
+   (real jobs just run; the simulator must know when they finish). *)
+let sim_duration_attribute = "simduration"
+let default_duration = 60.0
+
+let duration_of_job (job : Grid_rsl.Job.t) =
+  let clause = Grid_rsl.Job.clause job in
+  match
+    List.find_opt
+      (fun (r : Grid_rsl.Ast.relation) ->
+        r.attribute = sim_duration_attribute && r.op = Grid_rsl.Ast.Eq)
+      clause
+  with
+  | Some { values = [ Grid_rsl.Ast.Literal s ]; _ } -> begin
+    match float_of_string_opt s with Some d when d >= 0.0 -> d | Some _ | None -> default_duration
+  end
+  | Some _ | None -> default_duration
+
+let create ?allocation ~owner ~account ~limits ~job ~mode ~lrm ~engine ~audit ~trace () =
+  { contact = Grid_util.Ids.contact ();
+    owner;
+    account;
+    limits;
+    job;
+    jobtag = job.Grid_rsl.Job.jobtag;
+    mode;
+    allocation;
+    lrm;
+    engine;
+    audit;
+    trace;
+    lrm_job = None;
+    callout_invocations = 0 }
+
+let contact t = t.contact
+let lrm_job_id t = t.lrm_job
+let owner t = t.owner
+let jobtag t = t.jobtag
+let callout_invocations t = t.callout_invocations
+
+let now t = Grid_sim.Engine.now t.engine
+
+let record t ~target label =
+  Grid_sim.Trace.record t.trace ~at:(now t) ~source:("jmi:" ^ t.contact) ~target label
+
+let authorize t (query : Grid_callout.Callout.query) =
+  match t.mode with
+  | Mode.Gt2_baseline ->
+    (* Baseline management rule: the Grid identity of the requester must
+       match the Grid identity of the job initiator. Start requests reach
+       the JMI pre-authorized by the Gatekeeper. *)
+    if query.Grid_callout.Callout.action = Grid_policy.Types.Action.Start then Ok ()
+    else if Grid_gsi.Dn.equal query.Grid_callout.Callout.requester t.owner then Ok ()
+    else
+      Error
+        (Grid_callout.Callout.Denied "GT2: only the job initiator may manage this job")
+  | Mode.Extended { authorization; _ } ->
+    t.callout_invocations <- t.callout_invocations + 1;
+    record t ~target:"pep" "authorization callout";
+    authorization query
+
+(* --- Job startup ------------------------------------------------------- *)
+
+let audit_authz t ~requester ~job_id ~action outcome =
+  Grid_audit.Audit.log t.audit ~at:(now t) ~kind:Grid_audit.Audit.Authorization
+    ~subject:requester ~job_id ~outcome
+    (Printf.sprintf "action=%s mode=%s" action (Mode.to_string t.mode))
+
+let start t ~(credential : Grid_gsi.Credential.t option) :
+    (Protocol.submit_reply, Protocol.submit_error) result =
+  let query =
+    { Grid_callout.Callout.requester = t.owner;
+      requester_credential = credential;
+      job_owner = None;
+      action = Grid_policy.Types.Action.Start;
+      job_id = Some t.contact;
+      rsl = Some (Grid_rsl.Job.clause t.job);
+      jobtag = t.jobtag }
+  in
+  match authorize t query with
+  | Error e ->
+    audit_authz t ~requester:t.owner ~job_id:t.contact ~action:"start"
+      (Grid_audit.Audit.Failure (Grid_callout.Callout.error_to_string e));
+    Error (Protocol.Authorization_failed (Protocol.authz_failure_of_callout e))
+  | Ok () ->
+    audit_authz t ~requester:t.owner ~job_id:t.contact ~action:"start"
+      Grid_audit.Audit.Success;
+    (* Policy-derived enforcement (the Section 7 "GT3" direction): when
+       the PEP can say which clause the permit rested on, the sandbox is
+       tightened to that clause's envelope — the continuous-enforcement
+       half the gateway model lacks (Section 6.1). *)
+    let effective_limits =
+      match t.mode with
+      | Mode.Extended { advice = Some advise; _ } -> begin
+        match advise query with
+        | Some clause ->
+          let derived = Grid_accounts.Sandbox.of_policy_clause clause in
+          Grid_audit.Audit.log t.audit ~at:(now t) ~kind:Grid_audit.Audit.Account_mapping
+            ~subject:t.owner ~job_id:t.contact ~outcome:Grid_audit.Audit.Success
+            (Printf.sprintf "sandbox derived from policy clause %s"
+               (Grid_policy.Types.clause_to_string clause));
+          Grid_accounts.Sandbox.intersect t.limits derived
+        | None -> t.limits
+      end
+      | Mode.Extended { advice = None; _ } | Mode.Gt2_baseline -> t.limits
+    in
+    let violations = Grid_accounts.Sandbox.check effective_limits t.job in
+    if violations <> [] then begin
+      let messages = List.map Grid_accounts.Sandbox.violation_to_string violations in
+      Grid_audit.Audit.log t.audit ~at:(now t) ~kind:Grid_audit.Audit.Job_submission
+        ~subject:t.owner ~job_id:t.contact
+        ~outcome:(Grid_audit.Audit.Failure (String.concat "; " messages))
+        "sandbox refused job";
+      Error (Protocol.Sandbox_violation messages)
+    end
+    else begin
+      let walltime_limit =
+        (* The tighter of the user's request and the sandbox envelope:
+           the policy-derived cap is enforced even when the request
+           omits maxwalltime. *)
+        match
+          ( Option.map (fun minutes -> minutes *. 60.0) t.job.Grid_rsl.Job.max_wall_time,
+            effective_limits.Grid_accounts.Sandbox.max_walltime )
+        with
+        | None, cap -> cap
+        | requested, None -> requested
+        | Some r, Some cap -> Some (Float.min r cap)
+      in
+      let spec =
+        { Grid_lrm.Lrm.account = t.account;
+          cpus = t.job.Grid_rsl.Job.count;
+          duration = duration_of_job t.job;
+          walltime_limit;
+          queue = t.job.Grid_rsl.Job.queue }
+      in
+      (* Coarse-grained allocation (Section 2): reserve the worst-case
+         cpu-seconds before submission; settle against actual walltime
+         usage when the job reaches a terminal state. *)
+      let reservation =
+        match t.allocation with
+        | None -> Ok None
+        | Some { Grid_accounts.Allocation.bank; party_of } -> begin
+          match party_of t.owner with
+          | None ->
+            Error
+              (Printf.sprintf "no resource allocation covers %s"
+                 (Grid_gsi.Dn.to_string t.owner))
+          | Some party ->
+            let worst_case_seconds =
+              match spec.Grid_lrm.Lrm.walltime_limit with
+              | Some w -> w
+              | None -> spec.Grid_lrm.Lrm.duration
+            in
+            let amount = float_of_int spec.Grid_lrm.Lrm.cpus *. worst_case_seconds in
+            (match Grid_accounts.Allocation.reserve bank ~party ~amount with
+            | Ok r -> Ok (Some r)
+            | Error e -> Error (Grid_accounts.Allocation.error_to_string e))
+        end
+      in
+      match reservation with
+      | Error message ->
+        Grid_audit.Audit.log t.audit ~at:(now t) ~kind:Grid_audit.Audit.Job_submission
+          ~subject:t.owner ~job_id:t.contact
+          ~outcome:(Grid_audit.Audit.Failure message) "allocation refused job";
+        Error (Protocol.Allocation_refused message)
+      | Ok reservation -> begin
+        record t ~target:"lrm" "submit job";
+        match Grid_lrm.Lrm.submit t.lrm spec with
+        | Error e ->
+          Option.iter Grid_accounts.Allocation.cancel reservation;
+          Grid_audit.Audit.log t.audit ~at:(now t) ~kind:Grid_audit.Audit.Job_submission
+            ~subject:t.owner ~job_id:t.contact
+            ~outcome:(Grid_audit.Audit.Failure (Grid_lrm.Lrm.error_to_string e))
+            "local resource manager refused job";
+          Error (Protocol.Resource_unavailable (Grid_lrm.Lrm.error_to_string e))
+        | Ok lrm_id ->
+          t.lrm_job <- Some lrm_id;
+          (match reservation with
+          | None -> ()
+          | Some reservation ->
+            let cpus = float_of_int spec.Grid_lrm.Lrm.cpus in
+            Grid_lrm.Lrm.on_event t.lrm
+              (fun (Grid_lrm.Lrm.State_changed { job; _ }) ->
+                if
+                  String.equal job.Grid_lrm.Lrm.id lrm_id
+                  &&
+                  match job.Grid_lrm.Lrm.state with
+                  | Grid_lrm.Lrm.Completed | Grid_lrm.Lrm.Cancelled
+                  | Grid_lrm.Lrm.Killed _ -> true
+                  | Grid_lrm.Lrm.Pending | Grid_lrm.Lrm.Running
+                  | Grid_lrm.Lrm.Suspended -> false
+                then
+                  Grid_accounts.Allocation.settle reservation
+                    ~actual:(cpus *. job.Grid_lrm.Lrm.walltime_used)));
+          Grid_audit.Audit.log t.audit ~at:(now t) ~kind:Grid_audit.Audit.Job_submission
+            ~subject:t.owner ~job_id:t.contact ~outcome:Grid_audit.Audit.Success
+            (Printf.sprintf "lrm job %s under account %s" lrm_id t.account);
+          Ok { Protocol.job_contact = t.contact; submitted_as = t.account }
+      end
+    end
+
+(* --- Management --------------------------------------------------------- *)
+
+let status t : (Protocol.job_status, Protocol.management_error) result =
+  match t.lrm_job with
+  | None -> Error (Protocol.Invalid_request "job was never started")
+  | Some lrm_id -> begin
+    match Grid_lrm.Lrm.query t.lrm lrm_id with
+    | Error e -> Error (Protocol.Invalid_request (Grid_lrm.Lrm.error_to_string e))
+    | Ok st ->
+      Ok
+        { Protocol.contact = t.contact;
+          owner = t.owner;
+          state = Protocol.job_state_of_lrm st.Grid_lrm.Lrm.job_state;
+          jobtag = t.jobtag;
+          account = t.account;
+          cpus = st.Grid_lrm.Lrm.job_cpus }
+  end
+
+let perform t (action : Protocol.management_action) :
+    (Protocol.management_reply, Protocol.management_error) result =
+  match t.lrm_job with
+  | None -> Error (Protocol.Invalid_request "job was never started")
+  | Some lrm_id -> begin
+    let lift = function
+      | Ok _ -> Ok Protocol.Ack
+      | Error e -> Error (Protocol.Invalid_request (Grid_lrm.Lrm.error_to_string e))
+    in
+    match action with
+    | Protocol.Cancel ->
+      record t ~target:"lrm" "cancel job";
+      lift (Grid_lrm.Lrm.cancel t.lrm lrm_id)
+    | Protocol.Status -> begin
+      match status t with
+      | Ok st -> Ok (Protocol.Job_status st)
+      | Error _ as e -> e
+    end
+    | Protocol.Signal Protocol.Suspend ->
+      record t ~target:"lrm" "suspend job";
+      lift (Grid_lrm.Lrm.suspend t.lrm lrm_id)
+    | Protocol.Signal Protocol.Resume ->
+      record t ~target:"lrm" "resume job";
+      lift (Grid_lrm.Lrm.resume t.lrm lrm_id)
+    | Protocol.Signal (Protocol.Set_priority p) ->
+      record t ~target:"lrm" "set priority";
+      lift (Grid_lrm.Lrm.set_priority t.lrm lrm_id p)
+  end
+
+let manage t ~requester ?(credential : Grid_gsi.Credential.t option)
+    (action : Protocol.management_action) :
+    (Protocol.management_reply, Protocol.management_error) result =
+  let action_name = Protocol.management_action_to_string action in
+  let query =
+    { Grid_callout.Callout.requester;
+      requester_credential = credential;
+      job_owner = Some t.owner;
+      action = Protocol.to_policy_action action;
+      job_id = Some t.contact;
+      rsl = None;
+      jobtag = t.jobtag }
+  in
+  match authorize t query with
+  | Error e ->
+    audit_authz t ~requester ~job_id:t.contact ~action:action_name
+      (Grid_audit.Audit.Failure (Grid_callout.Callout.error_to_string e));
+    Error (Protocol.Not_authorized (Protocol.authz_failure_of_callout e))
+  | Ok () ->
+    audit_authz t ~requester ~job_id:t.contact ~action:action_name Grid_audit.Audit.Success;
+    Grid_audit.Audit.log t.audit ~at:(now t) ~kind:Grid_audit.Audit.Job_management
+      ~subject:requester ~job_id:t.contact ~outcome:Grid_audit.Audit.Success action_name;
+    perform t action

@@ -1,0 +1,57 @@
+(** The Job Manager Instance: one per job; parses the request, drives the
+    local resource manager, and — in extended mode — enforces policy
+    through the authorization callout on startup and on every management
+    request. *)
+
+type t
+
+val sim_duration_attribute : string
+(** Simulation-only RSL attribute ("simduration", seconds) giving the
+    job's compute need; defaults to 60 s when absent. *)
+
+val default_duration : float
+
+val create :
+  ?allocation:Grid_accounts.Allocation.enforcement ->
+  owner:Grid_gsi.Dn.t ->
+  account:string ->
+  limits:Grid_accounts.Sandbox.limits ->
+  job:Grid_rsl.Job.t ->
+  mode:Mode.t ->
+  lrm:Grid_lrm.Lrm.t ->
+  engine:Grid_sim.Engine.t ->
+  audit:Grid_audit.Audit.t ->
+  trace:Grid_sim.Trace.t ->
+  unit ->
+  t
+(** [allocation] turns on coarse-grained admission control: a job's
+    worst-case cpu-seconds are reserved against the owner's party budget
+    at startup and settled against actual usage at termination. *)
+
+val contact : t -> string
+
+(** The local scheduler's job id, once started. *)
+val lrm_job_id : t -> string option
+
+val owner : t -> Grid_gsi.Dn.t
+val jobtag : t -> string option
+
+val callout_invocations : t -> int
+(** How many times the authorization callout ran for this JMI. *)
+
+val start :
+  t ->
+  credential:Grid_gsi.Credential.t option ->
+  (Protocol.submit_reply, Protocol.submit_error) result
+(** Authorize (extended mode), sandbox-check, and submit to the LRM. *)
+
+val status : t -> (Protocol.job_status, Protocol.management_error) result
+
+val manage :
+  t ->
+  requester:Grid_gsi.Dn.t ->
+  ?credential:Grid_gsi.Credential.t ->
+  Protocol.management_action ->
+  (Protocol.management_reply, Protocol.management_error) result
+(** Authorize the requester (owner-only in baseline mode; callout in
+    extended mode), then perform the action against the LRM. *)

@@ -1,0 +1,39 @@
+(* GRAM operating modes.
+
+   [Gt2_baseline] is unmodified GT2 (Section 4): authorization is the
+   grid-mapfile check in the Gatekeeper, and only the job initiator may
+   manage a job. [Extended] is the paper's design (Section 5): an
+   authorization callout is consulted in the Job Manager before job
+   creation and before every management action, and management by
+   identities other than the initiator becomes possible when policy
+   permits. The callout itself is resolved through the runtime
+   configuration, as in the prototype. *)
+
+type t =
+  | Gt2_baseline
+  | Extended of {
+      authorization : Grid_callout.Callout.t;
+      (* Optional policy-derived-enforcement hook (the paper's Section 7
+         "GT3" direction): given a query that was just authorized,
+         return the policy clause the decision rested on so the JMI can
+         configure the sandbox from it. *)
+      advice : (Grid_callout.Callout.query -> Grid_policy.Types.clause option) option;
+    }
+
+let is_extended = function Extended _ -> true | Gt2_baseline -> false
+
+let to_string = function
+  | Gt2_baseline -> "GT2 baseline"
+  | Extended _ -> "extended (authorization callout)"
+
+(* Resolve the Extended mode's callout from a configuration file against a
+   registry — the deployment path; misconfiguration yields a mode whose
+   callout fails closed with the configuration error. *)
+let extended ?advice authorization = Extended { authorization; advice }
+
+let extended_from_config config registry =
+  match
+    Grid_callout.Config.resolve config registry Grid_callout.Config.gram_authz_type
+  with
+  | Ok authorization -> Extended { authorization; advice = None }
+  | Error e -> Extended { authorization = (fun _ -> Error e); advice = None }

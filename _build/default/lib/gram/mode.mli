@@ -1,0 +1,22 @@
+(** GRAM operating modes: unmodified GT2 vs the paper's extension. *)
+
+type t =
+  | Gt2_baseline
+  | Extended of {
+      authorization : Grid_callout.Callout.t;
+      advice : (Grid_callout.Callout.query -> Grid_policy.Types.clause option) option;
+          (** policy-derived-enforcement hook: the clause an authorized
+              decision rested on, for sandbox configuration *)
+    }
+
+val extended :
+  ?advice:(Grid_callout.Callout.query -> Grid_policy.Types.clause option) ->
+  Grid_callout.Callout.t ->
+  t
+
+val is_extended : t -> bool
+val to_string : t -> string
+
+val extended_from_config : Grid_callout.Config.t -> Grid_callout.Registry.t -> t
+(** Resolve the job-manager authorization callout from configuration; a
+    misconfigured callout fails closed at invocation time. *)

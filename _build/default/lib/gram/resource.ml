@@ -1,0 +1,129 @@
+(* A GRAM-managed resource: the assembly of Gatekeeper, Job Manager
+   Instances, local resource manager, account mapping and audit trail,
+   reachable over the simulated network.
+
+   This is "one site" in grid terms. Direct entry points (submit/manage)
+   run synchronously at the resource — microbenchmarks use them to measure
+   pure decision cost; the networked entry points model the wire hops of
+   Figures 1 and 2 and are what the Client uses. *)
+
+type t = {
+  name : string;
+  engine : Grid_sim.Engine.t;
+  network : Grid_sim.Network.t;
+  gatekeeper : Gatekeeper.t;
+  lrm : Grid_lrm.Lrm.t;
+  audit : Grid_audit.Audit.t;
+  trace : Grid_sim.Trace.t;
+  jmis : (string, Job_manager.t) Hashtbl.t;
+}
+
+let create ?(name = "resource") ?network ?gatekeeper_pep ?allocation ~trust ~mapper
+    ~mode ~lrm ~engine () =
+  let network =
+    match network with Some n -> n | None -> Grid_sim.Network.create engine
+  in
+  let audit = Grid_audit.Audit.create () in
+  let trace = Grid_sim.Trace.create () in
+  let gatekeeper =
+    Gatekeeper.create ?gatekeeper_pep ?allocation ~name:(name ^ ":gatekeeper") ~trust
+      ~mapper ~mode ~lrm ~engine ~audit ~trace ()
+  in
+  { name; engine; network; gatekeeper; lrm; audit; trace; jmis = Hashtbl.create 32 }
+
+let name t = t.name
+let engine t = t.engine
+let network t = t.network
+let lrm t = t.lrm
+let audit t = t.audit
+let trace t = t.trace
+let gatekeeper t = t.gatekeeper
+
+let now t = Grid_sim.Engine.now t.engine
+
+let find_jmi t contact = Hashtbl.find_opt t.jmis contact
+
+let jobs t = Hashtbl.fold (fun _ jmi acc -> jmi :: acc) t.jmis []
+
+(* GT2's callback contact: the client registers a listener and the Job
+   Manager sends job state updates over the network as they happen. Only
+   transitions after registration are delivered — the submit reply
+   already tells the client the initial state. *)
+let register_callback t ~contact ~(on_state_change : Protocol.job_state -> unit) =
+  match find_jmi t contact with
+  | None -> Error (Protocol.Unknown_job contact)
+  | Some jmi -> begin
+    match Job_manager.lrm_job_id jmi with
+    | None -> Error (Protocol.Invalid_request "job was never started")
+    | Some lrm_id ->
+      Grid_lrm.Lrm.on_event t.lrm (fun (Grid_lrm.Lrm.State_changed { job; _ }) ->
+          if String.equal job.Grid_lrm.Lrm.id lrm_id then begin
+            let state = Protocol.job_state_of_lrm job.Grid_lrm.Lrm.state in
+            Grid_sim.Network.send t.network (fun () -> on_state_change state)
+          end);
+      Ok ()
+  end
+
+let jobs_with_tag t tag =
+  List.filter (fun jmi -> Job_manager.jobtag jmi = Some tag) (jobs t)
+
+(* --- Direct (in-resource) entry points -------------------------------- *)
+
+let new_challenge t = Gatekeeper.new_challenge t.gatekeeper
+
+let submit_direct t ~credential ~rsl =
+  match Gatekeeper.handle_submit t.gatekeeper ~credential ~rsl with
+  | Error _ as e -> e
+  | Ok (jmi, reply) ->
+    Hashtbl.replace t.jmis (Job_manager.contact jmi) jmi;
+    Ok reply
+
+(* The JMI "accepts, authenticates and authorizes management requests"
+   (Section 4.2): when a credential accompanies the request it must
+   validate (chain, expiry, revocation, challenge freshness) and assert
+   the claimed requester identity. A credential-less call is reserved
+   for in-process trusted callers (tests, monitoring). *)
+let manage_direct t ~requester ?credential ~contact action =
+  match find_jmi t contact with
+  | None -> Error (Protocol.Unknown_job contact)
+  | Some jmi -> begin
+    match credential with
+    | None -> Job_manager.manage jmi ~requester action
+    | Some credential -> begin
+      match Gatekeeper.authenticate t.gatekeeper credential with
+      | Error e ->
+        Error
+          (Protocol.Management_authentication_failed (Grid_gsi.Authn.error_to_string e))
+      | Ok ctx ->
+        if not (Grid_gsi.Dn.equal ctx.Grid_gsi.Authn.peer requester) then
+          Error
+            (Protocol.Management_authentication_failed
+               (Printf.sprintf "credential authenticates %s, request claims %s"
+                  (Grid_gsi.Dn.to_string ctx.Grid_gsi.Authn.peer)
+                  (Grid_gsi.Dn.to_string requester)))
+        else Job_manager.manage jmi ~requester ~credential action
+    end
+  end
+
+(* --- Networked entry points ------------------------------------------- *)
+
+let submit t ~credential ~rsl ~reply =
+  Grid_sim.Trace.record t.trace ~at:(now t) ~source:"client"
+    ~target:(t.name ^ ":gatekeeper") "job request + credentials";
+  Grid_sim.Network.send t.network (fun () ->
+      let result = submit_direct t ~credential ~rsl in
+      (match result with
+      | Ok r ->
+        Grid_sim.Trace.record t.trace ~at:(now t) ~source:("jmi:" ^ r.Protocol.job_contact)
+          ~target:"client" "job contact"
+      | Error _ ->
+        Grid_sim.Trace.record t.trace ~at:(now t) ~source:(t.name ^ ":gatekeeper")
+          ~target:"client" "submission error");
+      Grid_sim.Network.send t.network (fun () -> reply result))
+
+let manage t ~requester ?credential ~contact action ~reply =
+  Grid_sim.Trace.record t.trace ~at:(now t) ~source:"client" ~target:("jmi:" ^ contact)
+    (Protocol.management_action_to_string action);
+  Grid_sim.Network.send t.network (fun () ->
+      let result = manage_direct t ~requester ?credential ~contact action in
+      Grid_sim.Network.send t.network (fun () -> reply result))

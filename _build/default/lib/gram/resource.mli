@@ -1,0 +1,75 @@
+(** A GRAM-managed resource (one grid site): Gatekeeper + JMIs + LRM +
+    audit, reachable directly (for microbenchmarks) or over the simulated
+    network (for end-to-end flows). *)
+
+type t
+
+val create :
+  ?name:string ->
+  ?network:Grid_sim.Network.t ->
+  ?gatekeeper_pep:Grid_callout.Callout.t ->
+  ?allocation:Grid_accounts.Allocation.enforcement ->
+  trust:Grid_gsi.Ca.Trust_store.store ->
+  mapper:Grid_accounts.Mapper.t ->
+  mode:Mode.t ->
+  lrm:Grid_lrm.Lrm.t ->
+  engine:Grid_sim.Engine.t ->
+  unit ->
+  t
+
+val name : t -> string
+val engine : t -> Grid_sim.Engine.t
+val network : t -> Grid_sim.Network.t
+val lrm : t -> Grid_lrm.Lrm.t
+val audit : t -> Grid_audit.Audit.t
+val trace : t -> Grid_sim.Trace.t
+val gatekeeper : t -> Gatekeeper.t
+
+val find_jmi : t -> string -> Job_manager.t option
+val jobs : t -> Job_manager.t list
+val jobs_with_tag : t -> string -> Job_manager.t list
+
+val register_callback :
+  t ->
+  contact:string ->
+  on_state_change:(Protocol.job_state -> unit) ->
+  (unit, Protocol.management_error) result
+(** GT2-style callback contact: deliver subsequent job state transitions
+    to the listener over the simulated network. *)
+
+val new_challenge : t -> string
+
+val submit_direct :
+  t ->
+  credential:Grid_gsi.Credential.t ->
+  rsl:string ->
+  (Protocol.submit_reply, Protocol.submit_error) result
+
+val manage_direct :
+  t ->
+  requester:Grid_gsi.Dn.t ->
+  ?credential:Grid_gsi.Credential.t ->
+  contact:string ->
+  Protocol.management_action ->
+  (Protocol.management_reply, Protocol.management_error) result
+(** When [credential] is given it is authenticated (chain, expiry,
+    revocation, single-use challenge) and must assert [requester];
+    credential-less calls are for in-process trusted callers only. *)
+
+val submit :
+  t ->
+  credential:Grid_gsi.Credential.t ->
+  rsl:string ->
+  reply:((Protocol.submit_reply, Protocol.submit_error) result -> unit) ->
+  unit
+(** Networked submission: traces the Figure 1/2 arrows and delivers the
+    reply asynchronously. *)
+
+val manage :
+  t ->
+  requester:Grid_gsi.Dn.t ->
+  ?credential:Grid_gsi.Credential.t ->
+  contact:string ->
+  Protocol.management_action ->
+  reply:((Protocol.management_reply, Protocol.management_error) result -> unit) ->
+  unit

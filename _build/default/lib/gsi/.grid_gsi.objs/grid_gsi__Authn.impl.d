@@ -1,0 +1,1 @@
+lib/gsi/authn.ml: Ca Credential Dn Fmt Grid_sim Identity Printf String

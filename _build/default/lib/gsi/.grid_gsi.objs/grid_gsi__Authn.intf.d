@@ -1,0 +1,1 @@
+lib/gsi/authn.mli: Ca Credential Dn Fmt Grid_sim Identity

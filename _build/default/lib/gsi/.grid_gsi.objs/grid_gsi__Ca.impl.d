@@ -1,0 +1,1 @@
+lib/gsi/ca.ml: Cert Dn Grid_crypto Grid_sim Hashtbl List Option

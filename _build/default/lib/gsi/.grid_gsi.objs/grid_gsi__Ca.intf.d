@@ -1,0 +1,1 @@
+lib/gsi/ca.mli: Cert Dn Grid_crypto Grid_sim

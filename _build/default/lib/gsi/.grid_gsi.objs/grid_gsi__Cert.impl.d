@@ -1,0 +1,1 @@
+lib/gsi/cert.ml: Dn Fmt Grid_crypto Grid_sim Grid_util List Printf

@@ -1,0 +1,1 @@
+lib/gsi/cert.mli: Dn Fmt Grid_crypto Grid_sim

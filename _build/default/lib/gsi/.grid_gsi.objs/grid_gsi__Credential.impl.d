@@ -1,0 +1,1 @@
+lib/gsi/credential.ml: Ca Cert Dn Fmt Grid_crypto Identity List Printf

@@ -1,0 +1,1 @@
+lib/gsi/credential.mli: Ca Cert Dn Fmt Grid_sim Identity

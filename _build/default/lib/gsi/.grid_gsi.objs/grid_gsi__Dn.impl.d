@@ -1,0 +1,1 @@
+lib/gsi/dn.ml: Fmt Grid_util List String

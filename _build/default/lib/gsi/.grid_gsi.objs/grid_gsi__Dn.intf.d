@@ -1,0 +1,1 @@
+lib/gsi/dn.mli: Fmt

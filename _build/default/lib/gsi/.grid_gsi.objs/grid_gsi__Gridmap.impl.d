@@ -1,0 +1,1 @@
+lib/gsi/gridmap.ml: Dn Grid_util List Printf String

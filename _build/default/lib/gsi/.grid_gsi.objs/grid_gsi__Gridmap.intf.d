@@ -1,0 +1,1 @@
+lib/gsi/gridmap.mli: Dn

@@ -1,0 +1,1 @@
+lib/gsi/identity.ml: Ca Cert Dn Fmt Grid_crypto Grid_sim List Printf

@@ -1,0 +1,1 @@
+lib/gsi/identity.mli: Ca Cert Dn Fmt Grid_crypto Grid_sim

@@ -1,0 +1,1 @@
+lib/gsi/renewal.ml: Ca Cert Credential Dn Float Grid_sim Hashtbl Identity List Printf

@@ -1,0 +1,1 @@
+lib/gsi/renewal.mli: Ca Credential Dn Grid_sim Identity

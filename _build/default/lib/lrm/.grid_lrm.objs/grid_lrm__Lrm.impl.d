@@ -1,0 +1,1 @@
+lib/lrm/lrm.ml: Float Fmt Grid_sim Grid_util Hashtbl List Printf

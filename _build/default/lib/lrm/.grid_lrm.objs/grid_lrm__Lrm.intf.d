@@ -1,0 +1,1 @@
+lib/lrm/lrm.mli: Fmt Grid_sim

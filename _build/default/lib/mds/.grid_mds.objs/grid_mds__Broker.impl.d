@@ -1,0 +1,1 @@
+lib/mds/broker.ml: Directory Grid_gram Grid_gsi Grid_policy Grid_rsl Grid_util List Printf

@@ -1,0 +1,1 @@
+lib/mds/broker.mli: Directory Grid_gram Grid_gsi Grid_policy Grid_rsl

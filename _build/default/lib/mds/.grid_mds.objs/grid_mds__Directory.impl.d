@@ -1,0 +1,1 @@
+lib/mds/directory.ml: Fmt Grid_sim Hashtbl List

@@ -1,0 +1,1 @@
+lib/mds/directory.mli: Fmt Grid_sim

@@ -1,0 +1,1 @@
+lib/mds/provider.ml: Directory Grid_gram Grid_lrm Grid_sim List

@@ -1,0 +1,1 @@
+lib/mds/provider.mli: Directory Grid_gram Grid_sim

@@ -1,0 +1,95 @@
+(* A resource broker.
+
+   Answers "where can this job run?" by combining discovery (the
+   directory), an optional authorization pre-check (evaluating the VO's
+   own policy before burning a round trip on a doomed submission), and
+   capacity ranking. On submission failure at the best candidate it
+   falls through to the next — the retry pattern every metascheduler
+   built on GRAM used. *)
+
+type candidate = {
+  name : string;
+  resource : Grid_gram.Resource.t;
+}
+
+type t = {
+  directory : Directory.t;
+  candidates : candidate list;
+  (* Authorization pre-check: VO-side advice only. The resource's own
+     PEP remains authoritative — the broker never bypasses it. *)
+  precheck : (Grid_policy.Types.request -> bool) option;
+}
+
+type failure = {
+  site : string;
+  error : string;
+}
+
+type error =
+  | No_candidates (* discovery produced nothing usable *)
+  | All_failed of failure list
+
+let error_to_string = function
+  | No_candidates -> "no resource matches the request"
+  | All_failed failures ->
+    "all candidate resources refused:\n"
+    ^ Grid_util.Strings.concat_map "\n"
+        (fun f -> Printf.sprintf "  %s: %s" f.site f.error)
+        failures
+
+let create ?precheck ~directory candidates =
+  { directory;
+    candidates =
+      List.map
+        (fun resource -> { name = Grid_gram.Resource.name resource; resource })
+        candidates;
+    precheck }
+
+let plan_candidates t ~(job : Grid_rsl.Job.t) =
+  Directory.query ~min_free_cpus:job.Grid_rsl.Job.count ?queue:job.Grid_rsl.Job.queue
+    t.directory
+  |> List.filter_map (fun (entry : Directory.entry) ->
+         List.find_opt
+           (fun c -> c.name = entry.Directory.info.Directory.resource_name)
+           t.candidates)
+
+let plan t ~job = List.map (fun c -> c.resource) (plan_candidates t ~job)
+
+let submit t ~(identity : Grid_gsi.Identity.t) ~rsl =
+  match Grid_rsl.Job.of_string rsl with
+  | Error e -> Error (All_failed [ { site = "(parse)"; error = Grid_rsl.Job.error_to_string e } ])
+  | Ok job ->
+    let authorized_by_precheck =
+      match t.precheck with
+      | None -> true
+      | Some check ->
+        check
+          (Grid_policy.Types.start_request
+             ~subject:(Grid_gsi.Identity.effective_subject identity)
+             ~job:(Grid_rsl.Job.clause job))
+    in
+    if not authorized_by_precheck then
+      Error
+        (All_failed
+           [ { site = "(broker pre-check)";
+               error = "request is outside the community policy; not submitted" } ])
+    else begin
+      match plan_candidates t ~job with
+      | [] -> Error No_candidates
+      | candidates ->
+        let rec try_each failures = function
+          | [] -> Error (All_failed (List.rev failures))
+          | c :: rest -> begin
+            let client = Grid_gram.Client.create ~identity ~resource:c.resource in
+            match Grid_gram.Client.submit_sync client ~rsl with
+            | Ok reply -> Ok (c.name, reply)
+            | Error e ->
+              try_each
+                ({ site = c.name;
+                   error = Grid_gram.Protocol.submit_error_to_string e }
+                :: failures)
+                rest
+          end
+        in
+        try_each [] candidates
+    end

@@ -1,0 +1,34 @@
+(** Resource broker: discovery-driven site selection with optional
+    VO-policy pre-check and fall-through retries. *)
+
+type t
+
+type failure = {
+  site : string;
+  error : string;
+}
+
+type error =
+  | No_candidates
+  | All_failed of failure list
+
+val error_to_string : error -> string
+
+val create :
+  ?precheck:(Grid_policy.Types.request -> bool) ->
+  directory:Directory.t ->
+  Grid_gram.Resource.t list ->
+  t
+(** [precheck] is advisory (the resource PEPs stay authoritative): it
+    saves doomed submissions when the VO policy already denies. *)
+
+val plan : t -> job:Grid_rsl.Job.t -> Grid_gram.Resource.t list
+(** Candidate resources for a job, best (most free cpus) first, from
+    fresh directory entries only. *)
+
+val submit :
+  t ->
+  identity:Grid_gsi.Identity.t ->
+  rsl:string ->
+  (string * Grid_gram.Protocol.submit_reply, error) result
+(** Try candidates in order; returns the winning site name and reply. *)

@@ -1,0 +1,1 @@
+lib/policy/combine.ml: Eval Fmt List Printf Types

@@ -1,0 +1,1 @@
+lib/policy/eval.ml: Fmt Grid_gsi Grid_rsl List Printf String Types

@@ -1,0 +1,1 @@
+lib/policy/eval.mli: Fmt Grid_gsi Types

@@ -1,0 +1,1 @@
+lib/policy/figure3.ml: Lazy Parse

@@ -1,0 +1,1 @@
+lib/policy/lint.ml: Eval Float Grid_gsi Grid_rsl List Option Printf Types

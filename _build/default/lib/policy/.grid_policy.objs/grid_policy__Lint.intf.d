@@ -1,0 +1,1 @@
+lib/policy/lint.mli: Types

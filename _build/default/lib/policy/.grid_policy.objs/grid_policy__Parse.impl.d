@@ -1,0 +1,1 @@
+lib/policy/parse.ml: Grid_gsi Grid_rsl Grid_util List Printf String Types

@@ -1,0 +1,1 @@
+lib/policy/query.ml: Fmt Grid_gsi Grid_rsl Grid_util List Types

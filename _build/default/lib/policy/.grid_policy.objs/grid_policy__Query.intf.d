@@ -1,0 +1,1 @@
+lib/policy/query.mli: Fmt Grid_gsi Types

@@ -1,0 +1,1 @@
+lib/policy/types.ml: Fmt Grid_gsi Grid_rsl List Printf String

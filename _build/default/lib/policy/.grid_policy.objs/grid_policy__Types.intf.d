@@ -1,0 +1,1 @@
+lib/policy/types.mli: Fmt Grid_gsi Grid_rsl

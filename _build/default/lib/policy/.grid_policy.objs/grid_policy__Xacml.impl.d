@@ -1,0 +1,1 @@
+lib/policy/xacml.ml: Grid_gsi Grid_rsl List Option Printf Types Xml_lite

@@ -1,0 +1,1 @@
+lib/policy/xacml.mli: Types Xml_lite

@@ -1,0 +1,1 @@
+lib/policy/xml_lite.ml: Buffer Grid_util List Printf String

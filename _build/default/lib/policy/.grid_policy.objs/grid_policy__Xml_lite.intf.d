@@ -1,0 +1,1 @@
+lib/policy/xml_lite.mli:

@@ -1,0 +1,49 @@
+(* Multi-source policy combination (requirement 1 of Section 2).
+
+   The resource provider outsources part of its policy administration to
+   the VO: the enforcement point must combine policies from both sources,
+   and an action proceeds only if every source authorizes it. A source is a
+   named policy; the combined decision records which source denied, so GRAM
+   can return a meaningful authorization error. *)
+
+type source = {
+  name : string; (* e.g. "resource-owner", "fusion-vo" *)
+  policy : Types.t;
+}
+
+type combined_decision =
+  | Permit
+  | Deny of { source : string; reason : Eval.reason }
+
+let source ~name policy = { name; policy }
+
+let decision_to_string = function
+  | Permit -> "PERMIT"
+  | Deny { source; reason } ->
+    Printf.sprintf "DENY by %s: %s" source (Eval.reason_to_string reason)
+
+let pp_decision ppf d = Fmt.string ppf (decision_to_string d)
+
+let is_permit = function Permit -> true | Deny _ -> false
+
+(* Conjunctive combination: every source must permit. Sources are checked
+   in order and the first denial is reported. *)
+let evaluate (sources : source list) (request : Types.request) : combined_decision =
+  let rec go = function
+    | [] -> Permit
+    | s :: rest -> begin
+      match Eval.evaluate s.policy request with
+      | Eval.Permit -> go rest
+      | Eval.Deny reason -> Deny { source = s.name; reason }
+    end
+  in
+  if sources = [] then
+    (* No policy sources configured: fail closed, consistent with the
+       language's default-deny stance. *)
+    Deny { source = "(none)"; reason = Eval.No_applicable_grant }
+  else go sources
+
+(* All denials, not just the first: used by the CLI's explain mode. *)
+let evaluate_all (sources : source list) (request : Types.request) :
+    (string * Eval.decision) list =
+  List.map (fun s -> (s.name, Eval.evaluate s.policy request)) sources

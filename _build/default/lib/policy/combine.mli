@@ -1,0 +1,24 @@
+(** Conjunctive combination of policies from multiple sources
+    (resource owner AND virtual organization). *)
+
+type source = {
+  name : string;
+  policy : Types.t;
+}
+
+type combined_decision =
+  | Permit
+  | Deny of { source : string; reason : Eval.reason }
+
+val source : name:string -> Types.t -> source
+
+val decision_to_string : combined_decision -> string
+val pp_decision : combined_decision Fmt.t
+val is_permit : combined_decision -> bool
+
+val evaluate : source list -> Types.request -> combined_decision
+(** Permit iff every source permits; the first denial is reported. An empty
+    source list fails closed. *)
+
+val evaluate_all : source list -> Types.request -> (string * Eval.decision) list
+(** Per-source decisions, for explanation output. *)

@@ -1,0 +1,50 @@
+(** Policy evaluation: the decision procedure behind every PEP.
+
+    Default-deny. Requirement statements act as filters (violating one
+    denies the request outright); grant statements permit a request when
+    one of their clauses is fully satisfied by the request's attribute
+    view. See the implementation header for the exact constraint
+    semantics. *)
+
+type reason =
+  | No_applicable_grant
+  | No_satisfied_clause of { considered : int }
+  | Requirement_violated of {
+      subject_pattern : Grid_gsi.Dn.t;
+      constr : Types.constr;
+    }
+
+type decision =
+  | Permit
+  | Deny of reason
+
+val reason_to_string : reason -> string
+val decision_to_string : decision -> string
+val pp_decision : decision Fmt.t
+val is_permit : decision -> bool
+
+(** The request's attribute view: attribute name to carried values. *)
+module View : sig
+  type t = (string * string list) list
+
+  val find : t -> string -> string list option
+  val of_request : Types.request -> t
+end
+
+val constr_satisfied : subject:Grid_gsi.Dn.t -> View.t -> Types.constr -> bool
+val clause_satisfied : subject:Grid_gsi.Dn.t -> View.t -> Types.clause -> bool
+
+val evaluate : Types.t -> Types.request -> decision
+
+val validate : Types.t -> (unit, string) result
+(** Static checks: NULL not mixed with other values; numeric comparisons
+    carry exactly one numeric bound. *)
+
+type explanation = {
+  decision : decision;
+  requirements_checked : int;
+  grants_considered : int;
+  matched_clause : Types.clause option;
+}
+
+val explain : Types.t -> Types.request -> explanation

@@ -1,0 +1,33 @@
+(* The paper's Figure 3 policy, verbatim semantics.
+
+   Three statements:
+     1. every mcs.anl.gov user must submit start requests with a jobtag;
+     2. Bo Liu may start test1 or test2 from /sandbox/test with specific
+        jobtags and fewer than 4 processors;
+     3. Kate Keahey may start TRANSP from /sandbox/test under jobtag NFC,
+        and may cancel any job tagged NFC.
+
+   (The published figure's third DN misses a '/' before "OU" — an obvious
+   typesetting fault; we restore it so all three statements name the same
+   organization, as the narrative in Section 5.1 assumes.) *)
+
+let organization = "/O=Grid/O=Globus/OU=mcs.anl.gov"
+let bo_liu = organization ^ "/CN=Bo Liu"
+let kate_keahey = organization ^ "/CN=Kate Keahey"
+
+let text =
+  {|# Figure 3: Simple VO-wide policy for job management
+&/O=Grid/O=Globus/OU=mcs.anl.gov: (action = start)(jobtag != NULL)
+
+/O=Grid/O=Globus/OU=mcs.anl.gov/CN=Bo Liu:
+  &(action = start)(executable = test1)(directory = /sandbox/test)(jobtag = ADS)(count < 4)
+  &(action = start)(executable = test2)(directory = /sandbox/test)(jobtag = NFC)(count < 4)
+
+/O=Grid/O=Globus/OU=mcs.anl.gov/CN=Kate Keahey:
+  &(action = start)(executable = TRANSP)(directory = /sandbox/test)(jobtag = NFC)
+  &(action = cancel)(jobtag = NFC)
+|}
+
+let policy = lazy (Parse.parse text)
+
+let get () = Lazy.force policy

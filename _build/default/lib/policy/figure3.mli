@@ -1,0 +1,13 @@
+(** The paper's Figure 3 example policy, as text and parsed. *)
+
+val organization : string
+(** "/O=Grid/O=Globus/OU=mcs.anl.gov" *)
+
+val bo_liu : string
+val kate_keahey : string
+
+val text : string
+(** The policy in concrete syntax. *)
+
+val get : unit -> Types.t
+(** The parsed policy (parsed once, memoized). *)

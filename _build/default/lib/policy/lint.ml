@@ -1,0 +1,184 @@
+(* Policy lint: static diagnosis of suspicious policy.
+
+   Section 6.3 reports that administrators found the RSL-based syntax
+   error-prone. Beyond syntax, the silent failure mode of a default-deny
+   language is policy that parses but never fires: contradictory
+   conjunctions, duplicate clauses, statements shadowed by earlier ones.
+   The linter flags those before deployment; gridctl exposes it. *)
+
+type severity = Warning | Error_
+
+type finding = {
+  severity : severity;
+  statement_index : int; (* 0-based position in the policy *)
+  message : string;
+}
+
+let severity_to_string = function Warning -> "warning" | Error_ -> "error"
+
+let finding_to_string f =
+  Printf.sprintf "%s: statement %d: %s" (severity_to_string f.severity)
+    (f.statement_index + 1) f.message
+
+(* A conjunction is unsatisfiable when one attribute is pinned to
+   disjoint equality sets, required both present and absent, or boxed
+   into an empty numeric interval. This is a conservative check: it only
+   reports contradictions it can prove. *)
+let clause_unsatisfiable (clause : Types.clause) : string option =
+  let by_attribute =
+    List.fold_left
+      (fun acc (c : Types.constr) ->
+        let existing = Option.value (List.assoc_opt c.Types.attribute acc) ~default:[] in
+        (c.Types.attribute, existing @ [ c ]) :: List.remove_assoc c.Types.attribute acc)
+      [] clause
+  in
+  List.find_map
+    (fun (attribute, constraints) ->
+      (* Equality sets must intersect pairwise. *)
+      let eq_sets =
+        List.filter_map
+          (fun (c : Types.constr) ->
+            if c.Types.op = Grid_rsl.Ast.Eq && not (List.mem Types.Null c.Types.values)
+            then Some c.Types.values
+            else None)
+          constraints
+      in
+      let eq_conflict =
+        match eq_sets with
+        | first :: rest ->
+          let inter =
+            List.fold_left
+              (fun acc set ->
+                List.filter (fun v -> List.exists (Types.cvalue_equal v) set) acc)
+              first rest
+          in
+          if inter = [] && rest <> [] then
+            Some (Printf.sprintf "(%s): equality constraints have no common value" attribute)
+          else None
+        | [] -> None
+      in
+      let requires_absent =
+        List.exists
+          (fun (c : Types.constr) ->
+            c.Types.op = Grid_rsl.Ast.Eq && c.Types.values = [ Types.Null ])
+          constraints
+      in
+      let requires_present =
+        List.exists
+          (fun (c : Types.constr) ->
+            (c.Types.op = Grid_rsl.Ast.Neq && c.Types.values = [ Types.Null ])
+            || (c.Types.op <> Grid_rsl.Ast.Neq && not (List.mem Types.Null c.Types.values)))
+          constraints
+      in
+      let presence_conflict =
+        if requires_absent && requires_present then
+          Some (Printf.sprintf "(%s): required both present and absent" attribute)
+        else None
+      in
+      (* Numeric interval: lower bound above upper bound. *)
+      let bound op =
+        List.filter_map
+          (fun (c : Types.constr) ->
+            if c.Types.op <> op then None
+            else
+              match c.Types.values with
+              | [ Types.Str s ] -> float_of_string_opt s
+              | _ -> None)
+          constraints
+      in
+      let uppers = bound Grid_rsl.Ast.Lt @ bound Grid_rsl.Ast.Le in
+      let lowers = bound Grid_rsl.Ast.Gt @ bound Grid_rsl.Ast.Ge in
+      let strict_upper = bound Grid_rsl.Ast.Lt <> [] in
+      let strict_lower = bound Grid_rsl.Ast.Gt <> [] in
+      let numeric_conflict =
+        match (lowers, uppers) with
+        | l :: _ as lows, (u :: _ as ups) ->
+          ignore l;
+          ignore u;
+          let lo = List.fold_left Float.max neg_infinity lows in
+          let hi = List.fold_left Float.min infinity ups in
+          if lo > hi || (lo = hi && (strict_upper || strict_lower)) then
+            Some (Printf.sprintf "(%s): empty numeric interval" attribute)
+          else None
+        | _ -> None
+      in
+      match (eq_conflict, presence_conflict, numeric_conflict) with
+      | Some m, _, _ | _, Some m, _ | _, _, Some m -> Some m
+      | None, None, None -> None)
+    by_attribute
+
+(* Clause A subsumes clause B when every constraint of A appears in B:
+   any request satisfying B satisfies A, so B never adds new permits. *)
+let clause_subsumes (a : Types.clause) (b : Types.clause) =
+  List.for_all
+    (fun (ca : Types.constr) ->
+      List.exists
+        (fun (cb : Types.constr) ->
+          ca.Types.attribute = cb.Types.attribute && ca.Types.op = cb.Types.op
+          && List.length ca.Types.values = List.length cb.Types.values
+          && List.for_all2 Types.cvalue_equal ca.Types.values cb.Types.values)
+        b)
+    a
+
+let lint (policy : Types.t) : finding list =
+  let findings = ref [] in
+  let add severity statement_index message =
+    findings := { severity; statement_index; message } :: !findings
+  in
+  List.iteri
+    (fun i (st : Types.statement) ->
+      (* Unsatisfiable clauses. *)
+      List.iteri
+        (fun ci clause ->
+          match clause_unsatisfiable clause with
+          | Some why ->
+            add Error_ i
+              (Printf.sprintf "clause %d can never be satisfied %s" (ci + 1) why)
+          | None -> ())
+        st.Types.clauses;
+      (* Duplicate / subsumed clauses within a statement. *)
+      List.iteri
+        (fun ci clause ->
+          List.iteri
+            (fun cj other ->
+              if cj < ci && clause_subsumes other clause then
+                add Warning i
+                  (Printf.sprintf "clause %d is subsumed by clause %d (never adds permits)"
+                     (ci + 1) (cj + 1)))
+            st.Types.clauses)
+        st.Types.clauses;
+      (* Grants with no action constraint fire for every action. *)
+      if st.Types.kind = Types.Grant then
+        List.iteri
+          (fun ci clause ->
+            if
+              not
+                (List.exists (fun (c : Types.constr) -> c.Types.attribute = "action") clause)
+            then
+              add Warning i
+                (Printf.sprintf "clause %d has no action constraint: it permits every action"
+                   (ci + 1)))
+          st.Types.clauses;
+      (* Statement-level duplicates: identical subject + kind with every
+         clause subsumed by an earlier statement. *)
+      List.iteri
+        (fun j (other : Types.statement) ->
+          if
+            j < i && other.Types.kind = st.Types.kind
+            && Grid_gsi.Dn.equal other.Types.subject_pattern st.Types.subject_pattern
+            && List.for_all
+                 (fun clause ->
+                   List.exists (fun c -> clause_subsumes c clause) other.Types.clauses)
+                 st.Types.clauses
+          then
+            add Warning i
+              (Printf.sprintf "every clause is already covered by statement %d" (j + 1)))
+        policy)
+    policy;
+  (* Validation findings surface as errors too. *)
+  (match Eval.validate policy with
+  | Ok () -> ()
+  | Error m -> add Error_ 0 m);
+  List.rev !findings
+
+let has_errors findings = List.exists (fun f -> f.severity = Error_) findings

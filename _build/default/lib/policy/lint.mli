@@ -1,0 +1,24 @@
+(** Policy lint: conservative static diagnosis of policy that parses but
+    cannot work — unsatisfiable clauses, subsumed (dead) clauses,
+    all-action grants, duplicated statements. *)
+
+type severity = Warning | Error_
+
+type finding = {
+  severity : severity;
+  statement_index : int;
+  message : string;
+}
+
+val severity_to_string : severity -> string
+val finding_to_string : finding -> string
+
+val clause_unsatisfiable : Types.clause -> string option
+(** Proof of unsatisfiability, if one is found (conservative). *)
+
+val clause_subsumes : Types.clause -> Types.clause -> bool
+(** [clause_subsumes a b]: every constraint of [a] appears in [b]. *)
+
+val lint : Types.t -> finding list
+
+val has_errors : finding list -> bool

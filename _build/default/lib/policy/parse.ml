@@ -1,0 +1,162 @@
+(* Policy concrete-syntax parser (the Figure 3 notation).
+
+   A policy text is a sequence of statements. A statement starts on a line
+   whose content begins with a subject pattern — a DN, optionally preceded
+   by '&' to mark a requirement — followed by ':'. The clauses follow the
+   ':' and may continue on subsequent lines; each clause is introduced by
+   '&' and consists of parenthesized RSL-style constraints:
+
+     # all mcs.anl.gov users must tag their jobs
+     &/O=Grid/O=Globus/OU=mcs.anl.gov: &(action = start)(jobtag != NULL)
+
+     /O=Grid/O=Globus/OU=mcs.anl.gov/CN=Bo Liu:
+       &(action = start)(executable = test1)(directory = /sandbox/test)(jobtag = ADS)(count < 4)
+       &(action = start)(executable = test2)(directory = /sandbox/test)(jobtag = NFC)(count < 4)
+
+   For the requirement statement Figure 3 writes the clause without a
+   leading '&' ("(action = start)(jobtag != NULL)"); we accept both forms.
+   '#' starts a comment. *)
+
+exception Error of { line : int; message : string }
+
+let fail line fmt = Printf.ksprintf (fun message -> raise (Error { line; message })) fmt
+
+(* Recognize statement-header lines: "[&]/DN... :" with the colon outside
+   parentheses. Returns (kind, subject, remainder-after-colon). *)
+let split_header line =
+  let body, kind =
+    if Grid_util.Strings.starts_with ~prefix:"&/" line then
+      (String.sub line 1 (String.length line - 1), Types.Requirement)
+    else (line, Types.Grant)
+  in
+  if String.length body = 0 || body.[0] <> '/' then None
+  else
+    let depth = ref 0 in
+    let colon = ref None in
+    String.iteri
+      (fun i c ->
+        match c with
+        | '(' -> incr depth
+        | ')' -> decr depth
+        | ':' -> if !depth = 0 && !colon = None then colon := Some i
+        | _ -> ())
+      body;
+    match !colon with
+    | None -> None
+    | Some i ->
+      let subject = Grid_util.Strings.strip (String.sub body 0 i) in
+      let rest = String.sub body (i + 1) (String.length body - i - 1) in
+      Some (kind, subject, rest)
+
+let cvalue_of_string s =
+  if s = "NULL" then Types.Null
+  else if String.lowercase_ascii s = "self" then Types.Self
+  else Types.Str s
+
+(* Clause text is RSL relation syntax; reuse the RSL lexer/parser and then
+   reinterpret the special values. A clause may or may not start with '&'. *)
+let parse_clause_text line text =
+  let text = Grid_util.Strings.strip text in
+  let text = if Grid_util.Strings.starts_with ~prefix:"&" text then text else "&" ^ text in
+  match Grid_rsl.Parser.parse_result text with
+  | Error m -> fail line "bad clause syntax: %s" m
+  | Ok (Grid_rsl.Ast.Multi _) -> fail line "multirequests are not valid in policies"
+  | Ok (Grid_rsl.Ast.Single relations) ->
+    List.map
+      (fun (r : Grid_rsl.Ast.relation) ->
+        let values =
+          List.map
+            (function
+              | Grid_rsl.Ast.Literal s -> cvalue_of_string s
+              | Grid_rsl.Ast.Variable v ->
+                fail line "variables are not valid in policies: $(%s)" v
+              | Grid_rsl.Ast.Binding (n, _) ->
+                fail line "bindings are not valid in policies: (%s ...)" n)
+            r.values
+        in
+        { Types.attribute = r.attribute; op = r.op; values })
+      relations
+
+(* Split concatenated clauses "&(...)(...) &(...)" into individual clause
+   texts at top-level '&' boundaries. *)
+let split_clauses line text =
+  let n = String.length text in
+  let boundaries = ref [] in
+  let depth = ref 0 in
+  String.iteri
+    (fun i c ->
+      match c with
+      | '(' -> incr depth
+      | ')' -> decr depth
+      | '&' -> if !depth = 0 then boundaries := i :: !boundaries
+      | _ -> ())
+    text;
+  match List.rev !boundaries with
+  | [] ->
+    let t = Grid_util.Strings.strip text in
+    if t = "" then [] else [ t ]
+  | first :: _ as starts ->
+    let leading = Grid_util.Strings.strip (String.sub text 0 first) in
+    if leading <> "" then fail line "unexpected text before clause: %s" leading;
+    let rec cut = function
+      | [] -> []
+      | [ s ] -> [ String.sub text s (n - s) ]
+      | s :: (s' :: _ as rest) -> String.sub text s (s' - s) :: cut rest
+    in
+    List.map Grid_util.Strings.strip (cut starts)
+
+type partial = {
+  kind : Types.statement_kind;
+  subject : string;
+  header_line : int;
+  mutable clause_texts : (int * string) list; (* reverse order *)
+}
+
+let finish (p : partial) : Types.statement =
+  let subject_pattern =
+    try Grid_gsi.Dn.parse p.subject
+    with Grid_gsi.Dn.Parse_error m -> fail p.header_line "bad subject pattern: %s" m
+  in
+  let clauses =
+    List.rev p.clause_texts
+    |> List.concat_map (fun (line, text) ->
+           split_clauses line text |> List.map (fun t -> parse_clause_text line t))
+  in
+  if clauses = [] then fail p.header_line "statement for %s has no clauses" p.subject;
+  List.iter
+    (fun clause -> if clause = [] then fail p.header_line "empty clause for %s" p.subject)
+    clauses;
+  { Types.kind = p.kind; subject_pattern; clauses }
+
+let parse text : Types.t =
+  let lines = Grid_util.Strings.config_lines text in
+  let statements = ref [] in
+  let current = ref None in
+  let flush () =
+    match !current with
+    | None -> ()
+    | Some p ->
+      statements := finish p :: !statements;
+      current := None
+  in
+  List.iter
+    (fun (lineno, line) ->
+      match split_header line with
+      | Some (kind, subject, rest) ->
+        flush ();
+        let p = { kind; subject; header_line = lineno; clause_texts = [] } in
+        let rest = Grid_util.Strings.strip rest in
+        if rest <> "" then p.clause_texts <- [ (lineno, rest) ];
+        current := Some p
+      | None -> begin
+        match !current with
+        | None -> fail lineno "expected a statement header, found: %s" line
+        | Some p -> p.clause_texts <- (lineno, line) :: p.clause_texts
+      end)
+    lines;
+  flush ();
+  List.rev !statements
+
+let parse_result text =
+  try Ok (parse text)
+  with Error { line; message } -> Error (Printf.sprintf "line %d: %s" line message)

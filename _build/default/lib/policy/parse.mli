@@ -1,0 +1,8 @@
+(** Parser for the policy concrete syntax of the paper's Figure 3. *)
+
+exception Error of { line : int; message : string }
+
+val parse : string -> Types.t
+(** Raises {!Error} with a 1-based line number. *)
+
+val parse_result : string -> (Types.t, string) result

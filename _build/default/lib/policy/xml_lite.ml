@@ -1,0 +1,245 @@
+(* A minimal XML reader/writer.
+
+   Section 6.3 of the paper concludes that RSL-based policy syntax "is
+   not natural to [the policy administrator] community" and that
+   XML-based languages such as XACML are the candidates to replace it.
+   The {!Xacml} module provides exactly that alternative front end; this
+   module is the small XML substrate it parses with.
+
+   Supported subset: prolog, comments, elements with attributes, nested
+   elements, text content, self-closing tags, the five predefined
+   entities. No namespaces, CDATA, doctypes or processing instructions —
+   policies don't need them. *)
+
+type t = {
+  tag : string;
+  attrs : (string * string) list;
+  children : t list;
+  text : string; (* concatenated character data directly under this element *)
+}
+
+exception Parse_error of { pos : int; message : string }
+
+let fail pos fmt = Printf.ksprintf (fun message -> raise (Parse_error { pos; message })) fmt
+
+(* --- decoding -------------------------------------------------------- *)
+
+let decode_entities pos s =
+  let buf = Buffer.create (String.length s) in
+  let n = String.length s in
+  let rec go i =
+    if i >= n then Buffer.contents buf
+    else if s.[i] = '&' then begin
+      match String.index_from_opt s i ';' with
+      | None -> fail pos "unterminated entity"
+      | Some j ->
+        let name = String.sub s (i + 1) (j - i - 1) in
+        let c =
+          match name with
+          | "lt" -> "<"
+          | "gt" -> ">"
+          | "amp" -> "&"
+          | "quot" -> "\""
+          | "apos" -> "'"
+          | _ -> fail pos "unknown entity &%s;" name
+        in
+        Buffer.add_string buf c;
+        go (j + 1)
+    end
+    else begin
+      Buffer.add_char buf s.[i];
+      go (i + 1)
+    end
+  in
+  go 0
+
+let encode_entities s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | '&' -> Buffer.add_string buf "&amp;"
+      | '"' -> Buffer.add_string buf "&quot;"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* --- parsing ---------------------------------------------------------- *)
+
+type cursor = { input : string; mutable pos : int }
+
+let peek_char c = if c.pos < String.length c.input then Some c.input.[c.pos] else None
+
+let skip_ws c =
+  while
+    c.pos < String.length c.input && Grid_util.Strings.is_space c.input.[c.pos]
+  do
+    c.pos <- c.pos + 1
+  done
+
+let expect_string c s =
+  let n = String.length s in
+  if c.pos + n <= String.length c.input && String.sub c.input c.pos n = s then
+    c.pos <- c.pos + n
+  else fail c.pos "expected %S" s
+
+let looking_at c s =
+  let n = String.length s in
+  c.pos + n <= String.length c.input && String.sub c.input c.pos n = s
+
+let is_name_char ch =
+  (ch >= 'a' && ch <= 'z') || (ch >= 'A' && ch <= 'Z') || (ch >= '0' && ch <= '9')
+  || ch = '-' || ch = '_' || ch = '.' || ch = ':'
+
+let read_name c =
+  let start = c.pos in
+  while c.pos < String.length c.input && is_name_char c.input.[c.pos] do
+    c.pos <- c.pos + 1
+  done;
+  if c.pos = start then fail c.pos "expected a name";
+  String.sub c.input start (c.pos - start)
+
+let read_attr_value c =
+  match peek_char c with
+  | Some ('"' as q) | Some ('\'' as q) ->
+    c.pos <- c.pos + 1;
+    let start = c.pos in
+    (match String.index_from_opt c.input c.pos q with
+    | None -> fail start "unterminated attribute value"
+    | Some close ->
+      let raw = String.sub c.input start (close - start) in
+      c.pos <- close + 1;
+      decode_entities start raw)
+  | _ -> fail c.pos "expected a quoted attribute value"
+
+let rec skip_misc c =
+  skip_ws c;
+  if looking_at c "<?" then begin
+    (match Grid_util.Str_search.find c.input ~from:c.pos "?>" with
+    | Some j -> c.pos <- j + 2
+    | None -> fail c.pos "unterminated prolog");
+    skip_misc c
+  end
+  else if looking_at c "<!--" then begin
+    (match Grid_util.Str_search.find c.input ~from:c.pos "-->" with
+    | Some j -> c.pos <- j + 3
+    | None -> fail c.pos "unterminated comment");
+    skip_misc c
+  end
+
+and parse_element c =
+  expect_string c "<";
+  let tag = read_name c in
+  let rec attrs acc =
+    skip_ws c;
+    match peek_char c with
+    | Some '/' | Some '>' -> List.rev acc
+    | Some ch when is_name_char ch ->
+      let name = read_name c in
+      skip_ws c;
+      expect_string c "=";
+      skip_ws c;
+      let value = read_attr_value c in
+      attrs ((name, value) :: acc)
+    | _ -> fail c.pos "malformed attribute list in <%s>" tag
+  in
+  let attrs = attrs [] in
+  skip_ws c;
+  if looking_at c "/>" then begin
+    c.pos <- c.pos + 2;
+    { tag; attrs; children = []; text = "" }
+  end
+  else begin
+    expect_string c ">";
+    let children = ref [] in
+    let text = Buffer.create 16 in
+    let rec content () =
+      if looking_at c "<!--" then begin
+        (match Grid_util.Str_search.find c.input ~from:c.pos "-->" with
+        | Some j -> c.pos <- j + 3
+        | None -> fail c.pos "unterminated comment");
+        content ()
+      end
+      else if looking_at c "</" then begin
+        c.pos <- c.pos + 2;
+        let close = read_name c in
+        if close <> tag then fail c.pos "mismatched close: <%s> ended by </%s>" tag close;
+        skip_ws c;
+        expect_string c ">"
+      end
+      else if looking_at c "<" then begin
+        children := parse_element c :: !children;
+        content ()
+      end
+      else begin
+        let start = c.pos in
+        (match String.index_from_opt c.input c.pos '<' with
+        | None -> fail start "unterminated element <%s>" tag
+        | Some j ->
+          Buffer.add_string text (decode_entities start (String.sub c.input start (j - start)));
+          c.pos <- j);
+        content ()
+      end
+    in
+    content ();
+    { tag;
+      attrs;
+      children = List.rev !children;
+      text = Grid_util.Strings.strip (Buffer.contents text) }
+  end
+
+and parse input =
+  let c = { input; pos = 0 } in
+  skip_misc c;
+  if not (looking_at c "<") then fail c.pos "expected an element";
+  let root = parse_element c in
+  skip_misc c;
+  if c.pos <> String.length c.input then fail c.pos "trailing content after root element";
+  root
+
+
+(* --- accessors -------------------------------------------------------- *)
+
+let attr t name = List.assoc_opt name t.attrs
+
+let children_named t tag = List.filter (fun c -> c.tag = tag) t.children
+
+let child_named t tag = List.find_opt (fun c -> c.tag = tag) t.children
+
+(* --- printing --------------------------------------------------------- *)
+
+let rec print_into buf indent t =
+  let pad = String.make indent ' ' in
+  Buffer.add_string buf pad;
+  Buffer.add_char buf '<';
+  Buffer.add_string buf t.tag;
+  List.iter
+    (fun (k, v) ->
+      Buffer.add_string buf (Printf.sprintf " %s=\"%s\"" k (encode_entities v)))
+    t.attrs;
+  match (t.children, t.text) with
+  | [], "" -> Buffer.add_string buf "/>\n"
+  | [], text ->
+    Buffer.add_string buf ">";
+    Buffer.add_string buf (encode_entities text);
+    Buffer.add_string buf (Printf.sprintf "</%s>\n" t.tag)
+  | children, _ ->
+    Buffer.add_string buf ">\n";
+    if t.text <> "" then begin
+      Buffer.add_string buf (String.make (indent + 2) ' ');
+      Buffer.add_string buf (encode_entities t.text);
+      Buffer.add_char buf '\n'
+    end;
+    List.iter (print_into buf (indent + 2)) children;
+    Buffer.add_string buf pad;
+    Buffer.add_string buf (Printf.sprintf "</%s>\n" t.tag)
+
+let to_string t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "<?xml version=\"1.0\"?>\n";
+  print_into buf 0 t;
+  Buffer.contents buf
+
+let element ?(attrs = []) ?(text = "") tag children = { tag; attrs; children; text }

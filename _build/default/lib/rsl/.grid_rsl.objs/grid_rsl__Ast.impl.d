@@ -1,0 +1,1 @@
+lib/rsl/ast.ml: Fmt Grid_util List Printf String

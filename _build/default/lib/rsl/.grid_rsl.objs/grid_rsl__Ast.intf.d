@@ -1,0 +1,1 @@
+lib/rsl/ast.mli: Fmt

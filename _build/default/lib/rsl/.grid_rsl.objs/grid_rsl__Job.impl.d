@@ -1,0 +1,1 @@
+lib/rsl/job.ml: Ast Fmt List Parser Printf

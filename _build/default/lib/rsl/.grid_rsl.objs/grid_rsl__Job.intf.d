@@ -1,0 +1,1 @@
+lib/rsl/job.mli: Ast Fmt

@@ -1,0 +1,1 @@
+lib/rsl/lexer.ml: Ast Buffer Grid_util List Printf String

@@ -1,0 +1,1 @@
+lib/rsl/lexer.mli: Ast

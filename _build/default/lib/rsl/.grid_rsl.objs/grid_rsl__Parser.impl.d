@@ -1,0 +1,1 @@
+lib/rsl/parser.ml: Ast Lexer List Printf

@@ -1,0 +1,1 @@
+lib/rsl/parser.mli: Ast

@@ -1,0 +1,48 @@
+(** RSL abstract syntax: conjunctions of attribute relations. *)
+
+type op = Eq | Neq | Lt | Gt | Le | Ge
+
+type value =
+  | Literal of string
+  | Variable of string  (** an RSL substitution [$(NAME)] *)
+  | Binding of string * string
+      (** a parenthesized [(NAME value)] pair, used by
+          [rsl_substitution] *)
+
+type relation = {
+  attribute : string;  (** normalized to lowercase *)
+  op : op;
+  values : value list; (** non-empty *)
+}
+
+type clause = relation list
+(** A conjunction of relations: one job request. *)
+
+type t =
+  | Single of clause
+  | Multi of clause list  (** the ["+"] multirequest form *)
+
+val op_to_string : op -> string
+val op_of_string : string -> op option
+
+val normalize_attribute : string -> string
+
+val relation : ?op:op -> string -> value list -> relation
+(** Raises [Invalid_argument] on an empty value list. *)
+
+val literal_relation : ?op:op -> string -> string list -> relation
+
+val needs_quoting : string -> bool
+(** True when a literal must be double-quoted to survive re-parsing. *)
+
+val value_to_string : value -> string
+val relation_to_string : relation -> string
+val clause_to_string : clause -> string
+val to_string : t -> string
+val pp : t Fmt.t
+val pp_clause : clause Fmt.t
+
+val value_equal : value -> value -> bool
+val relation_equal : relation -> relation -> bool
+val clause_equal : clause -> clause -> bool
+val equal : t -> t -> bool

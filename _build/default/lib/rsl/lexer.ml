@@ -1,0 +1,91 @@
+(* RSL lexer.
+
+   Token stream over the concrete syntax. Unquoted atoms stop at
+   metacharacters; quoted strings use double quotes with '""' as the
+   escaped quote (GT2 RSL convention); variables are $(NAME). *)
+
+type token =
+  | Amp
+  | Plus
+  | Lparen
+  | Rparen
+  | Op of Ast.op
+  | Atom of string
+  | Quoted of string
+  | Var of string
+
+exception Error of { pos : int; message : string }
+
+let fail pos message = raise (Error { pos; message })
+
+let token_to_string = function
+  | Amp -> "&"
+  | Plus -> "+"
+  | Lparen -> "("
+  | Rparen -> ")"
+  | Op o -> Ast.op_to_string o
+  | Atom s -> s
+  | Quoted s -> Printf.sprintf "%S" s
+  | Var v -> Printf.sprintf "$(%s)" v
+
+let is_atom_char c =
+  not
+    (Grid_util.Strings.is_space c || c = '(' || c = ')' || c = '&' || c = '+' || c = '='
+    || c = '!' || c = '<' || c = '>' || c = '"' || c = '$')
+
+let tokenize (input : string) : token list =
+  let n = String.length input in
+  let rec go i acc =
+    if i >= n then List.rev acc
+    else
+      let c = input.[i] in
+      if Grid_util.Strings.is_space c then go (i + 1) acc
+      else
+        match c with
+        | '&' -> go (i + 1) (Amp :: acc)
+        | '+' -> go (i + 1) (Plus :: acc)
+        | '(' -> go (i + 1) (Lparen :: acc)
+        | ')' -> go (i + 1) (Rparen :: acc)
+        | '=' -> go (i + 1) (Op Ast.Eq :: acc)
+        | '!' ->
+          if i + 1 < n && input.[i + 1] = '=' then go (i + 2) (Op Ast.Neq :: acc)
+          else fail i "'!' must be followed by '='"
+        | '<' ->
+          if i + 1 < n && input.[i + 1] = '=' then go (i + 2) (Op Ast.Le :: acc)
+          else go (i + 1) (Op Ast.Lt :: acc)
+        | '>' ->
+          if i + 1 < n && input.[i + 1] = '=' then go (i + 2) (Op Ast.Ge :: acc)
+          else go (i + 1) (Op Ast.Gt :: acc)
+        | '"' ->
+          let buf = Buffer.create 16 in
+          let rec quoted j =
+            if j >= n then fail i "unterminated quoted string"
+            else if input.[j] = '"' then
+              if j + 1 < n && input.[j + 1] = '"' then begin
+                Buffer.add_char buf '"';
+                quoted (j + 2)
+              end
+              else j + 1
+            else begin
+              Buffer.add_char buf input.[j];
+              quoted (j + 1)
+            end
+          in
+          let next = quoted (i + 1) in
+          go next (Quoted (Buffer.contents buf) :: acc)
+        | '$' ->
+          if i + 1 < n && input.[i + 1] = '(' then begin
+            match String.index_from_opt input (i + 2) ')' with
+            | None -> fail i "unterminated variable reference"
+            | Some close ->
+              let name = String.sub input (i + 2) (close - i - 2) in
+              if name = "" then fail i "empty variable reference";
+              go (close + 1) (Var name :: acc)
+          end
+          else fail i "'$' must be followed by '('"
+        | _ ->
+          let j = ref i in
+          while !j < n && is_atom_char input.[!j] do incr j done;
+          go !j (Atom (String.sub input i (!j - i)) :: acc)
+  in
+  go 0 []

@@ -1,0 +1,18 @@
+(** RSL lexer. *)
+
+type token =
+  | Amp
+  | Plus
+  | Lparen
+  | Rparen
+  | Op of Ast.op
+  | Atom of string
+  | Quoted of string
+  | Var of string
+
+exception Error of { pos : int; message : string }
+
+val token_to_string : token -> string
+
+val tokenize : string -> token list
+(** Raises {!Error} with the byte position of a lexical fault. *)

@@ -1,0 +1,141 @@
+(* RSL recursive-descent parser.
+
+   Grammar (after lexing):
+
+     spec      ::= '&' relation+            conjunction request
+                 | '+' ('(' spec ')')+      multirequest of conjunctions
+                 | relation+                bare relation list (implicit '&')
+     relation  ::= '(' ATTR op value+ ')'
+     value     ::= ATOM | QUOTED | VAR
+
+   A multirequest's sub-specs must themselves be conjunctions (GT2 does not
+   nest multirequests). *)
+
+exception Error of string
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Error m)) fmt
+
+type stream = { mutable tokens : Lexer.token list }
+
+let peek s = match s.tokens with [] -> None | t :: _ -> Some t
+
+let advance s =
+  match s.tokens with
+  | [] -> fail "unexpected end of input"
+  | t :: rest ->
+    s.tokens <- rest;
+    t
+
+let expect s tok =
+  let got = advance s in
+  if got <> tok then
+    fail "expected '%s' but found '%s'" (Lexer.token_to_string tok) (Lexer.token_to_string got)
+
+(* A parenthesized (NAME value) pair in value position: GT2's
+   rsl_substitution binding syntax. *)
+let parse_binding s =
+  expect s Lexer.Lparen;
+  let name =
+    match advance s with
+    | Lexer.Atom a -> a
+    | t -> fail "expected a binding name, found '%s'" (Lexer.token_to_string t)
+  in
+  let value =
+    match advance s with
+    | Lexer.Atom a -> a
+    | Lexer.Quoted q -> q
+    | t -> fail "expected a binding value, found '%s'" (Lexer.token_to_string t)
+  in
+  expect s Lexer.Rparen;
+  Ast.Binding (name, value)
+
+let parse_values s =
+  let rec go acc =
+    match peek s with
+    | Some (Lexer.Atom a) ->
+      ignore (advance s);
+      go (Ast.Literal a :: acc)
+    | Some (Lexer.Quoted q) ->
+      ignore (advance s);
+      go (Ast.Literal q :: acc)
+    | Some (Lexer.Var v) ->
+      ignore (advance s);
+      go (Ast.Variable v :: acc)
+    | Some Lexer.Lparen ->
+      (* Inside a relation's value list a '(' can only open a
+         (name value) binding pair. *)
+      go (parse_binding s :: acc)
+    | _ -> List.rev acc
+  in
+  let values = go [] in
+  if values = [] then fail "relation has no value";
+  values
+
+let parse_relation s =
+  expect s Lexer.Lparen;
+  let attribute =
+    match advance s with
+    | Lexer.Atom a -> Ast.normalize_attribute a
+    | t -> fail "expected attribute name, found '%s'" (Lexer.token_to_string t)
+  in
+  let op =
+    match advance s with
+    | Lexer.Op o -> o
+    | t -> fail "expected relational operator, found '%s'" (Lexer.token_to_string t)
+  in
+  let values = parse_values s in
+  expect s Lexer.Rparen;
+  { Ast.attribute; op; values }
+
+let parse_relations s =
+  let rec go acc =
+    match peek s with
+    | Some Lexer.Lparen -> go (parse_relation s :: acc)
+    | _ -> List.rev acc
+  in
+  let relations = go [] in
+  if relations = [] then fail "expected at least one relation";
+  relations
+
+let parse_clause s =
+  (match peek s with
+  | Some Lexer.Amp -> ignore (advance s)
+  | _ -> ());
+  parse_relations s
+
+let parse_spec s =
+  match peek s with
+  | Some Lexer.Plus ->
+    ignore (advance s);
+    let rec subrequests acc =
+      match peek s with
+      | Some Lexer.Lparen ->
+        ignore (advance s);
+        let clause = parse_clause s in
+        expect s Lexer.Rparen;
+        subrequests (clause :: acc)
+      | _ -> List.rev acc
+    in
+    let clauses = subrequests [] in
+    if clauses = [] then fail "empty multirequest";
+    Ast.Multi clauses
+  | _ -> Ast.Single (parse_clause s)
+
+let parse input =
+  let tokens =
+    try Lexer.tokenize input
+    with Lexer.Error { pos; message } -> fail "lexical error at %d: %s" pos message
+  in
+  let s = { tokens } in
+  let spec = parse_spec s in
+  (match peek s with
+  | None -> ()
+  | Some t -> fail "trailing input starting at '%s'" (Lexer.token_to_string t));
+  spec
+
+let parse_clause_exn input =
+  match parse input with
+  | Ast.Single clause -> clause
+  | Ast.Multi _ -> fail "expected a single request, found a multirequest"
+
+let parse_result input = try Ok (parse input) with Error m -> Error m

@@ -1,0 +1,11 @@
+(** RSL parser. *)
+
+exception Error of string
+
+val parse : string -> Ast.t
+(** Parse a full RSL specification. Raises {!Error}. *)
+
+val parse_clause_exn : string -> Ast.clause
+(** Parse a specification that must be a single conjunction. *)
+
+val parse_result : string -> (Ast.t, string) result

@@ -1,0 +1,14 @@
+(** Virtual time: simulated seconds since the start of a run. *)
+
+type time = float
+
+val zero : time
+val add : time -> time -> time
+val compare : time -> time -> int
+val ( <= ) : time -> time -> bool
+val pp : time Fmt.t
+
+val of_seconds : float -> time
+val to_seconds : time -> float
+val minutes : float -> time
+val hours : float -> time

@@ -1,0 +1,108 @@
+(* Discrete-event simulation engine.
+
+   A binary min-heap of (time, sequence, thunk) events. The sequence number
+   breaks ties so that events scheduled at equal times fire in scheduling
+   order — without it the heap would make same-time ordering arbitrary and
+   runs would not be reproducible. *)
+
+type event = { at : Clock.time; seq : int; run : unit -> unit }
+
+type t = {
+  mutable now : Clock.time;
+  mutable heap : event array;
+  mutable size : int;
+  mutable next_seq : int;
+  mutable executed : int;
+}
+
+let create () =
+  { now = Clock.zero;
+    heap = Array.make 64 { at = 0.0; seq = 0; run = ignore };
+    size = 0;
+    next_seq = 0;
+    executed = 0 }
+
+let now t = t.now
+let pending t = t.size
+let executed t = t.executed
+
+let earlier a b = a.at < b.at || (a.at = b.at && a.seq < b.seq)
+
+let grow t =
+  let cap = Array.length t.heap in
+  if t.size = cap then begin
+    let bigger = Array.make (2 * cap) t.heap.(0) in
+    Array.blit t.heap 0 bigger 0 cap;
+    t.heap <- bigger
+  end
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if earlier t.heap.(i) t.heap.(parent) then begin
+      let tmp = t.heap.(i) in
+      t.heap.(i) <- t.heap.(parent);
+      t.heap.(parent) <- tmp;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < t.size && earlier t.heap.(l) t.heap.(!smallest) then smallest := l;
+  if r < t.size && earlier t.heap.(r) t.heap.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    let tmp = t.heap.(i) in
+    t.heap.(i) <- t.heap.(!smallest);
+    t.heap.(!smallest) <- tmp;
+    sift_down t !smallest
+  end
+
+let schedule_at t at run =
+  if at < t.now then
+    invalid_arg
+      (Printf.sprintf "Engine.schedule_at: time %.3f is in the past (now %.3f)" at t.now);
+  grow t;
+  t.heap.(t.size) <- { at; seq = t.next_seq; run };
+  t.next_seq <- t.next_seq + 1;
+  t.size <- t.size + 1;
+  sift_up t (t.size - 1)
+
+let schedule_after t delay run = schedule_at t (Clock.add t.now delay) run
+
+let pop t =
+  if t.size = 0 then None
+  else begin
+    let top = t.heap.(0) in
+    t.size <- t.size - 1;
+    t.heap.(0) <- t.heap.(t.size);
+    sift_down t 0;
+    Some top
+  end
+
+let step t =
+  match pop t with
+  | None -> false
+  | Some ev ->
+    t.now <- ev.at;
+    t.executed <- t.executed + 1;
+    ev.run ();
+    true
+
+let run t =
+  while step t do () done
+
+let run_until t deadline =
+  let continue = ref true in
+  while !continue do
+    match if t.size > 0 && t.heap.(0).at <= deadline then pop t else None with
+    | None ->
+      (* Advance the clock to the deadline even if the queue drained. *)
+      if t.now < deadline then t.now <- deadline;
+      continue := false
+    | Some ev ->
+      t.now <- ev.at;
+      t.executed <- t.executed + 1;
+      ev.run ()
+  done

@@ -1,0 +1,35 @@
+(** Discrete-event simulation engine.
+
+    Deterministic: events scheduled for the same instant fire in the order
+    they were scheduled. All grid components (gatekeeper, job managers, the
+    local resource manager) run as event handlers over one engine. *)
+
+type t
+
+val create : unit -> t
+
+val now : t -> Clock.time
+(** Current virtual time. *)
+
+val pending : t -> int
+(** Number of events still queued. *)
+
+val executed : t -> int
+(** Number of events executed so far. *)
+
+val schedule_at : t -> Clock.time -> (unit -> unit) -> unit
+(** Schedule an event at an absolute time. Raises [Invalid_argument] if the
+    time is in the past. *)
+
+val schedule_after : t -> Clock.time -> (unit -> unit) -> unit
+(** Schedule an event after a relative delay. *)
+
+val step : t -> bool
+(** Execute the next event; [false] when the queue is empty. *)
+
+val run : t -> unit
+(** Execute events until the queue drains. *)
+
+val run_until : t -> Clock.time -> unit
+(** Execute events with timestamps [<= deadline], then set the clock to
+    [deadline]. *)

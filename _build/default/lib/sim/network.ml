@@ -1,0 +1,32 @@
+(* Network latency model.
+
+   Grid components exchange messages through [send], which delivers the
+   handler after a latency drawn from a simple model: a base one-way latency
+   plus uniform jitter, both configurable. A zero-latency model is available
+   for microbenchmarks where only CPU cost matters. *)
+
+type t = {
+  engine : Engine.t;
+  base_latency : Clock.time;
+  jitter : Clock.time;
+  rng : Grid_util.Rng.t;
+  mutable messages_sent : int;
+}
+
+let create ?(base_latency = 0.005) ?(jitter = 0.002) ?(seed = 7) engine =
+  { engine; base_latency; jitter; rng = Grid_util.Rng.create ~seed; messages_sent = 0 }
+
+let zero_latency engine =
+  { engine; base_latency = 0.0; jitter = 0.0; rng = Grid_util.Rng.create ~seed:0;
+    messages_sent = 0 }
+
+let latency t =
+  if t.jitter = 0.0 then t.base_latency
+  else t.base_latency +. Grid_util.Rng.float t.rng t.jitter
+
+let send t deliver =
+  t.messages_sent <- t.messages_sent + 1;
+  Engine.schedule_after t.engine (latency t) deliver
+
+let messages_sent t = t.messages_sent
+let engine t = t.engine

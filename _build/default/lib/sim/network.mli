@@ -1,0 +1,21 @@
+(** Network latency model over the simulation engine.
+
+    Message delivery incurs a base one-way latency plus uniform jitter,
+    making component interaction traces (Figure 1/2 reproductions) show
+    realistic orderings. *)
+
+type t
+
+val create : ?base_latency:Clock.time -> ?jitter:Clock.time -> ?seed:int -> Engine.t -> t
+(** Default: 5 ms base latency, up to 2 ms jitter. *)
+
+val zero_latency : Engine.t -> t
+(** A network that delivers instantly (still via the event queue): used by
+    microbenchmarks isolating CPU cost. *)
+
+val send : t -> (unit -> unit) -> unit
+(** Deliver a message: run the handler after a sampled latency. *)
+
+val messages_sent : t -> int
+
+val engine : t -> Engine.t

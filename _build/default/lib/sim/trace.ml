@@ -1,0 +1,31 @@
+(* Interaction traces.
+
+   The Figure 1/2 reproductions print "who sent what to whom when" arrows;
+   components record those arrows here. A trace is an ordered list of
+   events, each a timestamped (source, target, label) triple. *)
+
+type entry = {
+  at : Clock.time;
+  source : string;
+  target : string;
+  label : string;
+}
+
+type t = { mutable entries : entry list (* reverse order *) }
+
+let create () = { entries = [] }
+
+let record t ~at ~source ~target label =
+  t.entries <- { at; source; target; label } :: t.entries
+
+let entries t = List.rev t.entries
+
+let pp_entry ppf e =
+  Fmt.pf ppf "%8.3fs  %-14s -> %-14s  %s" e.at e.source e.target e.label
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>%a@]" (Fmt.list pp_entry) (entries t)
+
+let find t ~label = List.filter (fun e -> e.label = label) (entries t)
+
+let count t ~label = List.length (find t ~label)

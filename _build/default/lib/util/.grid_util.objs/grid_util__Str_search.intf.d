@@ -1,0 +1,1 @@
+lib/util/str_search.mli:

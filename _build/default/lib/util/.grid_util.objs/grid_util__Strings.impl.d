@@ -1,0 +1,1 @@
+lib/util/strings.ml: Buffer List String

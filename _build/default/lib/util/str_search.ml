@@ -1,0 +1,16 @@
+(* Substring search (naive; inputs are small config/policy texts). *)
+
+let find (haystack : string) ~from (needle : string) : int option =
+  let hn = String.length haystack and nn = String.length needle in
+  if nn = 0 then Some from
+  else begin
+    let limit = hn - nn in
+    let rec go i =
+      if i > limit then None
+      else if String.sub haystack i nn = needle then Some i
+      else go (i + 1)
+    in
+    go (max 0 from)
+  end
+
+let contains haystack needle = find haystack ~from:0 needle <> None

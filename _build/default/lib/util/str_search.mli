@@ -1,0 +1,7 @@
+(** Substring search. *)
+
+val find : string -> from:int -> string -> int option
+(** [find haystack ~from needle] is the index of the first occurrence of
+    [needle] at or after [from]. *)
+
+val contains : string -> string -> bool

@@ -1,0 +1,1 @@
+lib/vo/profile.ml: Action Grid_policy Grid_rsl List

@@ -1,0 +1,1 @@
+lib/vo/profile.mli: Grid_policy

@@ -1,0 +1,1 @@
+lib/vo/vo.ml: Grid_gsi Grid_policy Grid_rsl List Option Printf Profile String

@@ -1,0 +1,1 @@
+lib/vo/vo.mli: Grid_gsi Grid_policy Profile

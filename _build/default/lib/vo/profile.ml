@@ -1,0 +1,89 @@
+(* Group usage profiles.
+
+   Section 2's use case: a VO classifies members into groups with very
+   different usage envelopes — developers run many kinds of processes but
+   little resource volume; analysts run sanctioned application services at
+   scale; administrators manage any VO job. A profile captures one group's
+   envelope declaratively; the VO compiles profiles into concrete policy
+   statements per member (the policy language addresses users by DN, so
+   group membership is resolved at compile time). *)
+
+type start_rule = {
+  executables : string list;       (* sanctioned application services *)
+  directory : string option;       (* where they must live *)
+  jobtag : string option;          (* tag jobs must carry (None: any) *)
+  max_count : int option;          (* processor ceiling (exclusive) *)
+}
+
+type t = {
+  group : string;
+  start_rules : start_rule list;
+  manage_tags : string list;
+    (* jobs tagged with these may be cancelled/queried/signalled *)
+  may_manage_own : bool;
+    (* grant the GT2-style (jobowner = self) management right *)
+}
+
+let start_rule ?directory ?jobtag ?max_count executables =
+  { executables; directory; jobtag; max_count }
+
+let make ?(start_rules = []) ?(manage_tags = []) ?(may_manage_own = true) group =
+  { group; start_rules; manage_tags; may_manage_own }
+
+(* Compile one profile to the clauses granted to each member of the
+   group. *)
+let to_clauses (t : t) : Grid_policy.Types.clause list =
+  let open Grid_policy.Types in
+  let str s = Str s in
+  let start_clauses =
+    List.map
+      (fun rule ->
+        let base =
+          [ { attribute = "action"; op = Grid_rsl.Ast.Eq; values = [ str "start" ] };
+            { attribute = "executable";
+              op = Grid_rsl.Ast.Eq;
+              values = List.map str rule.executables } ]
+        in
+        let dir =
+          match rule.directory with
+          | Some d -> [ { attribute = "directory"; op = Grid_rsl.Ast.Eq; values = [ str d ] } ]
+          | None -> []
+        in
+        let tag =
+          match rule.jobtag with
+          | Some tg -> [ { attribute = "jobtag"; op = Grid_rsl.Ast.Eq; values = [ str tg ] } ]
+          | None -> []
+        in
+        let count =
+          match rule.max_count with
+          | Some n ->
+            [ { attribute = "count"; op = Grid_rsl.Ast.Lt; values = [ str (string_of_int n) ] } ]
+          | None -> []
+        in
+        base @ dir @ tag @ count)
+      t.start_rules
+  in
+  let manage_clauses =
+    List.concat_map
+      (fun tag ->
+        List.map
+          (fun action ->
+            [ { attribute = "action";
+                op = Grid_rsl.Ast.Eq;
+                values = [ str (Action.to_string action) ] };
+              { attribute = "jobtag"; op = Grid_rsl.Ast.Eq; values = [ str tag ] } ])
+          [ Action.Cancel; Action.Information; Action.Signal ])
+      t.manage_tags
+  in
+  let own_clauses =
+    if t.may_manage_own then
+      List.map
+        (fun action ->
+          [ { attribute = "action";
+              op = Grid_rsl.Ast.Eq;
+              values = [ str (Action.to_string action) ] };
+            { attribute = "jobowner"; op = Grid_rsl.Ast.Eq; values = [ Self ] } ])
+        [ Action.Cancel; Action.Information; Action.Signal ]
+    else []
+  in
+  start_clauses @ manage_clauses @ own_clauses

@@ -1,0 +1,30 @@
+(** Group usage profiles: a VO group's resource-usage envelope, compiled
+    into policy clauses per member. *)
+
+type start_rule = {
+  executables : string list;
+  directory : string option;
+  jobtag : string option;
+  max_count : int option;  (** exclusive processor ceiling *)
+}
+
+type t = {
+  group : string;
+  start_rules : start_rule list;
+  manage_tags : string list;
+  may_manage_own : bool;
+}
+
+val start_rule :
+  ?directory:string -> ?jobtag:string -> ?max_count:int -> string list -> start_rule
+
+val make :
+  ?start_rules:start_rule list ->
+  ?manage_tags:string list ->
+  ?may_manage_own:bool ->
+  string ->
+  t
+(** [may_manage_own] defaults to [true]: members keep the GT2-style right
+    to manage their own jobs. *)
+
+val to_clauses : t -> Grid_policy.Types.clause list

@@ -1,0 +1,1 @@
+test/test_accounts.ml: Alcotest Allocation Grid_accounts Grid_gsi Grid_policy Grid_rsl Grid_util List Mapper Option Pool Printf QCheck QCheck_alcotest Result Sandbox

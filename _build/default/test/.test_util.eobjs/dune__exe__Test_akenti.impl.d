@@ -1,0 +1,1 @@
+test/test_akenti.ml: Akenti_pep Alcotest Attr_cert Engine Grid_akenti Grid_callout Grid_crypto Grid_gsi Grid_policy Grid_rsl Grid_util List Use_condition

@@ -1,0 +1,1 @@
+test/test_audit.ml: Alcotest Fmt Grid_audit Grid_gsi Grid_util List Printf String

@@ -1,0 +1,1 @@
+test/test_callout.ml: Alcotest Callout Config File_pep Grid_callout Grid_gsi Grid_policy Grid_rsl Grid_util List Registry

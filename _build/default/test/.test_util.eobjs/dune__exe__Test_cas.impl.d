@@ -1,0 +1,1 @@
+test/test_cas.ml: Alcotest Capability Grid_callout Grid_cas Grid_crypto Grid_gsi Grid_policy Grid_rsl Grid_util Grid_vo List Pep Result Server String

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Audit Callout Cas Core Fusion Gram Grid_audit Grid_gsi Grid_sim Grid_util Gsi List Lrm Result Testbed Workload

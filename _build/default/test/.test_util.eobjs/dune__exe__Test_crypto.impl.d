@@ -1,0 +1,1 @@
+test/test_crypto.ml: Alcotest Base64 Grid_crypto Hex Hmac Keypair QCheck QCheck_alcotest Sha256 String

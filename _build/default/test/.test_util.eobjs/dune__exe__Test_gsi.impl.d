@@ -1,0 +1,1 @@
+test/test_gsi.ml: Alcotest Authn Ca Cert Credential Dn Grid_crypto Grid_gsi Grid_util Gridmap Identity List Printf QCheck QCheck_alcotest Renewal String

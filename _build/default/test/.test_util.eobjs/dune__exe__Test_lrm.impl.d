@@ -1,0 +1,1 @@
+test/test_lrm.ml: Alcotest Engine Grid_lrm Grid_sim Grid_util List QCheck QCheck_alcotest

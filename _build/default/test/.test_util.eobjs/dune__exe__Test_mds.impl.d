@@ -1,0 +1,1 @@
+test/test_mds.ml: Alcotest Callout Core Fusion Gram Grid_sim Gsi List Mds Policy Printf String Testbed

@@ -1,0 +1,1 @@
+test/test_policy.ml: Alcotest Combine Eval Figure3 Fmt Grid_gsi Grid_policy Grid_rsl Grid_util Lint List Option Parse Printf QCheck QCheck_alcotest Query Result String Types

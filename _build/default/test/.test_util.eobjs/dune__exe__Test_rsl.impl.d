@@ -1,0 +1,1 @@
+test/test_rsl.ml: Alcotest Ast Grid_rsl Job List Parser Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Clock Engine Grid_sim Grid_util List Network QCheck QCheck_alcotest Trace

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Grid_util Ids List QCheck QCheck_alcotest Rng String Strings

@@ -1,0 +1,1 @@
+test/test_vo.ml: Alcotest Grid_gsi Grid_policy Grid_rsl Grid_vo List Profile Vo

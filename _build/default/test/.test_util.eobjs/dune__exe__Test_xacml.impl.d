@@ -1,0 +1,1 @@
+test/test_xacml.ml: Alcotest Eval Figure3 Grid_gsi Grid_policy Grid_rsl List Printf QCheck QCheck_alcotest Types Xacml Xml_lite

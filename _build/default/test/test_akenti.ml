@@ -1,0 +1,254 @@
+(* Tests for grid_akenti: attribute certificates, use conditions, the
+   multi-stakeholder engine, and the callout adapter. *)
+
+open Grid_akenti
+
+let dn = Grid_gsi.Dn.parse
+let alice = "/O=Grid/O=Fusion/CN=Alice"
+
+let keypair_for seed =
+  let kp = Grid_crypto.Keypair.generate ~seed_material:seed in
+  Grid_crypto.Keypair.register kp;
+  kp
+
+type world = {
+  engine : Engine.t;
+  site : Engine.principal;
+  vo : Engine.principal;
+  authority : Engine.principal;
+  site_kp : Grid_crypto.Keypair.t;
+  vo_kp : Grid_crypto.Keypair.t;
+  authority_kp : Grid_crypto.Keypair.t;
+}
+
+let constraints_of rsl =
+  List.map
+    (fun (r : Grid_rsl.Ast.relation) ->
+      { Grid_policy.Types.attribute = r.attribute;
+        op = r.op;
+        values =
+          List.map
+            (function
+              | Grid_rsl.Ast.Literal "NULL" -> Grid_policy.Types.Null
+              | Grid_rsl.Ast.Literal s -> Grid_policy.Types.Str s
+              | Grid_rsl.Ast.Variable _ | Grid_rsl.Ast.Binding _ -> assert false)
+            r.values })
+    (Grid_rsl.Parser.parse_clause_exn rsl)
+
+let setup ?(two_stakeholders = true) () =
+  Grid_crypto.Keypair.reset_keystore ();
+  let site_kp = keypair_for "stakeholder:site" in
+  let vo_kp = keypair_for "stakeholder:vo" in
+  let authority_kp = keypair_for "authority:fusion" in
+  let site = { Engine.dn = dn "/O=Grid/CN=Site Owner"; key = Grid_crypto.Keypair.public site_kp } in
+  let vo = { Engine.dn = dn "/O=Grid/CN=Fusion VO"; key = Grid_crypto.Keypair.public vo_kp } in
+  let authority =
+    { Engine.dn = dn "/O=Grid/CN=Fusion Attribute Authority";
+      key = Grid_crypto.Keypair.public authority_kp }
+  in
+  let stakeholders = if two_stakeholders then [ site; vo ] else [ site ] in
+  let engine =
+    Engine.create ~resource:"gram-job-manager" ~stakeholders
+      ~attribute_authorities:[ authority ]
+  in
+  { engine; site; vo; authority; site_kp; vo_kp; authority_kp }
+
+let site_condition w =
+  Use_condition.make ~resource:"gram-job-manager" ~stakeholder:w.site.Engine.dn
+    ~actions:Grid_policy.Types.Action.all
+    ~constraints:(constraints_of "&(queue != reserved)")
+    ~required_attributes:[] ~not_before:0.0 ~not_after:1e6
+    ~signing_key:(Grid_crypto.Keypair.secret w.site_kp)
+
+let vo_condition ?(required = [ ("group", "analysts") ]) w =
+  Use_condition.make ~resource:"gram-job-manager" ~stakeholder:w.vo.Engine.dn
+    ~actions:[ Grid_policy.Types.Action.Start ]
+    ~constraints:(constraints_of "&(executable=TRANSP)(jobtag=NFC)")
+    ~required_attributes:required ~not_before:0.0 ~not_after:1e6
+    ~signing_key:(Grid_crypto.Keypair.secret w.vo_kp)
+
+let alice_attr w =
+  Attr_cert.make ~subject:(dn alice) ~attribute:"group" ~value:"analysts"
+    ~issuer:w.authority.Engine.dn ~not_before:0.0 ~not_after:1e6
+    ~signing_key:(Grid_crypto.Keypair.secret w.authority_kp)
+
+let start_request ?(who = alice) rsl =
+  Grid_policy.Types.start_request ~subject:(dn who)
+    ~job:(Grid_rsl.Parser.parse_clause_exn rsl)
+
+let test_attr_cert_verify () =
+  let w = setup () in
+  let ac = alice_attr w in
+  Alcotest.(check bool) "verifies" true
+    (Attr_cert.verify ac ~issuer_key:w.authority.Engine.key ~now:1.0);
+  Alcotest.(check bool) "expired" false
+    (Attr_cert.verify ac ~issuer_key:w.authority.Engine.key ~now:1e7);
+  let tampered = { ac with Attr_cert.value = "admins" } in
+  Alcotest.(check bool) "tampered" false
+    (Attr_cert.verify tampered ~issuer_key:w.authority.Engine.key ~now:1.0)
+
+let test_use_condition_verify () =
+  let w = setup () in
+  let uc = site_condition w in
+  Alcotest.(check bool) "verifies" true
+    (Use_condition.verify uc ~stakeholder_key:w.site.Engine.key ~now:1.0);
+  Alcotest.(check bool) "wrong key" false
+    (Use_condition.verify uc ~stakeholder_key:w.vo.Engine.key ~now:1.0);
+  let tampered = { uc with Use_condition.resource = "other" } in
+  Alcotest.(check bool) "tampered" false
+    (Use_condition.verify tampered ~stakeholder_key:w.site.Engine.key ~now:1.0)
+
+let test_engine_grants_when_all_stakeholders_satisfied () =
+  let w = setup () in
+  Engine.publish_condition w.engine (site_condition w);
+  Engine.publish_condition w.engine (vo_condition w);
+  Engine.publish_attribute w.engine (alice_attr w);
+  match Engine.decide w.engine ~now:1.0 (start_request "&(executable=TRANSP)(jobtag=NFC)") with
+  | Engine.Granted -> ()
+  | Engine.Refused m -> Alcotest.failf "refused: %s" m
+
+let test_engine_refuses_without_attribute_cert () =
+  let w = setup () in
+  Engine.publish_condition w.engine (site_condition w);
+  Engine.publish_condition w.engine (vo_condition w);
+  (* no attribute certificate for alice *)
+  match Engine.decide w.engine ~now:1.0 (start_request "&(executable=TRANSP)(jobtag=NFC)") with
+  | Engine.Refused _ -> ()
+  | Engine.Granted -> Alcotest.fail "granted without required attribute"
+
+let test_engine_refuses_constraint_violation () =
+  let w = setup () in
+  Engine.publish_condition w.engine (site_condition w);
+  Engine.publish_condition w.engine (vo_condition w);
+  Engine.publish_attribute w.engine (alice_attr w);
+  match Engine.decide w.engine ~now:1.0 (start_request "&(executable=rm)(jobtag=NFC)") with
+  | Engine.Refused _ -> ()
+  | Engine.Granted -> Alcotest.fail "granted despite constraint violation"
+
+let test_engine_requires_every_stakeholder () =
+  let w = setup () in
+  (* Only the site's condition is published; the VO stakeholder has no
+     applicable condition, so Akenti refuses. *)
+  Engine.publish_condition w.engine (site_condition w);
+  Engine.publish_attribute w.engine (alice_attr w);
+  match Engine.decide w.engine ~now:1.0 (start_request "&(executable=TRANSP)(jobtag=NFC)") with
+  | Engine.Refused m ->
+    Alcotest.(check bool) "names the silent stakeholder" true
+      (Grid_util.Strings.starts_with ~prefix:"stakeholder /O=Grid/CN=Fusion VO" m)
+  | Engine.Granted -> Alcotest.fail "granted without VO stakeholder condition"
+
+let test_engine_ignores_forged_condition () =
+  let w = setup () in
+  Engine.publish_condition w.engine (site_condition w);
+  Engine.publish_attribute w.engine (alice_attr w);
+  (* Mallory forges a "VO" condition with her own key. *)
+  let mallory_kp = keypair_for "mallory" in
+  let forged =
+    Use_condition.make ~resource:"gram-job-manager" ~stakeholder:w.vo.Engine.dn
+      ~actions:Grid_policy.Types.Action.all ~constraints:[] ~required_attributes:[]
+      ~not_before:0.0 ~not_after:1e6
+      ~signing_key:(Grid_crypto.Keypair.secret mallory_kp)
+  in
+  Engine.publish_condition w.engine forged;
+  match Engine.decide w.engine ~now:1.0 (start_request "&(executable=TRANSP)(jobtag=NFC)") with
+  | Engine.Refused _ -> ()
+  | Engine.Granted -> Alcotest.fail "forged use-condition honoured"
+
+let test_engine_ignores_untrusted_attribute_issuer () =
+  let w = setup () in
+  Engine.publish_condition w.engine (site_condition w);
+  Engine.publish_condition w.engine (vo_condition w);
+  let rogue_kp = keypair_for "rogue-authority" in
+  let rogue_attr =
+    Attr_cert.make ~subject:(dn alice) ~attribute:"group" ~value:"analysts"
+      ~issuer:(dn "/O=Rogue/CN=Authority") ~not_before:0.0 ~not_after:1e6
+      ~signing_key:(Grid_crypto.Keypair.secret rogue_kp)
+  in
+  Engine.publish_attribute w.engine rogue_attr;
+  match Engine.decide w.engine ~now:1.0 (start_request "&(executable=TRANSP)(jobtag=NFC)") with
+  | Engine.Refused _ -> ()
+  | Engine.Granted -> Alcotest.fail "untrusted attribute issuer honoured"
+
+let test_engine_expired_condition_ignored () =
+  let w = setup ~two_stakeholders:false () in
+  let expired =
+    Use_condition.make ~resource:"gram-job-manager" ~stakeholder:w.site.Engine.dn
+      ~actions:Grid_policy.Types.Action.all ~constraints:[] ~required_attributes:[]
+      ~not_before:0.0 ~not_after:10.0
+      ~signing_key:(Grid_crypto.Keypair.secret w.site_kp)
+  in
+  Engine.publish_condition w.engine expired;
+  (match Engine.decide w.engine ~now:5.0 (start_request "&(executable=x)") with
+  | Engine.Granted -> ()
+  | Engine.Refused m -> Alcotest.failf "refused while valid: %s" m);
+  match Engine.decide w.engine ~now:20.0 (start_request "&(executable=x)") with
+  | Engine.Refused _ -> ()
+  | Engine.Granted -> Alcotest.fail "expired condition honoured"
+
+let test_decision_cache () =
+  let w = setup () in
+  Engine.publish_condition w.engine (site_condition w);
+  Engine.publish_condition w.engine (vo_condition w);
+  Engine.publish_attribute w.engine (alice_attr w);
+  Engine.enable_cache w.engine ~ttl:100.0;
+  let request = start_request "&(executable=TRANSP)(jobtag=NFC)" in
+  (* First decision misses, second hits and agrees. *)
+  let first = Engine.decide w.engine ~now:1.0 request in
+  let second = Engine.decide w.engine ~now:2.0 request in
+  Alcotest.(check bool) "same verdict" true (first = second);
+  Alcotest.(check int) "one miss" 1 (Engine.cache_misses w.engine);
+  Alcotest.(check int) "one hit" 1 (Engine.cache_hits w.engine);
+  (* Expired entry re-evaluates. *)
+  ignore (Engine.decide w.engine ~now:200.0 request);
+  Alcotest.(check int) "ttl miss" 2 (Engine.cache_misses w.engine);
+  (* Publishing flushes the cache: a revoked-ish change takes effect
+     immediately rather than after the TTL. *)
+  Engine.publish_attribute w.engine
+    (Attr_cert.make ~subject:(dn "/O=Grid/O=Fusion/CN=Other") ~attribute:"group"
+       ~value:"analysts" ~issuer:w.authority.Engine.dn ~not_before:0.0 ~not_after:1e6
+       ~signing_key:(Grid_crypto.Keypair.secret w.authority_kp));
+  ignore (Engine.decide w.engine ~now:201.0 request);
+  Alcotest.(check int) "flush miss" 3 (Engine.cache_misses w.engine)
+
+let test_callout_adapter () =
+  let w = setup () in
+  Engine.publish_condition w.engine (site_condition w);
+  Engine.publish_condition w.engine (vo_condition w);
+  Engine.publish_attribute w.engine (alice_attr w);
+  let callout = Akenti_pep.callout ~engine:w.engine ~now:(fun () -> 1.0) in
+  let ok_query =
+    Grid_callout.Callout.start_query ~requester:(dn alice) ~job_id:"j1"
+      ~rsl:(Grid_rsl.Parser.parse_clause_exn "&(executable=TRANSP)(jobtag=NFC)") ()
+  in
+  Alcotest.(check bool) "adapter grants" true (callout ok_query = Ok ());
+  let bad_query =
+    Grid_callout.Callout.start_query ~requester:(dn alice) ~job_id:"j2"
+      ~rsl:(Grid_rsl.Parser.parse_clause_exn "&(executable=rm)") ()
+  in
+  match callout bad_query with
+  | Error (Grid_callout.Callout.Denied m) ->
+    Alcotest.(check bool) "labelled Akenti" true
+      (Grid_util.Strings.starts_with ~prefix:"Akenti:" m)
+  | _ -> Alcotest.fail "adapter granted bad query"
+
+let () =
+  Alcotest.run "grid_akenti"
+    [ ( "certificates",
+        [ Alcotest.test_case "attribute cert" `Quick test_attr_cert_verify;
+          Alcotest.test_case "use condition" `Quick test_use_condition_verify ] );
+      ( "engine",
+        [ Alcotest.test_case "grants when satisfied" `Quick
+            test_engine_grants_when_all_stakeholders_satisfied;
+          Alcotest.test_case "needs attribute cert" `Quick
+            test_engine_refuses_without_attribute_cert;
+          Alcotest.test_case "constraint violation" `Quick
+            test_engine_refuses_constraint_violation;
+          Alcotest.test_case "every stakeholder must grant" `Quick
+            test_engine_requires_every_stakeholder;
+          Alcotest.test_case "forged condition ignored" `Quick
+            test_engine_ignores_forged_condition;
+          Alcotest.test_case "untrusted attribute issuer" `Quick
+            test_engine_ignores_untrusted_attribute_issuer;
+          Alcotest.test_case "expired condition" `Quick test_engine_expired_condition_ignored;
+          Alcotest.test_case "decision cache" `Quick test_decision_cache ] );
+      ("adapter", [ Alcotest.test_case "callout" `Quick test_callout_adapter ]) ]

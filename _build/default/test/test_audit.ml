@@ -1,0 +1,102 @@
+(* Tests for grid_audit. *)
+
+let dn = Grid_gsi.Dn.parse
+
+let test_log_and_query () =
+  let a = Grid_audit.Audit.create () in
+  let kate = dn "/O=Grid/CN=Kate" in
+  let bo = dn "/O=Grid/CN=Bo" in
+  Grid_audit.Audit.log a ~at:1.0 ~kind:Grid_audit.Audit.Authentication ~subject:kate
+    ~outcome:Grid_audit.Audit.Success "login";
+  Grid_audit.Audit.log a ~at:2.0 ~kind:Grid_audit.Audit.Authorization ~subject:kate
+    ~job_id:"job-1" ~outcome:Grid_audit.Audit.Success "start";
+  Grid_audit.Audit.log a ~at:3.0 ~kind:Grid_audit.Audit.Authorization ~subject:bo
+    ~job_id:"job-2" ~outcome:(Grid_audit.Audit.Failure "denied") "start";
+  Alcotest.(check int) "count" 3 (Grid_audit.Audit.count a);
+  Alcotest.(check int) "authz records" 2
+    (List.length (Grid_audit.Audit.by_kind a Grid_audit.Audit.Authorization));
+  Alcotest.(check int) "kate's records" 2 (List.length (Grid_audit.Audit.by_subject a kate));
+  Alcotest.(check int) "job-2 records" 1 (List.length (Grid_audit.Audit.by_job a "job-2"));
+  Alcotest.(check int) "failures" 1 (List.length (Grid_audit.Audit.failures a))
+
+let test_chronological_order () =
+  let a = Grid_audit.Audit.create () in
+  for i = 1 to 5 do
+    Grid_audit.Audit.log a ~at:(float_of_int i) ~kind:Grid_audit.Audit.Job_state
+      ~outcome:Grid_audit.Audit.Success (string_of_int i)
+  done;
+  let details = List.map (fun r -> r.Grid_audit.Audit.detail) (Grid_audit.Audit.records a) in
+  Alcotest.(check (list string)) "in order" [ "1"; "2"; "3"; "4"; "5" ] details
+
+let test_pp_does_not_raise () =
+  let a = Grid_audit.Audit.create () in
+  Grid_audit.Audit.log a ~at:1.0 ~kind:Grid_audit.Audit.Account_mapping
+    ~subject:(dn "/O=Grid/CN=U") ~job_id:"j" ~outcome:(Grid_audit.Audit.Failure "x") "d";
+  let s = Fmt.str "%a" Grid_audit.Audit.pp a in
+  Alcotest.(check bool) "renders" true (String.length s > 0)
+
+(* --- Reports ----------------------------------------------------------- *)
+
+let populated_audit () =
+  let a = Grid_audit.Audit.create () in
+  let kate = dn "/O=Grid/CN=Kate" in
+  let bo = dn "/O=Grid/CN=Bo" in
+  Grid_audit.Audit.log a ~at:1.0 ~kind:Grid_audit.Audit.Authentication ~subject:kate
+    ~outcome:Grid_audit.Audit.Success "login";
+  Grid_audit.Audit.log a ~at:2.0 ~kind:Grid_audit.Audit.Authorization ~subject:kate
+    ~job_id:"j1" ~outcome:Grid_audit.Audit.Success "start";
+  Grid_audit.Audit.log a ~at:3.0 ~kind:Grid_audit.Audit.Job_submission ~subject:kate
+    ~job_id:"j1" ~outcome:Grid_audit.Audit.Success "submitted";
+  Grid_audit.Audit.log a ~at:4.0 ~kind:Grid_audit.Audit.Authorization ~subject:bo
+    ~job_id:"j2" ~outcome:(Grid_audit.Audit.Failure "denied: count") "start";
+  Grid_audit.Audit.log a ~at:5.0 ~kind:Grid_audit.Audit.Authorization ~subject:bo
+    ~job_id:"j3" ~outcome:(Grid_audit.Audit.Failure "denied: count") "start";
+  Grid_audit.Audit.log a ~at:6.0 ~kind:Grid_audit.Audit.Job_management ~subject:kate
+    ~job_id:"j1" ~outcome:Grid_audit.Audit.Success "cancel";
+  (a, kate, bo)
+
+let test_reports_by_subject () =
+  let a, kate, bo = populated_audit () in
+  let summaries = Grid_audit.Reports.by_subject a in
+  Alcotest.(check int) "two subjects" 2 (List.length summaries);
+  let find d =
+    List.find (fun s -> Grid_gsi.Dn.equal s.Grid_audit.Reports.subject d) summaries
+  in
+  let k = find kate and b = find bo in
+  Alcotest.(check int) "kate authn" 1 k.Grid_audit.Reports.authentications;
+  Alcotest.(check int) "kate submissions" 1 k.Grid_audit.Reports.submissions;
+  Alcotest.(check int) "kate management" 1 k.Grid_audit.Reports.management_actions;
+  Alcotest.(check int) "bo denials" 2 b.Grid_audit.Reports.authz_denials;
+  Alcotest.(check int) "bo authz total" 2 b.Grid_audit.Reports.authorizations
+
+let test_reports_denial_reasons () =
+  let a, _, _ = populated_audit () in
+  match Grid_audit.Reports.denial_reasons a with
+  | [ ("denied: count", 2) ] -> ()
+  | other ->
+    Alcotest.failf "unexpected: %s"
+      (String.concat "; " (List.map (fun (r, n) -> Printf.sprintf "%s=%d" r n) other))
+
+let test_reports_kind_counts () =
+  let a, _, _ = populated_audit () in
+  let counts = Grid_audit.Reports.kind_counts a in
+  Alcotest.(check (option int)) "authz count" (Some 3)
+    (List.assoc_opt Grid_audit.Audit.Authorization counts)
+
+let test_reports_pp () =
+  let a, _, _ = populated_audit () in
+  let s = Fmt.str "%a" Grid_audit.Reports.pp a in
+  Alcotest.(check bool) "mentions denial reason" true
+    (Grid_util.Str_search.contains s "denied: count")
+
+let () =
+  Alcotest.run "grid_audit"
+    [ ( "audit",
+        [ Alcotest.test_case "log and query" `Quick test_log_and_query;
+          Alcotest.test_case "chronological" `Quick test_chronological_order;
+          Alcotest.test_case "pp" `Quick test_pp_does_not_raise ] );
+      ( "reports",
+        [ Alcotest.test_case "by subject" `Quick test_reports_by_subject;
+          Alcotest.test_case "denial reasons" `Quick test_reports_denial_reasons;
+          Alcotest.test_case "kind counts" `Quick test_reports_kind_counts;
+          Alcotest.test_case "pp" `Quick test_reports_pp ] ) ]

@@ -1,0 +1,177 @@
+(* Tests for grid_callout: the callout API, registry/config resolution,
+   and the flat-file PEP. *)
+
+open Grid_callout
+
+let dn = Grid_gsi.Dn.parse
+
+let start_query ?(who = "/O=Grid/CN=U") rsl =
+  Callout.start_query ~requester:(dn who) ~job_id:"job-1"
+    ~rsl:(Grid_rsl.Parser.parse_clause_exn rsl) ()
+
+let manage_query ?(who = "/O=Grid/CN=U") ~action ~owner ~tag () =
+  Callout.management_query ~requester:(dn who) ~action ~job_id:"job-1"
+    ~job_owner:(dn owner) ~jobtag:tag ()
+
+(* --- Combinators -------------------------------------------------------- *)
+
+let test_all_conjunction () =
+  let q = start_query "&(executable=x)" in
+  Alcotest.(check bool) "both permit" true
+    (Callout.all [ Callout.permit_all; Callout.permit_all ] q = Ok ());
+  (match Callout.all [ Callout.permit_all; Callout.deny_all ~reason:"no" ] q with
+  | Error (Callout.Denied _) -> ()
+  | _ -> Alcotest.fail "denial not propagated");
+  match Callout.all [] q with
+  | Error (Callout.Bad_configuration _) -> ()
+  | _ -> Alcotest.fail "empty chain must fail closed"
+
+let test_all_first_error_wins () =
+  let q = start_query "&(executable=x)" in
+  match
+    Callout.all [ Callout.failing ~message:"boom"; Callout.deny_all ~reason:"no" ] q
+  with
+  | Error (Callout.System_error "boom") -> ()
+  | _ -> Alcotest.fail "first error should win"
+
+let test_counting () =
+  let c, count = Callout.counting Callout.permit_all in
+  let q = start_query "&(executable=x)" in
+  ignore (c q);
+  ignore (c q);
+  Alcotest.(check int) "two invocations" 2 (count ())
+
+(* --- Registry / config --------------------------------------------------- *)
+
+let test_registry_lookup () =
+  let reg = Registry.create () in
+  Registry.register reg ~library:"libauthz_file.so" ~symbol:"authz" Callout.permit_all;
+  (match Registry.lookup reg ~library:"libauthz_file.so" ~symbol:"authz" with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "registered symbol not found");
+  (match Registry.lookup reg ~library:"libmissing.so" ~symbol:"authz" with
+  | Error (Callout.Bad_configuration m) ->
+    Alcotest.(check bool) "names the library" true
+      (Grid_util.Strings.starts_with ~prefix:"cannot load library" m)
+  | _ -> Alcotest.fail "missing library accepted");
+  match Registry.lookup reg ~library:"libauthz_file.so" ~symbol:"nope" with
+  | Error (Callout.Bad_configuration _) -> ()
+  | _ -> Alcotest.fail "missing symbol accepted"
+
+let config_text =
+  {|# GRAM authorization callout configuration
+globus_gram_jobmanager_authz   libauthz_file.so   authz_file_callout
+other_type                     libother.so        other_symbol
+|}
+
+let test_config_parse () =
+  let config = Config.load config_text in
+  Alcotest.(check int) "two bindings" 2 (List.length (Config.bindings config));
+  match Config.find config Config.gram_authz_type with
+  | Some b ->
+    Alcotest.(check string) "library" "libauthz_file.so" b.Config.library;
+    Alcotest.(check string) "symbol" "authz_file_callout" b.Config.symbol
+  | None -> Alcotest.fail "gram type not found"
+
+let test_config_parse_errors () =
+  (match Config.load_result "only_two_fields second" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "short line accepted");
+  match Config.load_result "a b c d" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "long line accepted"
+
+let test_config_roundtrip () =
+  let config = Config.load config_text in
+  let config' = Config.load (Config.to_text config) in
+  Alcotest.(check int) "same size" 2 (List.length (Config.bindings config'))
+
+let test_config_resolution () =
+  let reg = Registry.create () in
+  Registry.register reg ~library:"libauthz_file.so" ~symbol:"authz_file_callout"
+    Callout.permit_all;
+  let config = Config.load config_text in
+  (match Config.resolve config reg Config.gram_authz_type with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "resolution failed: %s" (Callout.error_to_string e));
+  (* Configured but not installed: the paper's missing-.so failure. *)
+  (match Config.resolve config reg "other_type" with
+  | Error (Callout.Bad_configuration _) -> ()
+  | _ -> Alcotest.fail "unresolvable binding accepted");
+  match Config.resolve config reg "unconfigured_type" with
+  | Error (Callout.Bad_configuration _) -> ()
+  | _ -> Alcotest.fail "unconfigured type accepted"
+
+(* --- Flat-file PEP -------------------------------------------------------- *)
+
+let test_file_pep_decisions () =
+  let pep = File_pep.of_policy ~name:"vo" (Grid_policy.Figure3.get ()) in
+  let permit =
+    start_query ~who:Grid_policy.Figure3.kate_keahey
+      "&(executable=TRANSP)(directory=/sandbox/test)(jobtag=NFC)"
+  in
+  Alcotest.(check bool) "permits" true (pep permit = Ok ());
+  let deny =
+    start_query ~who:Grid_policy.Figure3.kate_keahey
+      "&(executable=rm)(directory=/)(jobtag=NFC)"
+  in
+  (match pep deny with
+  | Error (Callout.Denied m) ->
+    Alcotest.(check bool) "names the source" true
+      (Grid_util.Strings.starts_with ~prefix:"vo:" m)
+  | _ -> Alcotest.fail "bad executable authorized")
+
+let test_file_pep_management () =
+  let pep = File_pep.of_policy ~name:"vo" (Grid_policy.Figure3.get ()) in
+  let q =
+    manage_query ~who:Grid_policy.Figure3.kate_keahey
+      ~action:Grid_policy.Types.Action.Cancel ~owner:Grid_policy.Figure3.bo_liu
+      ~tag:(Some "NFC") ()
+  in
+  Alcotest.(check bool) "vo-wide cancel" true (pep q = Ok ())
+
+let test_file_pep_of_texts_bad_policy_fails_closed () =
+  let pep = File_pep.of_texts [ ("broken", "this is not a policy") ] in
+  match pep (start_query "&(executable=x)") with
+  | Error (Callout.System_error _) -> ()
+  | _ -> Alcotest.fail "unparseable policy must be a system error"
+
+let test_file_pep_of_texts_invalid_policy_fails_closed () =
+  let pep = File_pep.of_texts [ ("invalid", "/O=Grid/CN=U: &(count < lots)") ] in
+  match pep (start_query "&(executable=x)") with
+  | Error (Callout.System_error _) -> ()
+  | _ -> Alcotest.fail "invalid policy must be a system error"
+
+let test_file_pep_of_texts_good () =
+  let pep =
+    File_pep.of_texts
+      [ ("owner", "/O=Grid: &(action = start)(queue != reserved)");
+        ("vo", "/O=Grid/CN=U: &(action = start)(executable = x)") ]
+  in
+  Alcotest.(check bool) "permits" true (pep (start_query "&(executable=x)") = Ok ());
+  match pep (start_query "&(executable=x)(queue=reserved)") with
+  | Error (Callout.Denied m) ->
+    Alcotest.(check bool) "owner denied" true
+      (Grid_util.Strings.starts_with ~prefix:"owner:" m)
+  | _ -> Alcotest.fail "reserved queue authorized"
+
+let () =
+  Alcotest.run "grid_callout"
+    [ ( "combinators",
+        [ Alcotest.test_case "all conjunction" `Quick test_all_conjunction;
+          Alcotest.test_case "first error wins" `Quick test_all_first_error_wins;
+          Alcotest.test_case "counting" `Quick test_counting ] );
+      ( "registry+config",
+        [ Alcotest.test_case "registry lookup" `Quick test_registry_lookup;
+          Alcotest.test_case "config parse" `Quick test_config_parse;
+          Alcotest.test_case "config errors" `Quick test_config_parse_errors;
+          Alcotest.test_case "config roundtrip" `Quick test_config_roundtrip;
+          Alcotest.test_case "resolution" `Quick test_config_resolution ] );
+      ( "file-pep",
+        [ Alcotest.test_case "decisions" `Quick test_file_pep_decisions;
+          Alcotest.test_case "management" `Quick test_file_pep_management;
+          Alcotest.test_case "unparseable fails closed" `Quick
+            test_file_pep_of_texts_bad_policy_fails_closed;
+          Alcotest.test_case "invalid fails closed" `Quick
+            test_file_pep_of_texts_invalid_policy_fails_closed;
+          Alcotest.test_case "of_texts good" `Quick test_file_pep_of_texts_good ] ) ]

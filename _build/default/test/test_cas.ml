@@ -1,0 +1,221 @@
+(* Tests for grid_cas: capability issuance, verification, wire encoding,
+   and the push-model PEP. *)
+
+open Grid_cas
+
+let dn = Grid_gsi.Dn.parse
+let org = "/O=Grid/O=Fusion"
+let alice = org ^ "/CN=Alice"
+let mallory = "/O=Grid/CN=Mallory"
+
+type world = {
+  trust : Grid_gsi.Ca.Trust_store.store;
+  ca : Grid_gsi.Ca.t;
+  vo : Grid_vo.Vo.t;
+  server : Server.t;
+  alice_id : Grid_gsi.Identity.t;
+}
+
+let setup () =
+  Grid_util.Ids.reset ();
+  Grid_crypto.Keypair.reset_keystore ();
+  let ca = Grid_gsi.Ca.create ~now:0.0 "/O=Grid/CN=CA" in
+  let trust = Grid_gsi.Ca.Trust_store.create () in
+  Grid_gsi.Ca.Trust_store.add trust (Grid_gsi.Ca.certificate ca);
+  let vo = Grid_vo.Vo.create ~member_prefix:org "fusion" in
+  Grid_vo.Vo.add_profile vo
+    (Grid_vo.Profile.make "analysts"
+       ~start_rules:[ Grid_vo.Profile.start_rule ~jobtag:"NFC" [ "TRANSP" ] ]);
+  Grid_vo.Vo.add_member vo ~dn:alice ~groups:[ "analysts" ];
+  let server = Server.create ~vo "fusion-cas" in
+  let alice_id = Grid_gsi.Identity.create ~ca ~now:0.0 alice in
+  { trust; ca; vo; server; alice_id }
+
+let credential_of id =
+  let challenge = Grid_gsi.Authn.fresh_challenge () in
+  Grid_gsi.Credential.of_identity id ~challenge
+
+let test_grant_to_member () =
+  let w = setup () in
+  match Server.grant w.server ~trust:w.trust ~now:1.0 (credential_of w.alice_id) with
+  | Ok cap ->
+    Alcotest.(check string) "holder" alice (Grid_gsi.Dn.to_string cap.Capability.holder);
+    Alcotest.(check string) "vo" "fusion" cap.Capability.vo;
+    Alcotest.(check bool) "policy mentions TRANSP" true
+      (Grid_util.Strings.starts_with ~prefix:"/O=" cap.Capability.policy_text
+      && String.length cap.Capability.policy_text > 0);
+    Alcotest.(check int) "issued counter" 1 (Server.capabilities_issued w.server)
+  | Error e -> Alcotest.failf "unexpected: %s" (Server.grant_error_to_string e)
+
+let test_grant_refused_to_non_member () =
+  let w = setup () in
+  let mallory_id = Grid_gsi.Identity.create ~ca:w.ca ~now:0.0 mallory in
+  match Server.grant w.server ~trust:w.trust ~now:1.0 (credential_of mallory_id) with
+  | Error Server.Not_a_member -> ()
+  | _ -> Alcotest.fail "non-member granted a capability"
+
+let test_grant_refused_bad_credential () =
+  let w = setup () in
+  let rogue_ca = Grid_gsi.Ca.create ~now:0.0 "/O=Rogue/CN=CA" in
+  let fake = Grid_gsi.Identity.create ~ca:rogue_ca ~now:0.0 alice in
+  match Server.grant w.server ~trust:w.trust ~now:1.0 (credential_of fake) with
+  | Error (Server.Authentication_failed _) -> ()
+  | _ -> Alcotest.fail "rogue credential granted a capability"
+
+let test_user_policy_scoped () =
+  let w = setup () in
+  let policy = Server.user_policy w.server ~user:(dn alice) in
+  Alcotest.(check bool) "only statements applying to alice" true
+    (List.for_all
+       (fun st -> Grid_policy.Types.statement_applies st ~subject:(dn alice))
+       policy)
+
+let test_capability_verification () =
+  let w = setup () in
+  let cap =
+    Result.get_ok (Server.grant w.server ~trust:w.trust ~now:1.0 (credential_of w.alice_id))
+  in
+  let key = Server.public_key w.server in
+  Alcotest.(check bool) "verifies" true
+    (Capability.verify cap ~cas_key:key ~presenter:(dn alice) ~now:2.0 = Ok ());
+  (match Capability.verify cap ~cas_key:key ~presenter:(dn mallory) ~now:2.0 with
+  | Error (Capability.Holder_mismatch _) -> ()
+  | _ -> Alcotest.fail "stolen capability accepted");
+  (match Capability.verify cap ~cas_key:key ~presenter:(dn alice) ~now:1e9 with
+  | Error Capability.Expired -> ()
+  | _ -> Alcotest.fail "expired capability accepted");
+  let tampered = { cap with Capability.policy_text = "/O=Grid: &(action = start)(executable = rm)" } in
+  match Capability.verify tampered ~cas_key:key ~presenter:(dn alice) ~now:2.0 with
+  | Error Capability.Bad_signature -> ()
+  | _ -> Alcotest.fail "tampered capability accepted"
+
+let test_capability_encoding_roundtrip () =
+  let w = setup () in
+  let cap =
+    Result.get_ok (Server.grant w.server ~trust:w.trust ~now:1.0 (credential_of w.alice_id))
+  in
+  match Capability.decode (Capability.encode cap) with
+  | Ok cap' ->
+    Alcotest.(check string) "holder survives" (Grid_gsi.Dn.to_string cap.Capability.holder)
+      (Grid_gsi.Dn.to_string cap'.Capability.holder);
+    Alcotest.(check string) "policy survives" cap.Capability.policy_text
+      cap'.Capability.policy_text;
+    Alcotest.(check string) "signature survives" cap.Capability.signature
+      cap'.Capability.signature
+  | Error m -> Alcotest.failf "decode failed: %s" m
+
+let test_decode_garbage () =
+  (match Capability.decode "garbage" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "garbage decoded");
+  match Capability.decode "a\nb\nc\nd\ne\nf" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "malformed fields decoded"
+
+(* --- PEP -------------------------------------------------------------------- *)
+
+let pep_query ~credential ~who rsl =
+  { Grid_callout.Callout.requester = dn who;
+    requester_credential = Some credential;
+    job_owner = None;
+    action = Grid_policy.Types.Action.Start;
+    job_id = Some "job-1";
+    rsl = Some (Grid_rsl.Parser.parse_clause_exn rsl);
+    jobtag = None }
+
+let test_pep_full_flow () =
+  let w = setup () in
+  (* Alice gets a capability proxy from the CAS, then presents it. *)
+  let proxy =
+    Result.get_ok (Server.grant_proxy w.server ~trust:w.trust ~now:1.0 w.alice_id)
+  in
+  let cred = credential_of proxy in
+  (* The proxy chain itself must still validate under GSI rules. *)
+  (match Grid_gsi.Credential.validate cred ~trust:w.trust ~now:2.0 with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "capability proxy invalid: %s" (Grid_gsi.Credential.error_to_string e));
+  let pep = Pep.callout ~cas_key:(Server.public_key w.server) ~now:(fun () -> 2.0) in
+  Alcotest.(check bool) "granted action permitted" true
+    (pep (pep_query ~credential:cred ~who:alice "&(executable=TRANSP)(jobtag=NFC)") = Ok ());
+  match pep (pep_query ~credential:cred ~who:alice "&(executable=rm)(jobtag=NFC)") with
+  | Error (Grid_callout.Callout.Denied _) -> ()
+  | _ -> Alcotest.fail "unauthorized executable permitted"
+
+let test_pep_no_credential () =
+  let w = setup () in
+  let pep = Pep.callout ~cas_key:(Server.public_key w.server) ~now:(fun () -> 2.0) in
+  let q =
+    { (pep_query
+         ~credential:(credential_of w.alice_id)
+         ~who:alice "&(executable=TRANSP)")
+      with Grid_callout.Callout.requester_credential = None }
+  in
+  match pep q with
+  | Error (Grid_callout.Callout.Denied _) -> ()
+  | _ -> Alcotest.fail "missing credential permitted"
+
+let test_pep_no_capability () =
+  let w = setup () in
+  let pep = Pep.callout ~cas_key:(Server.public_key w.server) ~now:(fun () -> 2.0) in
+  let cred = credential_of w.alice_id in
+  match pep (pep_query ~credential:cred ~who:alice "&(executable=TRANSP)") with
+  | Error (Grid_callout.Callout.Denied m) ->
+    Alcotest.(check bool) "mentions capability" true
+      (Grid_util.Strings.starts_with ~prefix:"credential carries no CAS capability" m)
+  | _ -> Alcotest.fail "capability-less credential permitted"
+
+let test_pep_expired_capability () =
+  let w = setup () in
+  let proxy =
+    Result.get_ok (Server.grant_proxy w.server ~trust:w.trust ~now:1.0 w.alice_id)
+  in
+  let cred = credential_of proxy in
+  (* Default lifetime is 8h = 28800 s; evaluate well past it. *)
+  let pep = Pep.callout ~cas_key:(Server.public_key w.server) ~now:(fun () -> 40000.0) in
+  match pep (pep_query ~credential:cred ~who:alice "&(executable=TRANSP)(jobtag=NFC)") with
+  | Error (Grid_callout.Callout.Denied m) ->
+    Alcotest.(check string) "expired" "capability expired" m
+  | _ -> Alcotest.fail "expired capability permitted"
+
+let test_push_model_staleness () =
+  (* The push model's known trade-off: policy updates do not reach
+     capabilities already in the field. Alice's old capability keeps its
+     rights until expiry; a freshly issued one reflects the change. *)
+  let w = setup () in
+  let proxy_old =
+    Result.get_ok (Server.grant_proxy w.server ~trust:w.trust ~now:1.0 w.alice_id)
+  in
+  let pep = Pep.callout ~cas_key:(Server.public_key w.server) ~now:(fun () -> 10.0) in
+  let q cred = pep_query ~credential:cred ~who:alice "&(executable=TRANSP)(jobtag=NFC)" in
+  Alcotest.(check bool) "old capability grants" true (pep (q (credential_of proxy_old)) = Ok ());
+  (* The VO revokes Alice's analyst role. *)
+  Grid_vo.Vo.remove_member w.vo ~dn:(dn alice);
+  (* A new capability request is refused... *)
+  (match Server.grant w.server ~trust:w.trust ~now:10.0 (credential_of w.alice_id) with
+  | Error Server.Not_a_member -> ()
+  | _ -> Alcotest.fail "removed member still granted a capability");
+  (* ...but the stale capability still works until it expires. *)
+  Alcotest.(check bool) "stale capability still grants" true
+    (pep (q (credential_of proxy_old)) = Ok ());
+  let pep_late = Pep.callout ~cas_key:(Server.public_key w.server) ~now:(fun () -> 1e6) in
+  match pep_late (q (credential_of proxy_old)) with
+  | Error (Grid_callout.Callout.Denied _) -> ()
+  | _ -> Alcotest.fail "expired capability honoured"
+
+let () =
+  Alcotest.run "grid_cas"
+    [ ( "server",
+        [ Alcotest.test_case "grant to member" `Quick test_grant_to_member;
+          Alcotest.test_case "refuse non-member" `Quick test_grant_refused_to_non_member;
+          Alcotest.test_case "refuse bad credential" `Quick test_grant_refused_bad_credential;
+          Alcotest.test_case "user policy scoped" `Quick test_user_policy_scoped ] );
+      ( "capability",
+        [ Alcotest.test_case "verification" `Quick test_capability_verification;
+          Alcotest.test_case "encoding roundtrip" `Quick test_capability_encoding_roundtrip;
+          Alcotest.test_case "decode garbage" `Quick test_decode_garbage ] );
+      ( "pep",
+        [ Alcotest.test_case "full flow" `Quick test_pep_full_flow;
+          Alcotest.test_case "push-model staleness" `Quick test_push_model_staleness;
+          Alcotest.test_case "no credential" `Quick test_pep_no_credential;
+          Alcotest.test_case "no capability" `Quick test_pep_no_capability;
+          Alcotest.test_case "expired capability" `Quick test_pep_expired_capability ] ) ]

@@ -1,0 +1,188 @@
+(* Tests for grid_mds: directory registration/publication/queries with
+   TTL, the periodic provider, and the broker's plan/submit logic. *)
+
+open Core
+
+let build_two_sites () =
+  let tb = Testbed.create () in
+  let gridmap = Gsi.Gridmap.parse (Printf.sprintf "%S kate\n" Fusion.kate_keahey) in
+  let big =
+    Testbed.make_resource tb ~name:"big-site" ~nodes:8 ~cpus_per_node:8 ~gridmap
+      ~backend:(Custom Callout.Callout.permit_all)
+  in
+  let small =
+    Testbed.make_resource tb ~name:"small-site" ~nodes:1 ~cpus_per_node:2 ~gridmap
+      ~backend:(Custom Callout.Callout.permit_all)
+  in
+  let kate = Testbed.add_user tb Fusion.kate_keahey in
+  (tb, big, small, kate)
+
+(* --- Directory -------------------------------------------------------------- *)
+
+let test_directory_register_publish_query () =
+  let tb = Testbed.create () in
+  let dir = Mds.Directory.create (Testbed.engine tb) in
+  Mds.Directory.register dir
+    { Mds.Directory.resource_name = "a"; site = "anl"; total_cpus = 64; queues = [ "batch" ] };
+  Mds.Directory.register dir
+    { Mds.Directory.resource_name = "b"; site = "nersc"; total_cpus = 16; queues = [ "batch"; "priority" ] };
+  Mds.Directory.publish dir ~resource_name:"a"
+    { Mds.Directory.free_cpus = 10; running_jobs = 5; pending_jobs = 0; published_at = 0.0 };
+  Mds.Directory.publish dir ~resource_name:"b"
+    { Mds.Directory.free_cpus = 16; running_jobs = 0; pending_jobs = 0; published_at = 0.0 };
+  let all = Mds.Directory.query dir in
+  Alcotest.(check int) "both fresh" 2 (List.length all);
+  (match all with
+  | first :: _ ->
+    Alcotest.(check string) "most free first" "b" first.Mds.Directory.info.Mds.Directory.resource_name
+  | [] -> Alcotest.fail "empty");
+  Alcotest.(check int) "min_free filter" 1
+    (List.length (Mds.Directory.query ~min_free_cpus:12 dir));
+  Alcotest.(check int) "queue filter" 1
+    (List.length (Mds.Directory.query ~queue:"priority" dir));
+  Alcotest.(check int) "site filter" 1 (List.length (Mds.Directory.query ~site:"anl" dir))
+
+let test_directory_ttl () =
+  let tb = Testbed.create () in
+  let engine = Testbed.engine tb in
+  let dir = Mds.Directory.create ~ttl:10.0 engine in
+  Mds.Directory.register dir
+    { Mds.Directory.resource_name = "a"; site = "x"; total_cpus = 4; queues = [] };
+  Mds.Directory.publish dir ~resource_name:"a"
+    { Mds.Directory.free_cpus = 4; running_jobs = 0; pending_jobs = 0; published_at = 0.0 };
+  Alcotest.(check int) "fresh now" 1 (List.length (Mds.Directory.query dir));
+  Grid_sim.Engine.run_until engine 11.0;
+  Alcotest.(check int) "stale after ttl" 0 (List.length (Mds.Directory.query dir));
+  Alcotest.(check int) "stale included when asked" 1
+    (List.length (Mds.Directory.query ~fresh_only:false dir))
+
+let test_directory_errors () =
+  let tb = Testbed.create () in
+  let dir = Mds.Directory.create (Testbed.engine tb) in
+  Mds.Directory.register dir
+    { Mds.Directory.resource_name = "a"; site = "x"; total_cpus = 4; queues = [] };
+  Alcotest.(check bool) "duplicate registration raises" true
+    (try
+       Mds.Directory.register dir
+         { Mds.Directory.resource_name = "a"; site = "x"; total_cpus = 4; queues = [] };
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "publish unregistered raises" true
+    (try
+       Mds.Directory.publish dir ~resource_name:"nope"
+         { Mds.Directory.free_cpus = 0; running_jobs = 0; pending_jobs = 0; published_at = 0.0 };
+       false
+     with Invalid_argument _ -> true)
+
+(* --- Provider ------------------------------------------------------------------ *)
+
+let test_provider_publishes_periodically () =
+  let tb, big, _small, kate = build_two_sites () in
+  let engine = Testbed.engine tb in
+  let dir = Mds.Directory.create ~ttl:100.0 engine in
+  let provider = Mds.Provider.attach ~period:30.0 ~site:"anl" ~directory:dir big in
+  (* Initial publication happened at attach. *)
+  Alcotest.(check int) "initial" 1 (Mds.Provider.publications provider);
+  (* Submit a job and advance time: subsequent publications see usage. *)
+  let client = Testbed.client tb ~user:kate ~resource:big in
+  (match Gram.Client.submit_sync client ~rsl:"&(executable=x)(count=8)(simduration=500)" with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "submit: %s" (Gram.Protocol.submit_error_to_string e));
+  Grid_sim.Engine.run_until engine 65.0;
+  Alcotest.(check bool) "published again" true (Mds.Provider.publications provider >= 3);
+  (match Mds.Directory.lookup dir "big-site" with
+  | Some { Mds.Directory.latest = Some s; _ } ->
+    Alcotest.(check int) "usage visible" (64 - 8) s.Mds.Directory.free_cpus
+  | _ -> Alcotest.fail "no status");
+  Mds.Provider.stop provider;
+  let before = Mds.Provider.publications provider in
+  Grid_sim.Engine.run_until engine 300.0;
+  Alcotest.(check bool) "stopped" true (Mds.Provider.publications provider <= before + 1)
+
+(* --- Broker -------------------------------------------------------------------- *)
+
+let test_broker_picks_fitting_site () =
+  let tb, big, small, kate = build_two_sites () in
+  let dir = Mds.Directory.create (Testbed.engine tb) in
+  let _pb = Mds.Provider.attach ~directory:dir ~site:"anl" big in
+  let _ps = Mds.Provider.attach ~directory:dir ~site:"nersc" small in
+  let broker = Mds.Broker.create ~directory:dir [ big; small ] in
+  (* 8 cpus only fit the big site. *)
+  (match Mds.Broker.submit broker ~identity:kate ~rsl:"&(executable=x)(count=8)" with
+  | Ok (site, _) -> Alcotest.(check string) "big site chosen" "big-site" site
+  | Error e -> Alcotest.failf "broker: %s" (Mds.Broker.error_to_string e));
+  (* 100 cpus fit nowhere. *)
+  match Mds.Broker.submit broker ~identity:kate ~rsl:"&(executable=x)(count=100)" with
+  | Error Mds.Broker.No_candidates -> ()
+  | _ -> Alcotest.fail "impossible job placed"
+
+let test_broker_falls_through_on_refusal () =
+  (* The directory says the big site has room, but its PEP refuses the
+     user; the broker must fall through to the small site. *)
+  let tb = Testbed.create () in
+  let gridmap = Gsi.Gridmap.parse (Printf.sprintf "%S kate\n" Fusion.kate_keahey) in
+  let choosy =
+    Testbed.make_resource tb ~name:"choosy" ~nodes:8 ~cpus_per_node:8 ~gridmap
+      ~backend:(Custom (Callout.Callout.deny_all ~reason:"not here"))
+  in
+  let open_site =
+    Testbed.make_resource tb ~name:"open" ~nodes:1 ~cpus_per_node:4 ~gridmap
+      ~backend:(Custom Callout.Callout.permit_all)
+  in
+  let dir = Mds.Directory.create (Testbed.engine tb) in
+  let _p1 = Mds.Provider.attach ~directory:dir ~site:"a" choosy in
+  let _p2 = Mds.Provider.attach ~directory:dir ~site:"b" open_site in
+  let kate = Testbed.add_user tb Fusion.kate_keahey in
+  let broker = Mds.Broker.create ~directory:dir [ choosy; open_site ] in
+  match Mds.Broker.submit broker ~identity:kate ~rsl:"&(executable=x)(count=2)" with
+  | Ok (site, _) -> Alcotest.(check string) "fell through" "open" site
+  | Error e -> Alcotest.failf "broker: %s" (Mds.Broker.error_to_string e)
+
+let test_broker_precheck_blocks_doomed_submission () =
+  let tb, big, small, kate = build_two_sites () in
+  let dir = Mds.Directory.create (Testbed.engine tb) in
+  let _p = Mds.Provider.attach ~directory:dir ~site:"anl" big in
+  let _p2 = Mds.Provider.attach ~directory:dir ~site:"nersc" small in
+  let vo_policy =
+    Policy.Parse.parse (Fusion.kate_keahey ^ ": &(action = start)(executable = TRANSP)")
+  in
+  let precheck request = Policy.Eval.is_permit (Policy.Eval.evaluate vo_policy request) in
+  let broker = Mds.Broker.create ~precheck ~directory:dir [ big; small ] in
+  (match Mds.Broker.submit broker ~identity:kate ~rsl:"&(executable=TRANSP)" with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "pre-check blocked a permitted job: %s" (Mds.Broker.error_to_string e));
+  match Mds.Broker.submit broker ~identity:kate ~rsl:"&(executable=rm)" with
+  | Error (Mds.Broker.All_failed [ { site = "(broker pre-check)"; _ } ]) -> ()
+  | _ -> Alcotest.fail "doomed submission not blocked by pre-check"
+
+let test_broker_reports_all_failures () =
+  let tb = Testbed.create () in
+  let gridmap = Gsi.Gridmap.empty in
+  (* Kate is in nobody's gridmap: every site refuses at the gatekeeper. *)
+  let a =
+    Testbed.make_resource tb ~name:"a" ~gridmap ~backend:(Custom Callout.Callout.permit_all)
+  in
+  let dir = Mds.Directory.create (Testbed.engine tb) in
+  let _p = Mds.Provider.attach ~directory:dir ~site:"a" a in
+  let kate = Testbed.add_user tb Fusion.kate_keahey in
+  let broker = Mds.Broker.create ~directory:dir [ a ] in
+  match Mds.Broker.submit broker ~identity:kate ~rsl:"&(executable=x)" with
+  | Error (Mds.Broker.All_failed [ { site = "a"; error } ]) ->
+    Alcotest.(check bool) "error carried" true (String.length error > 0)
+  | _ -> Alcotest.fail "failure list not reported"
+
+let () =
+  Alcotest.run "grid_mds"
+    [ ( "directory",
+        [ Alcotest.test_case "register/publish/query" `Quick
+            test_directory_register_publish_query;
+          Alcotest.test_case "ttl" `Quick test_directory_ttl;
+          Alcotest.test_case "errors" `Quick test_directory_errors ] );
+      ( "provider",
+        [ Alcotest.test_case "periodic publication" `Quick
+            test_provider_publishes_periodically ] );
+      ( "broker",
+        [ Alcotest.test_case "picks fitting site" `Quick test_broker_picks_fitting_site;
+          Alcotest.test_case "falls through" `Quick test_broker_falls_through_on_refusal;
+          Alcotest.test_case "pre-check" `Quick test_broker_precheck_blocks_doomed_submission;
+          Alcotest.test_case "reports failures" `Quick test_broker_reports_all_failures ] ) ]

@@ -1,0 +1,791 @@
+(* Tests for grid_policy: Figure 3 parsing, the paper's narrated decision
+   scenarios, requirement semantics, NULL/self, multi-source combination,
+   and properties (default deny, grant monotonicity). *)
+
+open Grid_policy
+
+let dn = Grid_gsi.Dn.parse
+
+let start ~who ~rsl =
+  Types.start_request ~subject:(dn who) ~job:(Grid_rsl.Parser.parse_clause_exn rsl)
+
+let manage ~who ~action ~owner ~tag =
+  Types.management_request ~subject:(dn who) ~action ~jobowner:(dn owner) ~jobtag:tag
+
+let check_decision msg expected decision =
+  Alcotest.(check string) msg expected (Eval.decision_to_string decision)
+
+let permits msg policy request =
+  Alcotest.(check bool) msg true (Eval.is_permit (Eval.evaluate policy request))
+
+let denies msg policy request =
+  Alcotest.(check bool) msg false (Eval.is_permit (Eval.evaluate policy request))
+
+(* --- Parsing ------------------------------------------------------------ *)
+
+let test_parse_figure3 () =
+  let policy = Figure3.get () in
+  Alcotest.(check int) "three statements" 3 (List.length policy);
+  match policy with
+  | [ req; bo; kate ] ->
+    Alcotest.(check bool) "first is requirement" true (req.Types.kind = Types.Requirement);
+    Alcotest.(check string) "requirement subject" Figure3.organization
+      (Grid_gsi.Dn.to_string req.Types.subject_pattern);
+    Alcotest.(check bool) "bo is grant" true (bo.Types.kind = Types.Grant);
+    Alcotest.(check int) "bo has two clauses" 2 (List.length bo.Types.clauses);
+    Alcotest.(check int) "kate has two clauses" 2 (List.length kate.Types.clauses)
+  | _ -> Alcotest.fail "wrong statement count"
+
+let test_parse_single_line_statement () =
+  let policy =
+    Parse.parse "/O=Grid/CN=U: &(action = start)(executable = a) &(action = cancel)(jobtag = T)"
+  in
+  match policy with
+  | [ st ] -> Alcotest.(check int) "two clauses on one line" 2 (List.length st.Types.clauses)
+  | _ -> Alcotest.fail "wrong shape"
+
+let test_parse_requirement_without_amp_clause () =
+  (* Figure 3 writes the requirement clause without a leading '&'. *)
+  let policy = Parse.parse "&/O=Grid: (action = start)(jobtag != NULL)" in
+  match policy with
+  | [ st ] ->
+    Alcotest.(check bool) "requirement" true (st.Types.kind = Types.Requirement);
+    Alcotest.(check int) "one clause, two constraints" 2 (List.length (List.hd st.Types.clauses))
+  | _ -> Alcotest.fail "wrong shape"
+
+let test_parse_errors () =
+  let bad text =
+    match Parse.parse_result text with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "accepted %S" text
+  in
+  bad "just words";
+  bad "/O=Grid/CN=U:";
+  bad "/O=Grid/CN=U: &()";
+  bad "/O=Grid/plain: &(a = 1)";
+  bad "(action = start)";
+  bad "/O=Grid/CN=U: &(a = $(VAR))"
+
+let test_roundtrip_through_printer () =
+  let policy = Figure3.get () in
+  let policy' = Parse.parse (Types.to_string policy) in
+  Alcotest.(check int) "same count" (List.length policy) (List.length policy');
+  (* Same decisions on a probe request after round-trip. *)
+  let r = start ~who:Figure3.kate_keahey
+      ~rsl:"&(executable=TRANSP)(directory=/sandbox/test)(jobtag=NFC)" in
+  Alcotest.(check string) "same decision"
+    (Eval.decision_to_string (Eval.evaluate policy r))
+    (Eval.decision_to_string (Eval.evaluate policy' r))
+
+(* --- The paper's narrated scenarios (Section 5.1) ------------------------ *)
+
+let fig3 () = Figure3.get ()
+
+let test_bo_liu_can_start_test1 () =
+  permits "Bo Liu starts test1 with jobtag ADS" (fig3 ())
+    (start ~who:Figure3.bo_liu
+       ~rsl:"&(executable=test1)(directory=/sandbox/test)(jobtag=ADS)(count=3)")
+
+let test_bo_liu_can_start_test2_nfc () =
+  permits "Bo Liu starts test2 with jobtag NFC" (fig3 ())
+    (start ~who:Figure3.bo_liu
+       ~rsl:"&(executable=test2)(directory=/sandbox/test)(jobtag=NFC)(count=2)")
+
+let test_bo_liu_count_limit () =
+  denies "count = 4 exceeds (count < 4)" (fig3 ())
+    (start ~who:Figure3.bo_liu
+       ~rsl:"&(executable=test1)(directory=/sandbox/test)(jobtag=ADS)(count=4)");
+  permits "count omitted defaults to 1" (fig3 ())
+    (start ~who:Figure3.bo_liu ~rsl:"&(executable=test1)(directory=/sandbox/test)(jobtag=ADS)")
+
+let test_bo_liu_wrong_executable () =
+  denies "TRANSP is not granted to Bo Liu" (fig3 ())
+    (start ~who:Figure3.bo_liu
+       ~rsl:"&(executable=TRANSP)(directory=/sandbox/test)(jobtag=NFC)")
+
+let test_bo_liu_wrong_directory () =
+  denies "directory constraint" (fig3 ())
+    (start ~who:Figure3.bo_liu ~rsl:"&(executable=test1)(directory=/tmp)(jobtag=ADS)")
+
+let test_bo_liu_wrong_jobtag_pairing () =
+  (* test1 is tied to ADS and test2 to NFC; crossing them is denied. *)
+  denies "test1 with NFC" (fig3 ())
+    (start ~who:Figure3.bo_liu ~rsl:"&(executable=test1)(directory=/sandbox/test)(jobtag=NFC)")
+
+let test_kate_can_start_transp () =
+  permits "Kate starts TRANSP" (fig3 ())
+    (start ~who:Figure3.kate_keahey
+       ~rsl:"&(executable=TRANSP)(directory=/sandbox/test)(jobtag=NFC)")
+
+let test_kate_can_cancel_nfc_jobs () =
+  (* "It also gives her the right to cancel all the jobs with jobtag NFC;
+     for example, jobs based on the executable test1 started by Bo Liu." *)
+  permits "Kate cancels Bo Liu's NFC job" (fig3 ())
+    (manage ~who:Figure3.kate_keahey ~action:Types.Action.Cancel ~owner:Figure3.bo_liu
+       ~tag:(Some "NFC"))
+
+let test_kate_cannot_cancel_ads_jobs () =
+  denies "Kate cannot cancel ADS jobs" (fig3 ())
+    (manage ~who:Figure3.kate_keahey ~action:Types.Action.Cancel ~owner:Figure3.bo_liu
+       ~tag:(Some "ADS"))
+
+let test_bo_liu_cannot_cancel () =
+  denies "Bo Liu has no cancel grant" (fig3 ())
+    (manage ~who:Figure3.bo_liu ~action:Types.Action.Cancel ~owner:Figure3.kate_keahey
+       ~tag:(Some "NFC"))
+
+let test_jobtag_requirement_enforced () =
+  (* The group requirement: start requests from mcs.anl.gov must carry a
+     jobtag. Kate's request without one is denied even though a grant
+     would otherwise... not match either, but check the reason. *)
+  let r =
+    start ~who:Figure3.kate_keahey ~rsl:"&(executable=TRANSP)(directory=/sandbox/test)"
+  in
+  (match Eval.evaluate (fig3 ()) r with
+  | Eval.Deny (Eval.Requirement_violated { constr; _ }) ->
+    Alcotest.(check string) "the jobtag constraint" "(jobtag != NULL)"
+      (Types.constr_to_string constr)
+  | d -> Alcotest.failf "expected requirement violation, got %s" (Eval.decision_to_string d));
+  (* The requirement guard is on action=start: cancel without jobtag is not
+     a requirement violation. *)
+  permits "cancel is not guarded by the start requirement" (fig3 ())
+    (manage ~who:Figure3.kate_keahey ~action:Types.Action.Cancel ~owner:Figure3.bo_liu
+       ~tag:(Some "NFC"))
+
+let test_outsider_denied () =
+  let r =
+    start ~who:"/O=Grid/O=Globus/OU=cs.wisc.edu/CN=Someone Else"
+      ~rsl:"&(executable=test1)(directory=/sandbox/test)(jobtag=ADS)"
+  in
+  check_decision "no applicable statement" "DENY: no policy statement applies to this subject"
+    (Eval.evaluate (fig3 ()) r)
+
+(* --- Constraint semantics ------------------------------------------------ *)
+
+let policy_of = Parse.parse
+
+let test_value_set_membership () =
+  let p = policy_of "/O=Grid/CN=U: &(action = start)(executable = a b c)" in
+  permits "member of set" p (start ~who:"/O=Grid/CN=U" ~rsl:"&(executable=b)(jobtag=t)");
+  denies "not member" p (start ~who:"/O=Grid/CN=U" ~rsl:"&(executable=d)")
+
+let test_neq_forbids_value () =
+  let p = policy_of "/O=Grid/CN=U: &(action = start)(queue != reserved)" in
+  permits "other queue fine" p (start ~who:"/O=Grid/CN=U" ~rsl:"&(executable=x)(queue=batch)");
+  permits "absent queue fine" p (start ~who:"/O=Grid/CN=U" ~rsl:"&(executable=x)");
+  denies "reserved queue denied" p
+    (start ~who:"/O=Grid/CN=U" ~rsl:"&(executable=x)(queue=reserved)")
+
+let test_null_semantics () =
+  let p = policy_of "/O=Grid/CN=U: &(action = start)(jobtag != NULL)" in
+  permits "jobtag present" p (start ~who:"/O=Grid/CN=U" ~rsl:"&(executable=x)(jobtag=T)");
+  denies "jobtag absent" p (start ~who:"/O=Grid/CN=U" ~rsl:"&(executable=x)");
+  let p2 = policy_of "/O=Grid/CN=U: &(action = start)(queue = NULL)" in
+  permits "queue absent satisfies = NULL" p2 (start ~who:"/O=Grid/CN=U" ~rsl:"&(executable=x)");
+  denies "queue present violates = NULL" p2
+    (start ~who:"/O=Grid/CN=U" ~rsl:"&(executable=x)(queue=batch)")
+
+let test_self_semantics () =
+  (* GT2's implicit rule, expressed in the language: you may manage your
+     own jobs. *)
+  let p = policy_of "/O=Grid: &(action = cancel)(jobowner = self)" in
+  permits "owner cancels own job" p
+    (manage ~who:"/O=Grid/CN=A" ~action:Types.Action.Cancel ~owner:"/O=Grid/CN=A" ~tag:None);
+  denies "other cannot cancel" p
+    (manage ~who:"/O=Grid/CN=B" ~action:Types.Action.Cancel ~owner:"/O=Grid/CN=A" ~tag:None)
+
+let test_numeric_bounds () =
+  let p = policy_of "/O=Grid/CN=U: &(action = start)(count >= 2)(count <= 8)" in
+  permits "inside range" p (start ~who:"/O=Grid/CN=U" ~rsl:"&(executable=x)(count=5)");
+  denies "below" p (start ~who:"/O=Grid/CN=U" ~rsl:"&(executable=x)(count=1)");
+  denies "above" p (start ~who:"/O=Grid/CN=U" ~rsl:"&(executable=x)(count=9)");
+  denies "non-numeric request value" p
+    (start ~who:"/O=Grid/CN=U" ~rsl:"&(executable=x)(count=lots)")
+
+let test_prefix_group_grant () =
+  let p = policy_of "/O=Grid/OU=anl: &(action = information)(jobtag != NULL)" in
+  permits "group member" p
+    (manage ~who:"/O=Grid/OU=anl/CN=Member" ~action:Types.Action.Information
+       ~owner:"/O=Grid/OU=anl/CN=Other" ~tag:(Some "T"));
+  denies "non-member" p
+    (manage ~who:"/O=Grid/OU=pnl/CN=Stranger" ~action:Types.Action.Information
+       ~owner:"/O=Grid/OU=anl/CN=Other" ~tag:(Some "T"))
+
+let test_signal_action () =
+  let p = policy_of "/O=Grid/CN=Admin: &(action = signal)(jobtag = DEMO)" in
+  permits "signal granted" p
+    (manage ~who:"/O=Grid/CN=Admin" ~action:Types.Action.Signal ~owner:"/O=Grid/CN=X"
+       ~tag:(Some "DEMO"));
+  denies "start not granted by a signal clause" p
+    (start ~who:"/O=Grid/CN=Admin" ~rsl:"&(executable=x)(jobtag=DEMO)")
+
+let test_requirement_multiple () =
+  (* Two requirements must both hold. *)
+  let p =
+    policy_of
+      {|&/O=Grid: (action = start)(jobtag != NULL)
+&/O=Grid: (action = start)(queue != reserved)
+/O=Grid/CN=U: &(action = start)(executable = x)|}
+  in
+  permits "both satisfied" p (start ~who:"/O=Grid/CN=U" ~rsl:"&(executable=x)(jobtag=T)");
+  denies "first violated" p (start ~who:"/O=Grid/CN=U" ~rsl:"&(executable=x)(queue=batch)");
+  denies "second violated" p
+    (start ~who:"/O=Grid/CN=U" ~rsl:"&(executable=x)(jobtag=T)(queue=reserved)")
+
+let test_requirement_denies_despite_grant () =
+  let p =
+    policy_of
+      {|&/O=Grid: (action = start)(jobtag != NULL)
+/O=Grid/CN=U: &(action = start)(executable = x)|}
+  in
+  match Eval.evaluate p (start ~who:"/O=Grid/CN=U" ~rsl:"&(executable=x)") with
+  | Eval.Deny (Eval.Requirement_violated _) -> ()
+  | d -> Alcotest.failf "expected requirement violation, got %s" (Eval.decision_to_string d)
+
+let test_validate () =
+  Alcotest.(check bool) "figure 3 validates" true
+    (Result.is_ok (Eval.validate (Figure3.get ())));
+  let mixed = policy_of "/O=Grid/CN=U: &(action = start)(jobtag = NULL x)" in
+  Alcotest.(check bool) "NULL mixed flagged" true (Result.is_error (Eval.validate mixed));
+  let nonnum = policy_of "/O=Grid/CN=U: &(action = start)(count < lots)" in
+  Alcotest.(check bool) "non-numeric bound flagged" true
+    (Result.is_error (Eval.validate nonnum));
+  let multi = policy_of "/O=Grid/CN=U: &(action = start)(count < 2 3)" in
+  Alcotest.(check bool) "multi-bound flagged" true (Result.is_error (Eval.validate multi))
+
+let test_explain () =
+  let e =
+    Eval.explain (fig3 ())
+      (start ~who:Figure3.kate_keahey
+         ~rsl:"&(executable=TRANSP)(directory=/sandbox/test)(jobtag=NFC)")
+  in
+  Alcotest.(check bool) "permit" true (Eval.is_permit e.Eval.decision);
+  Alcotest.(check int) "one requirement checked" 1 e.Eval.requirements_checked;
+  Alcotest.(check int) "one grant statement" 1 e.Eval.grants_considered;
+  Alcotest.(check bool) "matched clause reported" true (e.Eval.matched_clause <> None)
+
+(* --- Combination ---------------------------------------------------------- *)
+
+let resource_owner_policy =
+  Parse.parse
+    {|# resource owner: fusion VO members may run, but not on the reserved queue
+/O=Grid/O=Globus/OU=mcs.anl.gov: &(action = start)(queue != reserved)
+/O=Grid/O=Globus/OU=mcs.anl.gov: &(action = cancel) &(action = information) &(action = signal)|}
+
+let test_combination_both_permit () =
+  let sources =
+    [ Combine.source ~name:"resource-owner" resource_owner_policy;
+      Combine.source ~name:"fusion-vo" (fig3 ()) ]
+  in
+  let r =
+    start ~who:Figure3.kate_keahey
+      ~rsl:"&(executable=TRANSP)(directory=/sandbox/test)(jobtag=NFC)"
+  in
+  Alcotest.(check bool) "both permit" true (Combine.is_permit (Combine.evaluate sources r))
+
+let test_combination_owner_denies () =
+  let sources =
+    [ Combine.source ~name:"resource-owner" resource_owner_policy;
+      Combine.source ~name:"fusion-vo" (fig3 ()) ]
+  in
+  let r =
+    start ~who:Figure3.kate_keahey
+      ~rsl:"&(executable=TRANSP)(directory=/sandbox/test)(jobtag=NFC)(queue=reserved)"
+  in
+  match Combine.evaluate sources r with
+  | Combine.Deny { source; _ } -> Alcotest.(check string) "owner denied" "resource-owner" source
+  | Combine.Permit -> Alcotest.fail "reserved queue slipped through"
+
+let test_combination_vo_denies () =
+  let sources =
+    [ Combine.source ~name:"resource-owner" resource_owner_policy;
+      Combine.source ~name:"fusion-vo" (fig3 ()) ]
+  in
+  let r =
+    start ~who:Figure3.bo_liu ~rsl:"&(executable=TRANSP)(directory=/sandbox/test)(jobtag=NFC)"
+  in
+  match Combine.evaluate sources r with
+  | Combine.Deny { source; _ } -> Alcotest.(check string) "vo denied" "fusion-vo" source
+  | Combine.Permit -> Alcotest.fail "unauthorized executable slipped through"
+
+let test_combination_empty_fails_closed () =
+  let r = start ~who:"/O=Grid/CN=U" ~rsl:"&(executable=x)" in
+  Alcotest.(check bool) "fail closed" false (Combine.is_permit (Combine.evaluate [] r))
+
+let test_combination_order_independent_outcome () =
+  let a = Combine.source ~name:"a" resource_owner_policy in
+  let b = Combine.source ~name:"b" (fig3 ()) in
+  let requests =
+    [ start ~who:Figure3.kate_keahey
+        ~rsl:"&(executable=TRANSP)(directory=/sandbox/test)(jobtag=NFC)";
+      start ~who:Figure3.bo_liu ~rsl:"&(executable=test1)(directory=/sandbox/test)(jobtag=ADS)";
+      start ~who:Figure3.bo_liu ~rsl:"&(executable=evil)(jobtag=ADS)" ]
+  in
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) "permit/deny independent of source order"
+        (Combine.is_permit (Combine.evaluate [ a; b ] r))
+        (Combine.is_permit (Combine.evaluate [ b; a ] r)))
+    requests
+
+(* --- Query ------------------------------------------------------------------ *)
+
+let test_query_rights_of_kate () =
+  let grants = Query.grants_for (fig3 ()) ~subject:(dn Figure3.kate_keahey) in
+  Alcotest.(check int) "two granted clauses" 2 (List.length grants);
+  Alcotest.(check bool) "may start" true
+    (Query.may_perform (fig3 ()) ~subject:(dn Figure3.kate_keahey) Types.Action.Start);
+  Alcotest.(check bool) "may cancel" true
+    (Query.may_perform (fig3 ()) ~subject:(dn Figure3.kate_keahey) Types.Action.Cancel);
+  Alcotest.(check bool) "may not signal" false
+    (Query.may_perform (fig3 ()) ~subject:(dn Figure3.kate_keahey) Types.Action.Signal)
+
+let test_query_executables () =
+  Alcotest.(check (list string)) "bo's executables" [ "test1"; "test2" ]
+    (Query.allowed_values (fig3 ()) ~subject:(dn Figure3.bo_liu) ~attribute:"executable");
+  Alcotest.(check (list string)) "kate's executables" [ "TRANSP" ]
+    (Query.allowed_values (fig3 ()) ~subject:(dn Figure3.kate_keahey) ~attribute:"executable");
+  Alcotest.(check (list string)) "outsider gets nothing" []
+    (Query.allowed_values (fig3 ()) ~subject:(dn "/O=Other/CN=X") ~attribute:"executable")
+
+let test_query_who_can () =
+  let cancellers tag = Query.who_can (fig3 ()) ~action:Types.Action.Cancel ?jobtag:tag () in
+  Alcotest.(check (list string)) "NFC cancellers" [ Figure3.kate_keahey ]
+    (List.map Grid_gsi.Dn.to_string (cancellers (Some "NFC")));
+  Alcotest.(check (list string)) "ADS cancellers: none" []
+    (List.map Grid_gsi.Dn.to_string (cancellers (Some "ADS")));
+  (* Unconstrained-tag management shows up regardless of tag. *)
+  let p = policy_of "/O=G/CN=Admin: &(action = cancel)" in
+  Alcotest.(check int) "admin cancels any tag" 1
+    (List.length (Query.who_can p ~action:Types.Action.Cancel ~jobtag:"whatever" ()))
+
+let test_query_actions_of_clause () =
+  let clause rsl = List.hd (List.hd (policy_of ("/O=G: " ^ rsl))).Types.clauses in
+  Alcotest.(check int) "unconstrained clause admits all actions" 4
+    (List.length (Query.actions_of_clause (clause "&(executable = x)")));
+  Alcotest.(check int) "pinned to one" 1
+    (List.length (Query.actions_of_clause (clause "&(action = cancel)(jobtag = T)")));
+  Alcotest.(check int) "neq excludes" 3
+    (List.length (Query.actions_of_clause (clause "&(action != start)")))
+
+let test_query_requirements () =
+  Alcotest.(check int) "kate is under the tag requirement" 1
+    (List.length (Query.requirements_for (fig3 ()) ~subject:(dn Figure3.kate_keahey)));
+  Alcotest.(check int) "outsider is not" 0
+    (List.length (Query.requirements_for (fig3 ()) ~subject:(dn "/O=Other/CN=X")))
+
+let test_query_pp_rights () =
+  let s = Fmt.str "%a" Query.pp_rights (fig3 (), dn Figure3.kate_keahey) in
+  Alcotest.(check bool) "mentions TRANSP" true (Grid_util.Str_search.contains s "TRANSP");
+  Alcotest.(check bool) "mentions requirement" true
+    (Grid_util.Str_search.contains s "jobtag != NULL")
+
+(* --- Lint ------------------------------------------------------------------- *)
+
+let lint_messages policy =
+  List.map Lint.finding_to_string (Lint.lint policy)
+
+let test_lint_clean_policy () =
+  Alcotest.(check (list string)) "figure 3 is clean" [] (lint_messages (Figure3.get ()))
+
+let test_lint_contradictory_equalities () =
+  let p = policy_of "/O=G/CN=U: &(action = start)(executable = a)(executable = b)" in
+  let findings = Lint.lint p in
+  Alcotest.(check bool) "error found" true (Lint.has_errors findings);
+  Alcotest.(check bool) "names the attribute" true
+    (List.exists
+       (fun f -> Grid_util.Str_search.contains f.Lint.message "no common value")
+       findings)
+
+let test_lint_presence_conflict () =
+  let p = policy_of "/O=G/CN=U: &(action = start)(jobtag = NULL)(jobtag != NULL)" in
+  Alcotest.(check bool) "error found" true (Lint.has_errors (Lint.lint p));
+  let p2 = policy_of "/O=G/CN=U: &(action = start)(queue = NULL)(queue = batch)" in
+  Alcotest.(check bool) "absent-yet-equal flagged" true (Lint.has_errors (Lint.lint p2))
+
+let test_lint_empty_interval () =
+  let p = policy_of "/O=G/CN=U: &(action = start)(count > 5)(count < 3)" in
+  Alcotest.(check bool) "empty interval" true (Lint.has_errors (Lint.lint p));
+  let boundary = policy_of "/O=G/CN=U: &(action = start)(count >= 3)(count < 3)" in
+  Alcotest.(check bool) "half-open boundary" true (Lint.has_errors (Lint.lint boundary));
+  let fine = policy_of "/O=G/CN=U: &(action = start)(count >= 3)(count <= 3)" in
+  Alcotest.(check bool) "exact point is satisfiable" false (Lint.has_errors (Lint.lint fine))
+
+let test_lint_subsumed_clause () =
+  let p =
+    policy_of
+      {|/O=G/CN=U: &(action = start)(executable = a) &(action = start)(executable = a)(count < 4)|}
+  in
+  let findings = Lint.lint p in
+  Alcotest.(check bool) "subsumption warned" true
+    (List.exists
+       (fun f -> Grid_util.Str_search.contains f.Lint.message "subsumed")
+       findings);
+  Alcotest.(check bool) "only a warning" false (Lint.has_errors findings)
+
+let test_lint_all_action_grant () =
+  let p = policy_of "/O=G/CN=U: &(executable = a)" in
+  Alcotest.(check bool) "warned" true
+    (List.exists
+       (fun f -> Grid_util.Str_search.contains f.Lint.message "permits every action")
+       (Lint.lint p))
+
+let test_lint_duplicate_statement () =
+  let p =
+    policy_of
+      {|/O=G/CN=U: &(action = start)(executable = a)
+/O=G/CN=U: &(action = start)(executable = a)|}
+  in
+  Alcotest.(check bool) "duplicate statement warned" true
+    (List.exists
+       (fun f -> Grid_util.Str_search.contains f.Lint.message "already covered")
+       (Lint.lint p))
+
+(* --- Differential testing against a reference evaluator --------------------- *)
+
+(* An independent, deliberately naive re-implementation of the decision
+   procedure, written straight from the semantics in eval.ml's header
+   (and the paper's Section 5.1 prose). The production evaluator must
+   agree with it on arbitrary inputs. *)
+module Reference = struct
+  let view_of (r : Types.request) : (string * string list) list =
+    let base = [ ("action", [ Types.Action.to_string r.Types.action ]) ] in
+    let owner =
+      match r.Types.jobowner with
+      | Some d -> [ ("jobowner", [ Grid_gsi.Dn.to_string d ]) ]
+      | None -> []
+    in
+    let tag = match r.Types.jobtag with Some t -> [ ("jobtag", [ t ]) ] | None -> [] in
+    let job =
+      match r.Types.job with
+      | None -> []
+      | Some clause ->
+        List.filter_map
+          (fun (rel : Grid_rsl.Ast.relation) ->
+            if rel.Grid_rsl.Ast.op <> Grid_rsl.Ast.Eq then None
+            else
+              Some
+                ( rel.Grid_rsl.Ast.attribute,
+                  List.map
+                    (function
+                      | Grid_rsl.Ast.Literal s -> s
+                      | Grid_rsl.Ast.Variable v -> Printf.sprintf "$(%s)" v
+                      | Grid_rsl.Ast.Binding (n, v) -> Printf.sprintf "(%s %s)" n v)
+                    rel.Grid_rsl.Ast.values ))
+          clause
+    in
+    let v = base @ owner @ tag @ job in
+    if r.Types.action = Types.Action.Start && not (List.mem_assoc "count" v) then
+      v @ [ ("count", [ "1" ]) ]
+    else v
+
+  let holds ~subject view (c : Types.constr) =
+    let actual = Option.value (List.assoc_opt c.Types.attribute view) ~default:[] in
+    let resolve = function
+      | Types.Str s -> Some s
+      | Types.Self -> Some (Grid_gsi.Dn.to_string subject)
+      | Types.Null -> None
+    in
+    if List.mem Types.Null c.Types.values then
+      List.length c.Types.values = 1
+      &&
+      match c.Types.op with
+      | Grid_rsl.Ast.Eq -> actual = []
+      | Grid_rsl.Ast.Neq -> actual <> []
+      | _ -> false
+    else
+      let allowed = List.filter_map resolve c.Types.values in
+      match c.Types.op with
+      | Grid_rsl.Ast.Eq ->
+        actual <> [] && List.for_all (fun v -> List.mem v allowed) actual
+      | Grid_rsl.Ast.Neq -> not (List.exists (fun v -> List.mem v allowed) actual)
+      | op -> begin
+        match allowed with
+        | [ bound ] -> begin
+          match float_of_string_opt bound with
+          | None -> false
+          | Some b ->
+            actual <> []
+            && List.for_all
+                 (fun v ->
+                   match float_of_string_opt v with
+                   | None -> false
+                   | Some x -> (
+                     match op with
+                     | Grid_rsl.Ast.Lt -> x < b
+                     | Grid_rsl.Ast.Gt -> x > b
+                     | Grid_rsl.Ast.Le -> x <= b
+                     | Grid_rsl.Ast.Ge -> x >= b
+                     | _ -> false))
+                 actual
+        end
+        | _ -> false
+      end
+
+  let permits (policy : Types.t) (r : Types.request) : bool =
+    let subject = r.Types.subject in
+    let view = view_of r in
+    let applicable =
+      List.filter (fun st -> Types.statement_applies st ~subject) policy
+    in
+    let requirement_ok (st : Types.statement) =
+      st.Types.kind <> Types.Requirement
+      || List.for_all
+           (fun clause ->
+             let guards, rest =
+               List.partition (fun (c : Types.constr) -> c.Types.attribute = "action") clause
+             in
+             (not (List.for_all (holds ~subject view) guards))
+             || List.for_all (holds ~subject view) rest)
+           st.Types.clauses
+    in
+    let granted (st : Types.statement) =
+      st.Types.kind = Types.Grant
+      && List.exists (fun clause -> List.for_all (holds ~subject view) clause) st.Types.clauses
+    in
+    List.for_all requirement_ok applicable && List.exists granted applicable
+end
+
+(* Random policies and requests over a shared small vocabulary so that
+   collisions (and therefore permits) actually happen. *)
+let gen_diff_policy : Types.t QCheck.Gen.t =
+  QCheck.Gen.(
+    let subject = oneofl [ "/O=G"; "/O=G/CN=a"; "/O=G/CN=b"; "/O=H/CN=c" ] in
+    let attr = oneofl [ "executable"; "count"; "jobtag"; "queue"; "jobowner"; "action" ] in
+    let cvalue =
+      frequency
+        [ (6, map (fun s -> Types.Str s) (oneofl [ "x"; "y"; "2"; "5"; "start"; "cancel" ]));
+          (1, return Types.Self);
+          (1, return Types.Null) ]
+    in
+    let constr =
+      let* attribute = attr in
+      let* op = oneofl Grid_rsl.Ast.[ Eq; Neq; Lt; Le; Gt; Ge ] in
+      let* values = list_size (int_range 1 2) cvalue in
+      return { Types.attribute; op; values }
+    in
+    let clause = list_size (int_range 1 4) constr in
+    let statement =
+      let* kind = frequency [ (3, return Types.Grant); (1, return Types.Requirement) ] in
+      let* s = subject in
+      let* clauses = list_size (int_range 1 3) clause in
+      return { Types.kind; subject_pattern = Grid_gsi.Dn.parse s; clauses }
+    in
+    list_size (int_range 0 6) statement)
+
+let gen_diff_request : Types.request QCheck.Gen.t =
+  QCheck.Gen.(
+    let subject = oneofl [ "/O=G/CN=a"; "/O=G/CN=b"; "/O=H/CN=c" ] in
+    let* who = subject in
+    let* is_start = bool in
+    if is_start then
+      let* exe = oneofl [ "x"; "y"; "z" ] in
+      let* count = oneofl [ ""; "(count=2)"; "(count=5)"; "(count=bad)" ] in
+      let* tag = oneofl [ ""; "(jobtag=x)"; "(jobtag=y)" ] in
+      let* queue = oneofl [ ""; "(queue=x)" ] in
+      return
+        (start ~who ~rsl:(Printf.sprintf "&(executable=%s)%s%s%s" exe count tag queue))
+    else
+      let* owner = subject in
+      let* action = oneofl Types.Action.[ Cancel; Information; Signal ] in
+      let* tag = oneofl [ None; Some "x"; Some "y" ] in
+      return (manage ~who ~action ~owner ~tag))
+
+let qcheck_lint_never_flags_satisfied_clause =
+  (* Soundness: if some request satisfies a clause, the linter must not
+     call it unsatisfiable. Reuse the differential generators. *)
+  QCheck.Test.make ~name:"lint unsatisfiability is sound" ~count:1000
+    (QCheck.make
+       QCheck.Gen.(pair gen_diff_policy (list_size (int_range 1 6) gen_diff_request))
+       ~print:(fun (p, _) -> Types.to_string p))
+    (fun (policy, requests) ->
+      List.for_all
+        (fun (st : Types.statement) ->
+          List.for_all
+            (fun clause ->
+              match Lint.clause_unsatisfiable clause with
+              | None -> true
+              | Some _ ->
+                (* Claimed unsatisfiable: no sampled request may satisfy it. *)
+                not
+                  (List.exists
+                     (fun (r : Types.request) ->
+                       Eval.clause_satisfied ~subject:r.Types.subject
+                         (Eval.View.of_request r) clause)
+                     requests))
+            st.Types.clauses)
+        policy)
+
+let qcheck_differential_reference =
+  QCheck.Test.make ~name:"evaluator agrees with the naive reference" ~count:2000
+    (QCheck.make
+       QCheck.Gen.(pair gen_diff_policy gen_diff_request)
+       ~print:(fun (p, r) ->
+         Printf.sprintf "POLICY:\n%s\nREQUEST: %s" (Types.to_string p)
+           (Fmt.to_to_string Types.pp_request r)))
+    (fun (policy, request) ->
+      Eval.is_permit (Eval.evaluate policy request) = Reference.permits policy request)
+
+(* --- Properties ------------------------------------------------------------ *)
+
+let gen_subject =
+  QCheck.Gen.(
+    oneofl
+      [ Figure3.bo_liu; Figure3.kate_keahey;
+        Figure3.organization ^ "/CN=Random User"; "/O=Elsewhere/CN=Stranger" ])
+
+let gen_request =
+  QCheck.Gen.(
+    let gen_tag = oneofl [ None; Some "NFC"; Some "ADS"; Some "X" ] in
+    let gen_exe = oneofl [ "test1"; "test2"; "TRANSP"; "other" ] in
+    let gen_dir = oneofl [ "/sandbox/test"; "/tmp" ] in
+    let gen_count = int_range 1 6 in
+    let* subj = gen_subject in
+    let* kind = oneofl [ `Start; `Cancel ] in
+    match kind with
+    | `Start ->
+      let* exe = gen_exe and* dir = gen_dir and* count = gen_count and* tag = gen_tag in
+      let tag_part = match tag with None -> "" | Some t -> Printf.sprintf "(jobtag=%s)" t in
+      let rsl = Printf.sprintf "&(executable=%s)(directory=%s)(count=%d)%s" exe dir count tag_part in
+      return (start ~who:subj ~rsl)
+    | `Cancel ->
+      let* owner = gen_subject and* tag = gen_tag in
+      return (manage ~who:subj ~action:Types.Action.Cancel ~owner ~tag))
+
+let arb_request =
+  QCheck.make gen_request ~print:(Fmt.to_to_string Types.pp_request)
+
+let qcheck_default_deny =
+  QCheck.Test.make ~name:"empty policy denies everything" ~count:200 arb_request (fun r ->
+      not (Eval.is_permit (Eval.evaluate [] r)))
+
+let qcheck_deterministic =
+  QCheck.Test.make ~name:"evaluation is deterministic" ~count:200 arb_request (fun r ->
+      Eval.evaluate (fig3 ()) r = Eval.evaluate (fig3 ()) r)
+
+let qcheck_grant_monotonic =
+  (* Adding a grant statement never turns Permit into Deny (requirements
+     unchanged). *)
+  let extra =
+    Parse.parse "/O=Grid: &(action = start)(executable = bonus)" |> List.hd
+  in
+  QCheck.Test.make ~name:"adding a grant is monotonic" ~count:200 arb_request (fun r ->
+      let before = Eval.is_permit (Eval.evaluate (fig3 ()) r) in
+      let after = Eval.is_permit (Eval.evaluate (fig3 () @ [ extra ]) r) in
+      (not before) || after)
+
+let qcheck_requirement_restrictive =
+  (* Adding a requirement never turns Deny into Permit. *)
+  let extra =
+    List.hd (Parse.parse "&/O=Grid: (action = start)(count < 3)")
+  in
+  QCheck.Test.make ~name:"adding a requirement is restrictive" ~count:200 arb_request
+    (fun r ->
+      let before = Eval.is_permit (Eval.evaluate (fig3 ()) r) in
+      let after = Eval.is_permit (Eval.evaluate (extra :: fig3 ()) r) in
+      (not after) || before)
+
+let qcheck_policy_parser_never_crashes =
+  QCheck.Test.make ~name:"policy parser never crashes" ~count:1000
+    QCheck.(string_gen QCheck.Gen.printable)
+    (fun s -> match Parse.parse_result s with Ok _ | Error _ -> true)
+
+let qcheck_policy_like_fuzz =
+  let gen =
+    QCheck.Gen.(
+      list_size (int_range 1 30)
+        (oneofl
+           [ "/O=G"; "/CN=x"; ":"; "&"; "("; ")"; "action"; "="; "start"; "NULL"; "self";
+             "!="; "<"; "4"; " "; "\n"; "#c\n" ])
+      |> map (String.concat ""))
+  in
+  QCheck.Test.make ~name:"policy-shaped soup never crashes" ~count:1000
+    (QCheck.make gen ~print:(fun s -> s))
+    (fun s -> match Parse.parse_result s with Ok _ | Error _ -> true)
+
+let qcheck_printer_parser_galois =
+  (* Any policy that parses also survives print-then-reparse with the
+     same statement count. *)
+  QCheck.Test.make ~name:"print/parse stability" ~count:300
+    (QCheck.make gen_diff_policy ~print:Types.to_string)
+    (fun p ->
+      match Parse.parse_result (Types.to_string p) with
+      | Ok p' -> List.length p = List.length p'
+      | Error _ -> false)
+
+let qcheck_statement_order_irrelevant =
+  QCheck.Test.make ~name:"statement order does not change the verdict" ~count:200 arb_request
+    (fun r ->
+      let p = fig3 () in
+      let shuffled = List.rev p in
+      Eval.is_permit (Eval.evaluate p r) = Eval.is_permit (Eval.evaluate shuffled r))
+
+let () =
+  Alcotest.run "grid_policy"
+    [ ( "parse",
+        [ Alcotest.test_case "figure 3" `Quick test_parse_figure3;
+          Alcotest.test_case "single line" `Quick test_parse_single_line_statement;
+          Alcotest.test_case "requirement clause without &" `Quick
+            test_parse_requirement_without_amp_clause;
+          Alcotest.test_case "errors" `Quick test_parse_errors;
+          Alcotest.test_case "printer round-trip" `Quick test_roundtrip_through_printer ] );
+      ( "figure3-scenarios",
+        [ Alcotest.test_case "Bo Liu test1/ADS" `Quick test_bo_liu_can_start_test1;
+          Alcotest.test_case "Bo Liu test2/NFC" `Quick test_bo_liu_can_start_test2_nfc;
+          Alcotest.test_case "count < 4" `Quick test_bo_liu_count_limit;
+          Alcotest.test_case "wrong executable" `Quick test_bo_liu_wrong_executable;
+          Alcotest.test_case "wrong directory" `Quick test_bo_liu_wrong_directory;
+          Alcotest.test_case "tag pairing" `Quick test_bo_liu_wrong_jobtag_pairing;
+          Alcotest.test_case "Kate TRANSP" `Quick test_kate_can_start_transp;
+          Alcotest.test_case "Kate cancels NFC" `Quick test_kate_can_cancel_nfc_jobs;
+          Alcotest.test_case "Kate cannot cancel ADS" `Quick test_kate_cannot_cancel_ads_jobs;
+          Alcotest.test_case "Bo Liu cannot cancel" `Quick test_bo_liu_cannot_cancel;
+          Alcotest.test_case "jobtag requirement" `Quick test_jobtag_requirement_enforced;
+          Alcotest.test_case "outsider denied" `Quick test_outsider_denied ] );
+      ( "semantics",
+        [ Alcotest.test_case "value sets" `Quick test_value_set_membership;
+          Alcotest.test_case "!= forbids" `Quick test_neq_forbids_value;
+          Alcotest.test_case "NULL" `Quick test_null_semantics;
+          Alcotest.test_case "self" `Quick test_self_semantics;
+          Alcotest.test_case "numeric bounds" `Quick test_numeric_bounds;
+          Alcotest.test_case "prefix groups" `Quick test_prefix_group_grant;
+          Alcotest.test_case "signal" `Quick test_signal_action;
+          Alcotest.test_case "multiple requirements" `Quick test_requirement_multiple;
+          Alcotest.test_case "requirement overrides grant" `Quick
+            test_requirement_denies_despite_grant;
+          Alcotest.test_case "validation" `Quick test_validate;
+          Alcotest.test_case "explain" `Quick test_explain ] );
+      ( "combination",
+        [ Alcotest.test_case "both permit" `Quick test_combination_both_permit;
+          Alcotest.test_case "owner denies" `Quick test_combination_owner_denies;
+          Alcotest.test_case "vo denies" `Quick test_combination_vo_denies;
+          Alcotest.test_case "empty fails closed" `Quick test_combination_empty_fails_closed;
+          Alcotest.test_case "order independent" `Quick
+            test_combination_order_independent_outcome ] );
+      ( "query",
+        [ Alcotest.test_case "rights of kate" `Quick test_query_rights_of_kate;
+          Alcotest.test_case "executables" `Quick test_query_executables;
+          Alcotest.test_case "who_can" `Quick test_query_who_can;
+          Alcotest.test_case "actions_of_clause" `Quick test_query_actions_of_clause;
+          Alcotest.test_case "requirements" `Quick test_query_requirements;
+          Alcotest.test_case "pp_rights" `Quick test_query_pp_rights ] );
+      ( "lint",
+        [ Alcotest.test_case "clean policy" `Quick test_lint_clean_policy;
+          Alcotest.test_case "contradictory equalities" `Quick
+            test_lint_contradictory_equalities;
+          Alcotest.test_case "presence conflict" `Quick test_lint_presence_conflict;
+          Alcotest.test_case "empty interval" `Quick test_lint_empty_interval;
+          Alcotest.test_case "subsumed clause" `Quick test_lint_subsumed_clause;
+          Alcotest.test_case "all-action grant" `Quick test_lint_all_action_grant;
+          Alcotest.test_case "duplicate statement" `Quick test_lint_duplicate_statement;
+          QCheck_alcotest.to_alcotest qcheck_lint_never_flags_satisfied_clause ] );
+      ( "properties",
+        [ QCheck_alcotest.to_alcotest qcheck_differential_reference;
+          QCheck_alcotest.to_alcotest qcheck_default_deny;
+          QCheck_alcotest.to_alcotest qcheck_deterministic;
+          QCheck_alcotest.to_alcotest qcheck_grant_monotonic;
+          QCheck_alcotest.to_alcotest qcheck_requirement_restrictive;
+          QCheck_alcotest.to_alcotest qcheck_statement_order_irrelevant;
+          QCheck_alcotest.to_alcotest qcheck_policy_parser_never_crashes;
+          QCheck_alcotest.to_alcotest qcheck_policy_like_fuzz;
+          QCheck_alcotest.to_alcotest qcheck_printer_parser_galois ] ) ]

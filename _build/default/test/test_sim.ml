@@ -1,0 +1,159 @@
+(* Tests for grid_sim: event ordering, clock semantics, network model,
+   traces. *)
+
+open Grid_sim
+
+let test_engine_orders_by_time () =
+  let e = Engine.create () in
+  let order = ref [] in
+  Engine.schedule_at e 3.0 (fun () -> order := 3 :: !order);
+  Engine.schedule_at e 1.0 (fun () -> order := 1 :: !order);
+  Engine.schedule_at e 2.0 (fun () -> order := 2 :: !order);
+  Engine.run e;
+  Alcotest.(check (list int)) "time order" [ 1; 2; 3 ] (List.rev !order)
+
+let test_engine_fifo_at_same_time () =
+  let e = Engine.create () in
+  let order = ref [] in
+  for i = 1 to 10 do
+    Engine.schedule_at e 5.0 (fun () -> order := i :: !order)
+  done;
+  Engine.run e;
+  Alcotest.(check (list int)) "fifo ties" [ 1; 2; 3; 4; 5; 6; 7; 8; 9; 10 ] (List.rev !order)
+
+let test_engine_now_advances () =
+  let e = Engine.create () in
+  let seen = ref [] in
+  Engine.schedule_at e 1.5 (fun () -> seen := Engine.now e :: !seen);
+  Engine.schedule_at e 4.0 (fun () -> seen := Engine.now e :: !seen);
+  Engine.run e;
+  Alcotest.(check (list (float 1e-9))) "clock tracks events" [ 1.5; 4.0 ] (List.rev !seen)
+
+let test_engine_rejects_past () =
+  let e = Engine.create () in
+  Engine.schedule_at e 2.0 (fun () ->
+      Alcotest.(check bool) "scheduling in the past raises" true
+        (try
+           Engine.schedule_at e 1.0 ignore;
+           false
+         with Invalid_argument _ -> true));
+  Engine.run e
+
+let test_engine_nested_scheduling () =
+  let e = Engine.create () in
+  let hits = ref 0 in
+  Engine.schedule_at e 1.0 (fun () ->
+      Engine.schedule_after e 1.0 (fun () ->
+          incr hits;
+          Alcotest.(check (float 1e-9)) "nested time" 2.0 (Engine.now e)));
+  Engine.run e;
+  Alcotest.(check int) "nested ran" 1 !hits
+
+let test_engine_run_until () =
+  let e = Engine.create () in
+  let hits = ref 0 in
+  Engine.schedule_at e 1.0 (fun () -> incr hits);
+  Engine.schedule_at e 10.0 (fun () -> incr hits);
+  Engine.run_until e 5.0;
+  Alcotest.(check int) "only events before deadline" 1 !hits;
+  Alcotest.(check (float 1e-9)) "clock at deadline" 5.0 (Engine.now e);
+  Alcotest.(check int) "one pending" 1 (Engine.pending e);
+  Engine.run e;
+  Alcotest.(check int) "remaining fired" 2 !hits
+
+let test_engine_step () =
+  let e = Engine.create () in
+  Alcotest.(check bool) "empty step" false (Engine.step e);
+  Engine.schedule_at e 0.0 ignore;
+  Alcotest.(check bool) "step executes" true (Engine.step e);
+  Alcotest.(check int) "executed counter" 1 (Engine.executed e)
+
+let test_engine_many_events () =
+  (* Exercises heap growth beyond the initial 64-slot array. *)
+  let e = Engine.create () in
+  let r = Grid_util.Rng.create ~seed:5 in
+  let fired = ref 0 in
+  let last = ref (-1.0) in
+  for _ = 1 to 5000 do
+    let at = Grid_util.Rng.float r 1000.0 in
+    Engine.schedule_at e at (fun () ->
+        incr fired;
+        Alcotest.(check bool) "monotone" true (Engine.now e >= !last);
+        last := Engine.now e)
+  done;
+  Engine.run e;
+  Alcotest.(check int) "all fired" 5000 !fired
+
+let test_clock_helpers () =
+  Alcotest.(check (float 1e-9)) "minutes" 90.0 (Clock.minutes 1.5);
+  Alcotest.(check (float 1e-9)) "hours" 7200.0 (Clock.hours 2.0);
+  Alcotest.(check bool) "leq" true Clock.(1.0 <= 1.0)
+
+let test_network_delivers_with_latency () =
+  let e = Engine.create () in
+  let net = Network.create ~base_latency:0.01 ~jitter:0.0 e in
+  let delivered_at = ref nan in
+  Network.send net (fun () -> delivered_at := Engine.now e);
+  Engine.run e;
+  Alcotest.(check (float 1e-9)) "base latency" 0.01 !delivered_at;
+  Alcotest.(check int) "counted" 1 (Network.messages_sent net)
+
+let test_network_jitter_bounded () =
+  let e = Engine.create () in
+  let net = Network.create ~base_latency:0.005 ~jitter:0.002 ~seed:9 e in
+  let times = ref [] in
+  for _ = 1 to 100 do
+    Network.send net (fun () -> times := Engine.now e :: !times)
+  done;
+  Engine.run e;
+  List.iter
+    (fun t -> Alcotest.(check bool) "within [base, base+jitter)" true (t >= 0.005 && t < 0.007))
+    !times
+
+let test_network_zero_latency () =
+  let e = Engine.create () in
+  let net = Network.zero_latency e in
+  let at = ref nan in
+  Network.send net (fun () -> at := Engine.now e);
+  Engine.run e;
+  Alcotest.(check (float 1e-9)) "instant" 0.0 !at
+
+let test_trace_roundtrip () =
+  let tr = Trace.create () in
+  Trace.record tr ~at:1.0 ~source:"client" ~target:"gatekeeper" "submit";
+  Trace.record tr ~at:2.0 ~source:"gatekeeper" ~target:"jmi" "spawn";
+  Trace.record tr ~at:3.0 ~source:"client" ~target:"gatekeeper" "submit";
+  Alcotest.(check int) "entries" 3 (List.length (Trace.entries tr));
+  Alcotest.(check int) "find submit" 2 (Trace.count tr ~label:"submit");
+  Alcotest.(check int) "find spawn" 1 (Trace.count tr ~label:"spawn");
+  let first = List.hd (Trace.entries tr) in
+  Alcotest.(check string) "order preserved" "client" first.Trace.source
+
+let qcheck_engine_executes_all =
+  QCheck.Test.make ~name:"engine executes every scheduled event" ~count:100
+    QCheck.(list (float_bound_exclusive 100.0))
+    (fun times ->
+      let e = Engine.create () in
+      let n = ref 0 in
+      List.iter (fun t -> Engine.schedule_at e t (fun () -> incr n)) times;
+      Engine.run e;
+      !n = List.length times)
+
+let () =
+  Alcotest.run "grid_sim"
+    [ ( "engine",
+        [ Alcotest.test_case "orders by time" `Quick test_engine_orders_by_time;
+          Alcotest.test_case "fifo at same time" `Quick test_engine_fifo_at_same_time;
+          Alcotest.test_case "clock advances" `Quick test_engine_now_advances;
+          Alcotest.test_case "rejects past" `Quick test_engine_rejects_past;
+          Alcotest.test_case "nested scheduling" `Quick test_engine_nested_scheduling;
+          Alcotest.test_case "run_until" `Quick test_engine_run_until;
+          Alcotest.test_case "step" `Quick test_engine_step;
+          Alcotest.test_case "many events (heap growth)" `Quick test_engine_many_events;
+          QCheck_alcotest.to_alcotest qcheck_engine_executes_all ] );
+      ("clock", [ Alcotest.test_case "helpers" `Quick test_clock_helpers ]);
+      ( "network",
+        [ Alcotest.test_case "delivers with latency" `Quick test_network_delivers_with_latency;
+          Alcotest.test_case "jitter bounded" `Quick test_network_jitter_bounded;
+          Alcotest.test_case "zero latency" `Quick test_network_zero_latency ] );
+      ("trace", [ Alcotest.test_case "roundtrip" `Quick test_trace_roundtrip ]) ]

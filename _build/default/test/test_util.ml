@@ -1,0 +1,125 @@
+(* Tests for grid_util: ids, rng, strings. *)
+
+open Grid_util
+
+let test_ids_fresh_unique () =
+  Ids.reset ();
+  let a = Ids.fresh "x" and b = Ids.fresh "x" in
+  Alcotest.(check bool) "distinct" false (String.equal a b);
+  Alcotest.(check string) "prefix" "x-000001" a
+
+let test_ids_reset () =
+  Ids.reset ();
+  let a = Ids.fresh "job" in
+  Ids.reset ();
+  let b = Ids.fresh "job" in
+  Alcotest.(check string) "reset restores counter" a b
+
+let test_ids_kinds () =
+  Ids.reset ();
+  Alcotest.(check bool) "job prefix" true (Strings.starts_with ~prefix:"job-" (Ids.job ()));
+  Alcotest.(check bool) "lease prefix" true (Strings.starts_with ~prefix:"lease-" (Ids.lease ()));
+  Alcotest.(check bool) "req prefix" true (Strings.starts_with ~prefix:"req-" (Ids.request ()));
+  Alcotest.(check bool) "jmi prefix" true (Strings.starts_with ~prefix:"jmi-" (Ids.contact ()))
+
+let test_rng_deterministic () =
+  let a = Rng.create ~seed:42 and b = Rng.create ~seed:42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "same stream" (Rng.int a 1000) (Rng.int b 1000)
+  done
+
+let test_rng_seed_sensitivity () =
+  let a = Rng.create ~seed:1 and b = Rng.create ~seed:2 in
+  let sa = List.init 20 (fun _ -> Rng.int a 1000000) in
+  let sb = List.init 20 (fun _ -> Rng.int b 1000000) in
+  Alcotest.(check bool) "different streams" false (sa = sb)
+
+let test_rng_bounds () =
+  let r = Rng.create ~seed:7 in
+  for _ = 1 to 1000 do
+    let v = Rng.int r 10 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 10)
+  done;
+  for _ = 1 to 1000 do
+    let f = Rng.float r 2.5 in
+    Alcotest.(check bool) "float in range" true (f >= 0.0 && f < 2.5)
+  done
+
+let test_rng_invalid_bound () =
+  let r = Rng.create ~seed:7 in
+  Alcotest.check_raises "zero bound" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int r 0))
+
+let test_rng_pick () =
+  let r = Rng.create ~seed:3 in
+  for _ = 1 to 50 do
+    let v = Rng.pick r [ 1; 2; 3 ] in
+    Alcotest.(check bool) "picked member" true (List.mem v [ 1; 2; 3 ])
+  done
+
+let test_rng_shuffle_permutation () =
+  let r = Rng.create ~seed:11 in
+  let xs = [ 1; 2; 3; 4; 5; 6; 7; 8 ] in
+  let ys = Rng.shuffle r xs in
+  Alcotest.(check (list int)) "same multiset" xs (List.sort compare ys)
+
+let test_strings_strip () =
+  Alcotest.(check string) "strips both ends" "abc" (Strings.strip "  abc\t\n");
+  Alcotest.(check string) "all space" "" (Strings.strip "   ");
+  Alcotest.(check string) "empty" "" (Strings.strip "")
+
+let test_strings_starts_with () =
+  Alcotest.(check bool) "yes" true (Strings.starts_with ~prefix:"ab" "abc");
+  Alcotest.(check bool) "no" false (Strings.starts_with ~prefix:"b" "abc");
+  Alcotest.(check bool) "empty prefix" true (Strings.starts_with ~prefix:"" "abc");
+  Alcotest.(check bool) "longer prefix" false (Strings.starts_with ~prefix:"abcd" "abc")
+
+let test_strings_strip_comment () =
+  Alcotest.(check string) "plain" "a b " (Strings.strip_comment "a b # c");
+  Alcotest.(check string) "quoted hash survives" {|"a#b" c|}
+    (Strings.strip_comment {|"a#b" c|});
+  Alcotest.(check string) "no comment" "abc" (Strings.strip_comment "abc")
+
+let test_strings_config_lines () =
+  let text = "# header\n\n  line one # trailing\nline two\n   \n" in
+  Alcotest.(check (list (pair int string)))
+    "numbered non-blank lines"
+    [ (3, "line one"); (4, "line two") ]
+    (Strings.config_lines text)
+
+let test_strings_split_whitespace () =
+  Alcotest.(check (list string)) "mixed separators" [ "a"; "b"; "c" ]
+    (Strings.split_whitespace " a\tb  \n c ")
+
+let qcheck_shuffle_preserves =
+  QCheck.Test.make ~name:"shuffle preserves elements" ~count:200
+    QCheck.(pair small_int (small_list int))
+    (fun (seed, xs) ->
+      let r = Rng.create ~seed in
+      List.sort compare (Rng.shuffle r xs) = List.sort compare xs)
+
+let qcheck_strip_idempotent =
+  QCheck.Test.make ~name:"strip idempotent" ~count:500 QCheck.string (fun s ->
+      Strings.strip (Strings.strip s) = Strings.strip s)
+
+let () =
+  Alcotest.run "grid_util"
+    [ ( "ids",
+        [ Alcotest.test_case "fresh unique" `Quick test_ids_fresh_unique;
+          Alcotest.test_case "reset" `Quick test_ids_reset;
+          Alcotest.test_case "kinds" `Quick test_ids_kinds ] );
+      ( "rng",
+        [ Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "seed sensitivity" `Quick test_rng_seed_sensitivity;
+          Alcotest.test_case "bounds" `Quick test_rng_bounds;
+          Alcotest.test_case "invalid bound" `Quick test_rng_invalid_bound;
+          Alcotest.test_case "pick" `Quick test_rng_pick;
+          Alcotest.test_case "shuffle permutation" `Quick test_rng_shuffle_permutation;
+          QCheck_alcotest.to_alcotest qcheck_shuffle_preserves ] );
+      ( "strings",
+        [ Alcotest.test_case "strip" `Quick test_strings_strip;
+          Alcotest.test_case "starts_with" `Quick test_strings_starts_with;
+          Alcotest.test_case "strip_comment" `Quick test_strings_strip_comment;
+          Alcotest.test_case "config_lines" `Quick test_strings_config_lines;
+          Alcotest.test_case "split_whitespace" `Quick test_strings_split_whitespace;
+          QCheck_alcotest.to_alcotest qcheck_strip_idempotent ] ) ]

@@ -35,12 +35,47 @@ let run_tests ?(quota = 0.5) tests =
       | Some [] | None -> acc)
     results []
 
+(* Every printed table is also retained so --json can dump the whole run
+   machine-readably at the end. *)
+let collected : (string * (string * float) list) list ref = ref []
+
 let print_table title rows =
+  let rows = List.sort (fun (a, _) (b, _) -> compare a b) rows in
+  collected := (title, rows) :: !collected;
   Printf.printf "\n-- %s\n" title;
   Printf.printf "   %-42s %14s\n" "case" "ns/op";
-  List.iter
-    (fun (name, ns) -> Printf.printf "   %-42s %14.0f\n" name ns)
-    (List.sort (fun (a, _) (b, _) -> compare a b) rows)
+  List.iter (fun (name, ns) -> Printf.printf "   %-42s %14.0f\n" name ns) rows
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let write_json path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      let experiment (title, rows) =
+        Printf.sprintf "{\"title\":\"%s\",\"rows\":[%s]}" (json_escape title)
+          (String.concat ","
+             (List.map
+                (fun (name, ns) ->
+                  Printf.sprintf "{\"case\":\"%s\",\"ns_per_op\":%.1f}" (json_escape name) ns)
+                rows))
+      in
+      output_string oc
+        (Printf.sprintf "{\"harness\":\"grid-authz-bench\",\"experiments\":[%s]}\n"
+           (String.concat "," (List.map experiment (List.rev !collected)))));
+  Printf.printf "\n(wrote %s)\n" path
 
 let section name = Printf.printf "\n=== %s ===\n" name
 
@@ -643,6 +678,54 @@ let t13_akenti_cache () =
   print_table "two-stakeholder decision with attribute certificates" (run_tests tests)
 
 (* ------------------------------------------------------------------ *)
+(* T14: observability instrumentation overhead                          *)
+
+let t14_obs_overhead () =
+  section "T14: instrumentation overhead on the authorization callout";
+  let sources = Fusion.policy_sources (Fusion.build_vo ()) in
+  let query =
+    { Callout.Callout.requester = Gsi.Dn.parse Fusion.kate_keahey;
+      requester_credential = None;
+      job_owner = None;
+      action = Policy.Types.Action.Start;
+      job_id = None;
+      rsl =
+        Some
+          (Rsl.Parser.parse_clause_exn
+             "&(executable=TRANSP)(directory=/sandbox/test)(jobtag=NFC)(count=4)");
+      jobtag = Some "NFC" }
+  in
+  let bare = Callout.File_pep.of_sources sources in
+  (* Disabled observer: instrument returns the callout unchanged, so this
+     measures the guaranteed-zero-cost path. *)
+  let disabled = Callout.Callout.instrument ~backend:"flat_file" ~obs:Obs.Obs.noop bare in
+  (* Enabled observer with a constant clock: full metric + span recording
+     on every decision. The tracer's retention cap (100k spans) bounds
+     memory across the millions of iterations bechamel runs. *)
+  let obs = Obs.Obs.create () in
+  let instrumented =
+    Callout.Callout.instrument ~backend:"flat_file" ~obs
+      (Callout.File_pep.of_sources ~obs sources)
+  in
+  let labels = [ ("backend", "flat_file"); ("action", "start"); ("outcome", "permitted") ] in
+  let tests =
+    [ Test.make ~name:"obs/0-bare-callout"
+        (Staged.stage (fun () -> ignore (bare query)));
+      Test.make ~name:"obs/1-disabled-observer"
+        (Staged.stage (fun () -> ignore (disabled query)));
+      Test.make ~name:"obs/2-instrumented-callout"
+        (Staged.stage (fun () -> ignore (instrumented query)));
+      Test.make ~name:"obs/3-counter-inc-only"
+        (Staged.stage (fun () -> Obs.Obs.incr obs ~labels "authz_decisions_total"));
+      Test.make ~name:"obs/4-span-only"
+        (Staged.stage (fun () -> Obs.Obs.with_span obs "authz.callout" (fun _ -> ()))) ]
+  in
+  print_table "decision cost, bare vs instrumented (metrics + spans)" (run_tests tests);
+  Printf.printf "   spans retained %d, dropped beyond cap %d\n"
+    (List.length (Obs.Span.spans (Obs.Obs.tracer obs)))
+    (Obs.Span.dropped (Obs.Obs.tracer obs))
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [ ("f1", figure1); ("f2", figure2); ("f3", figure3);
@@ -650,20 +733,23 @@ let experiments =
     ("t4", t4_delegation); ("t5", t5_combination); ("t6", t6_rsl_parse);
     ("t7", t7_accounts); ("t8", t8_pep_placement); ("t9", t9_policy_syntax);
     ("t10", t10_discovery); ("t11", t11_allocation); ("t12", t12_workload);
-    ("t13", t13_akenti_cache) ]
+    ("t13", t13_akenti_cache); ("t14", t14_obs_overhead) ]
 
 let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let json = List.mem "--json" args in
   let requested =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as names) -> names
-    | _ -> List.map fst experiments
+    match List.filter (fun a -> a <> "--json") args with
+    | [] -> List.map fst experiments
+    | names -> names
   in
   Printf.printf "Fine-grain GRID authorization: benchmark & figure harness\n";
-  Printf.printf "(figures F1-F3 reproduce the paper's artifacts; T1-T7 are the\n";
+  Printf.printf "(figures F1-F3 reproduce the paper's artifacts; T1-T14 are the\n";
   Printf.printf " quantitative microbenchmarks defined in DESIGN.md)\n";
   List.iter
     (fun name ->
       match List.assoc_opt name experiments with
       | Some f -> f ()
-      | None -> Printf.printf "unknown experiment %S (known: f1 f2 f3 t1..t7)\n" name)
-    requested
+      | None -> Printf.printf "unknown experiment %S (known: f1 f2 f3 t1..t14)\n" name)
+    requested;
+  if json then write_json "BENCH_obs.json"

@@ -275,13 +275,69 @@ let simulate_cmd =
     let audit = Core.Gram.Resource.audit w.Core.Fusion.resource in
     Printf.printf "audit records: %d (%d failures)\n\n"
       (Core.Audit.Audit.count audit)
-      (List.length (Core.Audit.Audit.failures audit));
+      (Core.Audit.Audit.failure_count audit);
     Fmt.pr "%a@." Core.Audit.Reports.pp audit
   in
   Cmd.v
     (Cmd.info "simulate"
        ~doc:"Run a synthetic workload against the National Fusion Collaboratory testbed.")
     Term.(const run $ jobs $ seed $ baseline)
+
+let metrics_cmd =
+  let format =
+    Arg.(
+      value
+      & opt (enum [ ("summary", `Summary); ("prom", `Prom); ("json", `Json) ]) `Summary
+      & info [ "f"; "format" ] ~docv:"FORMAT"
+          ~doc:"Output format: summary (human), prom (Prometheus text) or json.")
+  in
+  let spans =
+    Arg.(value & flag & info [ "spans" ] ~doc:"Also print the span forest.")
+  in
+  let run format spans =
+    (* A short deterministic scenario on the fusion testbed so every
+       decision point fires: permitted and denied submissions, a
+       third-party cancel, and jobs running to completion. *)
+    let w = Core.Fusion.build ~nodes:4 ~cpus_per_node:8 () in
+    let submit client rsl = Core.Gram.Client.submit_sync client ~rsl in
+    ignore
+      (submit w.Core.Fusion.bo
+         "&(executable=test1)(directory=/sandbox/test)(jobtag=ADS)(count=2)(simduration=40)");
+    (* denied: developers are capped at count <= 4 *)
+    ignore
+      (submit w.Core.Fusion.bo
+         "&(executable=test1)(directory=/sandbox/test)(jobtag=ADS)(count=6)");
+    (* denied: analysts may not run test1 *)
+    ignore
+      (submit w.Core.Fusion.kate
+         "&(executable=test1)(directory=/sandbox/test)(jobtag=NFC)");
+    (match
+       submit w.Core.Fusion.kate
+         "&(executable=TRANSP)(directory=/sandbox/test)(jobtag=NFC)(count=4)(simduration=120)"
+     with
+    | Ok reply ->
+      (* third-party management: the VO admin cancels Kate's job *)
+      ignore
+        (Core.Gram.Client.manage_sync w.Core.Fusion.vo_admin
+           ~contact:reply.Core.Gram.Protocol.job_contact Core.Gram.Protocol.Cancel)
+    | Error _ -> ());
+    Core.Testbed.run w.Core.Fusion.testbed;
+    let obs = Core.Gram.Resource.obs w.Core.Fusion.resource in
+    (match format with
+    | `Summary -> Fmt.pr "%a@." Core.Obs.Obs.pp_summary obs
+    | `Prom -> print_string (Core.Obs.Metrics.to_prometheus (Core.Obs.Obs.metrics obs))
+    | `Json -> print_endline (Core.Obs.Metrics.to_json (Core.Obs.Obs.metrics obs)));
+    if spans then begin
+      print_newline ();
+      Fmt.pr "%a@." Core.Obs.Span.pp (Core.Obs.Obs.tracer obs)
+    end
+  in
+  Cmd.v
+    (Cmd.info "metrics"
+       ~doc:
+         "Run a short scenario on the fusion testbed and expose the collected metrics \
+          (authorization decisions, per-stage latencies, LRM activity).")
+    Term.(const run $ format $ spans)
 
 let convert_cmd =
   let syntax =
@@ -336,4 +392,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ check_cmd; show_cmd; eval_cmd; convert_cmd; lint_cmd; rights_cmd;
-            simulate_cmd; figure3_cmd ]))
+            simulate_cmd; metrics_cmd; figure3_cmd ]))

@@ -92,4 +92,11 @@ let () =
     (Policy.Combine.decision_to_string (Policy.Combine.evaluate sources request));
 
   rule "\n=== Compiled VO policy (from group profiles) ===\n%s\n"
-    (Policy.Types.to_string (Vo.Vo.compile_policy w.Fusion.vo))
+    (Policy.Types.to_string (Vo.Vo.compile_policy w.Fusion.vo));
+
+  (* Drain the simulation (remaining jobs run out), then report what the
+     instrumented request path recorded: every authorization decision by
+     backend/action/outcome, and where simulated time was spent. *)
+  Testbed.run w.Fusion.testbed;
+  rule "\n=== Metrics snapshot ===\n";
+  Fmt.pr "%a@." Obs.Obs.pp_summary (Gram.Resource.obs w.Fusion.resource)

@@ -82,4 +82,12 @@ let () =
   (* 9. The audit trail attributes every decision. *)
   print_newline ();
   print_endline "Audit trail:";
-  Fmt.pr "%a@." Audit.Audit.pp (Gram.Resource.audit resource)
+  Fmt.pr "%a@." Audit.Audit.pp (Gram.Resource.audit resource);
+
+  (* 10. Let the admitted job run out, then read the metrics the request
+     path collected along the way: decision counts split by outcome and
+     the per-stage latency breakdown. *)
+  Testbed.run tb;
+  print_newline ();
+  print_endline "Metrics snapshot:";
+  Fmt.pr "%a@." Obs.Obs.pp_summary (Gram.Resource.obs resource)

@@ -37,16 +37,26 @@ type record = {
   detail : string;
 }
 
-type t = { mutable records : record list (* reverse order *) }
+type t = {
+  mutable records : record list;  (* reverse order *)
+  (* Running totals: [count] and failure accounting are consulted on hot
+     paths (per-job workload stats), so they must not walk the log. *)
+  mutable total : int;
+  mutable failure_total : int;
+}
 
-let create () = { records = [] }
+let create () = { records = []; total = 0; failure_total = 0 }
 
 let log t ~at ~kind ?subject ?job_id ~outcome detail =
-  t.records <- { at; kind; subject; job_id; outcome; detail } :: t.records
+  t.records <- { at; kind; subject; job_id; outcome; detail } :: t.records;
+  t.total <- t.total + 1;
+  match outcome with Failure _ -> t.failure_total <- t.failure_total + 1 | Success -> ()
 
 let records t = List.rev t.records
 
-let count t = List.length t.records
+let count t = t.total
+
+let failure_count t = t.failure_total
 
 let by_kind t kind = List.filter (fun r -> r.kind = kind) (records t)
 

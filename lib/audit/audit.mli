@@ -41,6 +41,11 @@ val records : t -> record list
 (** Chronological order. *)
 
 val count : t -> int
+(** O(1): a running total, not a list walk. *)
+
+val failure_count : t -> int
+(** O(1). *)
+
 val by_kind : t -> kind -> record list
 val by_subject : t -> Grid_gsi.Dn.t -> record list
 val by_job : t -> string -> record list

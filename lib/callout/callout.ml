@@ -84,3 +84,33 @@ let counting (c : t) : t * (unit -> int) =
       incr n;
       c q),
     fun () -> !n )
+
+(* Full observability wrapper: the callout is the paper's PEP seam, so this
+   is where every authorization decision is counted and timed. The span
+   nests under whatever stage is current (the JMI's start/manage span),
+   and the decision lands in authz_decisions_total split by action,
+   outcome and backend. *)
+let outcome_label : decision -> string = function
+  | Ok () -> "permitted"
+  | Error (Denied _) -> "denied"
+  | Error (System_error _) -> "system_error"
+  | Error (Bad_configuration _) -> "bad_configuration"
+
+let instrument ?(backend = "pep") ~obs (c : t) : t =
+  if not (Grid_obs.Obs.enabled obs) then c
+  else fun q ->
+    let action = Grid_policy.Types.Action.to_string q.action in
+    let decision =
+      Grid_obs.Obs.with_span obs
+        ~attrs:[ ("backend", backend); ("action", action) ]
+        "authz.callout"
+        (fun span ->
+          let decision = c q in
+          Grid_obs.Span.set_attr span "outcome" (outcome_label decision);
+          decision)
+    in
+    Grid_obs.Obs.incr obs
+      ~labels:
+        [ ("backend", backend); ("action", action); ("outcome", outcome_label decision) ]
+      "authz_decisions_total";
+    decision

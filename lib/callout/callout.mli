@@ -61,3 +61,13 @@ val failing : message:string -> t
 
 val counting : t -> t * (unit -> int)
 (** Wrap a callout with an invocation counter. *)
+
+val outcome_label : decision -> string
+(** ["permitted"] / ["denied"] / ["system_error"] / ["bad_configuration"]:
+    the metric label vocabulary for decisions. *)
+
+val instrument : ?backend:string -> obs:Grid_obs.Obs.t -> t -> t
+(** The timed sibling of {!counting}: wrap a callout so every invocation
+    opens an ["authz.callout"] span and increments
+    [authz_decisions_total{action,outcome,backend}]. A disabled observer
+    returns the callout unchanged. *)

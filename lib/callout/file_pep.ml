@@ -6,17 +6,17 @@
    policy sources with conjunctive combination and maps the policy
    decision onto callout errors. *)
 
-let of_sources (sources : Grid_policy.Combine.source list) : Callout.t =
+let of_sources ?obs (sources : Grid_policy.Combine.source list) : Callout.t =
  fun query ->
   let request = Callout.to_policy_request query in
-  match Grid_policy.Combine.evaluate sources request with
+  match Grid_policy.Combine.evaluate ?obs sources request with
   | Grid_policy.Combine.Permit -> Ok ()
   | Grid_policy.Combine.Deny { source; reason } ->
     Error
       (Callout.Denied
          (Printf.sprintf "%s: %s" source (Grid_policy.Eval.reason_to_string reason)))
 
-let of_policy ~name policy = of_sources [ Grid_policy.Combine.source ~name policy ]
+let of_policy ?obs ~name policy = of_sources ?obs [ Grid_policy.Combine.source ~name policy ]
 
 (* Advice for policy-derived enforcement: the conjunction of the clauses
    that matched in each source. A permitted request has a matched clause
@@ -42,7 +42,7 @@ let advice (sources : Grid_policy.Combine.source list) : Callout.query -> Grid_p
    failure is an authorization *system* error at evaluation time: the PEP
    exists but cannot interpret its policy — it must fail closed without
    masquerading as a mere denial. *)
-let of_texts (named_texts : (string * string) list) : Callout.t =
+let of_texts ?obs (named_texts : (string * string) list) : Callout.t =
   let parsed =
     List.map
       (fun (name, text) ->
@@ -60,4 +60,4 @@ let of_texts (named_texts : (string * string) list) : Callout.t =
   with
   | Some message -> fun _ -> Error (Callout.System_error message)
   | None ->
-    of_sources (List.filter_map (function Ok s -> Some s | Error _ -> None) parsed)
+    of_sources ?obs (List.filter_map (function Ok s -> Some s | Error _ -> None) parsed)

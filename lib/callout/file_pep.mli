@@ -1,10 +1,11 @@
 (** Flat-file policy evaluation point: the paper's prototype PEP. *)
 
-val of_sources : Grid_policy.Combine.source list -> Callout.t
+val of_sources : ?obs:Grid_obs.Obs.t -> Grid_policy.Combine.source list -> Callout.t
 (** Conjunctive evaluation over named policy sources; denial messages name
-    the denying source. *)
+    the denying source. [obs] spans and counts each per-source policy
+    evaluation. *)
 
-val of_policy : name:string -> Grid_policy.Types.t -> Callout.t
+val of_policy : ?obs:Grid_obs.Obs.t -> name:string -> Grid_policy.Types.t -> Callout.t
 
 val advice :
   Grid_policy.Combine.source list ->
@@ -15,7 +16,7 @@ val advice :
     [Grid_accounts.Sandbox.of_policy_clause] for policy-derived
     enforcement. *)
 
-val of_texts : (string * string) list -> Callout.t
+val of_texts : ?obs:Grid_obs.Obs.t -> (string * string) list -> Callout.t
 (** Build a PEP from (source name, policy text) pairs. Unparseable or
     invalid policy text yields a PEP that fails closed with
     [System_error] on every query. *)

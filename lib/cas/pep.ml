@@ -4,44 +4,82 @@
    a credential whose chain carries a capability, verifies the capability
    (signature, lifetime, holder binding), then evaluates the carried
    policy against the request. Missing or invalid capabilities deny;
-   undecodable ones are authorization-system failures. *)
+   undecodable ones are authorization-system failures.
+
+   Observability splits the work into its two distinct costs: capability
+   verification (crypto + lifetime checks, span "cas.verify", counted in
+   capability_checks_total) and policy evaluation of the carried policy
+   (via Eval.observed under source "cas-capability", so it lands in the
+   same policy_eval_total series as the other backends). *)
 
 type clock = unit -> Grid_sim.Clock.time
 
-let callout ~(cas_key : Grid_crypto.Keypair.public) ~(now : clock) : Grid_callout.Callout.t =
- fun query ->
+type verified =
+  | Verified of Capability.t
+  | Not_verified of Grid_callout.Callout.error
+
+(* Find-decode-verify, reported as a single check with one outcome label. *)
+let check_capability ~cas_key ~now (query : Grid_callout.Callout.query) : verified =
   match query.Grid_callout.Callout.requester_credential with
   | None ->
-    Error
+    Not_verified
       (Grid_callout.Callout.Denied "no credential presented; CAS PEP requires a capability")
   | Some credential -> begin
     match Capability.find_in_credential credential with
-    | None -> Error (Grid_callout.Callout.Denied "credential carries no CAS capability")
+    | None ->
+      Not_verified (Grid_callout.Callout.Denied "credential carries no CAS capability")
     | Some (Error m) ->
-      Error (Grid_callout.Callout.System_error ("cannot decode capability: " ^ m))
+      Not_verified (Grid_callout.Callout.System_error ("cannot decode capability: " ^ m))
     | Some (Ok capability) -> begin
       match
         Capability.verify capability ~cas_key
           ~presenter:query.Grid_callout.Callout.requester ~now:(now ())
       with
       | Error e ->
-        Error (Grid_callout.Callout.Denied (Capability.verify_error_to_string e))
-      | Ok () -> begin
-        match Grid_policy.Parse.parse_result capability.Capability.policy_text with
-        | Error m ->
-          Error
-            (Grid_callout.Callout.System_error ("capability carries unparseable policy: " ^ m))
-        | Ok policy -> begin
-          let request = Grid_callout.Callout.to_policy_request query in
-          match Grid_policy.Eval.evaluate policy request with
-          | Grid_policy.Eval.Permit -> Ok ()
-          | Grid_policy.Eval.Deny reason ->
-            Error
-              (Grid_callout.Callout.Denied
-                 (Printf.sprintf "%s (CAS capability from %s)"
-                    (Grid_policy.Eval.reason_to_string reason)
-                    capability.Capability.vo))
-        end
-      end
+        Not_verified (Grid_callout.Callout.Denied (Capability.verify_error_to_string e))
+      | Ok () -> Verified capability
+    end
+  end
+
+let check_outcome = function
+  | Verified _ -> "verified"
+  | Not_verified (Grid_callout.Callout.Denied _) -> "rejected"
+  | Not_verified _ -> "undecodable"
+
+let callout ?(obs = Grid_obs.Obs.noop) ~(cas_key : Grid_crypto.Keypair.public)
+    ~(now : clock) : Grid_callout.Callout.t =
+ fun query ->
+  let verified =
+    if not (Grid_obs.Obs.enabled obs) then check_capability ~cas_key ~now query
+    else begin
+      let verified =
+        Grid_obs.Obs.with_span obs "cas.verify" (fun span ->
+            let verified = check_capability ~cas_key ~now query in
+            Grid_obs.Span.set_attr span "outcome" (check_outcome verified);
+            verified)
+      in
+      Grid_obs.Obs.incr obs
+        ~labels:[ ("outcome", check_outcome verified) ]
+        "capability_checks_total";
+      verified
+    end
+  in
+  match verified with
+  | Not_verified error -> Error error
+  | Verified capability -> begin
+    match Grid_policy.Parse.parse_result capability.Capability.policy_text with
+    | Error m ->
+      Error
+        (Grid_callout.Callout.System_error ("capability carries unparseable policy: " ^ m))
+    | Ok policy -> begin
+      let request = Grid_callout.Callout.to_policy_request query in
+      match Grid_policy.Eval.observed ~obs ~source:"cas-capability" policy request with
+      | Grid_policy.Eval.Permit -> Ok ()
+      | Grid_policy.Eval.Deny reason ->
+        Error
+          (Grid_callout.Callout.Denied
+             (Printf.sprintf "%s (CAS capability from %s)"
+                (Grid_policy.Eval.reason_to_string reason)
+                capability.Capability.vo))
     end
   end

@@ -22,6 +22,7 @@ module Accounts = Grid_accounts
 module Gram = Grid_gram
 module Mds = Grid_mds
 module Audit = Grid_audit
+module Obs = Grid_obs
 
 module Workload = Workload
 
@@ -39,6 +40,7 @@ module Testbed = struct
     engine : Grid_sim.Engine.t;
     ca : Grid_gsi.Ca.t;
     trust : Grid_gsi.Ca.Trust_store.store;
+    obs : Grid_obs.Obs.t;
     mutable users : (string * Grid_gsi.Identity.t) list;
   }
 
@@ -53,11 +55,12 @@ module Testbed = struct
     let ca = Grid_gsi.Ca.create ~now:(Grid_sim.Engine.now engine) ca_name in
     let trust = Grid_gsi.Ca.Trust_store.create () in
     Grid_gsi.Ca.Trust_store.add trust (Grid_gsi.Ca.certificate ca);
-    { engine; ca; trust; users = [] }
+    { engine; ca; trust; obs = Grid_obs.Obs.of_engine engine; users = [] }
 
   let engine t = t.engine
   let ca t = t.ca
   let trust t = t.trust
+  let obs t = t.obs
   let now t = Grid_sim.Engine.now t.engine
 
   let add_user t dn_string =
@@ -72,21 +75,21 @@ module Testbed = struct
     | Some identity -> identity
     | None -> invalid_arg ("Testbed.user: unknown user " ^ dn_string)
 
-  let mode_of_backend = function
+  let mode_of_backend ~obs = function
     | Baseline -> Grid_gram.Mode.Gt2_baseline
     | Flat_file sources ->
       (* Flat-file backends get policy-derived sandboxes for free: the
          clause the decision rested on configures the enforcement
          envelope (DESIGN.md, Section 7 direction). *)
-      Grid_gram.Mode.extended
+      Grid_gram.Mode.extended ~backend:"flat_file"
         ~advice:(Grid_callout.File_pep.advice sources)
-        (Grid_callout.File_pep.of_sources sources)
+        (Grid_callout.File_pep.of_sources ~obs sources)
     | Custom authorization -> Grid_gram.Mode.extended authorization
 
   let make_resource ?(name = "resource") ?(nodes = 4) ?(cpus_per_node = 8) ?queues
       ?(gridmap = Grid_gsi.Gridmap.empty) ?dynamic_accounts ?static_limits
       ?dynamic_limits ?gatekeeper_pep ?allocation ~backend t =
-    let lrm = Grid_lrm.Lrm.create ?queues ~nodes ~cpus_per_node t.engine in
+    let lrm = Grid_lrm.Lrm.create ~obs:t.obs ?queues ~nodes ~cpus_per_node t.engine in
     let pool =
       Option.map
         (fun size ->
@@ -96,8 +99,8 @@ module Testbed = struct
     let mapper =
       Grid_accounts.Mapper.create ?pool ?static_limits ?dynamic_limits gridmap
     in
-    Grid_gram.Resource.create ~name ?gatekeeper_pep ?allocation ~trust:t.trust ~mapper
-      ~mode:(mode_of_backend backend) ~lrm ~engine:t.engine ()
+    Grid_gram.Resource.create ~name ?gatekeeper_pep ?allocation ~obs:t.obs ~trust:t.trust
+      ~mapper ~mode:(mode_of_backend ~obs:t.obs backend) ~lrm ~engine:t.engine ()
 
   let client _t ~user ~resource =
     Grid_gram.Client.create ~identity:user ~resource

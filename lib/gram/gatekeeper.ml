@@ -23,13 +23,17 @@ type t = {
   engine : Grid_sim.Engine.t;
   audit : Grid_audit.Audit.t;
   trace : Grid_sim.Trace.t;
+  obs : Grid_obs.Obs.t;
   outstanding_challenges : (string, unit) Hashtbl.t;
   mutable submissions : int;
 }
 
 let create ?gatekeeper_pep ?allocation ~name ~trust ~mapper ~mode ~lrm ~engine ~audit
-    ~trace () =
-  { name; trust; mapper; mode; gatekeeper_pep; allocation; lrm; engine; audit; trace;
+    ~trace ~obs () =
+  let gatekeeper_pep =
+    Option.map (Grid_callout.Callout.instrument ~backend:"gatekeeper" ~obs) gatekeeper_pep
+  in
+  { name; trust; mapper; mode; gatekeeper_pep; allocation; lrm; engine; audit; trace; obs;
     outstanding_challenges = Hashtbl.create 16; submissions = 0 }
 
 let now t = Grid_sim.Engine.now t.engine
@@ -42,7 +46,7 @@ let new_challenge t =
 let record t ~target label =
   Grid_sim.Trace.record t.trace ~at:(now t) ~source:t.name ~target label
 
-let authenticate t (credential : Grid_gsi.Credential.t) =
+let authenticate_raw t (credential : Grid_gsi.Credential.t) =
   let challenge = credential.Grid_gsi.Credential.challenge in
   if not (Hashtbl.mem t.outstanding_challenges challenge) then
     Error (Grid_gsi.Authn.Challenge_mismatch)
@@ -51,11 +55,42 @@ let authenticate t (credential : Grid_gsi.Credential.t) =
     Grid_gsi.Authn.authenticate ~trust:t.trust ~now:(now t) ~challenge credential
   end
 
-let handle_submit t ~(credential : Grid_gsi.Credential.t) ~(rsl : string) :
+(* Instrumented wrappers around the two coarse-grained gatekeeper stages;
+   each becomes a child span with an outcome-labelled counter. *)
+let observed_authenticate t credential =
+  if not (Grid_obs.Obs.enabled t.obs) then authenticate_raw t credential
+  else
+    Grid_obs.Obs.with_span t.obs "gsi.authenticate" (fun span ->
+        let result = authenticate_raw t credential in
+        let outcome = match result with Ok _ -> "ok" | Error _ -> "failed" in
+        Grid_obs.Span.set_attr span "outcome" outcome;
+        Grid_obs.Obs.incr t.obs ~labels:[ ("outcome", outcome) ] "authn_total";
+        result)
+
+let observed_resolve t user =
+  let resolve () = Grid_accounts.Mapper.resolve t.mapper ~now:(now t) user in
+  if not (Grid_obs.Obs.enabled t.obs) then resolve ()
+  else
+    Grid_obs.Obs.with_span t.obs "account.map" (fun span ->
+        let result = resolve () in
+        let outcome =
+          match result with
+          | Ok _ -> "mapped"
+          | Error (Grid_accounts.Mapper.No_local_account _) -> "no_account"
+          | Error _ -> "failed"
+        in
+        Grid_obs.Span.set_attr span "outcome" outcome;
+        Grid_obs.Obs.incr t.obs ~labels:[ ("outcome", outcome) ] "account_mappings_total";
+        result)
+
+(* The exported authenticate is the instrumented one so that the JMI's
+   management-request authentication is counted alongside submissions. *)
+let authenticate = observed_authenticate
+
+let submit_inner t ~(credential : Grid_gsi.Credential.t) ~(rsl : string) :
     (Job_manager.t * Protocol.submit_reply, Protocol.submit_error) result =
-  t.submissions <- t.submissions + 1;
   (* 1. Authentication (GSI mutual auth). *)
-  match authenticate t credential with
+  match observed_authenticate t credential with
   | Error e ->
     Grid_audit.Audit.log t.audit ~at:(now t) ~kind:Grid_audit.Audit.Authentication
       ~outcome:(Grid_audit.Audit.Failure (Grid_gsi.Authn.error_to_string e))
@@ -111,7 +146,7 @@ let handle_submit t ~(credential : Grid_gsi.Credential.t) ~(rsl : string) :
         (* 3. Coarse-grained authorization + account mapping: the
            grid-mapfile check and local-credential selection in one
            resolution step (dynamic accounts extend it transparently). *)
-        match Grid_accounts.Mapper.resolve t.mapper ~now:(now t) user with
+        match observed_resolve t user with
         | Error (Grid_accounts.Mapper.No_local_account _ as e) ->
           Grid_audit.Audit.log t.audit ~at:(now t) ~kind:Grid_audit.Audit.Account_mapping
             ~subject:user
@@ -127,7 +162,7 @@ let handle_submit t ~(credential : Grid_gsi.Credential.t) ~(rsl : string) :
           (* 4. Create the Job Manager Instance under the local
              credential and hand it the request. *)
           let jmi =
-            Job_manager.create ?allocation:t.allocation ~owner:user
+            Job_manager.create ?allocation:t.allocation ~obs:t.obs ~owner:user
               ~account:mapping.Grid_accounts.Mapper.account
               ~limits:mapping.Grid_accounts.Mapper.limits ~job ~mode:t.mode ~lrm:t.lrm
               ~engine:t.engine ~audit:t.audit ~trace:t.trace ()
@@ -137,5 +172,16 @@ let handle_submit t ~(credential : Grid_gsi.Credential.t) ~(rsl : string) :
           | Error _ as e -> e
           | Ok reply -> Ok (jmi, reply))
       end)
+
+let handle_submit t ~credential ~rsl =
+  t.submissions <- t.submissions + 1;
+  if not (Grid_obs.Obs.enabled t.obs) then submit_inner t ~credential ~rsl
+  else
+    Grid_obs.Obs.with_span t.obs "gatekeeper.submit" (fun span ->
+        let result = submit_inner t ~credential ~rsl in
+        let outcome = match result with Ok _ -> "accepted" | Error _ -> "refused" in
+        Grid_obs.Span.set_attr span "outcome" outcome;
+        Grid_obs.Obs.incr t.obs ~labels:[ ("outcome", outcome) ] "jobs_submitted_total";
+        result)
 
 let submissions t = t.submissions

@@ -26,6 +26,7 @@ type t = {
   engine : Grid_sim.Engine.t;
   audit : Grid_audit.Audit.t;
   trace : Grid_sim.Trace.t;
+  obs : Grid_obs.Obs.t;
   mutable lrm_job : string option;          (* local scheduler job id *)
   mutable callout_invocations : int;
 }
@@ -48,7 +49,8 @@ let duration_of_job (job : Grid_rsl.Job.t) =
   end
   | Some _ | None -> default_duration
 
-let create ?allocation ~owner ~account ~limits ~job ~mode ~lrm ~engine ~audit ~trace () =
+let create ?allocation ?(obs = Grid_obs.Obs.noop) ~owner ~account ~limits ~job ~mode ~lrm
+    ~engine ~audit ~trace () =
   { contact = Grid_util.Ids.contact ();
     owner;
     account;
@@ -61,6 +63,7 @@ let create ?allocation ~owner ~account ~limits ~job ~mode ~lrm ~engine ~audit ~t
     engine;
     audit;
     trace;
+    obs;
     lrm_job = None;
     callout_invocations = 0 }
 
@@ -80,13 +83,29 @@ let authorize t (query : Grid_callout.Callout.query) =
   | Mode.Gt2_baseline ->
     (* Baseline management rule: the Grid identity of the requester must
        match the Grid identity of the job initiator. Start requests reach
-       the JMI pre-authorized by the Gatekeeper. *)
+       the JMI pre-authorized by the Gatekeeper (and are not counted as
+       authorization decisions — no check happens here). *)
     if query.Grid_callout.Callout.action = Grid_policy.Types.Action.Start then Ok ()
-    else if Grid_gsi.Dn.equal query.Grid_callout.Callout.requester t.owner then Ok ()
-    else
-      Error
-        (Grid_callout.Callout.Denied "GT2: only the job initiator may manage this job")
+    else begin
+      let decision =
+        if Grid_gsi.Dn.equal query.Grid_callout.Callout.requester t.owner then Ok ()
+        else
+          Error
+            (Grid_callout.Callout.Denied "GT2: only the job initiator may manage this job")
+      in
+      if Grid_obs.Obs.enabled t.obs then
+        Grid_obs.Obs.incr t.obs
+          ~labels:
+            [ ("backend", "gt2");
+              ("action", Grid_policy.Types.Action.to_string query.Grid_callout.Callout.action);
+              ("outcome", Grid_callout.Callout.outcome_label decision) ]
+          "authz_decisions_total";
+      decision
+    end
   | Mode.Extended { authorization; _ } ->
+    (* The Extended callout arrives already wrapped by [Mode.instrument],
+       so consultations are spanned/counted there under the mode's
+       backend label. *)
     t.callout_invocations <- t.callout_invocations + 1;
     record t ~target:"pep" "authorization callout";
     authorization query
@@ -98,7 +117,7 @@ let audit_authz t ~requester ~job_id ~action outcome =
     ~subject:requester ~job_id ~outcome
     (Printf.sprintf "action=%s mode=%s" action (Mode.to_string t.mode))
 
-let start t ~(credential : Grid_gsi.Credential.t option) :
+let start_inner t ~(credential : Grid_gsi.Credential.t option) :
     (Protocol.submit_reply, Protocol.submit_error) result =
   let query =
     { Grid_callout.Callout.requester = t.owner;
@@ -136,7 +155,10 @@ let start t ~(credential : Grid_gsi.Credential.t option) :
       end
       | Mode.Extended { advice = None; _ } | Mode.Gt2_baseline -> t.limits
     in
-    let violations = Grid_accounts.Sandbox.check effective_limits t.job in
+    let violations =
+      Grid_obs.Obs.with_span t.obs "sandbox.check" (fun _ ->
+          Grid_accounts.Sandbox.check effective_limits t.job)
+    in
     if violations <> [] then begin
       let messages = List.map Grid_accounts.Sandbox.violation_to_string violations in
       Grid_audit.Audit.log t.audit ~at:(now t) ~kind:Grid_audit.Audit.Job_submission
@@ -197,7 +219,10 @@ let start t ~(credential : Grid_gsi.Credential.t option) :
         Error (Protocol.Allocation_refused message)
       | Ok reservation -> begin
         record t ~target:"lrm" "submit job";
-        match Grid_lrm.Lrm.submit t.lrm spec with
+        match
+          Grid_obs.Obs.with_span t.obs "lrm.submit" (fun _ ->
+              Grid_lrm.Lrm.submit t.lrm spec)
+        with
         | Error e ->
           Option.iter Grid_accounts.Allocation.cancel reservation;
           Grid_audit.Audit.log t.audit ~at:(now t) ~kind:Grid_audit.Audit.Job_submission
@@ -207,6 +232,28 @@ let start t ~(credential : Grid_gsi.Credential.t option) :
           Error (Protocol.Resource_unavailable (Grid_lrm.Lrm.error_to_string e))
         | Ok lrm_id ->
           t.lrm_job <- Some lrm_id;
+          (* The job's lifetime outlives this call: a detached span from
+             submission to the terminal LRM state, closed from the state
+             change listener. *)
+          if Grid_obs.Obs.enabled t.obs then begin
+            let run_span =
+              Grid_obs.Obs.start_span t.obs
+                ~attrs:[ ("lrm_job", lrm_id); ("account", t.account) ]
+                "job.run"
+            in
+            Grid_lrm.Lrm.on_event t.lrm
+              (fun (Grid_lrm.Lrm.State_changed { job; _ }) ->
+                if String.equal job.Grid_lrm.Lrm.id lrm_id then begin
+                  match job.Grid_lrm.Lrm.state with
+                  | Grid_lrm.Lrm.Completed | Grid_lrm.Lrm.Cancelled
+                  | Grid_lrm.Lrm.Killed _ ->
+                    Grid_obs.Span.set_attr run_span "state"
+                      (Grid_lrm.Lrm.state_to_string job.Grid_lrm.Lrm.state);
+                    Grid_obs.Obs.finish_span t.obs run_span
+                  | Grid_lrm.Lrm.Pending | Grid_lrm.Lrm.Running
+                  | Grid_lrm.Lrm.Suspended -> ()
+                end)
+          end;
           (match reservation with
           | None -> ()
           | Some reservation ->
@@ -230,6 +277,18 @@ let start t ~(credential : Grid_gsi.Credential.t option) :
           Ok { Protocol.job_contact = t.contact; submitted_as = t.account }
       end
     end
+
+let start t ~credential =
+  if not (Grid_obs.Obs.enabled t.obs) then start_inner t ~credential
+  else
+    Grid_obs.Obs.with_span t.obs
+      ~attrs:[ ("contact", t.contact) ]
+      "jmi.start"
+      (fun span ->
+        let result = start_inner t ~credential in
+        Grid_obs.Span.set_attr span "outcome"
+          (match result with Ok _ -> "ok" | Error _ -> "refused");
+        result)
 
 (* --- Management --------------------------------------------------------- *)
 
@@ -258,10 +317,13 @@ let perform t (action : Protocol.management_action) :
       | Ok _ -> Ok Protocol.Ack
       | Error e -> Error (Protocol.Invalid_request (Grid_lrm.Lrm.error_to_string e))
     in
+    let spanned name op =
+      Grid_obs.Obs.with_span t.obs name (fun _ -> lift (op ()))
+    in
     match action with
     | Protocol.Cancel ->
       record t ~target:"lrm" "cancel job";
-      lift (Grid_lrm.Lrm.cancel t.lrm lrm_id)
+      spanned "lrm.cancel" (fun () -> Grid_lrm.Lrm.cancel t.lrm lrm_id)
     | Protocol.Status -> begin
       match status t with
       | Ok st -> Ok (Protocol.Job_status st)
@@ -269,16 +331,16 @@ let perform t (action : Protocol.management_action) :
     end
     | Protocol.Signal Protocol.Suspend ->
       record t ~target:"lrm" "suspend job";
-      lift (Grid_lrm.Lrm.suspend t.lrm lrm_id)
+      spanned "lrm.suspend" (fun () -> Grid_lrm.Lrm.suspend t.lrm lrm_id)
     | Protocol.Signal Protocol.Resume ->
       record t ~target:"lrm" "resume job";
-      lift (Grid_lrm.Lrm.resume t.lrm lrm_id)
+      spanned "lrm.resume" (fun () -> Grid_lrm.Lrm.resume t.lrm lrm_id)
     | Protocol.Signal (Protocol.Set_priority p) ->
       record t ~target:"lrm" "set priority";
-      lift (Grid_lrm.Lrm.set_priority t.lrm lrm_id p)
+      spanned "lrm.set_priority" (fun () -> Grid_lrm.Lrm.set_priority t.lrm lrm_id p)
   end
 
-let manage t ~requester ?(credential : Grid_gsi.Credential.t option)
+let manage_inner t ~requester ?(credential : Grid_gsi.Credential.t option)
     (action : Protocol.management_action) :
     (Protocol.management_reply, Protocol.management_error) result =
   let action_name = Protocol.management_action_to_string action in
@@ -301,3 +363,25 @@ let manage t ~requester ?(credential : Grid_gsi.Credential.t option)
     Grid_audit.Audit.log t.audit ~at:(now t) ~kind:Grid_audit.Audit.Job_management
       ~subject:requester ~job_id:t.contact ~outcome:Grid_audit.Audit.Success action_name;
     perform t action
+
+let manage t ~requester ?credential action =
+  if not (Grid_obs.Obs.enabled t.obs) then manage_inner t ~requester ?credential action
+  else begin
+    let action_name = Protocol.management_action_to_string action in
+    Grid_obs.Obs.with_span t.obs
+      ~attrs:[ ("action", action_name); ("contact", t.contact) ]
+      "jmi.manage"
+      (fun span ->
+        let result = manage_inner t ~requester ?credential action in
+        let outcome =
+          match result with
+          | Ok _ -> "ok"
+          | Error (Protocol.Not_authorized _) -> "denied"
+          | Error _ -> "error"
+        in
+        Grid_obs.Span.set_attr span "outcome" outcome;
+        Grid_obs.Obs.incr t.obs
+          ~labels:[ ("action", action_name); ("outcome", outcome) ]
+          "management_requests_total";
+        result)
+  end

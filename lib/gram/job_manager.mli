@@ -13,6 +13,7 @@ val default_duration : float
 
 val create :
   ?allocation:Grid_accounts.Allocation.enforcement ->
+  ?obs:Grid_obs.Obs.t ->
   owner:Grid_gsi.Dn.t ->
   account:string ->
   limits:Grid_accounts.Sandbox.limits ->
@@ -26,7 +27,12 @@ val create :
   t
 (** [allocation] turns on coarse-grained admission control: a job's
     worst-case cpu-seconds are reserved against the owner's party budget
-    at startup and settled against actual usage at termination. *)
+    at startup and settled against actual usage at termination. [obs]
+    spans startup ([jmi.start] with [sandbox.check]/[lrm.submit]
+    children and a detached [job.run] span closed at the terminal LRM
+    state) and management ([jmi.manage], counted in
+    [management_requests_total]); baseline owner-match decisions are
+    counted in [authz_decisions_total] under backend ["gt2"]. *)
 
 val contact : t -> string
 

@@ -18,22 +18,38 @@ type t =
          return the policy clause the decision rested on so the JMI can
          configure the sandbox from it. *)
       advice : (Grid_callout.Callout.query -> Grid_policy.Types.clause option) option;
+      (* Which PEP implementation backs the callout; becomes the
+         [backend] label on authorization metrics. *)
+      backend : string;
     }
 
 let is_extended = function Extended _ -> true | Gt2_baseline -> false
 
 let to_string = function
   | Gt2_baseline -> "GT2 baseline"
-  | Extended _ -> "extended (authorization callout)"
+  | Extended { backend; _ } -> Printf.sprintf "extended (%s authorization callout)" backend
 
 (* Resolve the Extended mode's callout from a configuration file against a
    registry — the deployment path; misconfiguration yields a mode whose
    callout fails closed with the configuration error. *)
-let extended ?advice authorization = Extended { authorization; advice }
+let extended ?advice ?(backend = "custom") authorization =
+  Extended { authorization; advice; backend }
 
 let extended_from_config config registry =
   match
     Grid_callout.Config.resolve config registry Grid_callout.Config.gram_authz_type
   with
-  | Ok authorization -> Extended { authorization; advice = None }
-  | Error e -> Extended { authorization = (fun _ -> Error e); advice = None }
+  | Ok authorization -> Extended { authorization; advice = None; backend = "config" }
+  | Error e ->
+    Extended { authorization = (fun _ -> Error e); advice = None; backend = "config" }
+
+(* Wrap the mode's callout so every consultation is spanned and counted
+   under its backend label. GT2 baseline has no callout to wrap; its
+   gridmap decisions are counted by the Gatekeeper itself. *)
+let instrument ~obs = function
+  | Gt2_baseline -> Gt2_baseline
+  | Extended { authorization; advice; backend } ->
+    Extended
+      { authorization = Grid_callout.Callout.instrument ~backend ~obs authorization;
+        advice;
+        backend }

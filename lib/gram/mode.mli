@@ -7,12 +7,17 @@ type t =
       advice : (Grid_callout.Callout.query -> Grid_policy.Types.clause option) option;
           (** policy-derived-enforcement hook: the clause an authorized
               decision rested on, for sandbox configuration *)
+      backend : string;
+          (** PEP implementation behind the callout; the [backend] label
+              on authorization metrics *)
     }
 
 val extended :
   ?advice:(Grid_callout.Callout.query -> Grid_policy.Types.clause option) ->
+  ?backend:string ->
   Grid_callout.Callout.t ->
   t
+(** [backend] defaults to ["custom"]. *)
 
 val is_extended : t -> bool
 val to_string : t -> string
@@ -20,3 +25,7 @@ val to_string : t -> string
 val extended_from_config : Grid_callout.Config.t -> Grid_callout.Registry.t -> t
 (** Resolve the job-manager authorization callout from configuration; a
     misconfigured callout fails closed at invocation time. *)
+
+val instrument : obs:Grid_obs.Obs.t -> t -> t
+(** Wrap the Extended callout with [Grid_callout.Callout.instrument] under
+    the mode's backend label; the baseline is returned unchanged. *)

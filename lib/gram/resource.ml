@@ -15,21 +15,24 @@ type t = {
   lrm : Grid_lrm.Lrm.t;
   audit : Grid_audit.Audit.t;
   trace : Grid_sim.Trace.t;
+  obs : Grid_obs.Obs.t;
   jmis : (string, Job_manager.t) Hashtbl.t;
 }
 
-let create ?(name = "resource") ?network ?gatekeeper_pep ?allocation ~trust ~mapper
+let create ?(name = "resource") ?network ?gatekeeper_pep ?allocation ?obs ~trust ~mapper
     ~mode ~lrm ~engine () =
   let network =
     match network with Some n -> n | None -> Grid_sim.Network.create engine
   in
+  let obs = match obs with Some o -> o | None -> Grid_obs.Obs.of_engine engine in
   let audit = Grid_audit.Audit.create () in
   let trace = Grid_sim.Trace.create () in
+  let mode = Mode.instrument ~obs mode in
   let gatekeeper =
     Gatekeeper.create ?gatekeeper_pep ?allocation ~name:(name ^ ":gatekeeper") ~trust
-      ~mapper ~mode ~lrm ~engine ~audit ~trace ()
+      ~mapper ~mode ~lrm ~engine ~audit ~trace ~obs ()
   in
-  { name; engine; network; gatekeeper; lrm; audit; trace; jmis = Hashtbl.create 32 }
+  { name; engine; network; gatekeeper; lrm; audit; trace; obs; jmis = Hashtbl.create 32 }
 
 let name t = t.name
 let engine t = t.engine
@@ -37,6 +40,7 @@ let network t = t.network
 let lrm t = t.lrm
 let audit t = t.audit
 let trace t = t.trace
+let obs t = t.obs
 let gatekeeper t = t.gatekeeper
 
 let now t = Grid_sim.Engine.now t.engine
@@ -107,11 +111,27 @@ let manage_direct t ~requester ?credential ~contact action =
 
 (* --- Networked entry points ------------------------------------------- *)
 
+(* Each networked request carries a detached "gram.request" span covering
+   the full round trip (request hop, resource-side processing, reply
+   hop) — the only stage with nonzero simulated latency, since everything
+   inside the resource happens within one simulation event. The
+   resource-side work runs under [in_scope] so its spans nest beneath the
+   request. *)
+let request_span t ~kind =
+  if Grid_obs.Obs.enabled t.obs then begin
+    Grid_obs.Obs.incr t.obs ~labels:[ ("kind", kind) ] "gram_requests_total";
+    Grid_obs.Obs.start_span t.obs ~attrs:[ ("kind", kind) ] "gram.request"
+  end
+  else Grid_obs.Span.null
+
 let submit t ~credential ~rsl ~reply =
   Grid_sim.Trace.record t.trace ~at:(now t) ~source:"client"
     ~target:(t.name ^ ":gatekeeper") "job request + credentials";
+  let span = request_span t ~kind:"submit" in
   Grid_sim.Network.send t.network (fun () ->
-      let result = submit_direct t ~credential ~rsl in
+      let result =
+        Grid_obs.Obs.in_scope t.obs span (fun () -> submit_direct t ~credential ~rsl)
+      in
       (match result with
       | Ok r ->
         Grid_sim.Trace.record t.trace ~at:(now t) ~source:("jmi:" ^ r.Protocol.job_contact)
@@ -119,11 +139,19 @@ let submit t ~credential ~rsl ~reply =
       | Error _ ->
         Grid_sim.Trace.record t.trace ~at:(now t) ~source:(t.name ^ ":gatekeeper")
           ~target:"client" "submission error");
-      Grid_sim.Network.send t.network (fun () -> reply result))
+      Grid_sim.Network.send t.network (fun () ->
+          Grid_obs.Obs.finish_span t.obs span;
+          reply result))
 
 let manage t ~requester ?credential ~contact action ~reply =
   Grid_sim.Trace.record t.trace ~at:(now t) ~source:"client" ~target:("jmi:" ^ contact)
     (Protocol.management_action_to_string action);
+  let span = request_span t ~kind:"manage" in
   Grid_sim.Network.send t.network (fun () ->
-      let result = manage_direct t ~requester ?credential ~contact action in
-      Grid_sim.Network.send t.network (fun () -> reply result))
+      let result =
+        Grid_obs.Obs.in_scope t.obs span (fun () ->
+            manage_direct t ~requester ?credential ~contact action)
+      in
+      Grid_sim.Network.send t.network (fun () ->
+          Grid_obs.Obs.finish_span t.obs span;
+          reply result))

@@ -9,6 +9,7 @@ val create :
   ?network:Grid_sim.Network.t ->
   ?gatekeeper_pep:Grid_callout.Callout.t ->
   ?allocation:Grid_accounts.Allocation.enforcement ->
+  ?obs:Grid_obs.Obs.t ->
   trust:Grid_gsi.Ca.Trust_store.store ->
   mapper:Grid_accounts.Mapper.t ->
   mode:Mode.t ->
@@ -16,6 +17,10 @@ val create :
   engine:Grid_sim.Engine.t ->
   unit ->
   t
+(** [obs] defaults to a fresh engine-clocked handle
+    ([Grid_obs.Obs.of_engine]); pass [Grid_obs.Obs.noop] to disable
+    instrumentation, or share one handle across components. The mode's
+    authorization callout is wrapped with [Mode.instrument] under it. *)
 
 val name : t -> string
 val engine : t -> Grid_sim.Engine.t
@@ -23,6 +28,10 @@ val network : t -> Grid_sim.Network.t
 val lrm : t -> Grid_lrm.Lrm.t
 val audit : t -> Grid_audit.Audit.t
 val trace : t -> Grid_sim.Trace.t
+
+val obs : t -> Grid_obs.Obs.t
+(** The resource's observability handle: metrics registry + span tracer. *)
+
 val gatekeeper : t -> Gatekeeper.t
 
 val find_jmi : t -> string -> Job_manager.t option

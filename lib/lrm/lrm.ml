@@ -74,6 +74,7 @@ type event =
 
 type t = {
   engine : Grid_sim.Engine.t;
+  obs : Grid_obs.Obs.t;
   nodes : node list;
   queues : queue_config list;
   default_queue : queue_config;
@@ -103,10 +104,12 @@ let default_queues =
   [ { queue_name = "batch"; priority = 0; max_walltime = None };
     { queue_name = "priority"; priority = 10; max_walltime = Some 7200.0 } ]
 
-let create ?(queues = default_queues) ~nodes ~cpus_per_node engine =
+let create ?(obs = Grid_obs.Obs.noop) ?(queues = default_queues) ~nodes ~cpus_per_node
+    engine =
   if nodes <= 0 || cpus_per_node <= 0 then invalid_arg "Lrm.create: empty cluster";
   (match queues with [] -> invalid_arg "Lrm.create: no queues" | _ :: _ -> ());
   { engine;
+    obs;
     nodes = List.init nodes (fun i -> { node_id = i; cpus = cpus_per_node; free = cpus_per_node });
     queues;
     default_queue = List.hd queues;
@@ -124,10 +127,40 @@ let on_event t f = t.listeners <- f :: t.listeners
 
 let emit t ev = List.iter (fun f -> f ev) t.listeners
 
+(* Cluster occupancy gauges; refreshed on every allocation change. *)
+let update_gauges t =
+  if Grid_obs.Obs.enabled t.obs then begin
+    Grid_obs.Obs.set_gauge t.obs "lrm_cpus_in_use" (float_of_int (cpus_in_use t));
+    Grid_obs.Obs.set_gauge t.obs "lrm_cpus_free" (float_of_int (free_cpus t))
+  end
+
+(* Coarse label for terminal-state accounting; "killed: <why>" would be an
+   unbounded label value. *)
+let terminal_label = function
+  | Completed -> "completed"
+  | Cancelled -> "cancelled"
+  | Killed _ -> "killed"
+  | Pending | Running | Suspended -> assert false
+
 let set_state t job state =
   let from_state = job.state in
   if from_state <> state then begin
     job.state <- state;
+    (if Grid_obs.Obs.enabled t.obs then
+       match state with
+       | Completed | Cancelled | Killed _ ->
+         (* walltime_used is settled before terminal transitions. *)
+         Grid_obs.Obs.incr t.obs
+           ~labels:[ ("state", terminal_label state) ]
+           "lrm_jobs_total";
+         Grid_obs.Obs.observe t.obs "lrm_job_walltime_seconds" job.walltime_used
+       | Running ->
+         (* First run slice only: queue wait is submission-to-first-start,
+            not time spent suspended. *)
+         if job.walltime_used = 0.0 then
+           Grid_obs.Obs.observe t.obs "lrm_queue_wait_seconds"
+             (Grid_sim.Engine.now t.engine -. job.submitted_at)
+       | Pending | Suspended -> ());
     emit t (State_changed { job; from_state })
   end
 
@@ -202,7 +235,7 @@ let rec schedule_pass t =
               complete t job ~generation ~timeout)
       end)
     candidates;
-  ignore !started
+  if !started then update_gauges t
 
 and complete t job ~generation ~timeout =
   (* Stale event: the job was suspended/cancelled since this was set. *)
@@ -213,12 +246,17 @@ and complete t job ~generation ~timeout =
     job.remaining <- Float.max 0.0 (job.remaining -. ran);
     release job.allocation;
     job.allocation <- [];
+    update_gauges t;
     if timeout then set_state t job (Killed "walltime exceeded")
     else set_state t job Completed;
     schedule_pass t
   end
 
 (* --- Operations -------------------------------------------------------- *)
+
+let count_submission t outcome =
+  if Grid_obs.Obs.enabled t.obs then
+    Grid_obs.Obs.incr t.obs ~labels:[ ("outcome", outcome) ] "lrm_submissions_total"
 
 let submit t (spec : spec) =
   if spec.cpus <= 0 then invalid_arg "Lrm.submit: cpus must be positive";
@@ -233,11 +271,16 @@ let submit t (spec : spec) =
     end
   in
   match queue_result with
-  | Error _ as e -> e
+  | Error _ as e ->
+    count_submission t "rejected";
+    e
   | Ok queue ->
-    if spec.cpus > capacity t then
+    if spec.cpus > capacity t then begin
+      count_submission t "rejected";
       Error (Too_many_cpus { requested = spec.cpus; capacity = capacity t })
+    end
     else begin
+      count_submission t "accepted";
       t.arrivals <- t.arrivals + 1;
       let job =
         { id = Grid_util.Ids.job ();
@@ -268,6 +311,7 @@ let checkpoint_run t job =
   job.remaining <- Float.max 0.0 (job.remaining -. ran);
   release job.allocation;
   job.allocation <- [];
+  update_gauges t;
   job.generation <- job.generation + 1
 
 let cancel t id =

@@ -64,9 +64,16 @@ val default_queues : queue_config list
 (** "batch" (priority 0, no cap) and "priority" (priority 10, 2 h cap). *)
 
 val create :
-  ?queues:queue_config list -> nodes:int -> cpus_per_node:int -> Grid_sim.Engine.t -> t
+  ?obs:Grid_obs.Obs.t ->
+  ?queues:queue_config list ->
+  nodes:int ->
+  cpus_per_node:int ->
+  Grid_sim.Engine.t ->
+  t
 (** The first queue is the default. Raises [Invalid_argument] on an empty
-    cluster or queue list. *)
+    cluster or queue list. [obs] feeds submission/terminal-state counters
+    ([lrm_submissions_total], [lrm_jobs_total]), queue-wait and walltime
+    histograms, and CPU occupancy gauges. *)
 
 val capacity : t -> int
 val queue_names : t -> string list

@@ -1,0 +1,58 @@
+(** The observability handle threaded through the request path: one
+    metrics registry + one span tracer + the clock that timestamps both.
+
+    Components receive an [Obs.t] (usually the testbed's, created from the
+    simulation engine) and record through the convenience functions here;
+    {!noop} is an always-disabled handle for call sites that were built
+    without observability, so instrumentation never needs [Option]
+    plumbing.
+
+    Every span closed through {!with_span}/{!finish_span} also feeds the
+    [stage_seconds{stage=<name>}] latency histogram, which is where the
+    per-stage breakdown (callout vs policy evaluation vs LRM) comes
+    from. *)
+
+type t
+
+val create : ?clock:(unit -> Grid_sim.Clock.time) -> unit -> t
+(** [clock] defaults to a constant 0 (durations all zero); pass the
+    engine clock for meaningful timings. *)
+
+val of_engine : Grid_sim.Engine.t -> t
+(** Clocked by [Grid_sim.Engine.now]: deterministic timestamps. *)
+
+val noop : t
+(** Disabled: records nothing, costs a branch. *)
+
+val enabled : t -> bool
+val metrics : t -> Metrics.t
+val tracer : t -> Span.t
+val now : t -> Grid_sim.Clock.time
+
+(** {1 Metrics shorthands} *)
+
+val incr : t -> ?by:float -> ?labels:Metrics.labels -> string -> unit
+val set_gauge : t -> ?labels:Metrics.labels -> string -> float -> unit
+val observe : t -> ?labels:Metrics.labels -> string -> float -> unit
+
+(** {1 Spans} *)
+
+val with_span : t -> ?attrs:(string * string) list -> string -> (Span.span -> 'a) -> 'a
+(** Run the callback inside a scoped span; on close, record its duration
+    into [stage_seconds{stage=<name>}]. *)
+
+val start_span : t -> ?parent:Span.span -> ?attrs:(string * string) list -> string -> Span.span
+(** Detached span (see {!Span.start}); close with {!finish_span}. *)
+
+val finish_span : t -> Span.span -> unit
+
+val in_scope : t -> Span.span -> (unit -> 'a) -> 'a
+
+val stage_metric : string
+(** ["stage_seconds"], the histogram fed by span closure. *)
+
+(** {1 Reporting} *)
+
+val pp_summary : t Fmt.t
+(** Counters and gauges, then the per-stage latency table — the snapshot
+    the examples print after a scenario. *)

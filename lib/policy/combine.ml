@@ -28,11 +28,11 @@ let is_permit = function Permit -> true | Deny _ -> false
 
 (* Conjunctive combination: every source must permit. Sources are checked
    in order and the first denial is reported. *)
-let evaluate (sources : source list) (request : Types.request) : combined_decision =
+let evaluate ?obs (sources : source list) (request : Types.request) : combined_decision =
   let rec go = function
     | [] -> Permit
     | s :: rest -> begin
-      match Eval.evaluate s.policy request with
+      match Eval.observed ?obs ~source:s.name s.policy request with
       | Eval.Permit -> go rest
       | Eval.Deny reason -> Deny { source = s.name; reason }
     end

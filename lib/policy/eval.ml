@@ -273,3 +273,19 @@ let explain (policy : Types.t) (request : Types.request) : explanation =
     requirements_checked = List.length requirements;
     grants_considered = List.length grants;
     matched_clause }
+
+(* ------------------------------------------------------------------ *)
+(* Instrumentation hook: the PEPs evaluate through this wrapper so every
+   decision lands in the metrics registry and on the span trail. *)
+
+let decision_label = function Permit -> "permit" | Deny _ -> "deny"
+
+let observed ?(obs = Grid_obs.Obs.noop) ?(source = "policy") policy request =
+  if not (Grid_obs.Obs.enabled obs) then evaluate policy request
+  else
+    Grid_obs.Obs.with_span obs ~attrs:[ ("source", source) ] "policy.eval" (fun _ ->
+        let decision = evaluate policy request in
+        Grid_obs.Obs.incr obs
+          ~labels:[ ("source", source); ("decision", decision_label decision) ]
+          "policy_eval_total";
+        decision)

@@ -48,3 +48,12 @@ type explanation = {
 }
 
 val explain : Types.t -> Types.request -> explanation
+
+val decision_label : decision -> string
+(** ["permit"] / ["deny"]: the metric label vocabulary. *)
+
+val observed :
+  ?obs:Grid_obs.Obs.t -> ?source:string -> Types.t -> Types.request -> decision
+(** [evaluate] wrapped in a ["policy.eval"] span and a
+    [policy_eval_total{source,decision}] counter increment. With the
+    default (disabled) observer it is exactly [evaluate]. *)

@@ -726,6 +726,74 @@ let t14_obs_overhead () =
     (Obs.Span.dropped (Obs.Obs.tracer obs))
 
 (* ------------------------------------------------------------------ *)
+(* T15: throughput and request outcomes under network fault profiles    *)
+
+let t15_faults () =
+  section "T15: sustained workload under fault injection (drop 0% / 1% / 5%)";
+  let jobs = 3000 in
+  let run ~drop =
+    let faults =
+      if drop = 0.0 then None
+      else
+        Some
+          (Sim.Network.Faults.profile ~drop ~duplicate:(drop /. 2.0)
+             ~delay_probability:(5.0 *. drop) ~max_extra_delay:0.05 ())
+    in
+    let w =
+      Fusion.build ~nodes:16 ~cpus_per_node:8 ?faults
+        ?request_timeout:(Option.map (fun _ -> 0.25) faults)
+        ()
+    in
+    let profiles =
+      [ { Workload.identity = Gram.Client.identity w.Fusion.bo;
+          rsl_templates =
+            [ "&(executable=test1)(directory=/sandbox/test)(jobtag=ADS)(count=2)(simduration=30)";
+              "&(executable=test1)(directory=/sandbox/test)(jobtag=ADS)(count=4)" ];
+          weight = 1 };
+        { Workload.identity = Gram.Client.identity w.Fusion.kate;
+          rsl_templates =
+            [ "&(executable=TRANSP)(directory=/sandbox/test)(jobtag=NFC)(count=4)(simduration=60)" ];
+          weight = 1 } ]
+    in
+    let t0 = Sys.time () in
+    let stats =
+      Workload.run
+        ~engine:(Testbed.engine w.Fusion.testbed)
+        ~resource:w.Fusion.resource ~profiles
+        { Workload.default_config with
+          Workload.job_count = jobs;
+          arrival_rate = 5.0;
+          seed = 11 }
+    in
+    let elapsed = Sys.time () -. t0 in
+    let network = Gram.Resource.network w.Fusion.resource in
+    (stats, elapsed, network)
+  in
+  let rows = ref [] in
+  let report label (stats, elapsed, network) =
+    Printf.printf "   %-14s %6.2f s cpu  %8.0f jobs/s  (%s)\n" label elapsed
+      (float_of_int jobs /. elapsed)
+      (Fmt.str "%a" Workload.pp_stats stats);
+    Printf.printf "                  network: %d sent, %d dropped, %d duplicated, %d delayed\n"
+      (Sim.Network.messages_sent network)
+      (Sim.Network.messages_dropped network)
+      (Sim.Network.messages_duplicated network)
+      (Sim.Network.messages_delayed network);
+    rows :=
+      !rows
+      @ [ (label ^ "/jobs_per_cpu_sec", float_of_int jobs /. elapsed);
+          (label ^ "/accepted", float_of_int stats.Workload.accepted);
+          (label ^ "/timed_out", float_of_int stats.Workload.timed_out);
+          (label ^ "/dropped", float_of_int (Sim.Network.messages_dropped network)) ]
+  in
+  report "faults/0-none" (run ~drop:0.0);
+  report "faults/1-drop-1%" (run ~drop:0.01);
+  report "faults/2-drop-5%" (run ~drop:0.05);
+  (* All submissions are accounted for in every profile: accepted + denied
+     + timed out = submitted, with zero hung requests. *)
+  collected := ("workload under fault injection", !rows) :: !collected
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [ ("f1", figure1); ("f2", figure2); ("f3", figure3);
@@ -733,7 +801,7 @@ let experiments =
     ("t4", t4_delegation); ("t5", t5_combination); ("t6", t6_rsl_parse);
     ("t7", t7_accounts); ("t8", t8_pep_placement); ("t9", t9_policy_syntax);
     ("t10", t10_discovery); ("t11", t11_allocation); ("t12", t12_workload);
-    ("t13", t13_akenti_cache); ("t14", t14_obs_overhead) ]
+    ("t13", t13_akenti_cache); ("t14", t14_obs_overhead); ("t15", t15_faults) ]
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
@@ -744,12 +812,15 @@ let () =
     | names -> names
   in
   Printf.printf "Fine-grain GRID authorization: benchmark & figure harness\n";
-  Printf.printf "(figures F1-F3 reproduce the paper's artifacts; T1-T14 are the\n";
+  Printf.printf "(figures F1-F3 reproduce the paper's artifacts; T1-T15 are the\n";
   Printf.printf " quantitative microbenchmarks defined in DESIGN.md)\n";
   List.iter
     (fun name ->
       match List.assoc_opt name experiments with
       | Some f -> f ()
-      | None -> Printf.printf "unknown experiment %S (known: f1 f2 f3 t1..t14)\n" name)
+      | None -> Printf.printf "unknown experiment %S (known: f1 f2 f3 t1..t15)\n" name)
     requested;
-  if json then write_json "BENCH_obs.json"
+  if json then
+    (* A fault-only run gets its own artifact; mixed runs keep the
+       historical BENCH_obs.json name. *)
+    write_json (if requested = [ "t15" ] then "BENCH_faults.json" else "BENCH_obs.json")

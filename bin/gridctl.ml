@@ -84,6 +84,43 @@ let jobtag =
 let explain =
   Arg.(value & flag & info [ "explain" ] ~doc:"Show per-source decisions.")
 
+(* Named network fault profiles for the simulation commands. *)
+let faults_arg =
+  Arg.(
+    value
+    & opt (enum [ ("none", `None); ("light", `Light); ("heavy", `Heavy) ]) `None
+    & info [ "faults" ] ~docv:"PROFILE"
+        ~doc:
+          "Network fault profile: none, light (1% drop, 0.5% duplicate, 5% extra delay) \
+           or heavy (5% drop, 2% duplicate, 20% extra delay). Enables 250ms request \
+           timeouts and client retries.")
+
+let fault_seed_arg =
+  Arg.(
+    value
+    & opt int 1299709
+    & info [ "fault-seed" ] ~docv:"SEED"
+        ~doc:"Seed for the fault-injection stream (independent of the latency stream).")
+
+let faults_of = function
+  | `None -> None
+  | `Light ->
+    Some
+      (Core.Sim.Network.Faults.profile ~drop:0.01 ~duplicate:0.005 ~delay_probability:0.05
+         ~max_extra_delay:0.02 ())
+  | `Heavy ->
+    Some
+      (Core.Sim.Network.Faults.profile ~drop:0.05 ~duplicate:0.02 ~delay_probability:0.2
+         ~max_extra_delay:0.1 ())
+
+let pp_network_counters resource =
+  let network = Core.Gram.Resource.network resource in
+  Printf.printf "network: %d sent, %d dropped, %d duplicated, %d delayed\n"
+    (Core.Sim.Network.messages_sent network)
+    (Core.Sim.Network.messages_dropped network)
+    (Core.Sim.Network.messages_duplicated network)
+    (Core.Sim.Network.messages_delayed network)
+
 (* --- commands --------------------------------------------------------- *)
 
 let check_cmd =
@@ -238,9 +275,16 @@ let simulate_cmd =
   let baseline =
     Arg.(value & flag & info [ "baseline" ] ~doc:"Run unmodified GT2 instead of extended GRAM.")
   in
-  let run jobs seed baseline =
+  let run jobs seed baseline faults fault_seed =
     let backend = if baseline then `Baseline else `Flat_file in
-    let w = Core.Fusion.build ~backend ~nodes:8 ~cpus_per_node:8 () in
+    let faults = faults_of faults in
+    (* Faulty networks need bounded requests: without a timeout a dropped
+       reply would leave the workload hanging forever. *)
+    let request_timeout = Option.map (fun _ -> 0.25) faults in
+    let w =
+      Core.Fusion.build ~backend ~nodes:8 ~cpus_per_node:8 ?faults ~fault_seed
+        ?request_timeout ()
+    in
     let templates_bo =
       if baseline then
         [ "&(executable=test1)(directory=/sandbox/test)(count=2)(simduration=40)" ]
@@ -272,6 +316,7 @@ let simulate_cmd =
         { Core.Workload.default_config with Core.Workload.job_count = jobs; seed }
     in
     Fmt.pr "%a@." Core.Workload.pp_stats stats;
+    if Option.is_some faults then pp_network_counters w.Core.Fusion.resource;
     let audit = Core.Gram.Resource.audit w.Core.Fusion.resource in
     Printf.printf "audit records: %d (%d failures)\n\n"
       (Core.Audit.Audit.count audit)
@@ -281,7 +326,7 @@ let simulate_cmd =
   Cmd.v
     (Cmd.info "simulate"
        ~doc:"Run a synthetic workload against the National Fusion Collaboratory testbed.")
-    Term.(const run $ jobs $ seed $ baseline)
+    Term.(const run $ jobs $ seed $ baseline $ faults_arg $ fault_seed_arg)
 
 let metrics_cmd =
   let format =
@@ -294,15 +339,36 @@ let metrics_cmd =
   let spans =
     Arg.(value & flag & info [ "spans" ] ~doc:"Also print the span forest.")
   in
-  let run format spans =
+  let run format spans faults fault_seed =
     (* A short deterministic scenario on the fusion testbed so every
        decision point fires: permitted and denied submissions, a
-       third-party cancel, and jobs running to completion. *)
-    let w = Core.Fusion.build ~nodes:4 ~cpus_per_node:8 () in
+       third-party cancel, and jobs running to completion. With --faults,
+       requests run under 250ms timeouts and management goes through the
+       retrying client path, so retry/timeout/fault counters light up. *)
+    let faults = faults_of faults in
+    let request_timeout = Option.map (fun _ -> 0.25) faults in
+    let w = Core.Fusion.build ~nodes:4 ~cpus_per_node:8 ?faults ~fault_seed ?request_timeout () in
     let submit client rsl = Core.Gram.Client.submit_sync client ~rsl in
-    ignore
-      (submit w.Core.Fusion.bo
-         "&(executable=test1)(directory=/sandbox/test)(jobtag=ADS)(count=2)(simduration=40)");
+    let cancel client contact =
+      match faults with
+      | None -> ignore (Core.Gram.Client.manage_sync client ~contact Core.Gram.Protocol.Cancel)
+      | Some _ ->
+        ignore
+          (Core.Gram.Client.manage_with_retry_sync ~deadline:30.0 client ~contact
+             Core.Gram.Protocol.Cancel)
+    in
+    let status_with_retry client contact =
+      if Option.is_some faults then
+        ignore
+          (Core.Gram.Client.manage_with_retry_sync ~deadline:30.0 client ~contact
+             Core.Gram.Protocol.Status)
+    in
+    (match
+       submit w.Core.Fusion.bo
+         "&(executable=test1)(directory=/sandbox/test)(jobtag=ADS)(count=2)(simduration=40)"
+     with
+    | Ok reply -> status_with_retry w.Core.Fusion.bo reply.Core.Gram.Protocol.job_contact
+    | Error _ -> ());
     (* denied: developers are capped at count <= 4 *)
     ignore
       (submit w.Core.Fusion.bo
@@ -316,10 +382,9 @@ let metrics_cmd =
          "&(executable=TRANSP)(directory=/sandbox/test)(jobtag=NFC)(count=4)(simduration=120)"
      with
     | Ok reply ->
+      status_with_retry w.Core.Fusion.kate reply.Core.Gram.Protocol.job_contact;
       (* third-party management: the VO admin cancels Kate's job *)
-      ignore
-        (Core.Gram.Client.manage_sync w.Core.Fusion.vo_admin
-           ~contact:reply.Core.Gram.Protocol.job_contact Core.Gram.Protocol.Cancel)
+      cancel w.Core.Fusion.vo_admin reply.Core.Gram.Protocol.job_contact
     | Error _ -> ());
     Core.Testbed.run w.Core.Fusion.testbed;
     let obs = Core.Gram.Resource.obs w.Core.Fusion.resource in
@@ -336,8 +401,9 @@ let metrics_cmd =
     (Cmd.info "metrics"
        ~doc:
          "Run a short scenario on the fusion testbed and expose the collected metrics \
-          (authorization decisions, per-stage latencies, LRM activity).")
-    Term.(const run $ format $ spans)
+          (authorization decisions, per-stage latencies, LRM activity; with --faults, \
+          retries/timeouts/fault counters).")
+    Term.(const run $ format $ spans $ faults_arg $ fault_seed_arg)
 
 let convert_cmd =
   let syntax =

@@ -1,9 +1,14 @@
 (* Quickstart: stand up a one-site grid with a fine-grain policy and watch
    a job be admitted, a job be denied, and a third-party cancel succeed.
 
-   Run with: dune exec examples/quickstart.exe *)
+   Run with: dune exec examples/quickstart.exe
+   Add --faults to run the same scenario over a lossy network: requests
+   get 250ms timeouts, management goes through the retrying client, and
+   the metrics snapshot shows the injected faults and recoveries. *)
 
 open Core
+
+let faults_enabled = Array.exists (String.equal "--faults") Sys.argv
 
 let () =
   (* 1. A testbed: CA, trust store, simulation engine. *)
@@ -31,8 +36,22 @@ let () =
   let gridmap =
     Gsi.Gridmap.parse "\"/O=Grid/O=Demo/CN=Alice\" alice\n\"/O=Grid/O=Demo/CN=Bob\" bob\n"
   in
+  let network =
+    if faults_enabled then begin
+      print_endline "(fault injection ON: 3% drop, 1% duplicate, 10% extra delay)";
+      print_newline ();
+      Some
+        (Sim.Network.create
+           ~faults:
+             (Sim.Network.Faults.profile ~drop:0.03 ~duplicate:0.01 ~delay_probability:0.1
+                ~max_extra_delay:0.05 ())
+           ~fault_seed:271828 (Testbed.engine tb))
+    end
+    else None
+  in
   let resource =
-    Testbed.make_resource tb ~name:"demo-site" ~gridmap
+    Testbed.make_resource tb ~name:"demo-site" ~gridmap ?network
+      ?request_timeout:(if faults_enabled then Some 0.25 else None)
       ~backend:(Flat_file [ Policy.Combine.source ~name:"demo-vo" policy ])
   in
   let alice_client = Testbed.client tb ~user:alice ~resource in
@@ -71,7 +90,15 @@ let () =
      it — the fine-grain management right GT2 could not express. *)
   (match contact with
   | Some contact -> begin
-    match Gram.Client.manage_sync bob_client ~contact Gram.Protocol.Cancel with
+    (* Under faults, cancel is idempotent and goes through the retrying
+       client: dropped requests or replies are retried under a deadline. *)
+    let cancel () =
+      if faults_enabled then
+        Gram.Client.manage_with_retry_sync ~deadline:30.0 bob_client ~contact
+          Gram.Protocol.Cancel
+      else Gram.Client.manage_sync bob_client ~contact Gram.Protocol.Cancel
+    in
+    match cancel () with
     | Ok _ -> Printf.printf "Bob    cancel of Alice's job -> permitted (jobtag grant)\n"
     | Error e ->
       Printf.printf "Bob    cancel -> refused: %s\n"

@@ -96,6 +96,104 @@ let outcome_label : decision -> string = function
   | Error (System_error _) -> "system_error"
   | Error (Bad_configuration _) -> "bad_configuration"
 
+(* --- Resilience combinators ------------------------------------------ *)
+
+(* The callout runs synchronously inside one simulation event, so a
+   "timeout" is modelled by sampling the backend's would-be latency and
+   comparing it against the budget: a slow backend yields System_error
+   without the caller ever blocking. *)
+let with_timeout ?(obs = Grid_obs.Obs.noop) ~budget ~latency (c : t) : t =
+ fun q ->
+  let sampled = latency () in
+  if sampled > budget then begin
+    Grid_obs.Obs.incr obs "authz_timeouts_total";
+    Error
+      (System_error
+         (Printf.sprintf "authorization callout timed out (%.3fs > %.3fs budget)" sampled
+            budget))
+  end
+  else c q
+
+(* Retry transient backend failures. Only [System_error] is retried:
+   [Denied] is a definite answer and [Bad_configuration] will not heal by
+   itself. Retries happen within the same simulation instant (the JMI
+   blocks on the callout), so only the attempt count of [policy] matters
+   here — backoff pacing applies to the networked client path. *)
+let with_retry ?(obs = Grid_obs.Obs.noop) ?(policy = Grid_util.Retry.default) (c : t) : t =
+ fun q ->
+  let rec go attempt =
+    match c q with
+    | Error (System_error _) when attempt < policy.Grid_util.Retry.max_attempts ->
+      Grid_obs.Obs.incr obs "authz_retries_total";
+      go (attempt + 1)
+    | decision -> decision
+  in
+  go 1
+
+(* A circuit breaker in front of a callout: while open, answer
+   System_error immediately instead of hammering a failing backend.
+   Denials count as backend-healthy responses — the policy engine
+   answered, it just said no. *)
+let with_breaker ~breaker ~now (c : t) : t =
+ fun q ->
+  if not (Grid_util.Retry.Breaker.allow breaker ~now:(now ())) then
+    Error (System_error "authorization backend circuit open")
+  else begin
+    let decision = c q in
+    (match decision with
+    | Ok () | Error (Denied _) -> Grid_util.Retry.Breaker.success breaker ~now:(now ())
+    | Error (System_error _ | Bad_configuration _) ->
+      Grid_util.Retry.Breaker.failure breaker ~now:(now ()));
+    decision
+  end
+
+let breaker ?failure_threshold ?cooldown ?(obs = Grid_obs.Obs.noop) () =
+  Grid_util.Retry.Breaker.create ?failure_threshold ?cooldown
+    ~on_transition:(fun ~now:_ from into ->
+      Grid_obs.Obs.incr obs
+        ~labels:
+          [ ("from", Grid_util.Retry.Breaker.state_to_string from);
+            ("to", Grid_util.Retry.Breaker.state_to_string into) ]
+        "authz_breaker_transitions_total")
+    ()
+
+type degradation =
+  | Fail_open
+  | Fail_closed
+
+let degradation_label = function Fail_open -> "fail_open" | Fail_closed -> "fail_closed"
+
+(* Explicit degradation policy for backend outages. Only infrastructure
+   failures (System_error / Bad_configuration) are degradable — a Denied
+   is a policy answer and is never overridden. The default everywhere is
+   Fail_closed, preserving the paper's default-deny stance: an
+   unreachable authorization service must not grant access. Fail_open is
+   for callers who decide availability beats enforcement on some
+   non-critical decision point, and every such conversion is counted. *)
+let degrade ?(obs = Grid_obs.Obs.noop) mode (c : t) : t =
+ fun q ->
+  match c q with
+  | Ok () -> Ok ()
+  | Error (Denied _) as denial -> denial
+  | Error (System_error _ | Bad_configuration _) as outage -> begin
+    Grid_obs.Obs.incr obs
+      ~labels:[ ("mode", degradation_label mode) ]
+      "authz_degraded_total";
+    match mode with Fail_open -> Ok () | Fail_closed -> outage
+  end
+
+(* Deterministic fault injector for chaos tests: fail with System_error at
+   the given probability, sampling from the caller's seeded stream. *)
+let flaky ~rng ~failure_probability (c : t) : t =
+  if failure_probability < 0.0 || failure_probability > 1.0 then
+    invalid_arg "Callout.flaky: failure_probability must be a probability";
+  fun q ->
+    if
+      failure_probability > 0.0
+      && Grid_util.Rng.float rng 1.0 < failure_probability
+    then Error (System_error "injected authorization backend fault")
+    else c q
+
 let instrument ?(backend = "pep") ~obs (c : t) : t =
   if not (Grid_obs.Obs.enabled obs) then c
   else fun q ->

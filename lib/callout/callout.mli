@@ -66,6 +66,48 @@ val outcome_label : decision -> string
 (** ["permitted"] / ["denied"] / ["system_error"] / ["bad_configuration"]:
     the metric label vocabulary for decisions. *)
 
+val with_timeout :
+  ?obs:Grid_obs.Obs.t -> budget:float -> latency:(unit -> float) -> t -> t
+(** Bound the backend's (simulated) latency: when [latency ()] samples
+    above [budget], answer [System_error] immediately and count it under
+    [authz_timeouts_total] instead of blocking the JMI. *)
+
+val with_retry : ?obs:Grid_obs.Obs.t -> ?policy:Grid_util.Retry.policy -> t -> t
+(** Retry [System_error] answers up to [policy.max_attempts] times
+    (within the same simulation instant — the JMI blocks on the callout);
+    [Denied] and [Bad_configuration] are returned as-is. Each retry is
+    counted under [authz_retries_total]. *)
+
+val with_breaker : breaker:Grid_util.Retry.Breaker.t -> now:(unit -> float) -> t -> t
+(** Circuit-break a callout: while the breaker is open, answer
+    [System_error "authorization backend circuit open"] without invoking
+    the backend. [Ok] and [Denied] count as successes (the policy engine
+    answered); [System_error]/[Bad_configuration] count as failures. *)
+
+val breaker :
+  ?failure_threshold:int -> ?cooldown:float -> ?obs:Grid_obs.Obs.t -> unit ->
+  Grid_util.Retry.Breaker.t
+(** A breaker whose state transitions are counted under
+    [authz_breaker_transitions_total{from,to}]. *)
+
+type degradation =
+  | Fail_open  (** availability over enforcement: outage => permit *)
+  | Fail_closed  (** the paper's default-deny stance: outage => refuse *)
+
+val degradation_label : degradation -> string
+
+val degrade : ?obs:Grid_obs.Obs.t -> degradation -> t -> t
+(** Explicit degradation policy for backend outages. Converts only
+    [System_error]/[Bad_configuration] — a [Denied] policy answer is
+    never overridden, so [Fail_open] cannot turn a denial into a permit.
+    Every degraded decision is counted under
+    [authz_degraded_total{mode}]. Default configuration across the
+    system is [Fail_closed]. *)
+
+val flaky : rng:Grid_util.Rng.t -> failure_probability:float -> t -> t
+(** Deterministic fault injector: fail with [System_error] at the given
+    probability, sampled from the caller's seeded stream. *)
+
 val instrument : ?backend:string -> obs:Grid_obs.Obs.t -> t -> t
 (** The timed sibling of {!counting}: wrap a callout so every invocation
     opens an ["authz.callout"] span and increments

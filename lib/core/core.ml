@@ -88,7 +88,7 @@ module Testbed = struct
 
   let make_resource ?(name = "resource") ?(nodes = 4) ?(cpus_per_node = 8) ?queues
       ?(gridmap = Grid_gsi.Gridmap.empty) ?dynamic_accounts ?static_limits
-      ?dynamic_limits ?gatekeeper_pep ?allocation ~backend t =
+      ?dynamic_limits ?gatekeeper_pep ?allocation ?network ?request_timeout ~backend t =
     let lrm = Grid_lrm.Lrm.create ~obs:t.obs ?queues ~nodes ~cpus_per_node t.engine in
     let pool =
       Option.map
@@ -99,11 +99,12 @@ module Testbed = struct
     let mapper =
       Grid_accounts.Mapper.create ?pool ?static_limits ?dynamic_limits gridmap
     in
-    Grid_gram.Resource.create ~name ?gatekeeper_pep ?allocation ~obs:t.obs ~trust:t.trust
-      ~mapper ~mode:(mode_of_backend ~obs:t.obs backend) ~lrm ~engine:t.engine ()
+    Grid_gram.Resource.create ~name ?gatekeeper_pep ?allocation ?network ?request_timeout
+      ~obs:t.obs ~trust:t.trust ~mapper ~mode:(mode_of_backend ~obs:t.obs backend) ~lrm
+      ~engine:t.engine ()
 
   let client _t ~user ~resource =
-    Grid_gram.Client.create ~identity:user ~resource
+    Grid_gram.Client.create ~identity:user ~resource ()
 
   let run t = Grid_sim.Engine.run t.engine
   let run_for t seconds = Grid_sim.Engine.run_until t.engine (now t +. seconds)
@@ -170,18 +171,38 @@ module Fusion = struct
   let gridmap_text =
     Printf.sprintf "%S bliu\n%S keahey\n%S voadmin\n" bo_liu kate_keahey admin
 
-  let build ?(backend = `Flat_file) ?(nodes = 4) ?(cpus_per_node = 8) () =
+  let build ?(backend = `Flat_file) ?(nodes = 4) ?(cpus_per_node = 8) ?faults
+      ?(fault_seed = 1299709) ?request_timeout ?flaky_pep () =
     let testbed = Testbed.create () in
     let vo = build_vo () in
     let backend =
-      match backend with
-      | `Baseline -> Baseline
-      | `Flat_file -> Flat_file (policy_sources vo)
-      | `Custom callout -> Custom callout
+      match (backend, flaky_pep) with
+      | `Baseline, _ -> Baseline
+      | `Flat_file, None -> Flat_file (policy_sources vo)
+      | `Flat_file, Some failure_probability ->
+        (* Chaos variant: the flat-file PEP behind a seeded fault injector.
+           No degradation combinator is applied, so backend faults surface
+           as Authz_system_failure — refusal, never a silent permit
+           (default-deny preserved). *)
+        let rng = Grid_util.Rng.create ~seed:(fault_seed + 17) in
+        Custom
+          (Grid_callout.Callout.flaky ~rng ~failure_probability
+             (Grid_callout.File_pep.of_sources ~obs:(Testbed.obs testbed)
+                (policy_sources vo)))
+      | `Custom callout, None -> Custom callout
+      | `Custom callout, Some failure_probability ->
+        let rng = Grid_util.Rng.create ~seed:(fault_seed + 17) in
+        Custom (Grid_callout.Callout.flaky ~rng ~failure_probability callout)
+    in
+    let network =
+      Option.map
+        (fun profile ->
+          Grid_sim.Network.create ~faults:profile ~fault_seed (Testbed.engine testbed))
+        faults
     in
     let resource =
       Testbed.make_resource testbed ~name:"fusion-site" ~nodes ~cpus_per_node
-        ~gridmap:(Grid_gsi.Gridmap.parse gridmap_text) ~backend
+        ~gridmap:(Grid_gsi.Gridmap.parse gridmap_text) ?network ?request_timeout ~backend
     in
     let mk dn = Testbed.client testbed ~user:(Testbed.add_user testbed dn) ~resource in
     { testbed; vo; resource; bo = mk bo_liu; kate = mk kate_keahey; vo_admin = mk admin }

@@ -29,6 +29,7 @@ type stats = {
   mutable accepted : int;
   mutable denied_authorization : int;
   mutable denied_other : int;
+  mutable timed_out : int;
   mutable management_requests : int;
   mutable management_denied : int;
 }
@@ -38,14 +39,15 @@ let fresh_stats () =
     accepted = 0;
     denied_authorization = 0;
     denied_other = 0;
+    timed_out = 0;
     management_requests = 0;
     management_denied = 0 }
 
 let pp_stats ppf s =
   Fmt.pf ppf
-    "submitted %d; accepted %d; denied (authz) %d; denied (other) %d; managed %d (%d denied)"
-    s.submitted s.accepted s.denied_authorization s.denied_other s.management_requests
-    s.management_denied
+    "submitted %d; accepted %d; denied (authz) %d; denied (other) %d; timed out %d; managed %d (%d denied)"
+    s.submitted s.accepted s.denied_authorization s.denied_other s.timed_out
+    s.management_requests s.management_denied
 
 let pick_weighted rng profiles =
   let total = List.fold_left (fun acc p -> acc + p.weight) 0 profiles in
@@ -75,12 +77,14 @@ let run ~(engine : Grid_sim.Engine.t) ~(resource : Grid_gram.Resource.t)
     let rsl = Grid_util.Rng.pick rng profile.rsl_templates in
     Grid_sim.Engine.schedule_at engine !arrival_time (fun () ->
         stats.submitted <- stats.submitted + 1;
-        let client = Grid_gram.Client.create ~identity:profile.identity ~resource in
+        let client = Grid_gram.Client.create ~identity:profile.identity ~resource () in
         Grid_gram.Client.submit client ~rsl ~reply:(fun result ->
             match result with
             | Error (Grid_gram.Protocol.Authorization_failed _)
             | Error (Grid_gram.Protocol.Gatekeeper_refused _) ->
               stats.denied_authorization <- stats.denied_authorization + 1
+            | Error (Grid_gram.Protocol.Request_timeout _) ->
+              stats.timed_out <- stats.timed_out + 1
             | Error _ -> stats.denied_other <- stats.denied_other + 1
             | Ok reply ->
               stats.accepted <- stats.accepted + 1;
@@ -99,6 +103,8 @@ let run ~(engine : Grid_sim.Engine.t) ~(resource : Grid_gram.Resource.t)
                       ~reply:(fun result ->
                         match result with
                         | Ok _ -> ()
+                        | Error (Grid_gram.Protocol.Request_timed_out _) ->
+                          stats.timed_out <- stats.timed_out + 1
                         | Error _ ->
                           stats.management_denied <- stats.management_denied + 1))
               end))

@@ -23,6 +23,7 @@ type stats = {
   mutable accepted : int;
   mutable denied_authorization : int;
   mutable denied_other : int;
+  mutable timed_out : int;  (** requests that hit the per-request deadline *)
   mutable management_requests : int;
   mutable management_denied : int;
 }

@@ -6,6 +6,12 @@
    differ from the job originator's — the client "recognizes the identity
    of the job originator" via the job status it can query.
 
+   Management requests (status/cancel/signal) are idempotent at the
+   resource, so the client may retry them under a deadline with
+   exponential backoff when a request times out. Submission is NOT
+   retried automatically: a lost reply does not imply a lost job, and
+   resubmitting could start it twice.
+
    The [*_sync] helpers drive the simulation engine until the reply
    arrives, giving tests and examples a blocking API over the
    asynchronous wire protocol. *)
@@ -13,9 +19,14 @@
 type t = {
   identity : Grid_gsi.Identity.t;
   resource : Resource.t;
+  retry : Grid_util.Retry.policy;
+  attempt_timeout : float;
+  rng : Grid_util.Rng.t;  (* backoff jitter stream *)
 }
 
-let create ~identity ~resource = { identity; resource }
+let create ?(retry = Grid_util.Retry.default) ?(attempt_timeout = 0.25) ?(seed = 11)
+    ~identity ~resource () =
+  { identity; resource; retry; attempt_timeout; rng = Grid_util.Rng.create ~seed }
 
 let identity t = t.identity
 let subject t = Grid_gsi.Identity.subject t.identity
@@ -24,12 +35,70 @@ let credential_for t =
   let challenge = Resource.new_challenge t.resource in
   Grid_gsi.Credential.of_identity t.identity ~challenge
 
-let submit t ~rsl ~reply =
-  Resource.submit t.resource ~credential:(credential_for t) ~rsl ~reply
+let submit ?timeout t ~rsl ~reply =
+  Resource.submit ?timeout t.resource ~credential:(credential_for t) ~rsl ~reply
 
-let manage t ~contact action ~reply =
-  Resource.manage t.resource ~requester:(Grid_gsi.Identity.effective_subject t.identity)
+let manage ?timeout t ~contact action ~reply =
+  Resource.manage ?timeout t.resource
+    ~requester:(Grid_gsi.Identity.effective_subject t.identity)
     ~credential:(credential_for t) ~contact action ~reply
+
+(* --- Retrying management ---------------------------------------------- *)
+
+let action_label = function
+  | Protocol.Cancel -> "cancel"
+  | Protocol.Status -> "status"
+  | Protocol.Signal _ -> "signal"
+
+(* Retry [action] until it yields a non-timeout result, the policy's
+   attempts run out, or the (relative) [deadline] would be overshot.
+   Only [Request_timed_out] is retried — every other error is a definite
+   answer from the resource. Each attempt mints a fresh credential, so a
+   duplicate-delivered earlier attempt can never be replayed. *)
+let manage_with_retry ?policy ?deadline t ~contact action ~reply =
+  let policy = match policy with Some p -> p | None -> t.retry in
+  let engine = Resource.engine t.resource in
+  let obs = Resource.obs t.resource in
+  let label = action_label action in
+  let started = Grid_sim.Engine.now engine in
+  let absolute_deadline = Option.map (fun d -> started +. d) deadline in
+  let give_up ~attempts reason =
+    if Grid_obs.Obs.enabled obs then
+      Grid_obs.Obs.incr obs ~labels:[ ("action", label) ] "client_retry_exhausted_total";
+    reply
+      (Error
+         (Protocol.Request_timed_out
+            (Printf.sprintf "gave up after %d attempt%s: %s" attempts
+               (if attempts = 1 then "" else "s")
+               reason)))
+  in
+  let rec attempt n =
+    let now = Grid_sim.Engine.now engine in
+    (* Bound each attempt by both the per-attempt timeout and what is
+       left of the overall deadline. *)
+    let budget =
+      match absolute_deadline with
+      | None -> t.attempt_timeout
+      | Some d -> Float.min t.attempt_timeout (d -. now)
+    in
+    if budget <= 0.0 then give_up ~attempts:(n - 1) "deadline expired"
+    else
+      manage ~timeout:budget t ~contact action ~reply:(function
+        | Error (Protocol.Request_timed_out msg) -> begin
+          match
+            Grid_util.Retry.next policy ~rng:t.rng ~now:(Grid_sim.Engine.now engine)
+              ~deadline:absolute_deadline ~attempt:n
+          with
+          | Grid_util.Retry.Give_up reason ->
+            give_up ~attempts:n (reason ^ "; last error: " ^ msg)
+          | Grid_util.Retry.Retry_after backoff ->
+            if Grid_obs.Obs.enabled obs then
+              Grid_obs.Obs.incr obs ~labels:[ ("action", label) ] "client_retries_total";
+            Grid_sim.Engine.schedule_after engine backoff (fun () -> attempt (n + 1))
+        end
+        | result -> reply result)
+  in
+  attempt 1
 
 (* --- Blocking wrappers ------------------------------------------------ *)
 
@@ -42,14 +111,19 @@ let await engine cell =
   | Some v -> v
   | None -> failwith "Client: no reply (simulation drained)"
 
-let submit_sync t ~rsl =
+let submit_sync ?timeout t ~rsl =
   let cell = ref None in
-  submit t ~rsl ~reply:(fun r -> cell := Some r);
+  submit ?timeout t ~rsl ~reply:(fun r -> cell := Some r);
   await (Resource.engine t.resource) cell
 
-let manage_sync t ~contact action =
+let manage_sync ?timeout t ~contact action =
   let cell = ref None in
-  manage t ~contact action ~reply:(fun r -> cell := Some r);
+  manage ?timeout t ~contact action ~reply:(fun r -> cell := Some r);
+  await (Resource.engine t.resource) cell
+
+let manage_with_retry_sync ?policy ?deadline t ~contact action =
+  let cell = ref None in
+  manage_with_retry ?policy ?deadline t ~contact action ~reply:(fun r -> cell := Some r);
   await (Resource.engine t.resource) cell
 
 let watch t ~contact ~on_state_change =

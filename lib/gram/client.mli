@@ -1,9 +1,23 @@
 (** The GRAM client: submission and (possibly third-party) job
-    management on behalf of a grid identity. *)
+    management on behalf of a grid identity.
+
+    Management requests (status/cancel/signal) are idempotent at the
+    resource and may be retried under a deadline via
+    {!manage_with_retry}; submission is never retried automatically. *)
 
 type t
 
-val create : identity:Grid_gsi.Identity.t -> resource:Resource.t -> t
+val create :
+  ?retry:Grid_util.Retry.policy ->
+  ?attempt_timeout:float ->
+  ?seed:int ->
+  identity:Grid_gsi.Identity.t ->
+  resource:Resource.t ->
+  unit ->
+  t
+(** [retry] (default {!Grid_util.Retry.default}) governs
+    {!manage_with_retry}; [attempt_timeout] (default 0.25s) bounds each
+    individual attempt; [seed] feeds the backoff-jitter stream. *)
 
 val identity : t -> Grid_gsi.Identity.t
 val subject : t -> Grid_gsi.Dn.t
@@ -12,22 +26,49 @@ val credential_for : t -> Grid_gsi.Credential.t
 (** Fresh credential bound to a challenge newly minted by the resource. *)
 
 val submit :
+  ?timeout:float ->
   t ->
   rsl:string ->
   reply:((Protocol.submit_reply, Protocol.submit_error) result -> unit) ->
   unit
 
 val manage :
+  ?timeout:float ->
   t ->
   contact:string ->
   Protocol.management_action ->
   reply:((Protocol.management_reply, Protocol.management_error) result -> unit) ->
   unit
 
-val submit_sync : t -> rsl:string -> (Protocol.submit_reply, Protocol.submit_error) result
+val manage_with_retry :
+  ?policy:Grid_util.Retry.policy ->
+  ?deadline:float ->
+  t ->
+  contact:string ->
+  Protocol.management_action ->
+  reply:((Protocol.management_reply, Protocol.management_error) result -> unit) ->
+  unit
+(** Retry the (idempotent) management request on [Request_timed_out]
+    with exponential backoff, until a definite answer arrives, the
+    policy's attempts run out, or the [deadline] (seconds from now)
+    would be overshot. A deadline of 0 fails immediately without
+    sending anything. Retries and exhaustion are counted under
+    [client_retries_total]/[client_retry_exhausted_total]. *)
+
+val submit_sync :
+  ?timeout:float -> t -> rsl:string -> (Protocol.submit_reply, Protocol.submit_error) result
 (** Drive the simulation until the reply arrives. *)
 
 val manage_sync :
+  ?timeout:float ->
+  t ->
+  contact:string ->
+  Protocol.management_action ->
+  (Protocol.management_reply, Protocol.management_error) result
+
+val manage_with_retry_sync :
+  ?policy:Grid_util.Retry.policy ->
+  ?deadline:float ->
   t ->
   contact:string ->
   Protocol.management_action ->

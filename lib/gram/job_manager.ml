@@ -321,9 +321,16 @@ let perform t (action : Protocol.management_action) :
       Grid_obs.Obs.with_span t.obs name (fun _ -> lift (op ()))
     in
     match action with
-    | Protocol.Cancel ->
-      record t ~target:"lrm" "cancel job";
-      spanned "lrm.cancel" (fun () -> Grid_lrm.Lrm.cancel t.lrm lrm_id)
+    | Protocol.Cancel -> begin
+      (* Cancel is idempotent: a job already cancelled acknowledges again
+         rather than failing, so a retried (or duplicate-delivered) cancel
+         whose first reply was lost still converges on Ack. *)
+      match Grid_lrm.Lrm.query t.lrm lrm_id with
+      | Ok { Grid_lrm.Lrm.job_state = Grid_lrm.Lrm.Cancelled; _ } -> Ok Protocol.Ack
+      | Ok _ | Error _ ->
+        record t ~target:"lrm" "cancel job";
+        spanned "lrm.cancel" (fun () -> Grid_lrm.Lrm.cancel t.lrm lrm_id)
+    end
     | Protocol.Status -> begin
       match status t with
       | Ok st -> Ok (Protocol.Job_status st)

@@ -60,6 +60,7 @@ type submit_error =
   | Sandbox_violation of string list
   | Allocation_refused of string      (* coarse-grained VO allocation exhausted *)
   | Resource_unavailable of string    (* LRM refused the job *)
+  | Request_timeout of string         (* no reply within the request deadline *)
 
 let submit_error_to_string = function
   | Authentication_failed m -> "authentication failed: " ^ m
@@ -70,6 +71,7 @@ let submit_error_to_string = function
   | Sandbox_violation vs -> "sandbox violation: " ^ String.concat "; " vs
   | Allocation_refused m -> "allocation refused: " ^ m
   | Resource_unavailable m -> "resource unavailable: " ^ m
+  | Request_timeout m -> "request timeout: " ^ m
 
 type job_state =
   | Pending
@@ -114,12 +116,14 @@ type management_error =
   | Management_authentication_failed of string
   | Not_authorized of authz_failure
   | Invalid_request of string   (* e.g. resume a job that is not suspended *)
+  | Request_timed_out of string (* no reply within the request deadline *)
 
 let management_error_to_string = function
   | Unknown_job c -> "unknown job contact: " ^ c
   | Management_authentication_failed m -> "authentication failed: " ^ m
   | Not_authorized f -> authz_failure_to_string f
   | Invalid_request m -> "invalid request: " ^ m
+  | Request_timed_out m -> "request timeout: " ^ m
 
 type management_reply =
   | Ack

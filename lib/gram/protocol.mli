@@ -35,6 +35,8 @@ type submit_error =
   | Sandbox_violation of string list
   | Allocation_refused of string
   | Resource_unavailable of string
+  | Request_timeout of string
+      (** no reply within the request deadline (dropped hop or partition) *)
 
 val submit_error_to_string : submit_error -> string
 
@@ -68,6 +70,8 @@ type management_error =
   | Management_authentication_failed of string
   | Not_authorized of authz_failure
   | Invalid_request of string
+  | Request_timed_out of string
+      (** no reply within the request deadline (dropped hop or partition) *)
 
 val management_error_to_string : management_error -> string
 

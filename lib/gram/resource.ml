@@ -16,15 +16,33 @@ type t = {
   audit : Grid_audit.Audit.t;
   trace : Grid_sim.Trace.t;
   obs : Grid_obs.Obs.t;
+  request_timeout : float option;
   jmis : (string, Job_manager.t) Hashtbl.t;
 }
 
-let create ?(name = "resource") ?network ?gatekeeper_pep ?allocation ?obs ~trust ~mapper
-    ~mode ~lrm ~engine () =
+(* Bridge injected network faults into the metrics registry so chaos runs
+   are measurable: network_faults_total{event,link}. *)
+let observe_faults ~obs network =
+  if Grid_obs.Obs.enabled obs then
+    Grid_sim.Network.on_fault network (fun event ->
+        let event_label, link =
+          match event with
+          | Grid_sim.Network.Dropped link -> ("dropped", link)
+          | Grid_sim.Network.Duplicated link -> ("duplicated", link)
+          | Grid_sim.Network.Delayed (link, _) -> ("delayed", link)
+          | Grid_sim.Network.Partitioned link -> ("partitioned", link)
+        in
+        Grid_obs.Obs.incr obs
+          ~labels:[ ("event", event_label); ("link", link) ]
+          "network_faults_total")
+
+let create ?(name = "resource") ?network ?gatekeeper_pep ?allocation ?obs ?request_timeout
+    ~trust ~mapper ~mode ~lrm ~engine () =
   let network =
     match network with Some n -> n | None -> Grid_sim.Network.create engine
   in
   let obs = match obs with Some o -> o | None -> Grid_obs.Obs.of_engine engine in
+  observe_faults ~obs network;
   let audit = Grid_audit.Audit.create () in
   let trace = Grid_sim.Trace.create () in
   let mode = Mode.instrument ~obs mode in
@@ -32,7 +50,8 @@ let create ?(name = "resource") ?network ?gatekeeper_pep ?allocation ?obs ~trust
     Gatekeeper.create ?gatekeeper_pep ?allocation ~name:(name ^ ":gatekeeper") ~trust
       ~mapper ~mode ~lrm ~engine ~audit ~trace ~obs ()
   in
-  { name; engine; network; gatekeeper; lrm; audit; trace; obs; jmis = Hashtbl.create 32 }
+  { name; engine; network; gatekeeper; lrm; audit; trace; obs; request_timeout;
+    jmis = Hashtbl.create 32 }
 
 let name t = t.name
 let engine t = t.engine
@@ -63,7 +82,8 @@ let register_callback t ~contact ~(on_state_change : Protocol.job_state -> unit)
       Grid_lrm.Lrm.on_event t.lrm (fun (Grid_lrm.Lrm.State_changed { job; _ }) ->
           if String.equal job.Grid_lrm.Lrm.id lrm_id then begin
             let state = Protocol.job_state_of_lrm job.Grid_lrm.Lrm.state in
-            Grid_sim.Network.send t.network (fun () -> on_state_change state)
+            Grid_sim.Network.send ~link:"resource->client" t.network (fun () ->
+                on_state_change state)
           end);
       Ok ()
   end
@@ -124,11 +144,47 @@ let request_span t ~kind =
   end
   else Grid_obs.Span.null
 
-let submit t ~credential ~rsl ~reply =
+(* A request settles exactly once: either the reply hop delivers a result
+   or the timeout fires, and whichever comes second is discarded (a late
+   reply after a timeout models a stale datagram; a duplicate reply is
+   absorbed the same way). This is what guarantees "no hangs, no double
+   replies" under fault injection. *)
+let settle_guard t ~kind ~span reply =
+  let settled = ref false in
+  fun ~timed_out result ->
+    if not !settled then begin
+      settled := true;
+      if timed_out && Grid_obs.Obs.enabled t.obs then begin
+        Grid_obs.Span.set_attr span "outcome" "timeout";
+        Grid_obs.Obs.incr t.obs ~labels:[ ("kind", kind) ] "gram_request_timeouts_total"
+      end;
+      Grid_obs.Obs.finish_span t.obs span;
+      reply result
+    end
+
+let arm_timeout t ~timeout ~settle timeout_error =
+  match timeout with
+  | None -> ()
+  | Some budget ->
+    if budget <= 0.0 then
+      settle ~timed_out:true
+        (Error (timeout_error "request deadline already expired"))
+    else
+      Grid_sim.Engine.schedule_after t.engine budget (fun () ->
+          settle ~timed_out:true
+            (Error (timeout_error (Printf.sprintf "no reply within %gs" budget))))
+
+let effective_timeout t timeout =
+  match timeout with Some _ as s -> s | None -> t.request_timeout
+
+let submit ?timeout t ~credential ~rsl ~reply =
   Grid_sim.Trace.record t.trace ~at:(now t) ~source:"client"
     ~target:(t.name ^ ":gatekeeper") "job request + credentials";
   let span = request_span t ~kind:"submit" in
-  Grid_sim.Network.send t.network (fun () ->
+  let settle = settle_guard t ~kind:"submit" ~span reply in
+  arm_timeout t ~timeout:(effective_timeout t timeout) ~settle (fun m ->
+      Protocol.Request_timeout m);
+  Grid_sim.Network.send ~link:"client->resource" t.network (fun () ->
       let result =
         Grid_obs.Obs.in_scope t.obs span (fun () -> submit_direct t ~credential ~rsl)
       in
@@ -139,19 +195,20 @@ let submit t ~credential ~rsl ~reply =
       | Error _ ->
         Grid_sim.Trace.record t.trace ~at:(now t) ~source:(t.name ^ ":gatekeeper")
           ~target:"client" "submission error");
-      Grid_sim.Network.send t.network (fun () ->
-          Grid_obs.Obs.finish_span t.obs span;
-          reply result))
+      Grid_sim.Network.send ~link:"resource->client" t.network (fun () ->
+          settle ~timed_out:false result))
 
-let manage t ~requester ?credential ~contact action ~reply =
+let manage ?timeout t ~requester ?credential ~contact action ~reply =
   Grid_sim.Trace.record t.trace ~at:(now t) ~source:"client" ~target:("jmi:" ^ contact)
     (Protocol.management_action_to_string action);
   let span = request_span t ~kind:"manage" in
-  Grid_sim.Network.send t.network (fun () ->
+  let settle = settle_guard t ~kind:"manage" ~span reply in
+  arm_timeout t ~timeout:(effective_timeout t timeout) ~settle (fun m ->
+      Protocol.Request_timed_out m);
+  Grid_sim.Network.send ~link:"client->resource" t.network (fun () ->
       let result =
         Grid_obs.Obs.in_scope t.obs span (fun () ->
             manage_direct t ~requester ?credential ~contact action)
       in
-      Grid_sim.Network.send t.network (fun () ->
-          Grid_obs.Obs.finish_span t.obs span;
-          reply result))
+      Grid_sim.Network.send ~link:"resource->client" t.network (fun () ->
+          settle ~timed_out:false result))

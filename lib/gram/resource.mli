@@ -10,6 +10,7 @@ val create :
   ?gatekeeper_pep:Grid_callout.Callout.t ->
   ?allocation:Grid_accounts.Allocation.enforcement ->
   ?obs:Grid_obs.Obs.t ->
+  ?request_timeout:float ->
   trust:Grid_gsi.Ca.Trust_store.store ->
   mapper:Grid_accounts.Mapper.t ->
   mode:Mode.t ->
@@ -20,7 +21,11 @@ val create :
 (** [obs] defaults to a fresh engine-clocked handle
     ([Grid_obs.Obs.of_engine]); pass [Grid_obs.Obs.noop] to disable
     instrumentation, or share one handle across components. The mode's
-    authorization callout is wrapped with [Mode.instrument] under it. *)
+    authorization callout is wrapped with [Mode.instrument] under it.
+    [request_timeout] is the default per-request deadline applied to the
+    networked entry points (none by default: requests wait forever, as
+    the pre-fault-model behaviour did); injected network faults are
+    counted under [network_faults_total] when [obs] is enabled. *)
 
 val name : t -> string
 val engine : t -> Grid_sim.Engine.t
@@ -66,15 +71,20 @@ val manage_direct :
     credential-less calls are for in-process trusted callers only. *)
 
 val submit :
+  ?timeout:float ->
   t ->
   credential:Grid_gsi.Credential.t ->
   rsl:string ->
   reply:((Protocol.submit_reply, Protocol.submit_error) result -> unit) ->
   unit
 (** Networked submission: traces the Figure 1/2 arrows and delivers the
-    reply asynchronously. *)
+    reply asynchronously. With a [timeout] (or a resource-level
+    [request_timeout]) the reply callback fires exactly once: with the
+    result, or with [Request_timeout] if no reply arrived in time — late
+    and duplicate replies are discarded. *)
 
 val manage :
+  ?timeout:float ->
   t ->
   requester:Grid_gsi.Dn.t ->
   ?credential:Grid_gsi.Credential.t ->

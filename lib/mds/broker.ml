@@ -80,7 +80,7 @@ let submit t ~(identity : Grid_gsi.Identity.t) ~rsl =
         let rec try_each failures = function
           | [] -> Error (All_failed (List.rev failures))
           | c :: rest -> begin
-            let client = Grid_gram.Client.create ~identity ~resource:c.resource in
+            let client = Grid_gram.Client.create ~identity ~resource:c.resource () in
             match Grid_gram.Client.submit_sync client ~rsl with
             | Ok reply -> Ok (c.name, reply)
             | Error e ->

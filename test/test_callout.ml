@@ -41,6 +41,131 @@ let test_counting () =
   ignore (c q);
   Alcotest.(check int) "two invocations" 2 (count ())
 
+(* --- Resilience combinators ---------------------------------------------- *)
+
+let test_with_timeout () =
+  let q = start_query "&(executable=x)" in
+  let slow = ref false in
+  let latency () = if !slow then 1.0 else 0.01 in
+  let c = Callout.with_timeout ~budget:0.1 ~latency Callout.permit_all in
+  Alcotest.(check bool) "fast backend permits" true (c q = Ok ());
+  slow := true;
+  match c q with
+  | Error (Callout.System_error m) ->
+    Alcotest.(check bool) "mentions timeout" true
+      (Grid_util.Str_search.contains m "timed out")
+  | _ -> Alcotest.fail "slow backend must time out as System_error"
+
+let test_with_retry_transient () =
+  let q = start_query "&(executable=x)" in
+  (* Fails twice, then answers: with_retry masks the transient failures. *)
+  let calls = ref 0 in
+  let transient : Callout.t =
+   fun _ ->
+    incr calls;
+    if !calls <= 2 then Error (Callout.System_error "blip") else Ok ()
+  in
+  let policy = Grid_util.Retry.policy ~max_attempts:4 () in
+  Alcotest.(check bool) "eventually permits" true
+    (Callout.with_retry ~policy transient q = Ok ());
+  Alcotest.(check int) "three calls" 3 !calls
+
+let test_with_retry_exhaustion_and_no_retry_on_denial () =
+  let q = start_query "&(executable=x)" in
+  let calls = ref 0 in
+  let always_down : Callout.t =
+   fun _ ->
+    incr calls;
+    Error (Callout.System_error "down")
+  in
+  let policy = Grid_util.Retry.policy ~max_attempts:3 () in
+  (match Callout.with_retry ~policy always_down q with
+  | Error (Callout.System_error _) -> ()
+  | _ -> Alcotest.fail "exhaustion must propagate the system error");
+  Alcotest.(check int) "exactly max_attempts calls" 3 !calls;
+  (* A denial is a definite answer: never retried. *)
+  let denials = ref 0 in
+  let denier : Callout.t =
+   fun _ ->
+    incr denials;
+    Error (Callout.Denied "no")
+  in
+  (match Callout.with_retry ~policy denier q with
+  | Error (Callout.Denied _) -> ()
+  | _ -> Alcotest.fail "denial must propagate unchanged");
+  Alcotest.(check int) "single call on denial" 1 !denials
+
+let test_breaker_opens_and_half_open_recovery () =
+  let q = start_query "&(executable=x)" in
+  let clock = ref 0.0 in
+  let now () = !clock in
+  let breaker = Grid_util.Retry.Breaker.create ~failure_threshold:2 ~cooldown:10.0 () in
+  let healthy = ref false in
+  let backend : Callout.t =
+   fun _ -> if !healthy then Ok () else Error (Callout.System_error "down")
+  in
+  let c = Callout.with_breaker ~breaker ~now backend in
+  (* Two failures trip the breaker. *)
+  ignore (c q);
+  ignore (c q);
+  Alcotest.(check bool) "open after threshold" true
+    (Grid_util.Retry.Breaker.state breaker ~now:!clock = Grid_util.Retry.Breaker.Open);
+  (* While open, the backend is not consulted. *)
+  (match c q with
+  | Error (Callout.System_error m) ->
+    Alcotest.(check bool) "reports circuit open" true
+      (Grid_util.Str_search.contains m "circuit open")
+  | _ -> Alcotest.fail "open breaker must short-circuit");
+  (* Cooldown elapses; the backend heals; the half-open probe closes it. *)
+  clock := 11.0;
+  healthy := true;
+  Alcotest.(check bool) "half-open admits probe" true
+    (Grid_util.Retry.Breaker.state breaker ~now:!clock = Grid_util.Retry.Breaker.Half_open);
+  Alcotest.(check bool) "probe permits" true (c q = Ok ());
+  Alcotest.(check bool) "closed after successful probe" true
+    (Grid_util.Retry.Breaker.state breaker ~now:!clock = Grid_util.Retry.Breaker.Closed)
+
+let test_breaker_failed_probe_reopens () =
+  let q = start_query "&(executable=x)" in
+  let clock = ref 0.0 in
+  let now () = !clock in
+  let breaker = Grid_util.Retry.Breaker.create ~failure_threshold:1 ~cooldown:5.0 () in
+  let c = Callout.with_breaker ~breaker ~now (Callout.failing ~message:"still down") in
+  ignore (c q);
+  clock := 6.0;
+  ignore (c q);
+  (* The probe failed: back to Open with a fresh cooldown from t=6. *)
+  Alcotest.(check bool) "re-opened" true
+    (Grid_util.Retry.Breaker.state breaker ~now:8.0 = Grid_util.Retry.Breaker.Open);
+  Alcotest.(check bool) "half-open again after new cooldown" true
+    (Grid_util.Retry.Breaker.state breaker ~now:11.5 = Grid_util.Retry.Breaker.Half_open)
+
+let test_degrade_fail_closed_and_open () =
+  let q = start_query "&(executable=x)" in
+  let down = Callout.failing ~message:"backend unreachable" in
+  (* Fail-closed (the default stance): outage stays an error => deny. *)
+  (match Callout.degrade Callout.Fail_closed down q with
+  | Error (Callout.System_error _) -> ()
+  | _ -> Alcotest.fail "fail-closed must preserve the outage error");
+  (* Fail-open converts the outage to a permit... *)
+  Alcotest.(check bool) "fail-open permits on outage" true
+    (Callout.degrade Callout.Fail_open down q = Ok ());
+  (* ...but NEVER overrides a policy denial. *)
+  match Callout.degrade Callout.Fail_open (Callout.deny_all ~reason:"no") q with
+  | Error (Callout.Denied _) -> ()
+  | _ -> Alcotest.fail "fail-open must not convert a denial into a permit"
+
+let test_flaky_deterministic () =
+  let q = start_query "&(executable=x)" in
+  let outcomes seed =
+    let rng = Grid_util.Rng.create ~seed in
+    let c = Callout.flaky ~rng ~failure_probability:0.5 Callout.permit_all in
+    List.init 50 (fun _ -> match c q with Ok () -> 'p' | Error _ -> 'f')
+  in
+  Alcotest.(check (list char)) "same seed, same fault sequence" (outcomes 3) (outcomes 3);
+  let faults = List.length (List.filter (fun c -> c = 'f') (outcomes 3)) in
+  Alcotest.(check bool) "faults actually injected" true (faults > 0 && faults < 50)
+
 (* --- Registry / config --------------------------------------------------- *)
 
 let test_registry_lookup () =
@@ -161,6 +286,18 @@ let () =
         [ Alcotest.test_case "all conjunction" `Quick test_all_conjunction;
           Alcotest.test_case "first error wins" `Quick test_all_first_error_wins;
           Alcotest.test_case "counting" `Quick test_counting ] );
+      ( "resilience",
+        [ Alcotest.test_case "with_timeout" `Quick test_with_timeout;
+          Alcotest.test_case "with_retry transient" `Quick test_with_retry_transient;
+          Alcotest.test_case "with_retry exhaustion + denial" `Quick
+            test_with_retry_exhaustion_and_no_retry_on_denial;
+          Alcotest.test_case "breaker half-open recovery" `Quick
+            test_breaker_opens_and_half_open_recovery;
+          Alcotest.test_case "breaker failed probe reopens" `Quick
+            test_breaker_failed_probe_reopens;
+          Alcotest.test_case "degrade fail-open/closed" `Quick
+            test_degrade_fail_closed_and_open;
+          Alcotest.test_case "flaky deterministic" `Quick test_flaky_deterministic ] );
       ( "registry+config",
         [ Alcotest.test_case "registry lookup" `Quick test_registry_lookup;
           Alcotest.test_case "config parse" `Quick test_config_parse;

@@ -35,8 +35,8 @@ let fig3_sources () =
 
 let gridmap_text = Printf.sprintf "%S keahey\n%S bliu\n" kate_dn bo_dn
 
-let build ?static_limits ?dynamic_accounts ?gatekeeper_pep ?(nodes = 2)
-    ?(cpus_per_node = 4) mode_of =
+let build ?static_limits ?dynamic_accounts ?gatekeeper_pep ?network_of ?request_timeout
+    ?(nodes = 2) ?(cpus_per_node = 4) mode_of =
   Grid_util.Ids.reset ();
   Grid_crypto.Keypair.reset_keystore ();
   let engine = Grid_sim.Engine.create () in
@@ -52,15 +52,19 @@ let build ?static_limits ?dynamic_accounts ?gatekeeper_pep ?(nodes = 2)
   let mapper =
     Grid_accounts.Mapper.create ?pool ?static_limits (Grid_gsi.Gridmap.parse gridmap_text)
   in
+  let network = Option.map (fun f -> f engine) network_of in
   let resource =
-    Resource.create ?gatekeeper_pep ~trust ~mapper ~mode:(mode_of ()) ~lrm ~engine ()
+    Resource.create ?gatekeeper_pep ?network ?request_timeout ~trust ~mapper
+      ~mode:(mode_of ()) ~lrm ~engine ()
   in
-  let kate = Client.create ~identity:(Grid_gsi.Identity.create ~ca ~now:0.0 kate_dn) ~resource in
-  let bo = Client.create ~identity:(Grid_gsi.Identity.create ~ca ~now:0.0 bo_dn) ~resource in
+  let kate = Client.create ~identity:(Grid_gsi.Identity.create ~ca ~now:0.0 kate_dn) ~resource () in
+  let bo = Client.create ~identity:(Grid_gsi.Identity.create ~ca ~now:0.0 bo_dn) ~resource () in
   { engine; ca; trust; resource; kate; bo }
 
-let baseline ?static_limits ?dynamic_accounts ?nodes ?cpus_per_node () =
-  build ?static_limits ?dynamic_accounts ?nodes ?cpus_per_node (fun () -> Mode.Gt2_baseline)
+let baseline ?static_limits ?dynamic_accounts ?network_of ?request_timeout ?nodes
+    ?cpus_per_node () =
+  build ?static_limits ?dynamic_accounts ?network_of ?request_timeout ?nodes ?cpus_per_node
+    (fun () -> Mode.Gt2_baseline)
 
 let extended ?static_limits ?dynamic_accounts ?callout () =
   build ?static_limits ?dynamic_accounts (fun () ->
@@ -95,7 +99,7 @@ let test_baseline_unknown_user_refused () =
   let outsider =
     Client.create
       ~identity:(Grid_gsi.Identity.create ~ca:w.ca ~now:0.0 outsider_dn)
-      ~resource:w.resource
+      ~resource:w.resource ()
   in
   match Client.submit_sync outsider ~rsl:"&(executable=/bin/sim)" with
   | Error (Protocol.Gatekeeper_refused _) -> ()
@@ -270,7 +274,7 @@ let test_extended_dynamic_accounts () =
   let visitor =
     Client.create
       ~identity:(Grid_gsi.Identity.create ~ca:wb.ca ~now:0.0 (org ^ "/CN=Visitor"))
-      ~resource:wb.resource
+      ~resource:wb.resource ()
   in
   let reply = ok_submit (Client.submit_sync visitor ~rsl:"&(executable=/bin/sim)") in
   Alcotest.(check bool) "dynamic account" true
@@ -304,7 +308,7 @@ let test_limited_proxy_cannot_start_but_can_manage () =
   let limited =
     Grid_gsi.Identity.delegate (Client.identity w.kate) ~now:0.0 ~limited:true
   in
-  let monitor = Client.create ~identity:limited ~resource:w.resource in
+  let monitor = Client.create ~identity:limited ~resource:w.resource () in
   ignore (ok_manage (Client.manage_sync monitor ~contact:reply.Protocol.job_contact
                        Protocol.Status));
   match Client.submit_sync monitor ~rsl:"&(executable=/bin/sim)" with
@@ -323,7 +327,7 @@ let test_management_requires_valid_credential () =
   let contact = reply.Protocol.job_contact in
   (* A short-lived proxy manages fine while valid... *)
   let proxy = Grid_gsi.Identity.delegate (Client.identity w.kate) ~now:0.0 ~lifetime:100.0 in
-  let proxy_client = Client.create ~identity:proxy ~resource:w.resource in
+  let proxy_client = Client.create ~identity:proxy ~resource:w.resource () in
   ignore (ok_manage (Client.manage_sync proxy_client ~contact Protocol.Status));
   (* ...but not after it expires. *)
   Grid_sim.Engine.run_until w.engine 200.0;
@@ -393,7 +397,7 @@ let allocation_world budget =
     Resource.create ~allocation:(Grid_accounts.Allocation.enforcement bank) ~trust
       ~mapper ~mode:Mode.Gt2_baseline ~lrm ~engine ()
   in
-  let kate = Client.create ~identity:(Grid_gsi.Identity.create ~ca ~now:0.0 kate_dn) ~resource in
+  let kate = Client.create ~identity:(Grid_gsi.Identity.create ~ca ~now:0.0 kate_dn) ~resource () in
   (engine, ca, bank, resource, kate)
 
 let test_allocation_admits_and_settles () =
@@ -436,7 +440,7 @@ let test_allocation_refund_enables_more_work () =
 let test_allocation_unknown_party_refused () =
   let _, ca, _, resource, _ = allocation_world 1000.0 in
   let outsider =
-    Client.create ~identity:(Grid_gsi.Identity.create ~ca ~now:0.0 outsider_dn) ~resource
+    Client.create ~identity:(Grid_gsi.Identity.create ~ca ~now:0.0 outsider_dn) ~resource ()
   in
   (* The outsider is not under the VO's allocation; but also not in the
      gridmap — use a mapped-but-unallocated DN instead: extend gridmap?
@@ -640,6 +644,76 @@ let test_state_callbacks () =
   | Error (Protocol.Unknown_job _) -> ()
   | _ -> Alcotest.fail "watch on unknown contact accepted"
 
+(* --- Faulty network: timeouts, retries, duplicate delivery ----------------- *)
+
+let test_retry_zero_deadline () =
+  let w = baseline ~request_timeout:0.25 () in
+  let reply = ok_submit (Client.submit_sync w.kate ~rsl:"&(executable=/bin/sim)(simduration=100)") in
+  match
+    Client.manage_with_retry_sync ~deadline:0.0 w.kate ~contact:reply.Protocol.job_contact
+      Protocol.Status
+  with
+  | Error (Protocol.Request_timed_out m) ->
+    Alcotest.(check string) "fails before sending anything"
+      "gave up after 0 attempts: deadline expired" m
+  | Ok _ -> Alcotest.fail "zero deadline must not succeed"
+  | Error e -> Alcotest.failf "wrong error: %s" (Protocol.management_error_to_string e)
+
+let test_retry_exhaustion_under_partition () =
+  let w = baseline ~request_timeout:0.25 () in
+  let reply = ok_submit (Client.submit_sync w.kate ~rsl:"&(executable=/bin/sim)(simduration=100)") in
+  (* Sever the request hop: every attempt must time out client-side, the
+     retry loop must back off and ultimately give up — never hang. *)
+  Grid_sim.Network.partition (Resource.network w.resource) ~link:"client->resource";
+  (match
+     Client.manage_with_retry_sync ~deadline:60.0 w.kate ~contact:reply.Protocol.job_contact
+       Protocol.Status
+   with
+  | Error (Protocol.Request_timed_out m) ->
+    Alcotest.(check bool) "exhaustion reported" true
+      (Grid_util.Str_search.contains m "gave up after 4 attempts")
+  | Ok _ -> Alcotest.fail "partitioned request path must not succeed"
+  | Error e -> Alcotest.failf "wrong error: %s" (Protocol.management_error_to_string e));
+  (* Heal the partition: the same request now completes. *)
+  Grid_sim.Network.heal (Resource.network w.resource) ~link:"client->resource";
+  match
+    Client.manage_with_retry_sync ~deadline:60.0 w.kate ~contact:reply.Protocol.job_contact
+      Protocol.Status
+  with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "healed link failed: %s" (Protocol.management_error_to_string e)
+
+let test_duplicate_delivery_idempotent () =
+  (* Every datagram is delivered twice. Challenge-bound single-use
+     credentials mean the duplicate request is rejected at
+     authentication, so there is exactly one admitted job and one
+     effective cancel; duplicate replies are absorbed by the client's
+     settle guard. *)
+  let network_of engine =
+    Grid_sim.Network.create
+      ~faults:(Grid_sim.Network.Faults.profile ~duplicate:1.0 ())
+      ~seed:5 engine
+  in
+  let w = baseline ~network_of ~request_timeout:0.25 () in
+  let reply = ok_submit (Client.submit_sync w.kate ~rsl:"&(executable=/bin/sim)(simduration=100)") in
+  let contact = reply.Protocol.job_contact in
+  Alcotest.(check int) "exactly one job admitted" 1
+    (List.length (Resource.jobs w.resource));
+  (match Client.manage_sync w.kate ~contact Protocol.Cancel with
+  | Ok Protocol.Ack -> ()
+  | Ok _ -> Alcotest.fail "cancel must ack"
+  | Error e -> Alcotest.failf "cancel failed: %s" (Protocol.management_error_to_string e));
+  (* Cancel is idempotent at the JMI: an explicit second cancel acks too. *)
+  (match Client.manage_sync w.kate ~contact Protocol.Cancel with
+  | Ok Protocol.Ack -> ()
+  | _ -> Alcotest.fail "second cancel must ack (idempotent)");
+  Grid_sim.Engine.run w.engine;
+  match Client.status_sync w.kate ~contact with
+  | Ok st ->
+    Alcotest.(check string) "cancelled once, stays cancelled" "CANCELED"
+      (Protocol.job_state_to_string st.Protocol.state)
+  | Error e -> Alcotest.failf "status failed: %s" (Protocol.management_error_to_string e)
+
 (* --- Fail-closed chaos property --------------------------------------------- *)
 
 let qcheck_fail_closed_under_flaky_pep =
@@ -725,6 +799,12 @@ let () =
           Alcotest.test_case "works in baseline mode" `Quick
             test_gatekeeper_pep_in_baseline_mode ] );
       ("callbacks", [ Alcotest.test_case "state transitions" `Quick test_state_callbacks ]);
+      ( "faults",
+        [ Alcotest.test_case "zero deadline" `Quick test_retry_zero_deadline;
+          Alcotest.test_case "retry exhaustion under partition" `Quick
+            test_retry_exhaustion_under_partition;
+          Alcotest.test_case "duplicate delivery idempotent" `Quick
+            test_duplicate_delivery_idempotent ] );
       ("chaos", [ QCheck_alcotest.to_alcotest qcheck_fail_closed_under_flaky_pep ]);
       ( "observability",
         [ Alcotest.test_case "callout counts" `Quick test_callout_invocation_counts;

@@ -118,6 +118,122 @@ let test_network_zero_latency () =
   Engine.run e;
   Alcotest.(check (float 1e-9)) "instant" 0.0 !at
 
+(* --- Fault injection --------------------------------------------------- *)
+
+let test_network_drop_all () =
+  let e = Engine.create () in
+  let net =
+    Network.create ~base_latency:0.01 ~jitter:0.0
+      ~faults:(Network.Faults.profile ~drop:1.0 ()) e
+  in
+  let delivered = ref 0 in
+  for _ = 1 to 20 do
+    Network.send net (fun () -> incr delivered)
+  done;
+  Engine.run e;
+  Alcotest.(check int) "nothing delivered" 0 !delivered;
+  Alcotest.(check int) "all counted dropped" 20 (Network.messages_dropped net);
+  Alcotest.(check int) "sends still counted" 20 (Network.messages_sent net)
+
+let test_network_duplicate_all () =
+  let e = Engine.create () in
+  let net =
+    Network.create ~base_latency:0.01 ~jitter:0.0
+      ~faults:(Network.Faults.profile ~duplicate:1.0 ()) e
+  in
+  let delivered = ref 0 in
+  for _ = 1 to 10 do
+    Network.send net (fun () -> incr delivered)
+  done;
+  Engine.run e;
+  Alcotest.(check int) "every message delivered twice" 20 !delivered;
+  Alcotest.(check int) "duplicates counted" 10 (Network.messages_duplicated net)
+
+let test_network_partition_per_link () =
+  let e = Engine.create () in
+  let net = Network.create ~base_latency:0.01 ~jitter:0.0 e in
+  let a = ref 0 and b = ref 0 in
+  Network.partition net ~link:"a";
+  Alcotest.(check bool) "partitioned" true (Network.partitioned net ~link:"a");
+  Network.send ~link:"a" net (fun () -> incr a);
+  Network.send ~link:"b" net (fun () -> incr b);
+  Engine.run e;
+  Alcotest.(check int) "partitioned link drops" 0 !a;
+  Alcotest.(check int) "other link unaffected" 1 !b;
+  Network.heal net ~link:"a";
+  Network.send ~link:"a" net (fun () -> incr a);
+  Engine.run e;
+  Alcotest.(check int) "healed link delivers" 1 !a
+
+let test_network_fault_schedule () =
+  let e = Engine.create () in
+  let net = Network.create ~base_latency:0.001 ~jitter:0.0 e in
+  (* Outage window [1, 2): everything dropped; before and after, clean. *)
+  Network.apply_schedule net
+    [ (1.0, Network.Faults.profile ~drop:1.0 ()); (2.0, Network.Faults.none) ];
+  let delivered = ref 0 in
+  let send_at t = Engine.schedule_at e t (fun () -> Network.send net (fun () -> incr delivered)) in
+  send_at 0.5;
+  send_at 1.5;
+  send_at 2.5;
+  Engine.run e;
+  Alcotest.(check int) "only the in-window send dropped" 2 !delivered;
+  Alcotest.(check int) "one drop" 1 (Network.messages_dropped net)
+
+let test_network_fault_listener () =
+  let e = Engine.create () in
+  let net =
+    Network.create ~faults:(Network.Faults.profile ~drop:1.0 ()) e
+  in
+  let events = ref [] in
+  Network.on_fault net (fun ev -> events := ev :: !events);
+  Network.send ~link:"gk" net ignore;
+  Network.partition net ~link:"jm";
+  Network.send ~link:"jm" net ignore;
+  Engine.run e;
+  let labels =
+    List.rev_map
+      (function
+        | Network.Dropped l -> "dropped:" ^ l
+        | Network.Duplicated l -> "duplicated:" ^ l
+        | Network.Delayed (l, _) -> "delayed:" ^ l
+        | Network.Partitioned l -> "partitioned:" ^ l)
+      !events
+  in
+  Alcotest.(check (list string)) "events in order" [ "dropped:gk"; "partitioned:jm" ] labels
+
+(* Regression (PR-2 satellite): fault sampling must not perturb the latency
+   stream. A message that IS delivered gets exactly the latency it would
+   have had with faults disabled — so span/trace timing expectations from
+   PR 1 remain stable when chaos is switched on. *)
+let test_network_fault_stream_independent_of_latency_stream () =
+  let deliveries faults =
+    let e = Engine.create () in
+    let net = Network.create ~base_latency:0.005 ~jitter:0.002 ~seed:21 ?faults e in
+    let times = Array.make 200 nan in
+    for i = 0 to 199 do
+      (* Record only the first arrival: a duplicate delivers later. *)
+      Network.send net (fun () ->
+          if Float.is_nan times.(i) then times.(i) <- Engine.now e)
+    done;
+    Engine.run e;
+    times
+  in
+  let clean = deliveries None in
+  let faulty =
+    deliveries (Some (Network.Faults.profile ~drop:0.3 ~duplicate:0.1 ()))
+  in
+  let dropped = ref 0 in
+  Array.iteri
+    (fun i t ->
+      if Float.is_nan t then incr dropped
+      else
+        Alcotest.(check (float 1e-12))
+          (Printf.sprintf "message %d latency unchanged by fault sampling" i)
+          clean.(i) t)
+    faulty;
+  Alcotest.(check bool) "some messages were dropped" true (!dropped > 0)
+
 let test_trace_roundtrip () =
   let tr = Trace.create () in
   Trace.record tr ~at:1.0 ~source:"client" ~target:"gatekeeper" "submit";
@@ -156,4 +272,13 @@ let () =
         [ Alcotest.test_case "delivers with latency" `Quick test_network_delivers_with_latency;
           Alcotest.test_case "jitter bounded" `Quick test_network_jitter_bounded;
           Alcotest.test_case "zero latency" `Quick test_network_zero_latency ] );
+      ( "faults",
+        [ Alcotest.test_case "drop all" `Quick test_network_drop_all;
+          Alcotest.test_case "duplicate all" `Quick test_network_duplicate_all;
+          Alcotest.test_case "per-link partition + heal" `Quick
+            test_network_partition_per_link;
+          Alcotest.test_case "scripted fault schedule" `Quick test_network_fault_schedule;
+          Alcotest.test_case "fault listener events" `Quick test_network_fault_listener;
+          Alcotest.test_case "latency stream independent of faults (regression)" `Quick
+            test_network_fault_stream_independent_of_latency_stream ] );
       ("trace", [ Alcotest.test_case "roundtrip" `Quick test_trace_roundtrip ]) ]

@@ -794,6 +794,88 @@ let t15_faults () =
   collected := ("workload under fault injection", !rows) :: !collected
 
 (* ------------------------------------------------------------------ *)
+(* T16: compiled policy index + decision cache                          *)
+
+let t16_authz_cache () =
+  section "T16: authorization latency — reference vs compiled index vs decision cache";
+  let n = 200 in
+  (* Per-user management grants: the paper's VO-admin pattern, scaled.
+     Every statement has an exact subject, so the compiled index resolves
+     a query with one bucket probe where the reference evaluator scans
+     all [n] statements. *)
+  let statement i =
+    Printf.sprintf
+      "/O=Grid/O=Synth/CN=user%04d: &(action = cancel)(jobowner = self) &(action = information)"
+      i
+  in
+  let policy = Policy.Parse.parse (String.concat "\n" (List.init n statement)) in
+  let sources = [ Policy.Combine.source ~name:"synthetic" policy ] in
+  let reference = Callout.File_pep.reference sources in
+  let compiled = Callout.File_pep.of_sources sources in
+  let cache =
+    Callout.Cache.create ~capacity:4096 ~ttl:1e12 ~now:(fun () -> 0.0) ()
+  in
+  let cached = Callout.Cache.with_cache cache compiled in
+  let user i = Gsi.Dn.parse (Printf.sprintf "/O=Grid/O=Synth/CN=user%04d" i) in
+  let query ?(i = n - 1) ?(action = Policy.Types.Action.Information) ?(job = 0) () =
+    Callout.Callout.management_query ~requester:(user i) ~action
+      ~job_id:(Printf.sprintf "job-%03d" job)
+      ~job_owner:(user i) ~jobtag:None ()
+  in
+  let q = query () in
+  ignore (cached q);
+  (* warm: the benchmark measures the hit path *)
+  let rows =
+    run_tests
+      [ Test.make ~name:"authz/0-reference"
+          (Staged.stage (fun () -> ignore (reference q)));
+        Test.make ~name:"authz/1-compiled"
+          (Staged.stage (fun () -> ignore (compiled q)));
+        Test.make ~name:"authz/2-compiled+cached"
+          (Staged.stage (fun () -> ignore (cached q))) ]
+  in
+  print_table (Printf.sprintf "management decision, %d-statement policy" n) rows;
+  (match
+     ( List.assoc_opt "authz/0-reference" rows,
+       List.assoc_opt "authz/1-compiled" rows,
+       List.assoc_opt "authz/2-compiled+cached" rows )
+   with
+  | Some r, Some c, Some h ->
+    Printf.printf "   speedup: compiled %.1fx, compiled+cached %.1fx over reference\n"
+      (r /. c) (r /. h);
+    collected :=
+      ("authz cache speedups", [ ("speedup/compiled", r /. c); ("speedup/cached", r /. h) ])
+      :: !collected
+  | _ -> ());
+  (* Divergence check: the three pipelines must agree bit-for-bit on a
+     seeded random query mix (members and strangers, all actions, owner
+     and third-party targets). The cache is live across the sweep, so
+     hits are being compared against fresh evaluations too. *)
+  let rng = Util.Rng.create ~seed:20260806 in
+  let trials = 1000 in
+  let divergences = ref 0 in
+  for _ = 1 to trials do
+    let i = Util.Rng.int rng (n + 20) in
+    (* some misses *)
+    let owner = if Util.Rng.bool rng then i else Util.Rng.int rng n in
+    let q =
+      Callout.Callout.management_query ~requester:(user i)
+        ~action:(Util.Rng.pick rng Policy.Types.Action.all)
+        ~job_id:(Printf.sprintf "job-%03d" (Util.Rng.int rng 8))
+        ~job_owner:(user owner)
+        ~jobtag:(if Util.Rng.bool rng then Some "NFC" else None)
+        ()
+    in
+    let r = reference q and c = compiled q and h = cached q in
+    if r <> c || r <> h then incr divergences
+  done;
+  Printf.printf "   divergence check: %d/%d queries disagree (must be 0); %s\n"
+    !divergences trials
+    (Fmt.str "%a" Callout.Cache.pp cache);
+  collected :=
+    ("authz cache divergence", [ ("divergences", float_of_int !divergences) ]) :: !collected
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [ ("f1", figure1); ("f2", figure2); ("f3", figure3);
@@ -801,7 +883,8 @@ let experiments =
     ("t4", t4_delegation); ("t5", t5_combination); ("t6", t6_rsl_parse);
     ("t7", t7_accounts); ("t8", t8_pep_placement); ("t9", t9_policy_syntax);
     ("t10", t10_discovery); ("t11", t11_allocation); ("t12", t12_workload);
-    ("t13", t13_akenti_cache); ("t14", t14_obs_overhead); ("t15", t15_faults) ]
+    ("t13", t13_akenti_cache); ("t14", t14_obs_overhead); ("t15", t15_faults);
+    ("t16", t16_authz_cache) ]
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
@@ -812,15 +895,18 @@ let () =
     | names -> names
   in
   Printf.printf "Fine-grain GRID authorization: benchmark & figure harness\n";
-  Printf.printf "(figures F1-F3 reproduce the paper's artifacts; T1-T15 are the\n";
+  Printf.printf "(figures F1-F3 reproduce the paper's artifacts; T1-T16 are the\n";
   Printf.printf " quantitative microbenchmarks defined in DESIGN.md)\n";
   List.iter
     (fun name ->
       match List.assoc_opt name experiments with
       | Some f -> f ()
-      | None -> Printf.printf "unknown experiment %S (known: f1 f2 f3 t1..t15)\n" name)
+      | None -> Printf.printf "unknown experiment %S (known: f1 f2 f3 t1..t16)\n" name)
     requested;
   if json then
-    (* A fault-only run gets its own artifact; mixed runs keep the
-       historical BENCH_obs.json name. *)
-    write_json (if requested = [ "t15" ] then "BENCH_faults.json" else "BENCH_obs.json")
+    (* Single-experiment fault and cache runs get their own artifacts;
+       mixed runs keep the historical BENCH_obs.json name. *)
+    write_json
+      (if requested = [ "t15" ] then "BENCH_faults.json"
+       else if requested = [ "t16" ] then "BENCH_authz_cache.json"
+       else "BENCH_obs.json")

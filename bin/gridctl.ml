@@ -339,7 +339,17 @@ let metrics_cmd =
   let spans =
     Arg.(value & flag & info [ "spans" ] ~doc:"Also print the span forest.")
   in
-  let run format spans faults fault_seed =
+  let authz_cache_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "authz-cache" ] ~docv:"CAPACITY"
+          ~doc:
+            "Memoize authorization decisions in an LRU cache of $(docv) entries \
+             (invalidated on policy reload and credential expiry); the scenario's \
+             repeated status polls then surface as cache hits.")
+  in
+  let run format spans faults fault_seed authz_cache =
     (* A short deterministic scenario on the fusion testbed so every
        decision point fires: permitted and denied submissions, a
        third-party cancel, and jobs running to completion. With --faults,
@@ -347,8 +357,19 @@ let metrics_cmd =
        retrying client path, so retry/timeout/fault counters light up. *)
     let faults = faults_of faults in
     let request_timeout = Option.map (fun _ -> 0.25) faults in
-    let w = Core.Fusion.build ~nodes:4 ~cpus_per_node:8 ?faults ~fault_seed ?request_timeout () in
+    let w =
+      Core.Fusion.build ~nodes:4 ~cpus_per_node:8 ?faults ~fault_seed ?request_timeout
+        ?authz_cache ()
+    in
     let submit client rsl = Core.Gram.Client.submit_sync client ~rsl in
+    (* With a decision cache, poll each job's status a few times: the
+       repeated identical queries are what the cache exists to absorb. *)
+    let poll_status client contact =
+      if Option.is_some authz_cache && Option.is_none faults then
+        for _ = 1 to 3 do
+          ignore (Core.Gram.Client.manage_sync client ~contact Core.Gram.Protocol.Status)
+        done
+    in
     let cancel client contact =
       match faults with
       | None -> ignore (Core.Gram.Client.manage_sync client ~contact Core.Gram.Protocol.Cancel)
@@ -367,7 +388,9 @@ let metrics_cmd =
        submit w.Core.Fusion.bo
          "&(executable=test1)(directory=/sandbox/test)(jobtag=ADS)(count=2)(simduration=40)"
      with
-    | Ok reply -> status_with_retry w.Core.Fusion.bo reply.Core.Gram.Protocol.job_contact
+    | Ok reply ->
+      status_with_retry w.Core.Fusion.bo reply.Core.Gram.Protocol.job_contact;
+      poll_status w.Core.Fusion.bo reply.Core.Gram.Protocol.job_contact
     | Error _ -> ());
     (* denied: developers are capped at count <= 4 *)
     ignore
@@ -383,13 +406,18 @@ let metrics_cmd =
      with
     | Ok reply ->
       status_with_retry w.Core.Fusion.kate reply.Core.Gram.Protocol.job_contact;
+      poll_status w.Core.Fusion.kate reply.Core.Gram.Protocol.job_contact;
       (* third-party management: the VO admin cancels Kate's job *)
       cancel w.Core.Fusion.vo_admin reply.Core.Gram.Protocol.job_contact
     | Error _ -> ());
     Core.Testbed.run w.Core.Fusion.testbed;
     let obs = Core.Gram.Resource.obs w.Core.Fusion.resource in
     (match format with
-    | `Summary -> Fmt.pr "%a@." Core.Obs.Obs.pp_summary obs
+    | `Summary ->
+      Fmt.pr "%a@." Core.Obs.Obs.pp_summary obs;
+      (match Core.Gram.Resource.authz_cache w.Core.Fusion.resource with
+      | Some cache -> Fmt.pr "@.%a@." Core.Callout.Cache.pp cache
+      | None -> ())
     | `Prom -> print_string (Core.Obs.Metrics.to_prometheus (Core.Obs.Obs.metrics obs))
     | `Json -> print_endline (Core.Obs.Metrics.to_json (Core.Obs.Obs.metrics obs)));
     if spans then begin
@@ -403,7 +431,7 @@ let metrics_cmd =
          "Run a short scenario on the fusion testbed and expose the collected metrics \
           (authorization decisions, per-stage latencies, LRM activity; with --faults, \
           retries/timeouts/fault counters).")
-    Term.(const run $ format $ spans $ faults_arg $ fault_seed_arg)
+    Term.(const run $ format $ spans $ faults_arg $ fault_seed_arg $ authz_cache_arg)
 
 let convert_cmd =
   let syntax =

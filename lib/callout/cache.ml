@@ -1,0 +1,238 @@
+(* Bounded LRU cache over authorization callout decisions.
+
+   The callout runs before job creation and before every management
+   action on a running job (Section 5.2), so the same (requester, action,
+   job) question is asked over and over while a job is polled. Entries
+   are keyed on everything the flat-file PEP's answer can depend on —
+   requester DN, action, job id, jobtag, jobowner, a stable fingerprint
+   of the submitted RSL — plus the policy epoch, so a policy reload
+   (epoch bump, see Compile) orphans every prior entry by construction.
+
+   Safety rules, in decreasing order of importance:
+
+     - Only definite answers are cached: [Ok ()] and [Denied]. A
+       [System_error]/[Bad_configuration] is a statement about the
+       authorization system's health, not about policy, and must be
+       re-tried at the backend every time. For the same reason the
+       fail-open degradation combinator must wrap *outside* the cache —
+       composed that way, a degraded permit is a conversion applied to an
+       uncached error and can never be stored.
+
+     - An expired (or not-yet-valid) requester credential bypasses the
+       cache entirely: the authentication layer owns that refusal, and a
+       cached permit must not outlive the proof that earned it. Entries
+       written under a live credential expire no later than the
+       credential's chain does.
+
+     - TTL is simulated time ([now] is typically the engine clock), so
+       expiry is deterministic in tests and benches.
+
+   The LRU is an intrusive doubly-linked list over the hash table's
+   nodes: hit, insert and eviction are all O(1). *)
+
+type node = {
+  key : string;
+  value : Callout.decision;
+  expires_at : float;
+  mutable prev : node option;
+  mutable next : node option;
+}
+
+type t = {
+  capacity : int;
+  ttl : float;
+  now : unit -> float;
+  epoch : (unit -> int) option;
+  obs : Grid_obs.Obs.t;
+  table : (string, node) Hashtbl.t;
+  mutable head : node option; (* most recently used *)
+  mutable tail : node option; (* least recently used *)
+  mutable last_epoch : int option;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+  mutable invalidations : int;
+  mutable bypasses : int;
+}
+
+let create ?(capacity = 1024) ?(ttl = 300.0) ?(obs = Grid_obs.Obs.noop) ?epoch ~now () =
+  if capacity <= 0 then invalid_arg "Cache.create: capacity must be positive";
+  if ttl <= 0.0 then invalid_arg "Cache.create: ttl must be positive";
+  { capacity;
+    ttl;
+    now;
+    epoch;
+    obs;
+    table = Hashtbl.create (min capacity 1024);
+    head = None;
+    tail = None;
+    last_epoch = None;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+    invalidations = 0;
+    bypasses = 0 }
+
+let capacity t = t.capacity
+let size t = Hashtbl.length t.table
+let hits t = t.hits
+let misses t = t.misses
+let evictions t = t.evictions
+let invalidations t = t.invalidations
+let bypasses t = t.bypasses
+
+(* --- Intrusive LRU list ------------------------------------------------ *)
+
+let detach t node =
+  (match node.prev with Some p -> p.next <- node.next | None -> t.head <- node.next);
+  (match node.next with Some n -> n.prev <- node.prev | None -> t.tail <- node.prev);
+  node.prev <- None;
+  node.next <- None
+
+let push_front t node =
+  node.prev <- None;
+  node.next <- t.head;
+  (match t.head with Some h -> h.prev <- Some node | None -> t.tail <- Some node);
+  t.head <- Some node
+
+let remove_node t node =
+  detach t node;
+  Hashtbl.remove t.table node.key
+
+(* --- Metrics ----------------------------------------------------------- *)
+
+let note_size t =
+  Grid_obs.Obs.set_gauge t.obs "authz_cache_size" (float_of_int (Hashtbl.length t.table))
+
+let note_eviction t =
+  t.evictions <- t.evictions + 1;
+  Grid_obs.Obs.incr t.obs "authz_cache_evictions_total"
+
+(* --- Invalidation ------------------------------------------------------ *)
+
+let invalidate t =
+  let n = Hashtbl.length t.table in
+  if n > 0 then begin
+    Hashtbl.reset t.table;
+    t.head <- None;
+    t.tail <- None;
+    t.invalidations <- t.invalidations + n;
+    Grid_obs.Obs.incr t.obs ~by:(float_of_int n) "authz_cache_invalidations_total";
+    note_size t
+  end
+
+(* --- Keys -------------------------------------------------------------- *)
+
+let rsl_fingerprint = function
+  | None -> ""
+  | Some clause -> Grid_rsl.Ast.clause_to_string clause
+
+(* Component-wise DN encoding (values may in principle contain '/'). *)
+let dn_key (dn : Grid_gsi.Dn.t) =
+  String.concat "\x01"
+    (List.concat_map (fun (r : Grid_gsi.Dn.rdn) -> [ r.attr; r.value ]) dn)
+
+let opt_key f = function None -> "-" | Some v -> "+" ^ f v
+
+let query_key ~scope ~epoch (q : Callout.query) =
+  String.concat "\x00"
+    [ scope;
+      string_of_int epoch;
+      dn_key q.requester;
+      Grid_policy.Types.Action.to_string q.action;
+      opt_key Fun.id q.job_id;
+      opt_key Fun.id q.jobtag;
+      opt_key dn_key q.job_owner;
+      rsl_fingerprint q.rsl ]
+
+(* --- Credential gate --------------------------------------------------- *)
+
+let credential_live ~now (cred : Grid_gsi.Credential.t) =
+  cred.chain <> []
+  && List.for_all (fun c -> Grid_gsi.Cert.valid_at c ~now) cred.chain
+
+let credential_deadline (cred : Grid_gsi.Credential.t) =
+  List.fold_left
+    (fun acc (c : Grid_gsi.Cert.t) -> Float.min acc c.not_after)
+    infinity cred.chain
+
+(* --- The combinator ---------------------------------------------------- *)
+
+let cacheable : Callout.decision -> bool = function
+  | Ok () | Error (Callout.Denied _) -> true
+  | Error (Callout.System_error _ | Callout.Bad_configuration _) -> false
+
+let with_cache t ?(scope = "authz") (backend : Callout.t) : Callout.t =
+ fun q ->
+  let now = t.now () in
+  let epoch = match t.epoch with None -> 0 | Some f -> f () in
+  (* A policy reload bumped the epoch: every live entry is stale (its key
+     carries the old epoch and can never be probed again), so flush and
+     account the loss as invalidation. *)
+  (match t.last_epoch with
+  | Some e when e <> epoch -> invalidate t
+  | Some _ | None -> ());
+  t.last_epoch <- Some epoch;
+  match q.Callout.requester_credential with
+  | Some cred when not (credential_live ~now cred) ->
+    (* Expired requester credential: the cache neither answers for it nor
+       learns from it — the backend stack produces the authoritative
+       result. *)
+    t.bypasses <- t.bypasses + 1;
+    Grid_obs.Obs.incr t.obs "authz_cache_bypass_total";
+    backend q
+  | credential ->
+    let key = query_key ~scope ~epoch q in
+    let cached =
+      match Hashtbl.find_opt t.table key with
+      | Some node when now < node.expires_at -> Some node
+      | Some node ->
+        (* present but past its deadline: evict in passing *)
+        remove_node t node;
+        note_eviction t;
+        note_size t;
+        None
+      | None -> None
+    in
+    match cached with
+    | Some node ->
+      detach t node;
+      push_front t node;
+      t.hits <- t.hits + 1;
+      Grid_obs.Obs.incr t.obs "authz_cache_hits_total";
+      node.value
+    | None ->
+      t.misses <- t.misses + 1;
+      Grid_obs.Obs.incr t.obs "authz_cache_misses_total";
+      let decision = backend q in
+      if cacheable decision then begin
+        let deadline =
+          match credential with
+          | Some cred -> Float.min (now +. t.ttl) (credential_deadline cred)
+          | None -> now +. t.ttl
+        in
+        if deadline > now then begin
+          if Hashtbl.length t.table >= t.capacity then begin
+            match t.tail with
+            | Some lru ->
+              remove_node t lru;
+              note_eviction t
+            | None -> ()
+          end;
+          let node = { key; value = decision; expires_at = deadline; prev = None; next = None } in
+          Hashtbl.replace t.table key node;
+          push_front t node;
+          note_size t
+        end
+      end;
+      decision
+
+let pp ppf t =
+  let lookups = t.hits + t.misses in
+  Fmt.pf ppf
+    "authz decision cache: capacity=%d size=%d hits=%d misses=%d hit_rate=%s \
+     evictions=%d invalidations=%d bypasses=%d"
+    t.capacity (size t) t.hits t.misses
+    (if lookups = 0 then "n/a"
+     else Printf.sprintf "%.1f%%" (100.0 *. float_of_int t.hits /. float_of_int lookups))
+    t.evictions t.invalidations t.bypasses

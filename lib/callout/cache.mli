@@ -1,0 +1,60 @@
+(** Bounded LRU cache over authorization callout decisions.
+
+    Keyed on [(scope, policy epoch, requester DN, action, job id, jobtag,
+    jobowner, RSL fingerprint)] with a simulated-time TTL. Only definite
+    answers — [Ok ()] and [Denied] — are cached; [System_error] and
+    [Bad_configuration] always reach the backend, and the fail-open
+    degradation combinator must be composed {e outside} {!with_cache} so a
+    degraded permit is never stored. A policy reload bumps the epoch
+    ({!Grid_policy.Compile}), which both orphans old keys and flushes the
+    table; an expired requester credential bypasses the cache entirely,
+    and entries never outlive the credential chain that earned them.
+
+    Counters: [authz_cache_hits_total], [authz_cache_misses_total],
+    [authz_cache_evictions_total], [authz_cache_invalidations_total],
+    [authz_cache_bypass_total], plus the [authz_cache_size] gauge. *)
+
+type t
+
+val create :
+  ?capacity:int ->
+  ?ttl:float ->
+  ?obs:Grid_obs.Obs.t ->
+  ?epoch:(unit -> int) ->
+  now:(unit -> float) ->
+  unit ->
+  t
+(** [capacity] defaults to 1024 entries, [ttl] to 300 simulated seconds.
+    [epoch] is sampled on every lookup (pass the compiled PEP's epoch);
+    when it changes, the whole cache is invalidated. [now] is typically
+    the engine clock. Raises [Invalid_argument] on non-positive capacity
+    or ttl. *)
+
+val with_cache : t -> ?scope:string -> Callout.t -> Callout.t
+(** Memoize a callout through the cache. [scope] (default ["authz"])
+    partitions the key space when one cache serves several callouts
+    backed by different policy (e.g. the gatekeeper PEP and the job
+    manager's mode callout). *)
+
+val invalidate : t -> unit
+(** Drop every entry, counting them as invalidations. *)
+
+val rsl_fingerprint : Grid_rsl.Ast.clause option -> string
+(** The stable clause rendering used in keys ([""] for [None]); its
+    stability is pinned by the RSL round-trip property in [test_rsl]. *)
+
+(** {1 Introspection} *)
+
+val capacity : t -> int
+val size : t -> int
+val hits : t -> int
+val misses : t -> int
+val evictions : t -> int
+val invalidations : t -> int
+
+val bypasses : t -> int
+(** Queries that skipped the cache because the requester credential was
+    not live. *)
+
+val pp : t Fmt.t
+(** One-line statistics view (the [gridctl metrics] cache report). *)

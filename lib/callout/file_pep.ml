@@ -4,17 +4,64 @@
    files on the resource[,] includ[ing] both local resource and VO
    policies". This PEP evaluates a callout query against a list of named
    policy sources with conjunctive combination and maps the policy
-   decision onto callout errors. *)
+   decision onto callout errors.
 
-let of_sources ?obs (sources : Grid_policy.Combine.source list) : Callout.t =
- fun query ->
-  let request = Callout.to_policy_request query in
-  match Grid_policy.Combine.evaluate ?obs sources request with
+   Evaluation runs through the compiled policy index ([Compile]): each
+   source is compiled once when the PEP is built, and [Compiled.reload]
+   recompiles — bumping the policy epoch that decision caches key on.
+   [reference] keeps the uncompiled scan for differential tests and the
+   T16 benchmark baseline. *)
+
+let decision_to_callout = function
   | Grid_policy.Combine.Permit -> Ok ()
   | Grid_policy.Combine.Deny { source; reason } ->
     Error
       (Callout.Denied
          (Printf.sprintf "%s: %s" source (Grid_policy.Eval.reason_to_string reason)))
+
+module Compiled = struct
+  type t = {
+    obs : Grid_obs.Obs.t option;
+    mutable sources : Grid_policy.Combine.compiled_source list;
+    mutable epoch : int;
+  }
+
+  (* An empty source list still gets a fresh epoch, so reloading a PEP
+     to "no policy" cannot rewind the epoch a cache saw. *)
+  let stamp sources =
+    let e = Grid_policy.Combine.epoch_of sources in
+    if e = 0 then Grid_policy.Compile.fresh_epoch () else e
+
+  let create ?obs sources =
+    let sources = Grid_policy.Combine.compile_sources sources in
+    { obs; sources; epoch = stamp sources }
+
+  let epoch t = t.epoch
+
+  let sources t = List.map (fun c -> c.Grid_policy.Combine.origin) t.sources
+
+  let reload t sources =
+    let sources = Grid_policy.Combine.compile_sources sources in
+    t.sources <- sources;
+    t.epoch <- stamp sources
+
+  let callout t : Callout.t =
+   fun query ->
+    decision_to_callout
+      (Grid_policy.Combine.evaluate_compiled ?obs:t.obs t.sources
+         (Callout.to_policy_request query))
+end
+
+let of_sources ?obs (sources : Grid_policy.Combine.source list) : Callout.t =
+  Compiled.callout (Compiled.create ?obs sources)
+
+(* The pre-compilation evaluation path: scans every statement per query.
+   The differential suite holds [of_sources] to this behaviour; bench T16
+   measures the gap. *)
+let reference ?obs (sources : Grid_policy.Combine.source list) : Callout.t =
+ fun query ->
+  decision_to_callout
+    (Grid_policy.Combine.evaluate ?obs sources (Callout.to_policy_request query))
 
 let of_policy ?obs ~name policy = of_sources ?obs [ Grid_policy.Combine.source ~name policy ]
 

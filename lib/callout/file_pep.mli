@@ -1,9 +1,36 @@
-(** Flat-file policy evaluation point: the paper's prototype PEP. *)
+(** Flat-file policy evaluation point: the paper's prototype PEP.
+
+    Queries evaluate through the compiled policy index
+    ({!Grid_policy.Compile}); {!reference} keeps the uncompiled scan for
+    differential testing and benchmarking. *)
+
+(** A PEP holding compiled policy sources, reloadable in place. Its
+    {!Compiled.epoch} is the newest policy epoch across the sources and
+    strictly increases on every {!Compiled.reload} — the invalidation
+    signal for {!Cache}. *)
+module Compiled : sig
+  type t
+
+  val create : ?obs:Grid_obs.Obs.t -> Grid_policy.Combine.source list -> t
+  val callout : t -> Callout.t
+  val epoch : t -> int
+
+  val sources : t -> Grid_policy.Combine.source list
+  (** The current (uncompiled) sources, e.g. for {!advice}. *)
+
+  val reload : t -> Grid_policy.Combine.source list -> unit
+  (** Swap in new policy text: recompiles every source and bumps the
+      epoch, so cached decisions against the old policy die. *)
+end
 
 val of_sources : ?obs:Grid_obs.Obs.t -> Grid_policy.Combine.source list -> Callout.t
-(** Conjunctive evaluation over named policy sources; denial messages name
-    the denying source. [obs] spans and counts each per-source policy
-    evaluation. *)
+(** Conjunctive evaluation over named policy sources (compiled once at
+    construction); denial messages name the denying source. [obs] spans
+    and counts each per-source policy evaluation. *)
+
+val reference : ?obs:Grid_obs.Obs.t -> Grid_policy.Combine.source list -> Callout.t
+(** The uncompiled evaluation path ([Combine.evaluate] per query):
+    answers exactly what {!of_sources} answers, at pre-index cost. *)
 
 val of_policy : ?obs:Grid_obs.Obs.t -> name:string -> Grid_policy.Types.t -> Callout.t
 

@@ -75,20 +75,28 @@ module Testbed = struct
     | Some identity -> identity
     | None -> invalid_arg ("Testbed.user: unknown user " ^ dn_string)
 
-  let mode_of_backend ~obs = function
-    | Baseline -> Grid_gram.Mode.Gt2_baseline
+  (* The mode plus, when the backend has one, the policy-epoch source a
+     decision cache should invalidate on. *)
+  let mode_and_epoch_of_backend ~obs = function
+    | Baseline -> (Grid_gram.Mode.Gt2_baseline, None)
     | Flat_file sources ->
-      (* Flat-file backends get policy-derived sandboxes for free: the
-         clause the decision rested on configures the enforcement
-         envelope (DESIGN.md, Section 7 direction). *)
-      Grid_gram.Mode.extended ~backend:"flat_file"
-        ~advice:(Grid_callout.File_pep.advice sources)
-        (Grid_callout.File_pep.of_sources ~obs sources)
-    | Custom authorization -> Grid_gram.Mode.extended authorization
+      (* Flat-file backends evaluate through the compiled policy index
+         and get policy-derived sandboxes for free: the clause the
+         decision rested on configures the enforcement envelope
+         (DESIGN.md, Section 7 direction). *)
+      let pep = Grid_callout.File_pep.Compiled.create ~obs sources in
+      ( Grid_gram.Mode.extended ~backend:"flat_file"
+          ~advice:(Grid_callout.File_pep.advice sources)
+          (Grid_callout.File_pep.Compiled.callout pep),
+        Some (fun () -> Grid_callout.File_pep.Compiled.epoch pep) )
+    | Custom authorization -> (Grid_gram.Mode.extended authorization, None)
+
+  let mode_of_backend ~obs backend = fst (mode_and_epoch_of_backend ~obs backend)
 
   let make_resource ?(name = "resource") ?(nodes = 4) ?(cpus_per_node = 8) ?queues
       ?(gridmap = Grid_gsi.Gridmap.empty) ?dynamic_accounts ?static_limits
-      ?dynamic_limits ?gatekeeper_pep ?allocation ?network ?request_timeout ~backend t =
+      ?dynamic_limits ?gatekeeper_pep ?allocation ?network ?request_timeout
+      ?authz_cache ~backend t =
     let lrm = Grid_lrm.Lrm.create ~obs:t.obs ?queues ~nodes ~cpus_per_node t.engine in
     let pool =
       Option.map
@@ -99,9 +107,18 @@ module Testbed = struct
     let mapper =
       Grid_accounts.Mapper.create ?pool ?static_limits ?dynamic_limits gridmap
     in
+    let mode, epoch = mode_and_epoch_of_backend ~obs:t.obs backend in
+    let authz_cache =
+      Option.map
+        (fun capacity ->
+          Grid_callout.Cache.create ~capacity ~ttl:(Grid_sim.Clock.minutes 5.0)
+            ~obs:t.obs ?epoch
+            ~now:(fun () -> Grid_sim.Engine.now t.engine)
+            ())
+        authz_cache
+    in
     Grid_gram.Resource.create ~name ?gatekeeper_pep ?allocation ?network ?request_timeout
-      ~obs:t.obs ~trust:t.trust ~mapper ~mode:(mode_of_backend ~obs:t.obs backend) ~lrm
-      ~engine:t.engine ()
+      ?authz_cache ~obs:t.obs ~trust:t.trust ~mapper ~mode ~lrm ~engine:t.engine ()
 
   let client _t ~user ~resource =
     Grid_gram.Client.create ~identity:user ~resource ()
@@ -172,7 +189,7 @@ module Fusion = struct
     Printf.sprintf "%S bliu\n%S keahey\n%S voadmin\n" bo_liu kate_keahey admin
 
   let build ?(backend = `Flat_file) ?(nodes = 4) ?(cpus_per_node = 8) ?faults
-      ?(fault_seed = 1299709) ?request_timeout ?flaky_pep () =
+      ?(fault_seed = 1299709) ?request_timeout ?flaky_pep ?authz_cache () =
     let testbed = Testbed.create () in
     let vo = build_vo () in
     let backend =
@@ -202,7 +219,8 @@ module Fusion = struct
     in
     let resource =
       Testbed.make_resource testbed ~name:"fusion-site" ~nodes ~cpus_per_node
-        ~gridmap:(Grid_gsi.Gridmap.parse gridmap_text) ?network ?request_timeout ~backend
+        ~gridmap:(Grid_gsi.Gridmap.parse gridmap_text) ?network ?request_timeout
+        ?authz_cache ~backend
     in
     let mk dn = Testbed.client testbed ~user:(Testbed.add_user testbed dn) ~resource in
     { testbed; vo; resource; bo = mk bo_liu; kate = mk kate_keahey; vo_admin = mk admin }

@@ -53,3 +53,15 @@ let instrument ~obs = function
       { authorization = Grid_callout.Callout.instrument ~backend ~obs authorization;
         advice;
         backend }
+
+(* Memoize the mode's callout through a decision cache, scoped under the
+   backend label so a shared cache keeps distinct PEPs' keys apart.
+   Compose *inside* [instrument]: cache hits still count as
+   authorization decisions, they just skip policy evaluation. *)
+let with_cache ~cache = function
+  | Gt2_baseline -> Gt2_baseline
+  | Extended { authorization; advice; backend } ->
+    Extended
+      { authorization = Grid_callout.Cache.with_cache cache ~scope:backend authorization;
+        advice;
+        backend }

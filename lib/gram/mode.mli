@@ -29,3 +29,9 @@ val extended_from_config : Grid_callout.Config.t -> Grid_callout.Registry.t -> t
 val instrument : obs:Grid_obs.Obs.t -> t -> t
 (** Wrap the Extended callout with [Grid_callout.Callout.instrument] under
     the mode's backend label; the baseline is returned unchanged. *)
+
+val with_cache : cache:Grid_callout.Cache.t -> t -> t
+(** Memoize the Extended callout through an authorization decision cache
+    ([Grid_callout.Cache.with_cache]), scoped under the mode's backend
+    label; the baseline is returned unchanged. Apply before {!instrument}
+    so cache hits still count in [authz_decisions_total]. *)

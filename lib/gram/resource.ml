@@ -17,6 +17,7 @@ type t = {
   trace : Grid_sim.Trace.t;
   obs : Grid_obs.Obs.t;
   request_timeout : float option;
+  authz_cache : Grid_callout.Cache.t option;
   jmis : (string, Job_manager.t) Hashtbl.t;
 }
 
@@ -36,8 +37,8 @@ let observe_faults ~obs network =
           ~labels:[ ("event", event_label); ("link", link) ]
           "network_faults_total")
 
-let create ?(name = "resource") ?network ?gatekeeper_pep ?allocation ?obs ?request_timeout
-    ~trust ~mapper ~mode ~lrm ~engine () =
+let create ?(name = "resource") ?network ?gatekeeper_pep ?allocation ?obs
+    ?request_timeout ?authz_cache ~trust ~mapper ~mode ~lrm ~engine () =
   let network =
     match network with Some n -> n | None -> Grid_sim.Network.create engine
   in
@@ -45,13 +46,25 @@ let create ?(name = "resource") ?network ?gatekeeper_pep ?allocation ?obs ?reque
   observe_faults ~obs network;
   let audit = Grid_audit.Audit.create () in
   let trace = Grid_sim.Trace.create () in
+  (* Cache inside instrumentation: a hit is still a counted decision. *)
+  let mode =
+    match authz_cache with None -> mode | Some cache -> Mode.with_cache ~cache mode
+  in
   let mode = Mode.instrument ~obs mode in
+  (* The gatekeeper PEP shares the cache under its own scope (it answers
+     from different policy than the job manager's callout). *)
+  let gatekeeper_pep =
+    match (gatekeeper_pep, authz_cache) with
+    | Some pep, Some cache ->
+      Some (Grid_callout.Cache.with_cache cache ~scope:"gatekeeper" pep)
+    | pep, _ -> pep
+  in
   let gatekeeper =
     Gatekeeper.create ?gatekeeper_pep ?allocation ~name:(name ^ ":gatekeeper") ~trust
       ~mapper ~mode ~lrm ~engine ~audit ~trace ~obs ()
   in
   { name; engine; network; gatekeeper; lrm; audit; trace; obs; request_timeout;
-    jmis = Hashtbl.create 32 }
+    authz_cache; jmis = Hashtbl.create 32 }
 
 let name t = t.name
 let engine t = t.engine
@@ -60,6 +73,7 @@ let lrm t = t.lrm
 let audit t = t.audit
 let trace t = t.trace
 let obs t = t.obs
+let authz_cache t = t.authz_cache
 let gatekeeper t = t.gatekeeper
 
 let now t = Grid_sim.Engine.now t.engine

@@ -11,6 +11,7 @@ val create :
   ?allocation:Grid_accounts.Allocation.enforcement ->
   ?obs:Grid_obs.Obs.t ->
   ?request_timeout:float ->
+  ?authz_cache:Grid_callout.Cache.t ->
   trust:Grid_gsi.Ca.Trust_store.store ->
   mapper:Grid_accounts.Mapper.t ->
   mode:Mode.t ->
@@ -25,7 +26,10 @@ val create :
     [request_timeout] is the default per-request deadline applied to the
     networked entry points (none by default: requests wait forever, as
     the pre-fault-model behaviour did); injected network faults are
-    counted under [network_faults_total] when [obs] is enabled. *)
+    counted under [network_faults_total] when [obs] is enabled.
+    [authz_cache] memoizes the mode's authorization callout (inside the
+    instrumentation, so hits still count as decisions) and the
+    gatekeeper PEP, each under its own cache scope. *)
 
 val name : t -> string
 val engine : t -> Grid_sim.Engine.t
@@ -36,6 +40,10 @@ val trace : t -> Grid_sim.Trace.t
 
 val obs : t -> Grid_obs.Obs.t
 (** The resource's observability handle: metrics registry + span tracer. *)
+
+val authz_cache : t -> Grid_callout.Cache.t option
+(** The authorization decision cache the resource was built with, for
+    statistics views ([gridctl metrics]) and tests. *)
 
 val gatekeeper : t -> Gatekeeper.t
 

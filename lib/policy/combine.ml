@@ -47,3 +47,36 @@ let evaluate ?obs (sources : source list) (request : Types.request) : combined_d
 let evaluate_all (sources : source list) (request : Types.request) :
     (string * Eval.decision) list =
   List.map (fun s -> (s.name, Eval.evaluate s.policy request)) sources
+
+(* --- Compiled sources -------------------------------------------------- *)
+
+(* The same conjunctive combination over pre-compiled policies: the hot
+   path the PEPs actually run. Decisions (and the per-source
+   [policy_eval_total] instrumentation) are identical to [evaluate]. *)
+
+type compiled_source = {
+  origin : source;
+  compiled : Compile.t;
+}
+
+let compile_source (s : source) = { origin = s; compiled = Compile.compile s.policy }
+let compile_sources = List.map compile_source
+
+let epoch_of (sources : compiled_source list) =
+  List.fold_left (fun acc c -> max acc (Compile.epoch c.compiled)) 0 sources
+
+let evaluate_compiled ?obs (sources : compiled_source list) (request : Types.request) :
+    combined_decision =
+  let rec go = function
+    | [] -> Permit
+    | c :: rest -> begin
+      match
+        Eval.observed_with ?obs ~source:c.origin.name ~eval:(Compile.eval c.compiled)
+          request
+      with
+      | Eval.Permit -> go rest
+      | Eval.Deny reason -> Deny { source = c.origin.name; reason }
+    end
+  in
+  if sources = [] then Deny { source = "(none)"; reason = Eval.No_applicable_grant }
+  else go sources

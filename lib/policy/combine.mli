@@ -23,3 +23,25 @@ val evaluate : ?obs:Grid_obs.Obs.t -> source list -> Types.request -> combined_d
 
 val evaluate_all : source list -> Types.request -> (string * Eval.decision) list
 (** Per-source decisions, for explanation output. *)
+
+(** {1 Compiled sources}
+
+    The combination the PEPs run in production: each source's policy is
+    compiled once ({!Compile}) and the conjunction evaluates through the
+    index. Decisions and instrumentation are identical to {!evaluate}. *)
+
+type compiled_source = {
+  origin : source;
+  compiled : Compile.t;
+}
+
+val compile_source : source -> compiled_source
+val compile_sources : source list -> compiled_source list
+
+val epoch_of : compiled_source list -> int
+(** The newest policy epoch across the sources (0 when empty); bumps
+    whenever any source is recompiled. *)
+
+val evaluate_compiled :
+  ?obs:Grid_obs.Obs.t -> compiled_source list -> Types.request -> combined_decision
+(** Same contract as {!evaluate}, through the compiled index. *)

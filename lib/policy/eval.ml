@@ -56,6 +56,19 @@ module View = struct
 
   let find (view : t) attribute = List.assoc_opt attribute view
 
+  (* Merge-append: a repeated attribute keeps its first position and
+     accumulates every value in encounter order. Duplicate [=] bindings
+     like (a=1)(a=2) therefore present a=["1";"2"] to the policy instead
+     of silently shadowing the later binding — the documented semantics
+     the compiled evaluator relies on. *)
+  let add (view : t) (name, vals) =
+    let rec go = function
+      | [] -> [ (name, vals) ]
+      | (n, existing) :: rest when String.equal n name -> (n, existing @ vals) :: rest
+      | entry :: rest -> entry :: go rest
+    in
+    go view
+
   let of_request (r : Types.request) : t =
     let base = [ ("action", [ Types.Action.to_string r.action ]) ] in
     let owner =
@@ -63,6 +76,7 @@ module View = struct
       | Some dn -> [ ("jobowner", [ Grid_gsi.Dn.to_string dn ]) ]
       | None -> []
     in
+    let tag = match r.jobtag with Some t -> [ ("jobtag", [ t ]) ] | None -> [] in
     let job_bindings =
       match r.job with
       | None -> []
@@ -70,6 +84,10 @@ module View = struct
         List.filter_map
           (fun (rel : Grid_rsl.Ast.relation) ->
             if rel.op <> Grid_rsl.Ast.Eq then None
+            else if r.jobtag <> None && String.equal rel.attribute "jobtag" then
+              (* the explicit jobtag was parsed out of this very clause;
+                 it wins over (rather than merging with) the binding *)
+              None
             else
               Some
                 ( rel.attribute,
@@ -81,13 +99,7 @@ module View = struct
                     rel.values ))
           clause
     in
-    let tag =
-      match (r.jobtag, List.assoc_opt "jobtag" job_bindings) with
-      | Some t, _ -> [ ("jobtag", [ t ]) ]
-      | None, Some _ -> [] (* already present from the job description *)
-      | None, None -> []
-    in
-    let view = base @ owner @ tag @ job_bindings in
+    let view = List.fold_left add [] (base @ owner @ tag @ job_bindings) in
     (* Materialize the job manager's count default for start requests. *)
     if r.action = Types.Action.Start && List.assoc_opt "count" view = None then
       view @ [ ("count", [ "1" ]) ]
@@ -280,12 +292,17 @@ let explain (policy : Types.t) (request : Types.request) : explanation =
 
 let decision_label = function Permit -> "permit" | Deny _ -> "deny"
 
-let observed ?(obs = Grid_obs.Obs.noop) ?(source = "policy") policy request =
-  if not (Grid_obs.Obs.enabled obs) then evaluate policy request
+(* Generalized over the evaluator so the compiled path (Compile.eval)
+   lands in the same span and counter vocabulary as the reference. *)
+let observed_with ?(obs = Grid_obs.Obs.noop) ?(source = "policy") ~eval request =
+  if not (Grid_obs.Obs.enabled obs) then eval request
   else
     Grid_obs.Obs.with_span obs ~attrs:[ ("source", source) ] "policy.eval" (fun _ ->
-        let decision = evaluate policy request in
+        let decision = eval request in
         Grid_obs.Obs.incr obs
           ~labels:[ ("source", source); ("decision", decision_label decision) ]
           "policy_eval_total";
         decision)
+
+let observed ?obs ?source policy request =
+  observed_with ?obs ?source ~eval:(evaluate policy) request

@@ -23,7 +23,10 @@ val decision_to_string : decision -> string
 val pp_decision : decision Fmt.t
 val is_permit : decision -> bool
 
-(** The request's attribute view: attribute name to carried values. *)
+(** The request's attribute view: attribute name to carried values.
+    Repeated attributes (duplicate [=] bindings) accumulate all their
+    values in encounter order; [count] defaults to ["1"] on start
+    requests that omit it. *)
 module View : sig
   type t = (string * string list) list
 
@@ -51,6 +54,16 @@ val explain : Types.t -> Types.request -> explanation
 
 val decision_label : decision -> string
 (** ["permit"] / ["deny"]: the metric label vocabulary. *)
+
+val observed_with :
+  ?obs:Grid_obs.Obs.t ->
+  ?source:string ->
+  eval:(Types.request -> decision) ->
+  Types.request ->
+  decision
+(** Run any evaluator under the ["policy.eval"] span and the
+    [policy_eval_total{source,decision}] counter — the hook the compiled
+    evaluator ({!Compile}) shares with the reference path. *)
 
 val observed :
   ?obs:Grid_obs.Obs.t -> ?source:string -> Types.t -> Types.request -> decision

@@ -280,6 +280,136 @@ let test_file_pep_of_texts_good () =
       (Grid_util.Strings.starts_with ~prefix:"owner:" m)
   | _ -> Alcotest.fail "reserved queue authorized"
 
+(* --- Decision cache ------------------------------------------------------ *)
+
+(* Distinct-keyed management queries for churn tests. *)
+let keyed_query ?credential ~job_id () =
+  Callout.management_query ~requester:(dn "/O=Grid/CN=U") ?credential
+    ~action:Grid_policy.Types.Action.Information ~job_id ~job_owner:(dn "/O=Grid/CN=U")
+    ~jobtag:(Some "NFC") ()
+
+let test_cache_hits_and_epoch_invalidation () =
+  let clock = ref 0.0 in
+  let epoch = ref 1 in
+  let backend, calls = Callout.counting Callout.permit_all in
+  let cache =
+    Cache.create ~capacity:8 ~ttl:100.0 ~epoch:(fun () -> !epoch)
+      ~now:(fun () -> !clock) ()
+  in
+  let pep = Cache.with_cache cache backend in
+  let q = keyed_query ~job_id:"job-1" () in
+  Alcotest.(check bool) "first answer" true (pep q = Ok ());
+  Alcotest.(check bool) "second answer" true (pep q = Ok ());
+  Alcotest.(check int) "one backend call, one hit" 1 (calls ());
+  Alcotest.(check int) "hit counted" 1 (Cache.hits cache);
+  (* policy reload: epoch bump must evict the cached permit *)
+  incr epoch;
+  Alcotest.(check bool) "post-reload answer" true (pep q = Ok ());
+  Alcotest.(check int) "backend re-consulted after epoch bump" 2 (calls ());
+  Alcotest.(check int) "stale entry counted as invalidated" 1 (Cache.invalidations cache)
+
+let test_cache_caches_denials () =
+  let clock = ref 0.0 in
+  let backend, calls = Callout.counting (Callout.deny_all ~reason:"no") in
+  let cache = Cache.create ~capacity:8 ~ttl:100.0 ~now:(fun () -> !clock) () in
+  let pep = Cache.with_cache cache backend in
+  let q = keyed_query ~job_id:"job-1" () in
+  (match pep q with
+  | Error (Callout.Denied _) -> ()
+  | _ -> Alcotest.fail "expected denial");
+  ignore (pep q);
+  Alcotest.(check int) "denial served from cache" 1 (calls ())
+
+let test_cache_ttl_expiry () =
+  let clock = ref 0.0 in
+  let backend, calls = Callout.counting Callout.permit_all in
+  let cache = Cache.create ~capacity:8 ~ttl:10.0 ~now:(fun () -> !clock) () in
+  let pep = Cache.with_cache cache backend in
+  let q = keyed_query ~job_id:"job-1" () in
+  ignore (pep q);
+  clock := 5.0;
+  ignore (pep q);
+  Alcotest.(check int) "within ttl: cached" 1 (calls ());
+  clock := 15.0;
+  ignore (pep q);
+  Alcotest.(check int) "past ttl: re-evaluated" 2 (calls ());
+  Alcotest.(check int) "expiry counted as eviction" 1 (Cache.evictions cache)
+
+let test_cache_expired_credential_bypasses () =
+  let clock = ref 0.0 in
+  let ca = Grid_gsi.Ca.create ~now:0.0 "/O=Grid/CN=Cache CA" in
+  let identity = Grid_gsi.Identity.create ~ca ~now:0.0 ~lifetime:100.0 "/O=Grid/CN=U" in
+  let credential = Grid_gsi.Credential.of_identity identity ~challenge:"c" in
+  let backend, calls = Callout.counting Callout.permit_all in
+  let cache = Cache.create ~capacity:8 ~ttl:1000.0 ~now:(fun () -> !clock) () in
+  let pep = Cache.with_cache cache backend in
+  let q = keyed_query ~credential ~job_id:"job-1" () in
+  ignore (pep q);
+  ignore (pep q);
+  Alcotest.(check int) "live credential: cached" 1 (calls ());
+  (* Even with a generous cache TTL, the entry dies with the credential:
+     past its chain's expiry the cache is bypassed on both read and
+     write. *)
+  clock := 200.0;
+  ignore (pep q);
+  ignore (pep q);
+  Alcotest.(check int) "expired credential: every call reaches the backend" 3 (calls ());
+  Alcotest.(check int) "bypasses counted" 2 (Cache.bypasses cache)
+
+let test_cache_never_caches_system_error_or_fail_open () =
+  let clock = ref 0.0 in
+  let backend, calls = Callout.counting (Callout.failing ~message:"backend down") in
+  let cache = Cache.create ~capacity:8 ~ttl:100.0 ~now:(fun () -> !clock) () in
+  (* degrade OUTSIDE the cache: the fail-open permit is a conversion of
+     an uncached System_error, so it can never be stored. *)
+  let pep = Callout.degrade Callout.Fail_open (Cache.with_cache cache backend) in
+  let q = keyed_query ~job_id:"job-1" () in
+  Alcotest.(check bool) "fail-open converts outage to permit" true (pep q = Ok ());
+  Alcotest.(check bool) "again" true (pep q = Ok ());
+  Alcotest.(check int) "nothing was cached: backend consulted each time" 2 (calls ());
+  Alcotest.(check int) "cache stayed empty" 0 (Cache.size cache);
+  Alcotest.(check int) "both lookups were misses" 2 (Cache.misses cache)
+
+let test_cache_lru_bound_under_churn () =
+  let clock = ref 0.0 in
+  let backend, calls = Callout.counting Callout.permit_all in
+  let cache = Cache.create ~capacity:4 ~ttl:1000.0 ~now:(fun () -> !clock) () in
+  let pep = Cache.with_cache cache backend in
+  let q i = keyed_query ~job_id:(Printf.sprintf "job-%d" i) () in
+  for i = 1 to 10 do ignore (pep (q i)) done;
+  Alcotest.(check int) "bound respected" 4 (Cache.size cache);
+  Alcotest.(check int) "evictions counted" 6 (Cache.evictions cache);
+  (* jobs 7..10 are resident *)
+  ignore (pep (q 10));
+  Alcotest.(check int) "most recent entry hits" 10 (calls ());
+  ignore (pep (q 1));
+  Alcotest.(check int) "oldest entry was evicted" 11 (calls ());
+  (* recency, not insertion order: touch 8, insert a new key, and the
+     least-recently-used entry (9) goes — 8 survives. *)
+  ignore (pep (q 8));
+  ignore (pep (q 11));
+  ignore (pep (q 8));
+  Alcotest.(check int) "recently-touched entry survives churn" 12 (calls ());
+  ignore (pep (q 9));
+  Alcotest.(check int) "LRU victim was evicted" 13 (calls ())
+
+let test_cache_scopes_partition_keys () =
+  let clock = ref 0.0 in
+  let deny, deny_calls = Callout.counting (Callout.deny_all ~reason:"owner says no") in
+  let permit, permit_calls = Callout.counting Callout.permit_all in
+  let cache = Cache.create ~capacity:8 ~ttl:100.0 ~now:(fun () -> !clock) () in
+  let a = Cache.with_cache cache ~scope:"gatekeeper" deny in
+  let b = Cache.with_cache cache ~scope:"jm" permit in
+  let q = keyed_query ~job_id:"job-1" () in
+  (match a q with
+  | Error (Callout.Denied _) -> ()
+  | _ -> Alcotest.fail "scope a should deny");
+  Alcotest.(check bool) "scope b unaffected by scope a's entry" true (b q = Ok ());
+  ignore (a q);
+  ignore (b q);
+  Alcotest.(check int) "scope a cached" 1 (deny_calls ());
+  Alcotest.(check int) "scope b cached" 1 (permit_calls ())
+
 let () =
   Alcotest.run "grid_callout"
     [ ( "combinators",
@@ -304,6 +434,19 @@ let () =
           Alcotest.test_case "config errors" `Quick test_config_parse_errors;
           Alcotest.test_case "config roundtrip" `Quick test_config_roundtrip;
           Alcotest.test_case "resolution" `Quick test_config_resolution ] );
+      ( "cache",
+        [ Alcotest.test_case "hits + epoch invalidation" `Quick
+            test_cache_hits_and_epoch_invalidation;
+          Alcotest.test_case "denials cached" `Quick test_cache_caches_denials;
+          Alcotest.test_case "ttl expiry" `Quick test_cache_ttl_expiry;
+          Alcotest.test_case "expired credential bypasses" `Quick
+            test_cache_expired_credential_bypasses;
+          Alcotest.test_case "system_error/fail-open never cached" `Quick
+            test_cache_never_caches_system_error_or_fail_open;
+          Alcotest.test_case "lru bound under churn" `Quick
+            test_cache_lru_bound_under_churn;
+          Alcotest.test_case "scopes partition keys" `Quick
+            test_cache_scopes_partition_keys ] );
       ( "file-pep",
         [ Alcotest.test_case "decisions" `Quick test_file_pep_decisions;
           Alcotest.test_case "management" `Quick test_file_pep_management;

@@ -720,6 +720,56 @@ let qcheck_statement_order_irrelevant =
       let shuffled = List.rev p in
       Eval.is_permit (Eval.evaluate p r) = Eval.is_permit (Eval.evaluate shuffled r))
 
+(* --- Request view ------------------------------------------------------- *)
+
+let find_strings view name =
+  match Eval.View.find view name with
+  | Some vs -> vs
+  | None -> Alcotest.failf "view is missing %s" name
+
+let test_view_count_defaults_to_one () =
+  (* The job manager starts one process when count is omitted; the view
+     must expose that default so count constraints bind either way. *)
+  let r = start ~who:"/O=Grid/CN=u" ~rsl:"&(executable=/bin/x)" in
+  Alcotest.(check (list string)) "count default" [ "1" ]
+    (find_strings (Eval.View.of_request r) "count");
+  let r = start ~who:"/O=Grid/CN=u" ~rsl:"&(executable=/bin/x)(count=3)" in
+  Alcotest.(check (list string)) "explicit count kept" [ "3" ]
+    (find_strings (Eval.View.of_request r) "count");
+  (* No default on management requests: they carry no job clause. *)
+  let r =
+    manage ~who:"/O=Grid/CN=u" ~action:Types.Action.Cancel ~owner:"/O=Grid/CN=u"
+      ~tag:None
+  in
+  Alcotest.(check bool) "no count on management" true
+    (Eval.View.find (Eval.View.of_request r) "count" = None)
+
+let test_view_duplicate_bindings_keep_all_values () =
+  let r = start ~who:"/O=Grid/CN=u" ~rsl:"&(count=2)(count=5)(queue=a)(queue=b)" in
+  let view = Eval.View.of_request r in
+  Alcotest.(check (list string)) "both counts" [ "2"; "5" ] (find_strings view "count");
+  Alcotest.(check (list string)) "both queues" [ "a"; "b" ] (find_strings view "queue");
+  (* Policy consequence: an Eq constraint needs every present value
+     allowed, so the second binding cannot smuggle past a first
+     satisfying one. *)
+  let policy = Parse.parse "/O=Grid: &(action = start)(count = 2)" in
+  denies "second count value violates" policy r
+
+let test_view_explicit_jobtag_wins_over_binding () =
+  let clause = Grid_rsl.Parser.parse_clause_exn "&(executable=/bin/x)(jobtag=ADS)" in
+  let r =
+    { (Types.start_request ~subject:(dn "/O=Grid/CN=u") ~job:clause) with
+      Types.jobtag = Some "NFC" }
+  in
+  (* The gatekeeper parsed the tag out of this very clause; the view must
+     not merge the raw binding back in alongside it. *)
+  Alcotest.(check (list string)) "only the explicit tag" [ "NFC" ]
+    (find_strings (Eval.View.of_request r) "jobtag");
+  (* Without the explicit field the binding flows through untouched. *)
+  let r = Types.start_request ~subject:(dn "/O=Grid/CN=u") ~job:clause in
+  Alcotest.(check (list string)) "binding alone" [ "ADS" ]
+    (find_strings (Eval.View.of_request r) "jobtag")
+
 let () =
   Alcotest.run "grid_policy"
     [ ( "parse",
@@ -779,6 +829,12 @@ let () =
           Alcotest.test_case "all-action grant" `Quick test_lint_all_action_grant;
           Alcotest.test_case "duplicate statement" `Quick test_lint_duplicate_statement;
           QCheck_alcotest.to_alcotest qcheck_lint_never_flags_satisfied_clause ] );
+      ( "view",
+        [ Alcotest.test_case "count defaults to 1" `Quick test_view_count_defaults_to_one;
+          Alcotest.test_case "duplicate bindings keep all values" `Quick
+            test_view_duplicate_bindings_keep_all_values;
+          Alcotest.test_case "explicit jobtag wins over binding" `Quick
+            test_view_explicit_jobtag_wins_over_binding ] );
       ( "properties",
         [ QCheck_alcotest.to_alcotest qcheck_differential_reference;
           QCheck_alcotest.to_alcotest qcheck_default_deny;

@@ -1,0 +1,293 @@
+(* Differential tests for the compiled policy index (Compile) against the
+   reference evaluator (Eval): on random policies and requests the two
+   must agree on the decision AND the reason — same denial constructor,
+   same violated constraint, same clause count. Seeds are pinned so a
+   failure reproduces byte-for-byte.
+
+   The generators deliberately cover the paper's whole vocabulary:
+   grant + requirement statements, wildcard (short-prefix and empty)
+   subject patterns, NULL and self values, numeric bounds (including
+   unparsable ones), duplicate [=] bindings, and start requests that
+   omit count. *)
+
+open Grid_policy
+
+let dn = Grid_gsi.Dn.parse
+
+let start ~who ~rsl =
+  Types.start_request ~subject:(dn who) ~job:(Grid_rsl.Parser.parse_clause_exn rsl)
+
+let manage ~who ~action ~owner ~tag =
+  Types.management_request ~subject:(dn who) ~action ~jobowner:(dn owner) ~jobtag:tag
+
+(* Every QCheck test in this file runs under a pinned seed. *)
+let pinned test = QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 0x5EED; 421 |]) test
+
+(* --- Generators ------------------------------------------------------------ *)
+
+(* A small shared vocabulary with subject prefixes of depth 0..3 so
+   wildcard buckets, group buckets and per-user buckets all get hit, and
+   values colliding often enough that permits actually happen. *)
+
+let pattern_pool =
+  [ "/O=G"; "/O=G/OU=u1"; "/O=G/OU=u1/CN=a"; "/O=G/OU=u1/CN=b"; "/O=G/OU=u2/CN=c";
+    "/O=H/CN=d" ]
+
+let subject_pool = [ "/O=G/OU=u1/CN=a"; "/O=G/OU=u1/CN=b"; "/O=G/OU=u2/CN=c"; "/O=H/CN=d"; "/O=G" ]
+
+let gen_policy : Types.t QCheck.Gen.t =
+  QCheck.Gen.(
+    let subject_pattern =
+      frequency
+        [ (8, map dn (oneofl pattern_pool));
+          (* the empty pattern: prefix of every subject *)
+          (1, return []) ]
+    in
+    let attr =
+      oneofl [ "executable"; "count"; "jobtag"; "queue"; "jobowner"; "action"; "memory" ]
+    in
+    let cvalue =
+      frequency
+        [ ( 10,
+            map
+              (fun s -> Types.Str s)
+              (oneofl
+                 [ "x"; "y"; "2"; "5"; "start"; "cancel"; "information";
+                   "/O=G/OU=u1/CN=a"; "nan"; "notanumber" ]) );
+          (2, return Types.Self);
+          (2, return Types.Null) ]
+    in
+    let constr =
+      let* attribute = attr in
+      let* op = oneofl Grid_rsl.Ast.[ Eq; Neq; Lt; Le; Gt; Ge ] in
+      let* values = list_size (int_range 1 3) cvalue in
+      return { Types.attribute; op; values }
+    in
+    let clause = list_size (int_range 1 4) constr in
+    let statement =
+      let* kind = frequency [ (3, return Types.Grant); (1, return Types.Requirement) ] in
+      let* subject_pattern = subject_pattern in
+      let* clauses = list_size (int_range 1 3) clause in
+      return { Types.kind; subject_pattern; clauses }
+    in
+    list_size (int_range 0 8) statement)
+
+let gen_request : Types.request QCheck.Gen.t =
+  QCheck.Gen.(
+    let* who = oneofl subject_pool in
+    let* is_start = bool in
+    if is_start then
+      let* exe = oneofl [ "x"; "y"; "z" ] in
+      let* count =
+        oneofl
+          [ ""; "(count=2)"; "(count=5)"; "(count=bad)"; "(count=2)(count=2)";
+            "(count=2)(count=5)" ]
+      in
+      let* tag = oneofl [ ""; "(jobtag=x)"; "(jobtag=y)" ] in
+      let* queue = oneofl [ ""; "(queue=x)"; "(queue=x)(queue=y)" ] in
+      let* owner_binding = oneofl [ ""; {|(jobowner="/O=G/OU=u1/CN=a")|} ] in
+      return
+        (start ~who
+           ~rsl:(Printf.sprintf "&(executable=%s)%s%s%s%s" exe count tag queue owner_binding))
+    else
+      let* owner = oneofl subject_pool in
+      let* action = oneofl Types.Action.[ Cancel; Information; Signal ] in
+      let* tag = oneofl [ None; Some "x"; Some "y" ] in
+      return (manage ~who ~action ~owner ~tag))
+
+let arb_pair =
+  QCheck.make
+    QCheck.Gen.(pair gen_policy gen_request)
+    ~print:(fun (p, r) ->
+      Printf.sprintf "POLICY:\n%s\nREQUEST: %s" (Types.to_string p)
+        (Fmt.to_to_string Types.pp_request r))
+
+(* --- Differential properties ----------------------------------------------- *)
+
+let qcheck_compile_agrees_with_reference =
+  (* The headline property: decision and reason, structurally equal, on
+     2000 policy/request pairs. *)
+  QCheck.Test.make ~name:"Compile.eval = Eval.evaluate (decision and reason)" ~count:2000
+    arb_pair
+    (fun (policy, request) ->
+      Compile.eval (Compile.compile policy) request = Eval.evaluate policy request)
+
+let qcheck_compiled_is_reusable =
+  (* One compilation answers many requests: no hidden per-eval state. *)
+  QCheck.Test.make ~name:"compiled policy is reusable across requests" ~count:300
+    (QCheck.make
+       QCheck.Gen.(pair gen_policy (list_size (int_range 1 5) gen_request))
+       ~print:(fun (p, _) -> Types.to_string p))
+    (fun (policy, requests) ->
+      let compiled = Compile.compile policy in
+      List.for_all
+        (fun r ->
+          Compile.eval compiled r = Eval.evaluate policy r
+          && Compile.eval compiled r = Compile.eval compiled r)
+        requests)
+
+let qcheck_combine_compiled_agrees =
+  (* Conjunctive combination through compiled sources: same decision,
+     same denying source, same reason. *)
+  QCheck.Test.make ~name:"Combine.evaluate_compiled = Combine.evaluate" ~count:500
+    (QCheck.make
+       QCheck.Gen.(triple gen_policy gen_policy gen_request)
+       ~print:(fun (p1, p2, r) ->
+         Printf.sprintf "OWNER:\n%s\nVO:\n%s\nREQUEST: %s" (Types.to_string p1)
+           (Types.to_string p2)
+           (Fmt.to_to_string Types.pp_request r)))
+    (fun (p1, p2, request) ->
+      let sources =
+        [ Combine.source ~name:"owner" p1; Combine.source ~name:"vo" p2 ]
+      in
+      Combine.evaluate_compiled (Combine.compile_sources sources) request
+      = Combine.evaluate sources request)
+
+let query_of_request (r : Types.request) : Grid_callout.Callout.query =
+  { Grid_callout.Callout.requester = r.Types.subject;
+    requester_credential = None;
+    job_owner = r.Types.jobowner;
+    action = r.Types.action;
+    job_id = (if r.Types.action = Types.Action.Start then Some "job-1" else None);
+    rsl = r.Types.job;
+    jobtag = r.Types.jobtag }
+
+let qcheck_file_pep_compiled_agrees =
+  (* End-to-end through the PEP: the compiled callout and the reference
+     callout answer identically, denial messages included. *)
+  QCheck.Test.make ~name:"File_pep.of_sources = File_pep.reference" ~count:500
+    (QCheck.make
+       QCheck.Gen.(triple gen_policy gen_policy gen_request)
+       ~print:(fun (p1, p2, r) ->
+         Printf.sprintf "OWNER:\n%s\nVO:\n%s\nREQUEST: %s" (Types.to_string p1)
+           (Types.to_string p2)
+           (Fmt.to_to_string Types.pp_request r)))
+    (fun (p1, p2, request) ->
+      let sources =
+        [ Combine.source ~name:"owner" p1; Combine.source ~name:"vo" p2 ]
+      in
+      let compiled = Grid_callout.File_pep.of_sources sources in
+      let reference = Grid_callout.File_pep.reference sources in
+      let q = query_of_request request in
+      compiled q = reference q)
+
+(* --- Epoch and store -------------------------------------------------------- *)
+
+let fig3_sources () =
+  [ Combine.source ~name:"figure3" (Figure3.get ()) ]
+
+let test_epoch_monotonic () =
+  let p = Figure3.get () in
+  let c1 = Compile.compile p in
+  let c2 = Compile.compile p in
+  let c3 = Compile.compile [] in
+  Alcotest.(check bool) "second compile has larger epoch" true
+    (Compile.epoch c2 > Compile.epoch c1);
+  Alcotest.(check bool) "empty policy still draws a fresh epoch" true
+    (Compile.epoch c3 > Compile.epoch c2)
+
+let test_store_reload_bumps_epoch () =
+  let store = Compile.Store.create (Figure3.get ()) in
+  let e1 = Compile.Store.epoch store in
+  Compile.Store.reload store (Parse.parse "/O=G: &(action = cancel)");
+  let e2 = Compile.Store.epoch store in
+  Alcotest.(check bool) "reload bumps epoch" true (e2 > e1);
+  (* and the store now answers for the new policy *)
+  let r = manage ~who:"/O=G/CN=a" ~action:Types.Action.Cancel ~owner:"/O=G/CN=a" ~tag:None in
+  Alcotest.(check bool) "post-reload decision" true
+    (Eval.is_permit (Compile.Store.eval store r))
+
+let test_compiled_pep_reload_bumps_epoch () =
+  let pep = Grid_callout.File_pep.Compiled.create (fig3_sources ()) in
+  let e1 = Grid_callout.File_pep.Compiled.epoch pep in
+  Grid_callout.File_pep.Compiled.reload pep (fig3_sources ());
+  let e2 = Grid_callout.File_pep.Compiled.epoch pep in
+  Alcotest.(check bool) "PEP reload bumps epoch" true (e2 > e1);
+  Grid_callout.File_pep.Compiled.reload pep [];
+  let e3 = Grid_callout.File_pep.Compiled.epoch pep in
+  Alcotest.(check bool) "reload to empty still bumps epoch" true (e3 > e2)
+
+(* --- Index structure -------------------------------------------------------- *)
+
+let test_wildcard_bucket_applies () =
+  (* An empty subject pattern prefixes every DN: the compiled index must
+     surface it for any requester. *)
+  let policy =
+    [ { Types.kind = Types.Grant;
+        subject_pattern = [];
+        clauses = [ [ { Types.attribute = "action"; op = Grid_rsl.Ast.Eq;
+                        values = [ Types.Str "cancel" ] } ] ] } ]
+  in
+  let compiled = Compile.compile policy in
+  let r = manage ~who:"/O=Anywhere/CN=anyone" ~action:Types.Action.Cancel
+      ~owner:"/O=Anywhere/CN=anyone" ~tag:None
+  in
+  Alcotest.(check bool) "wildcard grant permits" true
+    (Eval.is_permit (Compile.eval compiled r));
+  Alcotest.(check bool) "agrees with reference" true
+    (Compile.eval compiled r = Eval.evaluate policy r)
+
+let test_statement_order_preserved () =
+  (* Two requirement statements both violated: the reference reports the
+     first in policy order, so the index's order-restoring merge must
+     too. The statements sit in different buckets (group vs user). *)
+  let policy =
+    Parse.parse
+      {|&/O=G: (action = cancel)(jobtag = never1)
+&/O=G/CN=a: (action = cancel)(jobtag = never2)|}
+  in
+  let compiled = Compile.compile policy in
+  let r = manage ~who:"/O=G/CN=a" ~action:Types.Action.Cancel ~owner:"/O=G/CN=a"
+      ~tag:(Some "t")
+  in
+  let reference = Eval.evaluate policy r in
+  Alcotest.(check string) "same first-violation report"
+    (Eval.decision_to_string reference)
+    (Eval.decision_to_string (Compile.eval compiled r));
+  (match reference with
+  | Eval.Deny (Eval.Requirement_violated { subject_pattern; _ }) ->
+    Alcotest.(check string) "reference reports the group statement" "/O=G"
+      (Grid_gsi.Dn.to_string subject_pattern)
+  | _ -> Alcotest.fail "expected a requirement violation")
+
+let test_figure3_scenarios_agree () =
+  (* The paper's own narrated decisions, through the compiled path. *)
+  let policy = Figure3.get () in
+  let compiled = Compile.compile policy in
+  let requests =
+    [ start ~who:Figure3.bo_liu ~rsl:"&(executable=test1)(jobtag=ADS)(count=3)";
+      start ~who:Figure3.bo_liu ~rsl:"&(executable=test1)(jobtag=ADS)(count=7)";
+      start ~who:Figure3.kate_keahey ~rsl:"&(executable=TRANSP)(jobtag=NFC)";
+      manage ~who:Figure3.kate_keahey ~action:Types.Action.Cancel ~owner:Figure3.bo_liu
+        ~tag:(Some "NFC");
+      manage ~who:Figure3.bo_liu ~action:Types.Action.Cancel ~owner:Figure3.kate_keahey
+        ~tag:(Some "NFC") ]
+  in
+  List.iter
+    (fun r ->
+      Alcotest.(check string)
+        (Fmt.to_to_string Types.pp_request r)
+        (Eval.decision_to_string (Eval.evaluate policy r))
+        (Eval.decision_to_string (Compile.eval compiled r)))
+    requests
+
+let () =
+  Alcotest.run "grid_policy_compile"
+    [ ( "differential",
+        [ pinned qcheck_compile_agrees_with_reference;
+          pinned qcheck_compiled_is_reusable;
+          pinned qcheck_combine_compiled_agrees;
+          pinned qcheck_file_pep_compiled_agrees ] );
+      ( "epoch",
+        [ Alcotest.test_case "compile epoch is monotonic" `Quick test_epoch_monotonic;
+          Alcotest.test_case "store reload bumps epoch" `Quick
+            test_store_reload_bumps_epoch;
+          Alcotest.test_case "compiled PEP reload bumps epoch" `Quick
+            test_compiled_pep_reload_bumps_epoch ] );
+      ( "index",
+        [ Alcotest.test_case "wildcard bucket applies to all" `Quick
+            test_wildcard_bucket_applies;
+          Alcotest.test_case "statement order preserved across buckets" `Quick
+            test_statement_order_preserved;
+          Alcotest.test_case "figure 3 scenarios agree" `Quick
+            test_figure3_scenarios_agree ] ) ]

@@ -275,6 +275,54 @@ let qcheck_print_parse_roundtrip =
       | Ok (Ast.Single c') -> Ast.clause_equal c c'
       | Ok (Ast.Multi _) | Error _ -> false)
 
+(* Full-AST round-trip: every value form the printer can emit — literals
+   over the atom-safe alphabet, literals that force quoting (embedded
+   spaces), substitution variables and [(NAME value)] bindings — must
+   survive [parse (print clause)] structurally intact. Quoted literals
+   deliberately avoid double-quote and backslash characters: the printer
+   and lexer disagree on escape syntax for those (OCaml-style vs doubled
+   quotes), which is an acknowledged printer limitation, not a parser
+   bug. *)
+let gen_full_clause : Ast.clause QCheck.Gen.t =
+  QCheck.Gen.(
+    let safe_char =
+      oneof
+        [ char_range 'a' 'z'; char_range '0' '9';
+          oneofl [ '_'; '.'; '/'; '-' ] ]
+    in
+    let atom = string_size ~gen:safe_char (int_range 1 10) in
+    let spaced =
+      map2 (fun a b -> a ^ " " ^ b) atom
+        (string_size ~gen:safe_char (int_range 0 6))
+    in
+    let name = map String.uppercase_ascii (string_size ~gen:(char_range 'a' 'z') (int_range 1 6)) in
+    let value =
+      frequency
+        [ (4, map (fun s -> Ast.Literal s) atom);
+          (2, map (fun s -> Ast.Literal s) spaced);
+          (2, map (fun n -> Ast.Variable n) name);
+          (1, map2 (fun n v -> Ast.Binding (n, v)) name (oneof [ atom; spaced ])) ]
+    in
+    let attr =
+      oneofl
+        [ "executable"; "directory"; "count"; "jobtag"; "arguments"; "queue";
+          "rsl_substitution"; "environment"; "maxwalltime" ]
+    in
+    let op = oneofl [ Ast.Eq; Ast.Neq; Ast.Lt; Ast.Gt; Ast.Le; Ast.Ge ] in
+    let relation =
+      map3 (fun a o vs -> { Ast.attribute = a; op = o; values = vs })
+        attr op (list_size (int_range 1 3) value)
+    in
+    list_size (int_range 1 5) relation)
+
+let qcheck_full_roundtrip =
+  QCheck.Test.make ~name:"full-AST print/parse round-trip" ~count:1000
+    (QCheck.make gen_full_clause ~print:Ast.clause_to_string)
+    (fun c ->
+      match Parser.parse_result (Ast.clause_to_string c) with
+      | Ok (Ast.Single c') -> Ast.clause_equal c c'
+      | Ok (Ast.Multi _) | Error _ -> false)
+
 let qcheck_multirequest_roundtrip =
   QCheck.Test.make ~name:"multirequest round-trip" ~count:200
     (QCheck.make
@@ -306,6 +354,9 @@ let () =
         [ Alcotest.test_case "quotes when needed" `Quick test_print_quotes_when_needed;
           Alcotest.test_case "fixed round-trips" `Quick test_print_parse_roundtrip_fixed;
           QCheck_alcotest.to_alcotest qcheck_print_parse_roundtrip;
+          QCheck_alcotest.to_alcotest
+            ~rand:(Random.State.make [| 0x5EED; 1103 |])
+            qcheck_full_roundtrip;
           QCheck_alcotest.to_alcotest qcheck_multirequest_roundtrip;
           QCheck_alcotest.to_alcotest qcheck_parser_never_crashes;
           QCheck_alcotest.to_alcotest qcheck_job_view_never_crashes;

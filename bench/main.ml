@@ -59,7 +59,7 @@ let json_escape s =
     s;
   Buffer.contents buf
 
-let write_json path =
+let write_json path tables =
   let oc = open_out path in
   Fun.protect
     ~finally:(fun () -> close_out_noerr oc)
@@ -74,7 +74,7 @@ let write_json path =
       in
       output_string oc
         (Printf.sprintf "{\"harness\":\"grid-authz-bench\",\"experiments\":[%s]}\n"
-           (String.concat "," (List.map experiment (List.rev !collected)))));
+           (String.concat "," (List.map experiment tables))));
   Printf.printf "\n(wrote %s)\n" path
 
 let section name = Printf.printf "\n=== %s ===\n" name
@@ -876,6 +876,106 @@ let t16_authz_cache () =
     ("authz cache divergence", [ ("divergences", float_of_int !divergences) ]) :: !collected
 
 (* ------------------------------------------------------------------ *)
+(* T17: crash-recovery time vs journal length and snapshot interval     *)
+
+let t17_recovery () =
+  section "T17: recovery time vs journal length and snapshot interval";
+  let rows = ref [] in
+  let profiles_of (w : Fusion.world) =
+    [ { Workload.identity = Gram.Client.identity w.Fusion.bo;
+        rsl_templates =
+          [ "&(executable=test1)(directory=/sandbox/test)(jobtag=ADS)(count=2)(simduration=30)" ];
+        weight = 1 };
+      { Workload.identity = Gram.Client.identity w.Fusion.kate;
+        rsl_templates =
+          [ "&(executable=TRANSP)(directory=/sandbox/test)(jobtag=NFC)(count=4)(simduration=60)" ];
+        weight = 1 } ]
+  in
+  (* Load a durable world with [jobs] accepted-or-denied submissions (each
+     accepted job contributes creation + terminal-state records, plus any
+     management records), then kill and restart the job manager and time
+     the replay. *)
+  let measure label ~jobs ~snapshot_every =
+    let w = Fusion.build ~nodes:16 ~cpus_per_node:8 ~store:true ?snapshot_every () in
+    ignore
+      (Workload.run
+         ~engine:(Testbed.engine w.Fusion.testbed)
+         ~resource:w.Fusion.resource ~profiles:(profiles_of w)
+         { Workload.default_config with
+           Workload.job_count = jobs;
+           arrival_rate = 20.0;
+           seed = 7 });
+    Gram.Resource.crash w.Fusion.resource;
+    let s = Gram.Resource.recover w.Fusion.resource in
+    Printf.printf "   %-30s %6d records  %9.3f ms  (%d jobs restored)\n" label
+      s.Gram.Resource.records_replayed
+      (s.Gram.Resource.duration *. 1000.0)
+      s.Gram.Resource.jobs_restored;
+    rows :=
+      !rows
+      @ [ (label ^ "/records_replayed", float_of_int s.Gram.Resource.records_replayed);
+          (label ^ "/recovery_ms", s.Gram.Resource.duration *. 1000.0);
+          (label ^ "/jobs_restored", float_of_int s.Gram.Resource.jobs_restored) ]
+  in
+  measure "recover/j0200-snap-none" ~jobs:200 ~snapshot_every:None;
+  measure "recover/j1000-snap-none" ~jobs:1000 ~snapshot_every:None;
+  measure "recover/j1000-snap-0100" ~jobs:1000 ~snapshot_every:(Some 100);
+  measure "recover/j1000-snap-0025" ~jobs:1000 ~snapshot_every:(Some 25);
+  Printf.printf
+    "   shape: recovery scales with records replayed; tighter snapshot\n";
+  Printf.printf "   intervals trade steady-state compaction work for shorter replays.\n";
+  collected := ("recovery scaling", !rows) :: !collected;
+  (* Zero-divergence check: the same management decisions must come out
+     of a restarted job manager as out of one that never crashed —
+     including the third-party jobtag-authorized cancel and the
+     default-deny for an outsider's attempt. *)
+  let decisions ~crash =
+    let w = Fusion.build ~store:true () in
+    let submit client rsl =
+      match Gram.Client.submit_sync client ~rsl with
+      | Ok r -> Some r.Gram.Protocol.job_contact
+      | Error _ -> None
+    in
+    let kate_job =
+      submit w.Fusion.kate
+        "&(executable=TRANSP)(directory=/sandbox/test)(jobtag=NFC)(count=4)(simduration=100000)"
+    in
+    let bo_job =
+      submit w.Fusion.bo
+        "&(executable=test1)(directory=/sandbox/test)(jobtag=ADS)(count=2)(simduration=100000)"
+    in
+    if crash then begin
+      Gram.Resource.crash w.Fusion.resource;
+      ignore (Gram.Resource.recover w.Fusion.resource)
+    end;
+    let manage client contact action =
+      match contact with
+      | None -> "no-job"
+      | Some contact -> begin
+        match Gram.Client.manage_sync client ~contact action with
+        | Ok _ -> "ok"
+        | Error e -> Gram.Protocol.management_error_to_string e
+      end
+    in
+    [ manage w.Fusion.bo kate_job Gram.Protocol.Cancel;  (* denied: no grant *)
+      manage w.Fusion.kate bo_job Gram.Protocol.Status;  (* admin tag grant *)
+      manage w.Fusion.vo_admin (Some "jmi-none") Gram.Protocol.Cancel;  (* unknown *)
+      manage w.Fusion.vo_admin kate_job Gram.Protocol.Cancel;  (* third-party ok *)
+      manage w.Fusion.bo bo_job Gram.Protocol.Cancel ]  (* owner ok *)
+  in
+  let uncrashed = decisions ~crash:false in
+  let recovered = decisions ~crash:true in
+  let divergences =
+    List.fold_left2 (fun n a b -> if String.equal a b then n else n + 1) 0 uncrashed
+      recovered
+  in
+  Printf.printf "   divergence check: %d/%d decisions differ after crash+recovery (must be 0)\n"
+    divergences (List.length uncrashed);
+  collected :=
+    ("recovery decision divergence", [ ("divergences", float_of_int divergences) ])
+    :: !collected
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [ ("f1", figure1); ("f2", figure2); ("f3", figure3);
@@ -884,10 +984,32 @@ let experiments =
     ("t7", t7_accounts); ("t8", t8_pep_placement); ("t9", t9_policy_syntax);
     ("t10", t10_discovery); ("t11", t11_allocation); ("t12", t12_workload);
     ("t13", t13_akenti_cache); ("t14", t14_obs_overhead); ("t15", t15_faults);
-    ("t16", t16_authz_cache) ]
+    ("t16", t16_authz_cache); ("t17", t17_recovery) ]
+
+(* Every experiment has a canonical artifact, so multi-experiment --json
+   runs write one file per experiment instead of lumping everything into
+   BENCH_obs.json. The t14/t15/t16 names are historical. *)
+let artifact_of = function
+  | "t14" -> "BENCH_obs.json"
+  | "t15" -> "BENCH_faults.json"
+  | "t16" -> "BENCH_authz_cache.json"
+  | "t17" -> "BENCH_recovery.json"
+  | name -> Printf.sprintf "BENCH_%s.json" name
+
+let usage () =
+  Printf.printf "usage: bench [--json] [EXPERIMENT...]\n\n";
+  Printf.printf "Experiments (default: all):\n";
+  Printf.printf "  f1 f2 f3     figure reproductions\n";
+  Printf.printf "  t1..t17      microbenchmarks (see DESIGN.md)\n\n";
+  Printf.printf "--json additionally writes each experiment's table to its canonical\n";
+  Printf.printf "artifact (e.g. t15 -> BENCH_faults.json, t17 -> BENCH_recovery.json).\n"
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
+  if List.mem "--help" args || List.mem "-h" args then begin
+    usage ();
+    exit 0
+  end;
   let json = List.mem "--json" args in
   let requested =
     match List.filter (fun a -> a <> "--json") args with
@@ -895,18 +1017,24 @@ let () =
     | names -> names
   in
   Printf.printf "Fine-grain GRID authorization: benchmark & figure harness\n";
-  Printf.printf "(figures F1-F3 reproduce the paper's artifacts; T1-T16 are the\n";
+  Printf.printf "(figures F1-F3 reproduce the paper's artifacts; T1-T17 are the\n";
   Printf.printf " quantitative microbenchmarks defined in DESIGN.md)\n";
   List.iter
     (fun name ->
       match List.assoc_opt name experiments with
-      | Some f -> f ()
-      | None -> Printf.printf "unknown experiment %S (known: f1 f2 f3 t1..t16)\n" name)
-    requested;
-  if json then
-    (* Single-experiment fault and cache runs get their own artifacts;
-       mixed runs keep the historical BENCH_obs.json name. *)
-    write_json
-      (if requested = [ "t15" ] then "BENCH_faults.json"
-       else if requested = [ "t16" ] then "BENCH_authz_cache.json"
-       else "BENCH_obs.json")
+      | Some f ->
+        let before = !collected in
+        f ();
+        if json then begin
+          (* Tables pushed by this experiment, in chronological order. *)
+          let rec fresh acc tables =
+            if tables == before then acc
+            else
+              match tables with [] -> acc | t :: rest -> fresh (t :: acc) rest
+          in
+          match fresh [] !collected with
+          | [] -> ()
+          | tables -> write_json (artifact_of name) tables
+        end
+      | None -> Printf.printf "unknown experiment %S (known: f1 f2 f3 t1..t17)\n" name)
+    requested

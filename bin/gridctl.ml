@@ -267,6 +267,42 @@ let lint_cmd =
           clean/warnings).")
     Term.(const run $ policy_files)
 
+(* Shared by simulate and journal: durable-store options. *)
+let snapshot_every_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "snapshot-every" ] ~docv:"N"
+        ~doc:
+          "Compact the job-manager journal into a snapshot after every $(docv) appends \
+           (implies a durable store).")
+
+let crash_at_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "crash-at" ] ~docv:"SECONDS"
+        ~doc:
+          "Kill the job manager at simulated time $(docv) and restart it from snapshot + \
+           journal (implies a durable store).")
+
+let print_recovery (r : Core.Gram.Resource.recovery_summary) =
+  Printf.printf
+    "recovery: %d jobs restored from %d records (%d tail bytes dropped, %d stale-epoch \
+     jobs, %d undecodable)\n"
+    r.Core.Gram.Resource.jobs_restored r.Core.Gram.Resource.records_replayed
+    r.Core.Gram.Resource.dropped_bytes r.Core.Gram.Resource.stale_epoch_jobs
+    r.Core.Gram.Resource.decode_failures
+
+let print_store_summary resource =
+  match Core.Gram.Resource.store resource with
+  | None -> ()
+  | Some store ->
+    Printf.printf "store: %d journal appends, %d snapshots, %d journal bytes\n"
+      (Core.Store.Store.appends store)
+      (Core.Store.Store.snapshots_taken store)
+      (Core.Store.Store.journal_bytes store)
+
 let simulate_cmd =
   let jobs =
     Arg.(value & opt int 200 & info [ "j"; "jobs" ] ~docv:"N" ~doc:"Jobs to generate.")
@@ -275,16 +311,31 @@ let simulate_cmd =
   let baseline =
     Arg.(value & flag & info [ "baseline" ] ~doc:"Run unmodified GT2 instead of extended GRAM.")
   in
-  let run jobs seed baseline faults fault_seed =
+  let run jobs seed baseline faults fault_seed snapshot_every crash_at =
     let backend = if baseline then `Baseline else `Flat_file in
     let faults = faults_of faults in
     (* Faulty networks need bounded requests: without a timeout a dropped
        reply would leave the workload hanging forever. *)
     let request_timeout = Option.map (fun _ -> 0.25) faults in
+    let store = Option.is_some snapshot_every || Option.is_some crash_at in
     let w =
       Core.Fusion.build ~backend ~nodes:8 ~cpus_per_node:8 ?faults ~fault_seed
-        ?request_timeout ()
+        ?request_timeout ~store ?snapshot_every ()
     in
+    (* A crash mid-workload: the job manager dies (in-memory JMIs lost,
+       unsynced journal tail lost per the disk fault profile) and restarts
+       immediately, replaying snapshot + journal before the next request
+       arrives. *)
+    (match crash_at with
+    | None -> ()
+    | Some at ->
+      Core.Sim.Engine.schedule_at
+        (Core.Testbed.engine w.Core.Fusion.testbed)
+        at
+        (fun () ->
+          Printf.printf "t=%.3fs: job manager crash + restart\n" at;
+          Core.Gram.Resource.crash w.Core.Fusion.resource;
+          print_recovery (Core.Gram.Resource.recover w.Core.Fusion.resource)));
     let templates_bo =
       if baseline then
         [ "&(executable=test1)(directory=/sandbox/test)(count=2)(simduration=40)" ]
@@ -317,6 +368,7 @@ let simulate_cmd =
     in
     Fmt.pr "%a@." Core.Workload.pp_stats stats;
     if Option.is_some faults then pp_network_counters w.Core.Fusion.resource;
+    print_store_summary w.Core.Fusion.resource;
     let audit = Core.Gram.Resource.audit w.Core.Fusion.resource in
     Printf.printf "audit records: %d (%d failures)\n\n"
       (Core.Audit.Audit.count audit)
@@ -326,7 +378,9 @@ let simulate_cmd =
   Cmd.v
     (Cmd.info "simulate"
        ~doc:"Run a synthetic workload against the National Fusion Collaboratory testbed.")
-    Term.(const run $ jobs $ seed $ baseline $ faults_arg $ fault_seed_arg)
+    Term.(
+      const run $ jobs $ seed $ baseline $ faults_arg $ fault_seed_arg $ snapshot_every_arg
+      $ crash_at_arg)
 
 let metrics_cmd =
   let format =
@@ -466,6 +520,99 @@ let convert_cmd =
        ~doc:"Convert policies between the RSL-based and XACML-style syntaxes.")
     Term.(const run $ syntax $ policy_files)
 
+(* The journal commands run a small deterministic fusion workload against
+   a durable job manager, then inspect what landed on the simulated disk.
+   Everything is seed-driven, so the output is reproducible. *)
+let journal_scenario ~jobs ~seed ~snapshot_every ~crash_at () =
+  let w = Core.Fusion.build ~store:true ?snapshot_every () in
+  (match crash_at with
+  | None -> ()
+  | Some at ->
+    Core.Sim.Engine.schedule_at
+      (Core.Testbed.engine w.Core.Fusion.testbed)
+      at
+      (fun () ->
+        Core.Gram.Resource.crash w.Core.Fusion.resource;
+        ignore (Core.Gram.Resource.recover w.Core.Fusion.resource)));
+  let profiles =
+    [ { Core.Workload.identity = Core.Gram.Client.identity w.Core.Fusion.bo;
+        rsl_templates =
+          [ "&(executable=test1)(directory=/sandbox/test)(jobtag=ADS)(count=2)(simduration=40)";
+            "&(executable=test1)(directory=/sandbox/test)" ];
+        weight = 3 };
+      { Core.Workload.identity = Core.Gram.Client.identity w.Core.Fusion.kate;
+        rsl_templates =
+          [ "&(executable=TRANSP)(directory=/sandbox/test)(jobtag=NFC)(count=4)(simduration=120)" ];
+        weight = 2 } ]
+  in
+  ignore
+    (Core.Workload.run
+       ~engine:(Core.Testbed.engine w.Core.Fusion.testbed)
+       ~resource:w.Core.Fusion.resource ~profiles
+       { Core.Workload.default_config with Core.Workload.job_count = jobs; seed });
+  w
+
+let journal_jobs_arg =
+  Arg.(value & opt int 12 & info [ "j"; "jobs" ] ~docv:"N" ~doc:"Jobs to generate.")
+
+let journal_seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Workload seed.")
+
+let journal_show_cmd =
+  let run jobs seed snapshot_every crash_at =
+    let w = journal_scenario ~jobs ~seed ~snapshot_every ~crash_at () in
+    match Core.Gram.Resource.store w.Core.Fusion.resource with
+    | None -> ()
+    | Some store ->
+      let disk = Core.Store.Store.disk store in
+      let show file =
+        let r = Core.Store.Journal.replay ~disk ~file in
+        Printf.printf "# %s: %d records\n" file (List.length r.Core.Store.Journal.records);
+        List.iter
+          (fun payload ->
+            match Core.Gram.Persist.decode payload with
+            | Ok event -> Fmt.pr "%a@." Core.Gram.Persist.pp_event event
+            | Error _ -> Printf.printf "  (meta) %s\n" payload)
+          r.Core.Store.Journal.records
+      in
+      show (Core.Store.Store.snapshot_file store);
+      show (Core.Store.Store.journal_file store);
+      print_store_summary w.Core.Fusion.resource
+  in
+  Cmd.v
+    (Cmd.info "show"
+       ~doc:"Run a deterministic durable workload and print the decoded journal/snapshot.")
+    Term.(
+      const run $ journal_jobs_arg $ journal_seed_arg $ snapshot_every_arg $ crash_at_arg)
+
+let journal_verify_cmd =
+  let run jobs seed snapshot_every crash_at =
+    let w = journal_scenario ~jobs ~seed ~snapshot_every ~crash_at () in
+    match Core.Gram.Resource.store w.Core.Fusion.resource with
+    | None -> ()
+    | Some store ->
+      let checks = Core.Store.Store.verify store in
+      List.iter (fun check -> Fmt.pr "%a@." Core.Store.Store.pp_check check) checks;
+      let corrupt =
+        List.exists
+          (fun c -> Option.is_some c.Core.Store.Store.check_corruption)
+          checks
+      in
+      exit (if corrupt then 1 else 0)
+  in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:
+         "Run a deterministic durable workload and scan the store's files end to end, \
+          exiting 1 on any framing/checksum corruption.")
+    Term.(
+      const run $ journal_jobs_arg $ journal_seed_arg $ snapshot_every_arg $ crash_at_arg)
+
+let journal_cmd =
+  Cmd.group
+    (Cmd.info "journal" ~doc:"Inspect the durable job-manager journal and snapshot.")
+    [ journal_show_cmd; journal_verify_cmd ]
+
 let figure3_cmd =
   let run () =
     print_endline Grid_policy.Figure3.text;
@@ -486,4 +633,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ check_cmd; show_cmd; eval_cmd; convert_cmd; lint_cmd; rights_cmd;
-            simulate_cmd; metrics_cmd; figure3_cmd ]))
+            simulate_cmd; metrics_cmd; journal_cmd; figure3_cmd ]))

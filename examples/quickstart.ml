@@ -4,11 +4,15 @@
    Run with: dune exec examples/quickstart.exe
    Add --faults to run the same scenario over a lossy network: requests
    get 250ms timeouts, management goes through the retrying client, and
-   the metrics snapshot shows the injected faults and recoveries. *)
+   the metrics snapshot shows the injected faults and recoveries.
+   Add --crash to give the job manager a durable journal and kill +
+   restart it between Alice's submission and Bob's cancel: the cancel is
+   then authorized against state replayed from disk. *)
 
 open Core
 
 let faults_enabled = Array.exists (String.equal "--faults") Sys.argv
+let crash_enabled = Array.exists (String.equal "--crash") Sys.argv
 
 let () =
   (* 1. A testbed: CA, trust store, simulation engine. *)
@@ -49,8 +53,17 @@ let () =
     end
     else None
   in
+  let store =
+    if crash_enabled then begin
+      print_endline "(durable job manager ON: journalling to a simulated disk)";
+      print_newline ();
+      let disk = Sim.Disk.create ~seed:271829 () in
+      Some (Store.Store.create ~obs:(Testbed.obs tb) ~snapshot_every:8 ~disk ~name:"demo-site" ())
+    end
+    else None
+  in
   let resource =
-    Testbed.make_resource tb ~name:"demo-site" ~gridmap ?network
+    Testbed.make_resource tb ~name:"demo-site" ~gridmap ?network ?store
       ?request_timeout:(if faults_enabled then Some 0.25 else None)
       ~backend:(Flat_file [ Policy.Combine.source ~name:"demo-vo" policy ])
   in
@@ -86,8 +99,22 @@ let () =
     (show_submit "Bob"
        (Gram.Client.submit_sync bob_client ~rsl:"&(executable=simulate)(count=1)(jobtag=TEAM)"));
 
+  (* 8a. With --crash, the job manager dies here: every in-memory JMI is
+     lost, then recovery rebuilds the job table from snapshot + journal.
+     Alice's job keeps running in the LRM throughout. *)
+  if crash_enabled then begin
+    Gram.Resource.crash resource;
+    print_endline "Job manager CRASHED (in-memory job table lost)";
+    let r = Gram.Resource.recover resource in
+    Printf.printf "Job manager restarted: %d job(s) restored from %d journal record(s)\n"
+      r.Gram.Resource.jobs_restored r.Gram.Resource.records_replayed
+  end;
+
   (* 8. ...but he may cancel Alice's TEAM job even though he does not own
-     it — the fine-grain management right GT2 could not express. *)
+     it — the fine-grain management right GT2 could not express. With
+     --crash this request is served by a restarted job manager: the
+     jobtag grant still authorizes Bob because the jobtag was replayed
+     from the durable creation record. *)
   (match contact with
   | Some contact -> begin
     (* Under faults, cancel is idempotent and goes through the retrying

@@ -19,6 +19,7 @@ type kind =
   | Job_submission
   | Job_management
   | Job_state
+  | Recovery
 
 let kind_to_string = function
   | Authentication -> "authn"
@@ -27,6 +28,7 @@ let kind_to_string = function
   | Job_submission -> "submit"
   | Job_management -> "manage"
   | Job_state -> "state"
+  | Recovery -> "recovery"
 
 type record = {
   at : Grid_sim.Clock.time;

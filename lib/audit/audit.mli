@@ -11,6 +11,7 @@ type kind =
   | Job_submission
   | Job_management
   | Job_state
+  | Recovery  (** crash/restart lifecycle of a component *)
 
 val kind_to_string : kind -> string
 

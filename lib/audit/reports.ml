@@ -43,7 +43,7 @@ let add_record (s : subject_summary) (r : Audit.record) =
       submissions = s.submissions + 1;
       submission_failures = s.submission_failures + (if failed then 1 else 0) }
   | Audit.Job_management -> { s with management_actions = s.management_actions + 1 }
-  | Audit.Account_mapping | Audit.Job_state -> s
+  | Audit.Account_mapping | Audit.Job_state | Audit.Recovery -> s
 
 let by_subject (audit : Audit.t) : subject_summary list =
   let table : (string, subject_summary) Hashtbl.t = Hashtbl.create 16 in
@@ -80,7 +80,7 @@ let kind_counts (audit : Audit.t) : (Audit.kind * int) list =
   List.map
     (fun kind -> (kind, List.length (Audit.by_kind audit kind)))
     [ Audit.Authentication; Audit.Authorization; Audit.Account_mapping;
-      Audit.Job_submission; Audit.Job_management; Audit.Job_state ]
+      Audit.Job_submission; Audit.Job_management; Audit.Job_state; Audit.Recovery ]
 
 let pp_subject_summary ppf s =
   Fmt.pf ppf "%-50s authn %d/%d  authz %d/%d  submit %d/%d  manage %d"

@@ -23,6 +23,7 @@ module Gram = Grid_gram
 module Mds = Grid_mds
 module Audit = Grid_audit
 module Obs = Grid_obs
+module Store = Grid_store
 
 module Workload = Workload
 
@@ -96,7 +97,7 @@ module Testbed = struct
   let make_resource ?(name = "resource") ?(nodes = 4) ?(cpus_per_node = 8) ?queues
       ?(gridmap = Grid_gsi.Gridmap.empty) ?dynamic_accounts ?static_limits
       ?dynamic_limits ?gatekeeper_pep ?allocation ?network ?request_timeout
-      ?authz_cache ~backend t =
+      ?authz_cache ?store ~backend t =
     let lrm = Grid_lrm.Lrm.create ~obs:t.obs ?queues ~nodes ~cpus_per_node t.engine in
     let pool =
       Option.map
@@ -118,7 +119,8 @@ module Testbed = struct
         authz_cache
     in
     Grid_gram.Resource.create ~name ?gatekeeper_pep ?allocation ?network ?request_timeout
-      ?authz_cache ~obs:t.obs ~trust:t.trust ~mapper ~mode ~lrm ~engine:t.engine ()
+      ?authz_cache ?store ?policy_epoch:epoch ~obs:t.obs ~trust:t.trust ~mapper ~mode
+      ~lrm ~engine:t.engine ()
 
   let client _t ~user ~resource =
     Grid_gram.Client.create ~identity:user ~resource ()
@@ -189,7 +191,8 @@ module Fusion = struct
     Printf.sprintf "%S bliu\n%S keahey\n%S voadmin\n" bo_liu kate_keahey admin
 
   let build ?(backend = `Flat_file) ?(nodes = 4) ?(cpus_per_node = 8) ?faults
-      ?(fault_seed = 1299709) ?request_timeout ?flaky_pep ?authz_cache () =
+      ?(fault_seed = 1299709) ?request_timeout ?flaky_pep ?authz_cache
+      ?(store = false) ?snapshot_every ?disk_faults () =
     let testbed = Testbed.create () in
     let vo = build_vo () in
     let backend =
@@ -217,10 +220,24 @@ module Fusion = struct
           Grid_sim.Network.create ~faults:profile ~fault_seed (Testbed.engine testbed))
         faults
     in
+    (* The durable job-manager store: a simulated disk seeded off the
+       fault seed (its own stream, independent of the network's), with
+       journal-per-append durability and optional snapshot compaction. *)
+    let store =
+      if store || Option.is_some snapshot_every || Option.is_some disk_faults then begin
+        let disk =
+          Grid_sim.Disk.create ?faults:disk_faults ~seed:(fault_seed + 29) ()
+        in
+        Some
+          (Grid_store.Store.create ~obs:(Testbed.obs testbed) ?snapshot_every ~disk
+             ~name:"fusion-site" ())
+      end
+      else None
+    in
     let resource =
       Testbed.make_resource testbed ~name:"fusion-site" ~nodes ~cpus_per_node
         ~gridmap:(Grid_gsi.Gridmap.parse gridmap_text) ?network ?request_timeout
-        ?authz_cache ~backend
+        ?authz_cache ?store ~backend
     in
     let mk dn = Testbed.client testbed ~user:(Testbed.add_user testbed dn) ~resource in
     { testbed; vo; resource; bo = mk bo_liu; kate = mk kate_keahey; vo_admin = mk admin }

@@ -67,9 +67,35 @@ let create ?allocation ?(obs = Grid_obs.Obs.noop) ~owner ~account ~limits ~job ~
     lrm_job = None;
     callout_invocations = 0 }
 
+(* Rebuild a JMI from its journalled creation record after a job-manager
+   crash. No startup side effects run: the LRM (which survives the
+   crash) already holds the job, so the restored instance just re-attaches
+   to it by the recorded scheduler id and resumes serving management
+   requests under the same contact. *)
+let restore ?(obs = Grid_obs.Obs.noop) ~contact ~owner ~account ~limits ~job ~mode ~lrm
+    ~engine ~audit ~trace ~lrm_job () =
+  { contact;
+    owner;
+    account;
+    limits;
+    job;
+    jobtag = job.Grid_rsl.Job.jobtag;
+    mode;
+    allocation = None;
+    lrm;
+    engine;
+    audit;
+    trace;
+    obs;
+    lrm_job;
+    callout_invocations = 0 }
+
 let contact t = t.contact
 let lrm_job_id t = t.lrm_job
 let owner t = t.owner
+let account t = t.account
+let limits t = t.limits
+let job t = t.job
 let jobtag t = t.jobtag
 let callout_invocations t = t.callout_invocations
 

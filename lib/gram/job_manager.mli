@@ -34,12 +34,35 @@ val create :
     [management_requests_total]); baseline owner-match decisions are
     counted in [authz_decisions_total] under backend ["gt2"]. *)
 
+val restore :
+  ?obs:Grid_obs.Obs.t ->
+  contact:string ->
+  owner:Grid_gsi.Dn.t ->
+  account:string ->
+  limits:Grid_accounts.Sandbox.limits ->
+  job:Grid_rsl.Job.t ->
+  mode:Mode.t ->
+  lrm:Grid_lrm.Lrm.t ->
+  engine:Grid_sim.Engine.t ->
+  audit:Grid_audit.Audit.t ->
+  trace:Grid_sim.Trace.t ->
+  lrm_job:string option ->
+  unit ->
+  t
+(** Rebuild a JMI from its durable creation record (crash recovery): the
+    instance keeps its original [contact], re-attaches to the still-running
+    LRM job by [lrm_job], and runs no startup authorization or submission
+    side effects. *)
+
 val contact : t -> string
 
 (** The local scheduler's job id, once started. *)
 val lrm_job_id : t -> string option
 
 val owner : t -> Grid_gsi.Dn.t
+val account : t -> string
+val limits : t -> Grid_accounts.Sandbox.limits
+val job : t -> Grid_rsl.Job.t
 val jobtag : t -> string option
 
 val callout_invocations : t -> int

@@ -18,7 +18,15 @@ type t = {
   obs : Grid_obs.Obs.t;
   request_timeout : float option;
   authz_cache : Grid_callout.Cache.t option;
+  mode : Mode.t;  (* the wrapped (cached + instrumented) mode, for restore *)
+  store : Grid_store.Store.t option;
+  policy_epoch : (unit -> int) option;
   jmis : (string, Job_manager.t) Hashtbl.t;
+  (* Durable-state mirrors, only populated when [store] is present: the
+     journalled creation record per contact (the snapshot source) and the
+     scheduler-id -> contact map driving terminal-state journalling. *)
+  entries : (string, Persist.job_entry) Hashtbl.t;
+  lrm_contacts : (string, string) Hashtbl.t;
 }
 
 (* Bridge injected network faults into the metrics registry so chaos runs
@@ -37,8 +45,22 @@ let observe_faults ~obs network =
           ~labels:[ ("event", event_label); ("link", link) ]
           "network_faults_total")
 
+(* Serialize the live job table for snapshot compaction: one Job_created
+   record per contact, in sorted contact order so snapshots are
+   deterministic across runs with the same seed. *)
+let snapshot_entries entries () =
+  Hashtbl.fold (fun _ entry acc -> entry :: acc) entries []
+  |> List.sort (fun (a : Persist.job_entry) b -> String.compare a.contact b.contact)
+  |> List.map (fun entry -> Persist.encode (Persist.Job_created entry))
+
+let record_event t event =
+  match t.store with
+  | None -> ()
+  | Some store -> Grid_store.Store.append store (Persist.encode event)
+
 let create ?(name = "resource") ?network ?gatekeeper_pep ?allocation ?obs
-    ?request_timeout ?authz_cache ~trust ~mapper ~mode ~lrm ~engine () =
+    ?request_timeout ?authz_cache ?store ?policy_epoch ~trust ~mapper ~mode ~lrm ~engine
+    () =
   let network =
     match network with Some n -> n | None -> Grid_sim.Network.create engine
   in
@@ -63,8 +85,33 @@ let create ?(name = "resource") ?network ?gatekeeper_pep ?allocation ?obs
     Gatekeeper.create ?gatekeeper_pep ?allocation ~name:(name ^ ":gatekeeper") ~trust
       ~mapper ~mode ~lrm ~engine ~audit ~trace ~obs ()
   in
-  { name; engine; network; gatekeeper; lrm; audit; trace; obs; request_timeout;
-    authz_cache; jmis = Hashtbl.create 32 }
+  let t =
+    { name; engine; network; gatekeeper; lrm; audit; trace; obs; request_timeout;
+      authz_cache; mode; store; policy_epoch; jmis = Hashtbl.create 32;
+      entries = Hashtbl.create 32; lrm_contacts = Hashtbl.create 32 }
+  in
+  (match store with
+  | None -> ()
+  | Some store ->
+    Grid_store.Store.set_snapshot_source store (snapshot_entries t.entries);
+    (* One listener journals every tracked job's terminal transition —
+       the record a restarted job manager needs to explain history, even
+       though the surviving LRM stays authoritative for current state. *)
+    Grid_lrm.Lrm.on_event lrm (fun (Grid_lrm.Lrm.State_changed { job; _ }) ->
+        match Hashtbl.find_opt t.lrm_contacts job.Grid_lrm.Lrm.id with
+        | None -> ()
+        | Some contact -> begin
+          match job.Grid_lrm.Lrm.state with
+          | Grid_lrm.Lrm.Completed | Grid_lrm.Lrm.Cancelled | Grid_lrm.Lrm.Killed _ ->
+            Hashtbl.remove t.lrm_contacts job.Grid_lrm.Lrm.id;
+            record_event t
+              (Persist.Job_state
+                 { contact;
+                   state = Grid_lrm.Lrm.state_to_string job.Grid_lrm.Lrm.state;
+                   at = Grid_sim.Engine.now engine })
+          | Grid_lrm.Lrm.Pending | Grid_lrm.Lrm.Running | Grid_lrm.Lrm.Suspended -> ()
+        end));
+  t
 
 let name t = t.name
 let engine t = t.engine
@@ -75,6 +122,7 @@ let trace t = t.trace
 let obs t = t.obs
 let authz_cache t = t.authz_cache
 let gatekeeper t = t.gatekeeper
+let store t = t.store
 
 let now t = Grid_sim.Engine.now t.engine
 
@@ -113,7 +161,28 @@ let submit_direct t ~credential ~rsl =
   match Gatekeeper.handle_submit t.gatekeeper ~credential ~rsl with
   | Error _ as e -> e
   | Ok (jmi, reply) ->
-    Hashtbl.replace t.jmis (Job_manager.contact jmi) jmi;
+    let contact = Job_manager.contact jmi in
+    Hashtbl.replace t.jmis contact jmi;
+    if Option.is_some t.store then begin
+      let job = Job_manager.job jmi in
+      let entry =
+        { Persist.contact;
+          owner = Job_manager.owner jmi;
+          account = Job_manager.account jmi;
+          jobtag = Job_manager.jobtag jmi;
+          rsl = Grid_rsl.Job.to_string job;
+          rsl_fingerprint = Persist.fingerprint job;
+          policy_epoch = Option.map (fun epoch -> epoch ()) t.policy_epoch;
+          limits = Job_manager.limits jmi;
+          lrm_job = Job_manager.lrm_job_id jmi;
+          created_at = now t }
+      in
+      Hashtbl.replace t.entries contact entry;
+      Option.iter
+        (fun lrm_id -> Hashtbl.replace t.lrm_contacts lrm_id contact)
+        entry.Persist.lrm_job;
+      record_event t (Persist.Job_created entry)
+    end;
     Ok reply
 
 (* The JMI "accepts, authenticates and authorizes management requests"
@@ -122,26 +191,151 @@ let submit_direct t ~credential ~rsl =
    the claimed requester identity. A credential-less call is reserved
    for in-process trusted callers (tests, monitoring). *)
 let manage_direct t ~requester ?credential ~contact action =
-  match find_jmi t contact with
-  | None -> Error (Protocol.Unknown_job contact)
-  | Some jmi -> begin
-    match credential with
-    | None -> Job_manager.manage jmi ~requester action
-    | Some credential -> begin
-      match Gatekeeper.authenticate t.gatekeeper credential with
-      | Error e ->
-        Error
-          (Protocol.Management_authentication_failed (Grid_gsi.Authn.error_to_string e))
-      | Ok ctx ->
-        if not (Grid_gsi.Dn.equal ctx.Grid_gsi.Authn.peer requester) then
+  let result =
+    match find_jmi t contact with
+    | None -> Error (Protocol.Unknown_job contact)
+    | Some jmi -> begin
+      match credential with
+      | None -> Job_manager.manage jmi ~requester action
+      | Some credential -> begin
+        match Gatekeeper.authenticate t.gatekeeper credential with
+        | Error e ->
           Error
-            (Protocol.Management_authentication_failed
-               (Printf.sprintf "credential authenticates %s, request claims %s"
-                  (Grid_gsi.Dn.to_string ctx.Grid_gsi.Authn.peer)
-                  (Grid_gsi.Dn.to_string requester)))
-        else Job_manager.manage jmi ~requester ~credential action
+            (Protocol.Management_authentication_failed (Grid_gsi.Authn.error_to_string e))
+        | Ok ctx ->
+          if not (Grid_gsi.Dn.equal ctx.Grid_gsi.Authn.peer requester) then
+            Error
+              (Protocol.Management_authentication_failed
+                 (Printf.sprintf "credential authenticates %s, request claims %s"
+                    (Grid_gsi.Dn.to_string ctx.Grid_gsi.Authn.peer)
+                    (Grid_gsi.Dn.to_string requester)))
+          else Job_manager.manage jmi ~requester ~credential action
+      end
     end
-  end
+  in
+  (* State-changing management outcomes are part of the job's durable
+     history (who cancelled/signalled, and whether policy allowed it);
+     status reads are not journalled. *)
+  (match action with
+  | Protocol.Cancel | Protocol.Signal _ ->
+    if Option.is_some t.store && Hashtbl.mem t.jmis contact then
+      record_event t
+        (Persist.Management
+           { contact;
+             requester;
+             action = Protocol.management_action_to_string action;
+             outcome =
+               (match result with
+               | Ok _ -> "ok"
+               | Error (Protocol.Not_authorized _) -> "denied"
+               | Error _ -> "error");
+             at = now t })
+  | Protocol.Status -> ());
+  result
+
+(* --- Crash and recovery ------------------------------------------------ *)
+
+(* Kill the job manager process: every in-memory JMI is lost, and the
+   store's unsynced tail is lost or torn per the disk's fault profile.
+   The LRM is a separate process (the batch system) and survives, as do
+   already-registered allocation-settlement listeners — exactly GT2's
+   job-manager-restart situation. *)
+let crash t =
+  let lost = Hashtbl.length t.jmis in
+  Hashtbl.reset t.jmis;
+  Hashtbl.reset t.entries;
+  Hashtbl.reset t.lrm_contacts;
+  Option.iter Grid_store.Store.crash t.store;
+  Grid_sim.Trace.record t.trace ~at:(now t) ~source:t.name ~target:t.name
+    "job manager crashed";
+  if Grid_obs.Obs.enabled t.obs then Grid_obs.Obs.incr t.obs "resource_crashes_total";
+  Grid_audit.Audit.log t.audit ~at:(now t) ~kind:Grid_audit.Audit.Recovery
+    ~outcome:(Grid_audit.Audit.Failure (Printf.sprintf "%d in-memory JMIs lost" lost))
+    "job manager crashed"
+
+type recovery_summary = {
+  jobs_restored : int;
+  records_replayed : int;
+  dropped_bytes : int;
+  stale_epoch_jobs : int;
+  decode_failures : int;
+  duration : float;
+}
+
+let recover t =
+  match t.store with
+  | None ->
+    { jobs_restored = 0;
+      records_replayed = 0;
+      dropped_bytes = 0;
+      stale_epoch_jobs = 0;
+      decode_failures = 0;
+      duration = 0.0 }
+  | Some store ->
+    let started = Sys.time () in
+    let replayed = Grid_store.Store.recover store in
+    let { Persist.entries; events; decode_failures } =
+      Persist.rebuild ~snapshot:replayed.Grid_store.Store.snapshot_records
+        ~journal:replayed.Grid_store.Store.journal_records
+    in
+    let current_epoch = Option.map (fun epoch -> epoch ()) t.policy_epoch in
+    let stale = ref 0 in
+    let restored = ref 0 in
+    let failures = ref decode_failures in
+    List.iter
+      (fun (e : Persist.job_entry) ->
+        match Grid_rsl.Job.of_string e.Persist.rsl with
+        | Error _ -> incr failures
+        | Ok job ->
+          let jmi =
+            Job_manager.restore ~obs:t.obs ~contact:e.Persist.contact
+              ~owner:e.Persist.owner ~account:e.Persist.account ~limits:e.Persist.limits
+              ~job ~mode:t.mode ~lrm:t.lrm ~engine:t.engine ~audit:t.audit ~trace:t.trace
+              ~lrm_job:e.Persist.lrm_job ()
+          in
+          Hashtbl.replace t.jmis e.Persist.contact jmi;
+          Hashtbl.replace t.entries e.Persist.contact e;
+          Option.iter
+            (fun lrm_id -> Hashtbl.replace t.lrm_contacts lrm_id e.Persist.contact)
+            e.Persist.lrm_job;
+          incr restored;
+          match (current_epoch, e.Persist.policy_epoch) with
+          | Some now_epoch, Some then_epoch when now_epoch <> then_epoch -> incr stale
+          | _ -> ())
+      entries;
+    (* Policy may have been reloaded while the job manager was down:
+       decisions memoized before the crash must not answer for the new
+       epoch, so the cache is flushed unconditionally and stale-epoch
+       admissions are surfaced for re-validation through the callout. *)
+    Option.iter Grid_callout.Cache.invalidate t.authz_cache;
+    let duration = Sys.time () -. started in
+    if Grid_obs.Obs.enabled t.obs then begin
+      Grid_obs.Obs.incr t.obs "resource_recoveries_total";
+      Grid_obs.Obs.incr t.obs ~by:(float_of_int !stale) "recovery_epoch_mismatches_total";
+      Grid_obs.Obs.observe t.obs "recovery_duration_seconds" duration
+    end;
+    Grid_sim.Trace.record t.trace ~at:(now t) ~source:t.name ~target:t.name
+      "job manager recovered";
+    Grid_audit.Audit.log t.audit ~at:(now t) ~kind:Grid_audit.Audit.Recovery
+      ~outcome:Grid_audit.Audit.Success
+      (Printf.sprintf
+         "replayed %d records (%d snapshot, %d journal), restored %d jobs%s%s" events
+         (List.length replayed.Grid_store.Store.snapshot_records)
+         (List.length replayed.Grid_store.Store.journal_records)
+         !restored
+         (if replayed.Grid_store.Store.dropped_bytes > 0 then
+            Printf.sprintf ", dropped %d corrupt tail bytes"
+              replayed.Grid_store.Store.dropped_bytes
+          else "")
+         (if !stale > 0 then
+            Printf.sprintf ", %d jobs admitted under a stale policy epoch" !stale
+          else ""));
+    { jobs_restored = !restored;
+      records_replayed = events;
+      dropped_bytes = replayed.Grid_store.Store.dropped_bytes;
+      stale_epoch_jobs = !stale;
+      decode_failures = !failures;
+      duration }
 
 (* --- Networked entry points ------------------------------------------- *)
 

@@ -12,6 +12,8 @@ val create :
   ?obs:Grid_obs.Obs.t ->
   ?request_timeout:float ->
   ?authz_cache:Grid_callout.Cache.t ->
+  ?store:Grid_store.Store.t ->
+  ?policy_epoch:(unit -> int) ->
   trust:Grid_gsi.Ca.Trust_store.store ->
   mapper:Grid_accounts.Mapper.t ->
   mode:Mode.t ->
@@ -29,7 +31,15 @@ val create :
     counted under [network_faults_total] when [obs] is enabled.
     [authz_cache] memoizes the mode's authorization callout (inside the
     instrumentation, so hits still count as decisions) and the
-    gatekeeper PEP, each under its own cache scope. *)
+    gatekeeper PEP, each under its own cache scope.
+
+    [store] makes the job manager durable: every authorization-relevant
+    lifecycle event (creation with owner, jobtag, RSL fingerprint,
+    sandbox limits and policy epoch; terminal state transitions;
+    cancel/signal outcomes) is journalled through it, and the live job
+    table serves as its snapshot source for compaction. [policy_epoch]
+    (typically the compiled PEP's epoch counter) is recorded on each
+    admission and compared on {!recover}. *)
 
 val name : t -> string
 val engine : t -> Grid_sim.Engine.t
@@ -46,6 +56,34 @@ val authz_cache : t -> Grid_callout.Cache.t option
     statistics views ([gridctl metrics]) and tests. *)
 
 val gatekeeper : t -> Gatekeeper.t
+
+val store : t -> Grid_store.Store.t option
+(** The durable store the resource was built with, if any. *)
+
+val crash : t -> unit
+(** Kill the job manager: every in-memory JMI (and the store's unsynced
+    journal tail, per the disk fault profile) is lost. The LRM — a
+    separate process in GT2 terms — keeps running its jobs. Follow with
+    {!recover} to rebuild the job table from snapshot + journal. *)
+
+type recovery_summary = {
+  jobs_restored : int;  (** JMIs rebuilt from durable creation records *)
+  records_replayed : int;  (** snapshot + journal records decoded *)
+  dropped_bytes : int;  (** corrupt/torn tail bytes discarded *)
+  stale_epoch_jobs : int;
+      (** jobs admitted under a policy epoch older than the current one *)
+  decode_failures : int;
+  duration : float;  (** host-clock seconds spent recovering *)
+}
+
+val recover : t -> recovery_summary
+(** Replay the store and rebuild the JMI table: restored instances keep
+    their contacts, re-attach to still-running LRM jobs, and authorize
+    management exactly as before the crash. The authorization decision
+    cache (if any) is flushed — the policy epoch may have moved while
+    the job manager was down — and epoch mismatches are counted in
+    [recovery_epoch_mismatches_total]. Without a store this is a no-op
+    summary of zeros. *)
 
 val find_jmi : t -> string -> Job_manager.t option
 val jobs : t -> Job_manager.t list

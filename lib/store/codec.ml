@@ -1,0 +1,73 @@
+(* Percent-escaped key=value fields, tab-separated. *)
+
+let must_escape = function
+  | '%' | '\t' | '\n' | '\r' | '=' | ',' -> true
+  | _ -> false
+
+let escape s =
+  if not (String.exists must_escape s) then s
+  else begin
+    let buf = Buffer.create (String.length s + 8) in
+    String.iter
+      (fun c ->
+        if must_escape c then Buffer.add_string buf (Printf.sprintf "%%%02X" (Char.code c))
+        else Buffer.add_char buf c)
+      s;
+    Buffer.contents buf
+  end
+
+let hex_value c =
+  match c with
+  | '0' .. '9' -> Some (Char.code c - Char.code '0')
+  | 'a' .. 'f' -> Some (Char.code c - Char.code 'a' + 10)
+  | 'A' .. 'F' -> Some (Char.code c - Char.code 'A' + 10)
+  | _ -> None
+
+let unescape s =
+  if not (String.contains s '%') then s
+  else begin
+    let buf = Buffer.create (String.length s) in
+    let n = String.length s in
+    let i = ref 0 in
+    while !i < n do
+      (if s.[!i] = '%' && !i + 2 < n then begin
+         match (hex_value s.[!i + 1], hex_value s.[!i + 2]) with
+         | Some h, Some l ->
+           Buffer.add_char buf (Char.chr ((h * 16) + l));
+           i := !i + 2
+         | _ -> Buffer.add_char buf '%'
+       end
+       else Buffer.add_char buf s.[!i]);
+      incr i
+    done;
+    Buffer.contents buf
+  end
+
+let encode fields =
+  String.concat "\t"
+    (List.map (fun (k, v) -> escape k ^ "=" ^ escape v) fields)
+
+let decode payload =
+  if payload = "" then []
+  else
+    List.filter_map
+      (fun part ->
+        match String.index_opt part '=' with
+        | None -> if part = "" then None else Some (unescape part, "")
+        | Some i ->
+          Some
+            ( unescape (String.sub part 0 i),
+              unescape (String.sub part (i + 1) (String.length part - i - 1)) ))
+      (String.split_on_char '\t' payload)
+
+let field fields key = List.assoc_opt key fields
+
+let require fields key =
+  match field fields key with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "missing field %S" key)
+
+let encode_list items = String.concat "," (List.map escape items)
+
+let decode_list s =
+  if s = "" then [] else List.map unescape (String.split_on_char ',' s)

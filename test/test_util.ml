@@ -1,4 +1,4 @@
-(* Tests for grid_util: ids, rng, strings. *)
+(* Tests for grid_util: ids, rng, strings, retry policies. *)
 
 open Grid_util
 
@@ -102,6 +102,81 @@ let qcheck_strip_idempotent =
   QCheck.Test.make ~name:"strip idempotent" ~count:500 QCheck.string (fun s ->
       Strings.strip (Strings.strip s) = Strings.strip s)
 
+(* --- Retry policy properties ------------------------------------------- *)
+
+(* A small policy generator: positive backoffs, growth >= 1, jitter in
+   [0, 1] — the region real configurations live in. *)
+let retry_policy_gen =
+  QCheck.Gen.(
+    map
+      (fun (attempts, (initial, (mult, (cap, jitter)))) ->
+        Retry.policy ~max_attempts:attempts
+          ~initial_backoff:(0.001 +. (initial *. 0.5))
+          ~backoff_multiplier:(1.0 +. (mult *. 3.0))
+          ~max_backoff:(0.5 +. (cap *. 10.0))
+          ~jitter ())
+      (pair (int_range 1 10)
+         (pair (float_bound_inclusive 1.0)
+            (pair (float_bound_inclusive 1.0)
+               (pair (float_bound_inclusive 1.0) (float_bound_inclusive 1.0))))))
+
+let retry_policy_arb =
+  QCheck.make retry_policy_gen ~print:(fun (p : Retry.policy) ->
+      Printf.sprintf
+        "{max_attempts=%d; initial=%g; mult=%g; cap=%g; jitter=%g}"
+        p.Retry.max_attempts p.Retry.initial_backoff p.Retry.backoff_multiplier
+        p.Retry.max_backoff p.Retry.jitter)
+
+let unjittered (p : Retry.policy) ~attempt =
+  Float.min p.Retry.max_backoff
+    (p.Retry.initial_backoff
+    *. (p.Retry.backoff_multiplier ** float_of_int (attempt - 1)))
+
+(* Jittered delays stay inside [base*(1-j), base*(1+j)]. *)
+let qcheck_backoff_within_jitter_bounds =
+  QCheck.Test.make ~name:"backoff within jitter bounds" ~count:300
+    QCheck.(triple retry_policy_arb small_int (int_range 1 12))
+    (fun (p, seed, attempt) ->
+      let rng = Rng.create ~seed in
+      let base = unjittered p ~attempt in
+      let b = Retry.backoff p ~rng ~attempt in
+      let lo = base *. (1.0 -. p.Retry.jitter) in
+      let hi = base *. (1.0 +. p.Retry.jitter) in
+      b >= lo -. 1e-12 && b <= hi +. 1e-12)
+
+(* With jitter off, the schedule is non-decreasing until it hits the cap
+   and never exceeds it. *)
+let qcheck_backoff_monotone_before_cap =
+  QCheck.Test.make ~name:"backoff monotone before cap (jitter=0)" ~count:300
+    QCheck.(pair retry_policy_arb small_int)
+    (fun (p, seed) ->
+      let p = { p with Retry.jitter = 0.0 } in
+      let rng = Rng.create ~seed in
+      let delays =
+        List.init 12 (fun i -> Retry.backoff p ~rng ~attempt:(i + 1))
+      in
+      let rec monotone = function
+        | a :: (b :: _ as rest) -> a <= b +. 1e-12 && monotone rest
+        | _ -> true
+      in
+      monotone delays
+      && List.for_all (fun d -> d <= p.Retry.max_backoff +. 1e-12) delays)
+
+(* [next] never schedules a retry that would start at or past the
+   deadline, and never retries once attempts are exhausted. *)
+let qcheck_next_respects_deadline =
+  QCheck.Test.make ~name:"next never overshoots the deadline" ~count:500
+    QCheck.(
+      quad retry_policy_arb small_int (int_range 1 12)
+        (pair (float_bound_inclusive 100.0) (float_bound_inclusive 30.0)))
+    (fun (p, seed, attempt, (now, headroom)) ->
+      let rng = Rng.create ~seed in
+      let deadline = now +. headroom in
+      match Retry.next p ~rng ~now ~deadline:(Some deadline) ~attempt with
+      | Retry.Give_up _ -> true
+      | Retry.Retry_after delay ->
+        attempt < p.Retry.max_attempts && delay >= 0.0 && now +. delay < deadline)
+
 let () =
   Alcotest.run "grid_util"
     [ ( "ids",
@@ -122,4 +197,8 @@ let () =
           Alcotest.test_case "strip_comment" `Quick test_strings_strip_comment;
           Alcotest.test_case "config_lines" `Quick test_strings_config_lines;
           Alcotest.test_case "split_whitespace" `Quick test_strings_split_whitespace;
-          QCheck_alcotest.to_alcotest qcheck_strip_idempotent ] ) ]
+          QCheck_alcotest.to_alcotest qcheck_strip_idempotent ] );
+      ( "retry",
+        [ QCheck_alcotest.to_alcotest qcheck_backoff_within_jitter_bounds;
+          QCheck_alcotest.to_alcotest qcheck_backoff_monotone_before_cap;
+          QCheck_alcotest.to_alcotest qcheck_next_respects_deadline ] ) ]

@@ -976,6 +976,60 @@ let t17_recovery () =
     :: !collected
 
 (* ------------------------------------------------------------------ *)
+(* T18: soak campaign throughput and safety-monitor overhead           *)
+
+let t18_soak () =
+  section "T18: soak campaign and safety-monitor overhead";
+  let config =
+    { Soak.default_config with
+      Soak.days = 2.0;
+      jobs_per_day = 300;
+      seed = 42;
+      faults = Soak.Light }
+  in
+  (* Whole-campaign host-clock time, best of 5 after one untimed warmup
+     of each variant (the campaign itself is deterministic; only the host
+     timing jitters, and the first run pays one-off warmup costs that
+     must not be charged to whichever variant happens to go first). *)
+  ignore (Soak.run { config with Soak.monitor = false });
+  ignore (Soak.run { config with Soak.monitor = true });
+  let time_run monitor =
+    let best = ref infinity in
+    let last = ref None in
+    for _ = 1 to 5 do
+      let t0 = Sys.time () in
+      let report = Soak.run { config with Soak.monitor } in
+      let dt = Sys.time () -. t0 in
+      if dt < !best then best := dt;
+      last := Some report
+    done;
+    (!best, Option.get !last)
+  in
+  let off_s, off_report = time_run false in
+  let on_s, on_report = time_run true in
+  let overhead_pct = (on_s -. off_s) /. off_s *. 100.0 in
+  let events = on_report.Soak.events_checked in
+  let per_event_ns =
+    if events = 0 then 0.0 else (on_s -. off_s) *. 1e9 /. float_of_int events
+  in
+  Printf.printf "   %-34s %9.1f ms  (%d submitted, %d accepted)\n" "campaign/monitor-off"
+    (off_s *. 1000.0) off_report.Soak.submitted off_report.Soak.accepted;
+  Printf.printf "   %-34s %9.1f ms  (%d events checked, %d violations)\n"
+    "campaign/monitor-on" (on_s *. 1000.0) events
+    (List.length on_report.Soak.violations);
+  Printf.printf "   monitor overhead: %.1f%% (%.0f ns/event); acceptance bound: <= 10%%\n"
+    overhead_pct per_event_ns;
+  collected :=
+    ( "soak monitor overhead",
+      [ ("soak/monitor-off/wall_ms", off_s *. 1000.0);
+        ("soak/monitor-on/wall_ms", on_s *. 1000.0);
+        ("soak/monitor-on/events_checked", float_of_int events);
+        ("soak/monitor-on/violations", float_of_int (List.length on_report.Soak.violations));
+        ("soak/overhead_pct", overhead_pct);
+        ("soak/overhead_ns_per_event", per_event_ns) ] )
+    :: !collected
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [ ("f1", figure1); ("f2", figure2); ("f3", figure3);
@@ -984,7 +1038,7 @@ let experiments =
     ("t7", t7_accounts); ("t8", t8_pep_placement); ("t9", t9_policy_syntax);
     ("t10", t10_discovery); ("t11", t11_allocation); ("t12", t12_workload);
     ("t13", t13_akenti_cache); ("t14", t14_obs_overhead); ("t15", t15_faults);
-    ("t16", t16_authz_cache); ("t17", t17_recovery) ]
+    ("t16", t16_authz_cache); ("t17", t17_recovery); ("t18", t18_soak) ]
 
 (* Every experiment has a canonical artifact, so multi-experiment --json
    runs write one file per experiment instead of lumping everything into
@@ -994,15 +1048,16 @@ let artifact_of = function
   | "t15" -> "BENCH_faults.json"
   | "t16" -> "BENCH_authz_cache.json"
   | "t17" -> "BENCH_recovery.json"
+  | "t18" -> "BENCH_soak.json"
   | name -> Printf.sprintf "BENCH_%s.json" name
 
 let usage () =
   Printf.printf "usage: bench [--json] [EXPERIMENT...]\n\n";
   Printf.printf "Experiments (default: all):\n";
   Printf.printf "  f1 f2 f3     figure reproductions\n";
-  Printf.printf "  t1..t17      microbenchmarks (see DESIGN.md)\n\n";
+  Printf.printf "  t1..t18      microbenchmarks (see DESIGN.md)\n\n";
   Printf.printf "--json additionally writes each experiment's table to its canonical\n";
-  Printf.printf "artifact (e.g. t15 -> BENCH_faults.json, t17 -> BENCH_recovery.json).\n"
+  Printf.printf "artifact (e.g. t15 -> BENCH_faults.json, t18 -> BENCH_soak.json).\n"
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
@@ -1017,7 +1072,7 @@ let () =
     | names -> names
   in
   Printf.printf "Fine-grain GRID authorization: benchmark & figure harness\n";
-  Printf.printf "(figures F1-F3 reproduce the paper's artifacts; T1-T17 are the\n";
+  Printf.printf "(figures F1-F3 reproduce the paper's artifacts; T1-T18 are the\n";
   Printf.printf " quantitative microbenchmarks defined in DESIGN.md)\n";
   List.iter
     (fun name ->
@@ -1036,5 +1091,5 @@ let () =
           | [] -> ()
           | tables -> write_json (artifact_of name) tables
         end
-      | None -> Printf.printf "unknown experiment %S (known: f1 f2 f3 t1..t17)\n" name)
+      | None -> Printf.printf "unknown experiment %S (known: f1 f2 f3 t1..t18)\n" name)
     requested

@@ -382,6 +382,71 @@ let simulate_cmd =
       const run $ jobs $ seed $ baseline $ faults_arg $ fault_seed_arg $ snapshot_every_arg
       $ crash_at_arg)
 
+(* A short deterministic scenario on the fusion testbed so every decision
+   point fires: permitted and denied submissions, a third-party cancel,
+   and jobs running to completion. With --faults, requests run under
+   250ms timeouts and management goes through the retrying client path,
+   so retry/timeout/fault counters light up. Shared by `metrics` (which
+   renders counters) and `trace export` (which renders spans). *)
+let fusion_scenario ?authz_cache ~faults ~fault_seed () =
+  let faults = faults_of faults in
+  let request_timeout = Option.map (fun _ -> 0.25) faults in
+  let w =
+    Core.Fusion.build ~nodes:4 ~cpus_per_node:8 ?faults ~fault_seed ?request_timeout
+      ?authz_cache ()
+  in
+  let submit client rsl = Core.Gram.Client.submit_sync client ~rsl in
+  (* With a decision cache, poll each job's status a few times: the
+     repeated identical queries are what the cache exists to absorb. *)
+  let poll_status client contact =
+    if Option.is_some authz_cache && Option.is_none faults then
+      for _ = 1 to 3 do
+        ignore (Core.Gram.Client.manage_sync client ~contact Core.Gram.Protocol.Status)
+      done
+  in
+  let cancel client contact =
+    match faults with
+    | None -> ignore (Core.Gram.Client.manage_sync client ~contact Core.Gram.Protocol.Cancel)
+    | Some _ ->
+      ignore
+        (Core.Gram.Client.manage_with_retry_sync ~deadline:30.0 client ~contact
+           Core.Gram.Protocol.Cancel)
+  in
+  let status_with_retry client contact =
+    if Option.is_some faults then
+      ignore
+        (Core.Gram.Client.manage_with_retry_sync ~deadline:30.0 client ~contact
+           Core.Gram.Protocol.Status)
+  in
+  (match
+     submit w.Core.Fusion.bo
+       "&(executable=test1)(directory=/sandbox/test)(jobtag=ADS)(count=2)(simduration=40)"
+   with
+  | Ok reply ->
+    status_with_retry w.Core.Fusion.bo reply.Core.Gram.Protocol.job_contact;
+    poll_status w.Core.Fusion.bo reply.Core.Gram.Protocol.job_contact
+  | Error _ -> ());
+  (* denied: developers are capped at count <= 4 *)
+  ignore
+    (submit w.Core.Fusion.bo
+       "&(executable=test1)(directory=/sandbox/test)(jobtag=ADS)(count=6)");
+  (* denied: analysts may not run test1 *)
+  ignore
+    (submit w.Core.Fusion.kate
+       "&(executable=test1)(directory=/sandbox/test)(jobtag=NFC)");
+  (match
+     submit w.Core.Fusion.kate
+       "&(executable=TRANSP)(directory=/sandbox/test)(jobtag=NFC)(count=4)(simduration=120)"
+   with
+  | Ok reply ->
+    status_with_retry w.Core.Fusion.kate reply.Core.Gram.Protocol.job_contact;
+    poll_status w.Core.Fusion.kate reply.Core.Gram.Protocol.job_contact;
+    (* third-party management: the VO admin cancels Kate's job *)
+    cancel w.Core.Fusion.vo_admin reply.Core.Gram.Protocol.job_contact
+  | Error _ -> ());
+  Core.Testbed.run w.Core.Fusion.testbed;
+  (w, faults)
+
 let metrics_cmd =
   let format =
     Arg.(
@@ -404,67 +469,7 @@ let metrics_cmd =
              repeated status polls then surface as cache hits.")
   in
   let run format spans faults fault_seed authz_cache =
-    (* A short deterministic scenario on the fusion testbed so every
-       decision point fires: permitted and denied submissions, a
-       third-party cancel, and jobs running to completion. With --faults,
-       requests run under 250ms timeouts and management goes through the
-       retrying client path, so retry/timeout/fault counters light up. *)
-    let faults = faults_of faults in
-    let request_timeout = Option.map (fun _ -> 0.25) faults in
-    let w =
-      Core.Fusion.build ~nodes:4 ~cpus_per_node:8 ?faults ~fault_seed ?request_timeout
-        ?authz_cache ()
-    in
-    let submit client rsl = Core.Gram.Client.submit_sync client ~rsl in
-    (* With a decision cache, poll each job's status a few times: the
-       repeated identical queries are what the cache exists to absorb. *)
-    let poll_status client contact =
-      if Option.is_some authz_cache && Option.is_none faults then
-        for _ = 1 to 3 do
-          ignore (Core.Gram.Client.manage_sync client ~contact Core.Gram.Protocol.Status)
-        done
-    in
-    let cancel client contact =
-      match faults with
-      | None -> ignore (Core.Gram.Client.manage_sync client ~contact Core.Gram.Protocol.Cancel)
-      | Some _ ->
-        ignore
-          (Core.Gram.Client.manage_with_retry_sync ~deadline:30.0 client ~contact
-             Core.Gram.Protocol.Cancel)
-    in
-    let status_with_retry client contact =
-      if Option.is_some faults then
-        ignore
-          (Core.Gram.Client.manage_with_retry_sync ~deadline:30.0 client ~contact
-             Core.Gram.Protocol.Status)
-    in
-    (match
-       submit w.Core.Fusion.bo
-         "&(executable=test1)(directory=/sandbox/test)(jobtag=ADS)(count=2)(simduration=40)"
-     with
-    | Ok reply ->
-      status_with_retry w.Core.Fusion.bo reply.Core.Gram.Protocol.job_contact;
-      poll_status w.Core.Fusion.bo reply.Core.Gram.Protocol.job_contact
-    | Error _ -> ());
-    (* denied: developers are capped at count <= 4 *)
-    ignore
-      (submit w.Core.Fusion.bo
-         "&(executable=test1)(directory=/sandbox/test)(jobtag=ADS)(count=6)");
-    (* denied: analysts may not run test1 *)
-    ignore
-      (submit w.Core.Fusion.kate
-         "&(executable=test1)(directory=/sandbox/test)(jobtag=NFC)");
-    (match
-       submit w.Core.Fusion.kate
-         "&(executable=TRANSP)(directory=/sandbox/test)(jobtag=NFC)(count=4)(simduration=120)"
-     with
-    | Ok reply ->
-      status_with_retry w.Core.Fusion.kate reply.Core.Gram.Protocol.job_contact;
-      poll_status w.Core.Fusion.kate reply.Core.Gram.Protocol.job_contact;
-      (* third-party management: the VO admin cancels Kate's job *)
-      cancel w.Core.Fusion.vo_admin reply.Core.Gram.Protocol.job_contact
-    | Error _ -> ());
-    Core.Testbed.run w.Core.Fusion.testbed;
+    let w, _faults = fusion_scenario ?authz_cache ~faults ~fault_seed () in
     let obs = Core.Gram.Resource.obs w.Core.Fusion.resource in
     (match format with
     | `Summary ->
@@ -613,6 +618,145 @@ let journal_cmd =
     (Cmd.info "journal" ~doc:"Inspect the durable job-manager journal and snapshot.")
     [ journal_show_cmd; journal_verify_cmd ]
 
+let soak_cmd =
+  let days_arg =
+    Arg.(
+      value & opt float 3.0
+      & info [ "days" ] ~docv:"DAYS" ~doc:"Campaign length in simulated days.")
+  in
+  let jobs_per_day_arg =
+    Arg.(
+      value & opt int 400
+      & info [ "jobs-per-day" ] ~docv:"N" ~doc:"Baseline Poisson arrival volume per day.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Campaign seed.")
+  in
+  let soak_faults_arg =
+    Arg.(
+      value
+      & opt
+          (enum
+             [ ("none", Core.Soak.No_faults); ("light", Core.Soak.Light);
+               ("heavy", Core.Soak.Heavy) ])
+          Core.Soak.Light
+      & info [ "faults" ] ~docv:"PROFILE"
+          ~doc:
+            "Chaos level: none, light (1% drops, mild delays) or heavy (5% drops, heavy \
+             delays, torn writes on the store's disk).")
+  in
+  let inject_arg =
+    let parse s =
+      match Core.Obs.Monitor.class_of_string s with
+      | Some c -> Ok c
+      | None ->
+        Error
+          (`Msg
+            (Printf.sprintf "unknown violation class %S (expected one of: %s)" s
+               (String.concat ", "
+                  (List.map Core.Obs.Monitor.class_to_string Core.Obs.Monitor.all_classes))))
+    in
+    let print ppf c = Fmt.string ppf (Core.Obs.Monitor.class_to_string c) in
+    Arg.(
+      value
+      & opt (some (conv (parse, print))) None
+      & info [ "inject-violation" ] ~docv:"CLASS"
+          ~doc:
+            "Self-test mode: provoke exactly this violation class (default_deny, \
+             stale_epoch, expired_credential, recovery_divergence, fail_open_upgrade) \
+             and require the monitor to report it — and nothing else.")
+  in
+  let no_monitor_arg =
+    Arg.(
+      value & flag
+      & info [ "no-monitor" ]
+          ~doc:"Run without the safety monitor (overhead baselines only).")
+  in
+  let window_arg =
+    Arg.(
+      value & opt float 300.0
+      & info [ "propagation-window" ] ~docv:"SECONDS"
+          ~doc:
+            "Grace period after a revocation or policy-epoch change before decisions \
+             against the old state count as violations.")
+  in
+  let run days jobs_per_day seed faults inject no_monitor window =
+    let report =
+      Core.Soak.run
+        { Core.Soak.days; jobs_per_day; seed; faults; monitor = not no_monitor;
+          inject; propagation_window = window }
+    in
+    Fmt.pr "%a@." Core.Soak.pp_report report;
+    match inject with
+    | None ->
+      if report.Core.Soak.violations <> [] then begin
+        Fmt.epr "soak: %d unexpected safety violation(s)@."
+          (List.length report.Core.Soak.violations);
+        exit 1
+      end
+    | Some expected -> begin
+      match Core.Soak.violation_classes report with
+      | [ actual ] when actual = expected ->
+        Fmt.pr "self-test: injected %s detected@."
+          (Core.Obs.Monitor.class_to_string expected)
+      | classes ->
+        Fmt.epr "self-test FAILED: injected %s, monitor reported [%s]@."
+          (Core.Obs.Monitor.class_to_string expected)
+          (String.concat "; " (List.map Core.Obs.Monitor.class_to_string classes));
+        exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "soak"
+       ~doc:
+         "Run a multi-day chaos campaign — credential renewal/revocation, policy churn, \
+          job-manager crashes, network/disk faults — under the online safety monitor. \
+          Exits 1 on any safety violation (or, with --inject-violation, unless exactly \
+          the injected class is detected).")
+    Term.(
+      const run $ days_arg $ jobs_per_day_arg $ seed_arg $ soak_faults_arg $ inject_arg
+      $ no_monitor_arg $ window_arg)
+
+let trace_export_cmd =
+  let output_arg =
+    Arg.(
+      value
+      & opt string "trace.json"
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Output path for the Chrome trace_event JSON ('-' for stdout).")
+  in
+  let run output faults fault_seed authz_cache =
+    let w, _ = fusion_scenario ?authz_cache ~faults ~fault_seed () in
+    let obs = Core.Gram.Resource.obs w.Core.Fusion.resource in
+    let json = Core.Obs.Span.to_chrome_json (Core.Obs.Obs.tracer obs) in
+    if output = "-" then print_string json
+    else begin
+      let oc = open_out output in
+      output_string oc json;
+      close_out oc;
+      Printf.printf "wrote %s (%d spans); open in chrome://tracing or Perfetto\n" output
+        (List.length (Core.Obs.Span.spans (Core.Obs.Obs.tracer obs)))
+    end
+  in
+  let authz_cache_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "authz-cache" ] ~docv:"CAPACITY"
+          ~doc:"Enable the authorization decision cache for the traced scenario.")
+  in
+  Cmd.v
+    (Cmd.info "export"
+       ~doc:
+         "Run the short fusion scenario and export its span tree as Chrome trace_event \
+          JSON (chrome://tracing / Perfetto; ts/dur in microseconds of simulated time).")
+    Term.(const run $ output_arg $ faults_arg $ fault_seed_arg $ authz_cache_arg)
+
+let trace_cmd =
+  Cmd.group
+    (Cmd.info "trace" ~doc:"Export request traces for external viewers.")
+    [ trace_export_cmd ]
+
 let figure3_cmd =
   let run () =
     print_endline Grid_policy.Figure3.text;
@@ -633,4 +777,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ check_cmd; show_cmd; eval_cmd; convert_cmd; lint_cmd; rights_cmd;
-            simulate_cmd; metrics_cmd; journal_cmd; figure3_cmd ]))
+            simulate_cmd; metrics_cmd; journal_cmd; soak_cmd; trace_cmd; figure3_cmd ]))

@@ -30,6 +30,11 @@ let kind_to_string = function
   | Job_state -> "state"
   | Recovery -> "recovery"
 
+(* The single failure predicate: every failure count in this module and
+   in [Reports] derives from it, so "what counts as a failure" cannot
+   drift between the log's running totals and the report aggregates. *)
+let is_failure = function Failure _ -> true | Success -> false
+
 type record = {
   at : Grid_sim.Clock.time;
   kind : kind;
@@ -37,6 +42,10 @@ type record = {
   job_id : string option;
   outcome : outcome;
   detail : string;
+  policy_epoch : int option;
+      (* the policy epoch the recorded action ran under *)
+  corr_id : string option;
+      (* correlation id linking this entry to the wide-event chain *)
 }
 
 type t = {
@@ -49,10 +58,11 @@ type t = {
 
 let create () = { records = []; total = 0; failure_total = 0 }
 
-let log t ~at ~kind ?subject ?job_id ~outcome detail =
-  t.records <- { at; kind; subject; job_id; outcome; detail } :: t.records;
+let log t ~at ~kind ?subject ?job_id ?policy_epoch ?corr_id ~outcome detail =
+  t.records <-
+    { at; kind; subject; job_id; outcome; detail; policy_epoch; corr_id } :: t.records;
   t.total <- t.total + 1;
-  match outcome with Failure _ -> t.failure_total <- t.failure_total + 1 | Success -> ()
+  if is_failure outcome then t.failure_total <- t.failure_total + 1
 
 let records t = List.rev t.records
 
@@ -70,14 +80,20 @@ let by_subject t dn =
 let by_job t job_id =
   List.filter (fun r -> r.job_id = Some job_id) (records t)
 
-let failures t =
-  List.filter (fun r -> match r.outcome with Failure _ -> true | Success -> false) (records t)
+let by_correlation t corr =
+  List.filter (fun r -> r.corr_id = Some corr) (records t)
+
+let failures t = List.filter (fun r -> is_failure r.outcome) (records t)
 
 let pp_record ppf r =
   let outcome = match r.outcome with Success -> "ok" | Failure m -> "FAIL(" ^ m ^ ")" in
-  Fmt.pf ppf "%8.3fs %-8s %-32s %-12s %-6s %s" r.at (kind_to_string r.kind)
+  Fmt.pf ppf "%8.3fs %-8s %-32s %-12s %-6s %s%s%s" r.at (kind_to_string r.kind)
     (match r.subject with Some s -> Grid_gsi.Dn.to_string s | None -> "-")
     (Option.value r.job_id ~default:"-")
     outcome r.detail
+    (match r.policy_epoch with
+    | Some e -> Printf.sprintf " [epoch %d]" e
+    | None -> "")
+    (match r.corr_id with Some c -> " [" ^ c ^ "]" | None -> "")
 
 let pp ppf t = Fmt.pf ppf "@[<v>%a@]" (Fmt.list pp_record) (records t)

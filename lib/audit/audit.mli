@@ -15,6 +15,10 @@ type kind =
 
 val kind_to_string : kind -> string
 
+val is_failure : outcome -> bool
+(** The one failure predicate all failure accounting (here and in
+    {!Reports}) is derived from. *)
+
 type record = {
   at : Grid_sim.Clock.time;
   kind : kind;
@@ -22,6 +26,10 @@ type record = {
   job_id : string option;
   outcome : outcome;
   detail : string;
+  policy_epoch : int option;
+      (** policy epoch the recorded action ran under, when known *)
+  corr_id : string option;
+      (** correlation id tying this entry to the wide-event chain *)
 }
 
 type t
@@ -34,6 +42,8 @@ val log :
   kind:kind ->
   ?subject:Grid_gsi.Dn.t ->
   ?job_id:string ->
+  ?policy_epoch:int ->
+  ?corr_id:string ->
   outcome:outcome ->
   string ->
   unit
@@ -50,6 +60,11 @@ val failure_count : t -> int
 val by_kind : t -> kind -> record list
 val by_subject : t -> Grid_gsi.Dn.t -> record list
 val by_job : t -> string -> record list
+
+val by_correlation : t -> string -> record list
+(** Every entry stamped with the given correlation id — the audit-side
+    view of one request's event chain. *)
+
 val failures : t -> record list
 
 val pp_record : record Fmt.t

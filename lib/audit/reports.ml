@@ -28,7 +28,7 @@ let empty_summary subject =
     management_actions = 0 }
 
 let add_record (s : subject_summary) (r : Audit.record) =
-  let failed = match r.Audit.outcome with Audit.Failure _ -> true | Audit.Success -> false in
+  let failed = Audit.is_failure r.Audit.outcome in
   match r.Audit.kind with
   | Audit.Authentication ->
     { s with

@@ -180,6 +180,8 @@ let with_cache t ?(scope = "authz") (backend : Callout.t) : Callout.t =
        result. *)
     t.bypasses <- t.bypasses + 1;
     Grid_obs.Obs.incr t.obs "authz_cache_bypass_total";
+    Grid_obs.Obs.emit t.obs ~layer:"cache" "cache.bypass"
+      [ ("scope", scope); ("reason", "credential_expired") ];
     backend q
   | credential ->
     let key = query_key ~scope ~epoch q in
@@ -200,10 +202,18 @@ let with_cache t ?(scope = "authz") (backend : Callout.t) : Callout.t =
       push_front t node;
       t.hits <- t.hits + 1;
       Grid_obs.Obs.incr t.obs "authz_cache_hits_total";
+      (* The epoch the cached answer was computed under equals the epoch
+         in the probe key, so a hit served after a reload propagated is a
+         stale-epoch violation the monitor can spot from this event. *)
+      Grid_obs.Obs.emit t.obs ~layer:"cache" "cache.hit"
+        [ ("scope", scope); ("epoch", string_of_int epoch);
+          ("outcome", Callout.outcome_label node.value) ];
       node.value
     | None ->
       t.misses <- t.misses + 1;
       Grid_obs.Obs.incr t.obs "authz_cache_misses_total";
+      Grid_obs.Obs.emit t.obs ~layer:"cache" "cache.miss"
+        [ ("scope", scope); ("epoch", string_of_int epoch) ];
       let decision = backend q in
       if cacheable decision then begin
         let deadline =

@@ -179,7 +179,16 @@ let degrade ?(obs = Grid_obs.Obs.noop) mode (c : t) : t =
     Grid_obs.Obs.incr obs
       ~labels:[ ("mode", degradation_label mode) ]
       "authz_degraded_total";
-    match mode with Fail_open -> Ok () | Fail_closed -> outage
+    let final = match mode with Fail_open -> Ok () | Fail_closed -> outage in
+    (* The safety monitor watches this event: a fail_closed degradation
+       whose [final] is "permitted" is an invariant violation by
+       construction — emitting both sides makes the upgrade detectable
+       instead of trusting this combinator. *)
+    Grid_obs.Obs.emit obs ~layer:"callout" "authz.degraded"
+      [ ("mode", degradation_label mode);
+        ("original", outcome_label outage);
+        ("final", outcome_label final) ];
+    final
   end
 
 (* Deterministic fault injector for chaos tests: fail with System_error at
@@ -194,7 +203,36 @@ let flaky ~rng ~failure_probability (c : t) : t =
     then Error (System_error "injected authorization backend fault")
     else c q
 
-let instrument ?(backend = "pep") ~obs (c : t) : t =
+(* Earliest expiry across the presented chain: the instant after which
+   no decision may rest on this credential. *)
+let credential_expiry (cred : Grid_gsi.Credential.t) =
+  match cred.Grid_gsi.Credential.chain with
+  | [] -> None
+  | chain ->
+    Some
+      (List.fold_left
+         (fun acc (c : Grid_gsi.Cert.t) -> Float.min acc c.Grid_gsi.Cert.not_after)
+         infinity chain)
+
+(* The wide event every authorization decision leaves behind. It carries
+   everything the online safety monitor needs to re-derive the answer:
+   the full request (subject, action, rsl, jobowner, jobtag), the policy
+   epoch the decision was made under, and the credential's expiry. *)
+let decision_attrs ?epoch ~backend ~action (q : query) decision =
+  let opt name f = function None -> [] | Some v -> [ (name, f v) ] in
+  [ ("backend", backend); ("action", action); ("outcome", outcome_label decision);
+    ("subject", Grid_gsi.Dn.to_string q.requester) ]
+  @ (match epoch with
+    | None -> []
+    | Some epoch -> [ ("epoch", string_of_int (epoch ())) ])
+  @ opt "job_id" Fun.id q.job_id
+  @ opt "jobtag" Fun.id q.jobtag
+  @ opt "jobowner" Grid_gsi.Dn.to_string q.job_owner
+  @ opt "rsl" Grid_rsl.Ast.clause_to_string q.rsl
+  @ opt "cred_expiry" (Printf.sprintf "%.3f")
+      (Option.bind q.requester_credential credential_expiry)
+
+let instrument ?(backend = "pep") ?epoch ~obs (c : t) : t =
   if not (Grid_obs.Obs.enabled obs) then c
   else fun q ->
     let action = Grid_policy.Types.Action.to_string q.action in
@@ -211,4 +249,6 @@ let instrument ?(backend = "pep") ~obs (c : t) : t =
       ~labels:
         [ ("backend", backend); ("action", action); ("outcome", outcome_label decision) ]
       "authz_decisions_total";
+    Grid_obs.Obs.emit obs ~layer:"callout" "authz.decision"
+      (decision_attrs ?epoch ~backend ~action q decision);
     decision

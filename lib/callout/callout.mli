@@ -108,8 +108,15 @@ val flaky : rng:Grid_util.Rng.t -> failure_probability:float -> t -> t
 (** Deterministic fault injector: fail with [System_error] at the given
     probability, sampled from the caller's seeded stream. *)
 
-val instrument : ?backend:string -> obs:Grid_obs.Obs.t -> t -> t
+val credential_expiry : Grid_gsi.Credential.t -> float option
+(** Earliest [not_after] across the presented chain; [None] for an
+    empty chain. *)
+
+val instrument : ?backend:string -> ?epoch:(unit -> int) -> obs:Grid_obs.Obs.t -> t -> t
 (** The timed sibling of {!counting}: wrap a callout so every invocation
-    opens an ["authz.callout"] span and increments
-    [authz_decisions_total{action,outcome,backend}]. A disabled observer
-    returns the callout unchanged. *)
+    opens an ["authz.callout"] span, increments
+    [authz_decisions_total{action,outcome,backend}] and emits an
+    ["authz.decision"] wide event carrying the full request, the
+    outcome, the policy epoch sampled from [epoch] and the requesting
+    credential's expiry — the record the online safety monitor checks.
+    A disabled observer returns the callout unchanged. *)

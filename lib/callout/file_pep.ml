@@ -32,9 +32,23 @@ module Compiled = struct
     let e = Grid_policy.Combine.epoch_of sources in
     if e = 0 then Grid_policy.Compile.fresh_epoch () else e
 
+  (* Every epoch change is announced on the event bus: the safety
+     monitor dates its staleness window from this event, so it must be
+     emitted at the instant the new compilation becomes answerable. *)
+  let note_epoch ?(kind = "reload") t =
+    match t.obs with
+    | None -> ()
+    | Some obs ->
+      Grid_obs.Obs.emit obs ~layer:"pep" "policy.epoch"
+        [ ("epoch", string_of_int t.epoch);
+          ("sources", string_of_int (List.length t.sources));
+          ("cause", kind) ]
+
   let create ?obs sources =
     let sources = Grid_policy.Combine.compile_sources sources in
-    { obs; sources; epoch = stamp sources }
+    let t = { obs; sources; epoch = stamp sources } in
+    note_epoch ~kind:"create" t;
+    t
 
   let epoch t = t.epoch
 
@@ -43,7 +57,8 @@ module Compiled = struct
   let reload t sources =
     let sources = Grid_policy.Combine.compile_sources sources in
     t.sources <- sources;
-    t.epoch <- stamp sources
+    t.epoch <- stamp sources;
+    note_epoch t
 
   let callout t : Callout.t =
    fun query ->

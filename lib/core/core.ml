@@ -26,6 +26,7 @@ module Obs = Grid_obs
 module Store = Grid_store
 
 module Workload = Workload
+module Soak = Soak
 
 (** Which policy evaluation point backs the extended GRAM mode. *)
 type backend =
@@ -134,49 +135,7 @@ end
     resource enforcing resource-owner + VO policy through the flat-file
     PEP. Examples, integration tests and benches share it. *)
 module Fusion = struct
-  let organization = Grid_policy.Figure3.organization
-  let bo_liu = Grid_policy.Figure3.bo_liu
-  let kate_keahey = Grid_policy.Figure3.kate_keahey
-  let admin = organization ^ "/CN=VO Admin"
-  let outsider = "/O=Grid/O=Globus/OU=cs.wisc.edu/CN=Outsider"
-
-  let build_vo () =
-    let vo = Grid_vo.Vo.create ~member_prefix:organization "fusion-vo" in
-    Grid_vo.Vo.register_jobtag vo "NFC";
-    Grid_vo.Vo.register_jobtag vo "ADS";
-    Grid_vo.Vo.register_jobtag vo "DEMO";
-    Grid_vo.Vo.require_jobtag vo;
-    Grid_vo.Vo.add_profile vo
-      (Grid_vo.Profile.make "developers"
-         ~start_rules:
-           [ Grid_vo.Profile.start_rule ~directory:"/sandbox/test" ~jobtag:"ADS"
-               ~max_count:4 [ "test1"; "test2"; "compiler"; "debugger" ] ]);
-    Grid_vo.Vo.add_profile vo
-      (Grid_vo.Profile.make "analysts"
-         ~start_rules:
-           [ Grid_vo.Profile.start_rule ~directory:"/sandbox/test" ~jobtag:"NFC"
-               [ "TRANSP" ] ]);
-    Grid_vo.Vo.add_profile vo
-      (Grid_vo.Profile.make "admins" ~manage_tags:[ "NFC"; "ADS"; "DEMO" ]
-         ~start_rules:
-           [ Grid_vo.Profile.start_rule ~directory:"/sandbox/test" ~jobtag:"DEMO"
-               [ "TRANSP"; "demo" ] ]);
-    Grid_vo.Vo.add_member vo ~dn:bo_liu ~groups:[ "developers" ];
-    Grid_vo.Vo.add_member vo ~dn:kate_keahey ~groups:[ "analysts"; "admins" ];
-    Grid_vo.Vo.add_member vo ~dn:admin ~groups:[ "admins" ];
-    vo
-
-  let resource_owner_policy_text =
-    {|# resource owner: fusion VO members may compute, but never on the
-# reserved queue; management is open to policy (the VO decides details).
-/O=Grid/O=Globus/OU=mcs.anl.gov: &(action = start)(queue != reserved)
-/O=Grid/O=Globus/OU=mcs.anl.gov: &(action = cancel) &(action = information) &(action = signal)|}
-
-  let resource_owner_policy () = Grid_policy.Parse.parse resource_owner_policy_text
-
-  let policy_sources vo =
-    [ Grid_policy.Combine.source ~name:"resource-owner" (resource_owner_policy ());
-      Grid_vo.Vo.policy_source vo ]
+  include Fusion_world
 
   type world = {
     testbed : Testbed.t;
@@ -186,9 +145,6 @@ module Fusion = struct
     kate : Grid_gram.Client.t;
     vo_admin : Grid_gram.Client.t;
   }
-
-  let gridmap_text =
-    Printf.sprintf "%S bliu\n%S keahey\n%S voadmin\n" bo_liu kate_keahey admin
 
   let build ?(backend = `Flat_file) ?(nodes = 4) ?(cpus_per_node = 8) ?faults
       ?(fault_seed = 1299709) ?request_timeout ?flaky_pep ?authz_cache

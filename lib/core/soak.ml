@@ -1,0 +1,514 @@
+(* Multi-day soak campaigns under chaos, watched by the safety monitor.
+
+   A campaign drives the fusion testbed through several simulated days of
+   realistic operational churn — credential expiry and renewal, a CRL
+   revocation mid-flight, VO/policy reloads that bump the policy epoch,
+   job-manager crashes during submission bursts, and network/disk fault
+   injection — while the online safety monitor ([Grid_obs.Monitor])
+   checks every wide event against the paper's enforcement invariants.
+
+   The campaign driver owns what the monitor deliberately does not: the
+   policy. It keeps a history of (epoch, policy sources) snapshots and
+   injects an oracle that re-derives the flat-file PEP's answer for the
+   epoch stamped on each decision event, so buffered events that flush
+   after a churn are still judged against the policy they were actually
+   decided under.
+
+   [--inject-violation] is the monitor's self-test: each violation class
+   can be provoked on demand — default-deny by really mis-wiring the
+   callout (one denial is flipped to a permit mid-campaign, under the
+   real request's correlation id), the other four by synthesizing event
+   chains the instrumentation would emit if the corresponding bug
+   existed. A campaign that cannot detect its own injected violations
+   proves nothing about a clean run. *)
+
+type fault_level =
+  | No_faults
+  | Light
+  | Heavy
+
+let fault_level_to_string = function
+  | No_faults -> "none"
+  | Light -> "light"
+  | Heavy -> "heavy"
+
+type config = {
+  days : float;                (* campaign length in simulated days *)
+  jobs_per_day : int;          (* baseline Poisson arrival volume *)
+  seed : int;                  (* drives arrivals, faults and choices *)
+  faults : fault_level;        (* network (and, when heavy, disk) chaos *)
+  monitor : bool;              (* false: measure the monitor's absence *)
+  inject : Grid_obs.Monitor.violation_class option;
+  propagation_window : float;  (* revocation grace period, seconds *)
+}
+
+let default_config =
+  { days = 3.0;
+    jobs_per_day = 400;
+    seed = 42;
+    faults = Light;
+    monitor = true;
+    inject = None;
+    propagation_window = 300.0 }
+
+type report = {
+  submitted : int;
+  accepted : int;
+  denied : int;          (* authorization / authentication refusals *)
+  failed : int;          (* other errors: RSL, mapping, system *)
+  timed_out : int;
+  management : int;
+  management_denied : int;
+  renewals : int;
+  revocations : int;
+  reloads : int;
+  crashes : int;
+  jobs_restored : int;
+  events_checked : int;
+  final_epoch : int option;
+  violations : Grid_obs.Monitor.violation list;
+}
+
+(* --- Fault profiles (mirroring gridctl's named levels) ----------------- *)
+
+let network_faults = function
+  | No_faults -> None
+  | Light ->
+    Some
+      (Grid_sim.Network.Faults.profile ~drop:0.01 ~duplicate:0.005
+         ~delay_probability:0.05 ~max_extra_delay:0.02 ())
+  | Heavy ->
+    Some
+      (Grid_sim.Network.Faults.profile ~drop:0.05 ~duplicate:0.02
+         ~delay_probability:0.2 ~max_extra_delay:0.1 ())
+
+let disk_faults = function
+  | No_faults | Light -> None
+  | Heavy ->
+    Some
+      (Grid_sim.Disk.Faults.profile ~torn_write:0.3 ~fsync_latency:0.002
+         ~fsync_jitter:0.003 ())
+
+(* --- The policy oracle -------------------------------------------------- *)
+
+(* Rebuild a policy request from a decision event's attributes. The
+   attrs carry everything [Callout.to_policy_request] would have seen. *)
+let request_of_event (e : Grid_obs.Event.t) : Grid_policy.Types.request option =
+  let attr = Grid_obs.Event.attr e in
+  try
+    match (attr "subject", Option.bind (attr "action") Grid_policy.Types.Action.of_string) with
+    | Some subject, Some action ->
+      Some
+        { Grid_policy.Types.subject = Grid_gsi.Dn.parse subject;
+          action;
+          job = Option.map Grid_rsl.Parser.parse_clause_exn (attr "rsl");
+          jobowner = Option.map Grid_gsi.Dn.parse (attr "jobowner");
+          jobtag = attr "jobtag" }
+    | _ -> None
+  with _ -> None
+
+(* The oracle answers only for the flat-file backend, looking the event's
+   epoch up in the (epoch, compiled sources) history the campaign keeps: a
+   decision event that flushes after a policy churn is re-derived against
+   the sources that were live at its epoch, not today's. Verdicts are
+   memoized on the raw (epoch, request attrs) — policy sources at a given
+   epoch are immutable snapshots, so a repeated question has a fixed
+   answer and the workload's few templates repeat constantly. *)
+let make_oracle history =
+  let memo : (string, bool option) Hashtbl.t = Hashtbl.create 4096 in
+  fun (e : Grid_obs.Event.t) ->
+    if Grid_obs.Event.attr e "backend" <> Some "flat_file" then None
+    else
+      match Grid_obs.Event.attr_int e "epoch" with
+      | None -> None
+      | Some epoch ->
+        let field k = Option.value ~default:"" (Grid_obs.Event.attr e k) in
+        let key =
+          String.concat "\x00"
+            [ string_of_int epoch; field "subject"; field "action"; field "rsl";
+              field "jobowner"; field "jobtag" ]
+        in
+        (match Hashtbl.find_opt memo key with
+        | Some verdict -> verdict
+        | None -> begin
+          match List.assoc_opt epoch !history with
+          | None -> None (* not memoized: the epoch may land in history later *)
+          | Some sources ->
+            let verdict =
+              match request_of_event e with
+              | None -> None
+              | Some request ->
+                Some
+                  (Grid_policy.Combine.is_permit
+                     (Grid_policy.Combine.evaluate_compiled sources request))
+            in
+            Hashtbl.add memo key verdict;
+            verdict
+        end)
+
+(* --- The campaign ------------------------------------------------------- *)
+
+let mallory = Fusion_world.organization ^ "/CN=Mallory Mallone"
+
+let gridmap_text =
+  Fusion_world.gridmap_text ^ Printf.sprintf "%S mallory\n" mallory
+
+type user_cell = {
+  dn : string;
+  base : Grid_gsi.Identity.t;
+  mutable proxy : Grid_gsi.Identity.t;
+  weight : int;
+  templates : string list;
+}
+
+let run (config : config) : report =
+  if config.days <= 0.0 then invalid_arg "Soak.run: days must be positive";
+  if config.jobs_per_day <= 0 then invalid_arg "Soak.run: jobs_per_day must be positive";
+  let total = Grid_sim.Clock.days config.days in
+  Grid_util.Ids.reset ();
+  let engine = Grid_sim.Engine.create () in
+  (* Long-lived CA and end-entity certs spanning the whole campaign; only
+     the 12-hour proxies expire and are renewed — the operational shape
+     the expired-credential invariant is about. *)
+  let ca =
+    Grid_gsi.Ca.create
+      ~lifetime:(total +. Grid_sim.Clock.days 7.0)
+      ~default_identity_lifetime:(total +. Grid_sim.Clock.days 1.0)
+      ~now:(Grid_sim.Engine.now engine) "/O=Grid/CN=Soak CA"
+  in
+  let trust = Grid_gsi.Ca.Trust_store.create () in
+  Grid_gsi.Ca.Trust_store.add trust (Grid_gsi.Ca.certificate ca);
+  let obs = Grid_obs.Obs.of_engine engine in
+  let rng = Grid_util.Rng.create ~seed:config.seed in
+
+  (* Policy history for the oracle; the monitor subscribes before the PEP
+     exists so it also sees the create-epoch event. *)
+  let history : (int * Grid_policy.Combine.compiled_source list) list ref = ref [] in
+  let monitor =
+    if config.monitor then
+      Some
+        (Grid_obs.Monitor.create ~oracle:(make_oracle history)
+           ~propagation_window:config.propagation_window
+           (Grid_obs.Obs.events obs))
+    else None
+  in
+
+  let vo = Fusion_world.build_vo () in
+  Grid_vo.Vo.add_member vo ~dn:mallory ~groups:[ "analysts" ];
+  let sources () = Fusion_world.policy_sources vo in
+  let initial_sources = sources () in
+  let pep = Grid_callout.File_pep.Compiled.create ~obs initial_sources in
+  let epoch () = Grid_callout.File_pep.Compiled.epoch pep in
+  history := [ (epoch (), Grid_policy.Combine.compile_sources initial_sources) ];
+  let epoch0 = epoch () in
+
+  (* Default-deny mis-wiring: while armed, the next Denied answer from the
+     real PEP is flipped to a permit — under the live request's
+     correlation id, exactly the bug class the monitor must catch. *)
+  let flip_next_denial = ref false in
+  let callout q =
+    match Grid_callout.File_pep.Compiled.callout pep q with
+    | Error (Grid_callout.Callout.Denied _) when !flip_next_denial ->
+      flip_next_denial := false;
+      Ok ()
+    | decision -> decision
+  in
+  let mode = Grid_gram.Mode.extended ~backend:"flat_file" callout in
+
+  let network =
+    Grid_sim.Network.create ?faults:(network_faults config.faults)
+      ~fault_seed:(config.seed + 17) engine
+  in
+  let disk =
+    Grid_sim.Disk.create ?faults:(disk_faults config.faults) ~seed:(config.seed + 29) ()
+  in
+  let store = Grid_store.Store.create ~obs ~snapshot_every:64 ~disk ~name:"soak-site" () in
+  let authz_cache =
+    Grid_callout.Cache.create ~capacity:2048 ~ttl:(Grid_sim.Clock.minutes 5.0) ~obs
+      ~epoch
+      ~now:(fun () -> Grid_sim.Engine.now engine)
+      ()
+  in
+  let request_timeout =
+    match config.faults with No_faults -> None | Light | Heavy -> Some 0.25
+  in
+  let resource =
+    Grid_gram.Resource.create ~name:"soak-site" ~network ?request_timeout
+      ~authz_cache ~store ~policy_epoch:epoch ~obs ~trust
+      ~mapper:(Grid_accounts.Mapper.create (Grid_gsi.Gridmap.parse gridmap_text))
+      ~mode
+      ~lrm:(Grid_lrm.Lrm.create ~obs ~nodes:8 ~cpus_per_node:8 engine)
+      ~engine ()
+  in
+
+  (* Users: the fusion cast plus a revocable analyst and an outsider whose
+     refusals are ordinary traffic, not violations. Each acts through a
+     12-hour proxy renewed every ~10 hours. *)
+  let make_cell dn weight templates =
+    let base = Grid_gsi.Identity.create ~ca ~now:(Grid_sim.Engine.now engine) dn in
+    { dn;
+      base;
+      proxy = Grid_gsi.Identity.delegate base ~now:(Grid_sim.Engine.now engine);
+      weight;
+      templates }
+  in
+  let durations = [ "60"; "180"; "600"; "2400" ] in
+  let with_duration template =
+    Printf.sprintf "%s(simduration=%s)" template (Grid_util.Rng.pick rng durations)
+  in
+  let users =
+    [ make_cell Fusion_world.bo_liu 3
+        [ "&(executable=test1)(directory=/sandbox/test)(jobtag=ADS)(count=2)";
+          "&(executable=compiler)(directory=/sandbox/test)(jobtag=ADS)" ];
+      make_cell Fusion_world.kate_keahey 2
+        [ "&(executable=TRANSP)(directory=/sandbox/test)(jobtag=NFC)(count=4)" ];
+      make_cell Fusion_world.admin 1
+        [ "&(executable=demo)(directory=/sandbox/test)(jobtag=DEMO)" ];
+      make_cell mallory 1
+        [ "&(executable=TRANSP)(directory=/sandbox/test)(jobtag=NFC)" ];
+      make_cell Fusion_world.outsider 1
+        [ "&(executable=test1)(directory=/sandbox/test)(jobtag=ADS)" ] ]
+  in
+  let kate = List.nth users 1 in
+
+  let renewals = ref 0 in
+  let revocations = ref 0 in
+  let reloads = ref 0 in
+  let crashes = ref 0 in
+  let restored = ref 0 in
+  let submitted = ref 0 in
+  let accepted = ref 0 in
+  let denied = ref 0 in
+  let failed = ref 0 in
+  let timed_out = ref 0 in
+  let management = ref 0 in
+  let management_denied = ref 0 in
+
+  (* Proxy renewal: every 10 simulated hours, each user re-delegates a
+     fresh 12-hour proxy — the operational rhythm that keeps credential
+     expiry from ever authorizing anything. *)
+  let renewal_period = Grid_sim.Clock.hours 10.0 in
+  let rec schedule_renewal cell at =
+    if at < total then
+      Grid_sim.Engine.schedule_at engine at (fun () ->
+          cell.proxy <-
+            Grid_gsi.Identity.delegate cell.base ~now:(Grid_sim.Engine.now engine);
+          incr renewals;
+          Grid_obs.Obs.emit obs ~layer:"gsi" "credential.renewed"
+            [ ("subject", cell.dn) ];
+          schedule_renewal cell (at +. renewal_period))
+  in
+  List.iter (fun cell -> schedule_renewal cell renewal_period) users;
+
+  (* CRL revocation mid-campaign: mallory's end-entity certificate is
+     revoked; every proxy chained from it fails validation from the next
+     authentication on. *)
+  Grid_sim.Engine.schedule_at engine (0.4 *. total) (fun () ->
+      let cell = List.nth users 3 in
+      Grid_gsi.Ca.Trust_store.revoke trust
+        (Grid_gsi.Identity.certificate cell.base);
+      incr revocations;
+      Grid_obs.Obs.emit obs ~layer:"ca" "credential.revoked"
+        [ ("subject", cell.dn) ]);
+
+  (* VO/policy churn: membership and jobtag registration change while
+     jobs are in flight; each reload recompiles the PEP, bumps the epoch
+     (announced on the bus) and extends the oracle's history. *)
+  let churn_points = [ 0.3; 0.6; 0.85 ] in
+  List.iteri
+    (fun i fraction ->
+      Grid_sim.Engine.schedule_at engine (fraction *. total) (fun () ->
+          (if i mod 2 = 0 then begin
+             Grid_vo.Vo.register_jobtag vo (Printf.sprintf "CHURN%d" i);
+             Grid_vo.Vo.add_member vo
+               ~dn:(Fusion_world.organization ^ Printf.sprintf "/CN=Churn User %d" i)
+               ~groups:[ "developers" ]
+           end
+           else Grid_vo.Vo.remove_member vo ~dn:(Grid_gsi.Dn.parse mallory));
+          let fresh = sources () in
+          Grid_callout.File_pep.Compiled.reload pep fresh;
+          history := (epoch (), Grid_policy.Combine.compile_sources fresh) :: !history;
+          incr reloads))
+    churn_points;
+
+  (* Submission machinery over the networked entry points: challenge
+     minted per request, proxy credential presented, reply tallied. *)
+  let submit cell rsl =
+    incr submitted;
+    let credential =
+      Grid_gsi.Credential.of_identity cell.proxy
+        ~challenge:(Grid_gram.Resource.new_challenge resource)
+    in
+    Grid_gram.Resource.submit resource ~credential ~rsl ~reply:(fun result ->
+        match result with
+        | Ok reply ->
+          incr accepted;
+          (* Management follow-ups: usually the owner, sometimes the VO
+             admin exercising third-party management. *)
+          if Grid_util.Rng.float rng 1.0 < 0.35 then begin
+            let manager =
+              if Grid_util.Rng.float rng 1.0 < 0.3 then kate else cell
+            in
+            let action =
+              Grid_util.Rng.pick rng
+                [ Grid_gram.Protocol.Status;
+                  Grid_gram.Protocol.Cancel;
+                  Grid_gram.Protocol.Signal Grid_gram.Protocol.Suspend ]
+            in
+            let delay = 1.0 +. Grid_util.Rng.float rng 60.0 in
+            Grid_sim.Engine.schedule_after engine delay (fun () ->
+                incr management;
+                let credential =
+                  Grid_gsi.Credential.of_identity manager.proxy
+                    ~challenge:(Grid_gram.Resource.new_challenge resource)
+                in
+                Grid_gram.Resource.manage resource
+                  ~requester:(Grid_gsi.Identity.effective_subject manager.proxy)
+                  ~credential ~contact:reply.Grid_gram.Protocol.job_contact action
+                  ~reply:(fun result ->
+                    match result with
+                    | Ok _ -> ()
+                    | Error (Grid_gram.Protocol.Request_timed_out _) ->
+                      incr timed_out
+                    | Error _ -> incr management_denied))
+          end
+        | Error
+            ( Grid_gram.Protocol.Authorization_failed _
+            | Grid_gram.Protocol.Authentication_failed _
+            | Grid_gram.Protocol.Gatekeeper_refused _ ) -> incr denied
+        | Error (Grid_gram.Protocol.Request_timeout _) -> incr timed_out
+        | Error _ -> incr failed)
+  in
+  let pick_user () =
+    let weights = List.fold_left (fun acc c -> acc + c.weight) 0 users in
+    let ticket = Grid_util.Rng.int rng weights in
+    let rec go acc = function
+      | [] -> List.hd users
+      | [ c ] -> c
+      | c :: rest -> if ticket < acc + c.weight then c else go (acc + c.weight) rest
+    in
+    go 0 users
+  in
+  let schedule_arrival at =
+    let cell = pick_user () in
+    let rsl = with_duration (Grid_util.Rng.pick rng cell.templates) in
+    Grid_sim.Engine.schedule_at engine at (fun () -> submit cell rsl)
+  in
+
+  (* Baseline Poisson arrivals across the whole campaign. *)
+  let rate = float_of_int config.jobs_per_day /. Grid_sim.Clock.days 1.0 in
+  let t = ref 0.0 in
+  let exponential () = -.log (1.0 -. Grid_util.Rng.float rng 1.0) /. rate in
+  while
+    t := !t +. exponential ();
+    !t < total
+  do
+    schedule_arrival !t
+  done;
+
+  (* Daily bursts with a job-manager crash in the middle: a tenth of the
+     day's volume lands in ten minutes, and halfway through the burst the
+     job manager dies and recovers from snapshot + journal. *)
+  let full_days = int_of_float (ceil config.days) in
+  for day = 0 to full_days - 1 do
+    let burst_start = (float_of_int day +. 0.5) *. Grid_sim.Clock.days 1.0 in
+    if burst_start < total then begin
+      let burst_jobs = max 5 (config.jobs_per_day / 10) in
+      for _ = 1 to burst_jobs do
+        schedule_arrival (burst_start +. Grid_util.Rng.float rng 600.0)
+      done;
+      Grid_sim.Engine.schedule_at engine (burst_start +. 300.0) (fun () ->
+          incr crashes;
+          Grid_gram.Resource.crash resource;
+          let summary = Grid_gram.Resource.recover resource in
+          restored := !restored + summary.Grid_gram.Resource.jobs_restored)
+    end
+  done;
+
+  (* --- Violation self-injection ---------------------------------------- *)
+  let synthetic ~at f =
+    Grid_sim.Engine.schedule_at engine at (fun () ->
+        let corr = Grid_obs.Obs.fresh_correlation obs in
+        Grid_obs.Obs.with_correlation obs ~corr f)
+  in
+  (match config.inject with
+  | None -> ()
+  | Some Grid_obs.Monitor.Default_deny ->
+    (* Real mis-wiring: arm the flip, then provoke a denial the PEP would
+       refuse (developers are capped at count <= 4). *)
+    Grid_sim.Engine.schedule_at engine (0.5 *. total) (fun () ->
+        flip_next_denial := true;
+        submit (List.hd users)
+          "&(executable=test1)(directory=/sandbox/test)(jobtag=ADS)(count=6)(simduration=60)")
+  | Some Grid_obs.Monitor.Stale_epoch ->
+    (* A cache answer stamped with the pre-churn epoch, emitted well
+       after the first reload propagated. *)
+    synthetic ~at:(0.45 *. total) (fun () ->
+        Grid_obs.Obs.emit obs ~layer:"injected" "cache.hit"
+          [ ("scope", "injected"); ("epoch", string_of_int epoch0) ])
+  | Some Grid_obs.Monitor.Expired_credential ->
+    synthetic ~at:(0.5 *. total) (fun () ->
+        let at = Grid_sim.Engine.now engine in
+        Grid_obs.Obs.emit obs ~layer:"injected" "authz.decision"
+          [ ("backend", "injected"); ("action", "start"); ("outcome", "permitted");
+            ("subject", "/O=Grid/CN=Injected Ghost");
+            ("cred_expiry", Printf.sprintf "%.3f" (at -. 3600.0)) ])
+  | Some Grid_obs.Monitor.Fail_open_upgrade ->
+    synthetic ~at:(0.5 *. total) (fun () ->
+        Grid_obs.Obs.emit obs ~layer:"injected" "authz.degraded"
+          [ ("mode", "fail_closed"); ("original", "system_error");
+            ("final", "permitted") ])
+  | Some Grid_obs.Monitor.Recovery_divergence ->
+    (* A durable admission whose crash/recovery chain reports a clean
+       store yet never restores the job — placed after the campaign so it
+       cannot entangle with a real recovery. *)
+    let base = total +. 60.0 in
+    synthetic ~at:base (fun () ->
+        Grid_obs.Obs.emit obs ~layer:"injected" "job.created"
+          [ ("contact", "ghost-job"); ("durable", "true") ]);
+    synthetic ~at:(base +. 60.0) (fun () ->
+        Grid_obs.Obs.emit obs ~layer:"injected" "resource.crashed"
+          [ ("lost", "1") ]);
+    synthetic ~at:(base +. 120.0) (fun () ->
+        Grid_obs.Obs.emit obs ~layer:"injected" "resource.recovered"
+          [ ("restored", "0"); ("dropped_bytes", "0"); ("decode_failures", "0") ]));
+
+  Grid_sim.Engine.run engine;
+  Option.iter Grid_obs.Monitor.flush monitor;
+
+  { submitted = !submitted;
+    accepted = !accepted;
+    denied = !denied;
+    failed = !failed;
+    timed_out = !timed_out;
+    management = !management;
+    management_denied = !management_denied;
+    renewals = !renewals;
+    revocations = !revocations;
+    reloads = !reloads;
+    crashes = !crashes;
+    jobs_restored = !restored;
+    events_checked =
+      (match monitor with Some m -> Grid_obs.Monitor.events_seen m | None -> 0);
+    final_epoch = Some (epoch ());
+    violations =
+      (match monitor with Some m -> Grid_obs.Monitor.violations m | None -> []) }
+
+let violation_classes report =
+  List.sort_uniq compare
+    (List.map (fun (v : Grid_obs.Monitor.violation) -> v.Grid_obs.Monitor.vclass)
+       report.violations)
+
+let pp_report ppf r =
+  Fmt.pf ppf
+    "@[<v>soak campaign: %d submitted (%d accepted, %d denied, %d failed, %d timed out)@,\
+     management: %d requests (%d refused)@,\
+     churn: %d renewals, %d revocations, %d policy reloads, %d crashes (%d jobs restored)@,\
+     monitor: %d events checked, %d violation(s)%a@]"
+    r.submitted r.accepted r.denied r.failed r.timed_out r.management
+    r.management_denied r.renewals r.revocations r.reloads r.crashes r.jobs_restored
+    r.events_checked (List.length r.violations)
+    (fun ppf -> function
+      | [] -> ()
+      | vs -> Fmt.pf ppf "@,%a" (Fmt.list ~sep:Fmt.cut Grid_obs.Monitor.pp_violation) vs)
+    r.violations

@@ -1,0 +1,62 @@
+(** Multi-day chaos soak campaigns watched by the safety monitor.
+
+    A campaign runs the fusion testbed through simulated days of
+    operational churn — credential renewal and revocation, VO/policy
+    reloads, job-manager crashes during submission bursts, network and
+    disk faults — with every layer emitting correlated wide events that
+    {!Grid_obs.Monitor} checks online against the paper's enforcement
+    invariants. The driver supplies the monitor's policy oracle from its
+    own (epoch, sources) history, so decisions are judged against the
+    policy that was live at their epoch even across reloads.
+
+    [inject] turns a campaign into a monitor self-test: each
+    {!Grid_obs.Monitor.violation_class} can be provoked on demand, and a
+    healthy monitor must report exactly that class with the offending
+    correlation chain. *)
+
+type fault_level =
+  | No_faults
+  | Light  (** 1% drops, light duplication and delay *)
+  | Heavy  (** 5% drops, heavy delay, torn writes on the store's disk *)
+
+val fault_level_to_string : fault_level -> string
+
+type config = {
+  days : float;  (** campaign length in simulated days *)
+  jobs_per_day : int;  (** baseline Poisson arrival volume *)
+  seed : int;  (** drives arrivals, faults and all choices *)
+  faults : fault_level;
+  monitor : bool;  (** [false] runs monitor-less (for overhead baselines) *)
+  inject : Grid_obs.Monitor.violation_class option;
+  propagation_window : float;  (** revocation grace period, seconds *)
+}
+
+val default_config : config
+(** 3 days, 400 jobs/day, seed 42, light faults, monitor on, no injection. *)
+
+type report = {
+  submitted : int;
+  accepted : int;
+  denied : int;  (** authorization / authentication refusals *)
+  failed : int;  (** other errors: RSL, mapping, system *)
+  timed_out : int;
+  management : int;
+  management_denied : int;
+  renewals : int;
+  revocations : int;
+  reloads : int;
+  crashes : int;
+  jobs_restored : int;
+  events_checked : int;
+  final_epoch : int option;
+  violations : Grid_obs.Monitor.violation list;
+}
+
+val run : config -> report
+(** Build the world, run the campaign to quiescence, flush the monitor's
+    final tick and report. Deterministic in [config.seed]. *)
+
+val violation_classes : report -> Grid_obs.Monitor.violation_class list
+(** Distinct violation classes present in the report, sorted. *)
+
+val pp_report : report Fmt.t

@@ -65,6 +65,12 @@ let observed_authenticate t credential =
         let outcome = match result with Ok _ -> "ok" | Error _ -> "failed" in
         Grid_obs.Span.set_attr span "outcome" outcome;
         Grid_obs.Obs.incr t.obs ~labels:[ ("outcome", outcome) ] "authn_total";
+        Grid_obs.Obs.emit t.obs ~layer:"gatekeeper" "authn"
+          ([ ("outcome", outcome) ]
+          @ (match result with
+            | Ok ctx ->
+              [ ("subject", Grid_gsi.Dn.to_string ctx.Grid_gsi.Authn.peer) ]
+            | Error e -> [ ("reason", Grid_gsi.Authn.error_to_string e) ]));
         result)
 
 let observed_resolve t user =
@@ -89,17 +95,19 @@ let authenticate = observed_authenticate
 
 let submit_inner t ~(credential : Grid_gsi.Credential.t) ~(rsl : string) :
     (Job_manager.t * Protocol.submit_reply, Protocol.submit_error) result =
+  let corr_id = Grid_obs.Obs.correlation t.obs in
   (* 1. Authentication (GSI mutual auth). *)
   match observed_authenticate t credential with
   | Error e ->
     Grid_audit.Audit.log t.audit ~at:(now t) ~kind:Grid_audit.Audit.Authentication
+      ?corr_id
       ~outcome:(Grid_audit.Audit.Failure (Grid_gsi.Authn.error_to_string e))
       "job submission";
     Error (Protocol.Authentication_failed (Grid_gsi.Authn.error_to_string e))
   | Ok ctx ->
     let user = ctx.Grid_gsi.Authn.peer in
     Grid_audit.Audit.log t.audit ~at:(now t) ~kind:Grid_audit.Audit.Authentication
-      ~subject:user ~outcome:Grid_audit.Audit.Success "job submission";
+      ?corr_id ~subject:user ~outcome:Grid_audit.Audit.Success "job submission";
     if Grid_gsi.Credential.is_limited credential then begin
       (* GSI limited proxies authenticate but may not start jobs: the
          standard protection against credentials leaked from worker

@@ -140,7 +140,9 @@ let authorize t (query : Grid_callout.Callout.query) =
 
 let audit_authz t ~requester ~job_id ~action outcome =
   Grid_audit.Audit.log t.audit ~at:(now t) ~kind:Grid_audit.Audit.Authorization
-    ~subject:requester ~job_id ~outcome
+    ~subject:requester ~job_id
+    ?corr_id:(Grid_obs.Obs.correlation t.obs)
+    ~outcome
     (Printf.sprintf "action=%s mode=%s" action (Mode.to_string t.mode))
 
 let start_inner t ~(credential : Grid_gsi.Credential.t option) :
@@ -312,8 +314,10 @@ let start t ~credential =
       "jmi.start"
       (fun span ->
         let result = start_inner t ~credential in
-        Grid_obs.Span.set_attr span "outcome"
-          (match result with Ok _ -> "ok" | Error _ -> "refused");
+        let outcome = match result with Ok _ -> "ok" | Error _ -> "refused" in
+        Grid_obs.Span.set_attr span "outcome" outcome;
+        Grid_obs.Obs.emit t.obs ~layer:"jmi" "jmi.start"
+          [ ("contact", t.contact); ("outcome", outcome) ];
         result)
 
 (* --- Management --------------------------------------------------------- *)
@@ -416,5 +420,7 @@ let manage t ~requester ?credential action =
         Grid_obs.Obs.incr t.obs
           ~labels:[ ("action", action_name); ("outcome", outcome) ]
           "management_requests_total";
+        Grid_obs.Obs.emit t.obs ~layer:"jmi" "jmi.manage"
+          [ ("contact", t.contact); ("action", action_name); ("outcome", outcome) ];
         result)
   end

@@ -48,11 +48,11 @@ let extended_from_config config registry =
 (* Wrap the mode's callout so every consultation is spanned and counted
    under its backend label. GT2 baseline has no callout to wrap; its
    gridmap decisions are counted by the Gatekeeper itself. *)
-let instrument ~obs = function
+let instrument ?epoch ~obs = function
   | Gt2_baseline -> Gt2_baseline
   | Extended { authorization; advice; backend } ->
     Extended
-      { authorization = Grid_callout.Callout.instrument ~backend ~obs authorization;
+      { authorization = Grid_callout.Callout.instrument ~backend ?epoch ~obs authorization;
         advice;
         backend }
 

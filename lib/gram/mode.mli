@@ -30,9 +30,11 @@ val extended_from_config : Grid_callout.Config.t -> Grid_callout.Registry.t -> t
 (** Resolve the job-manager authorization callout from configuration; a
     misconfigured callout fails closed at invocation time. *)
 
-val instrument : obs:Grid_obs.Obs.t -> t -> t
+val instrument : ?epoch:(unit -> int) -> obs:Grid_obs.Obs.t -> t -> t
 (** Wrap the Extended callout with [Grid_callout.Callout.instrument] under
-    the mode's backend label; the baseline is returned unchanged. *)
+    the mode's backend label; the baseline is returned unchanged. [epoch]
+    (typically [File_pep.Compiled.epoch]) stamps every decision event
+    with the policy epoch it was made under. *)
 
 val with_cache : cache:Grid_callout.Cache.t -> t -> t
 (** Memoize the Extended callout through an authorization decision cache

@@ -29,8 +29,9 @@ type t = {
   lrm_contacts : (string, string) Hashtbl.t;
 }
 
-(* Bridge injected network faults into the metrics registry so chaos runs
-   are measurable: network_faults_total{event,link}. *)
+(* Bridge injected network faults into the metrics registry and the wide
+   event stream so chaos runs are measurable and correlatable:
+   network_faults_total{event,link} plus a "net.fault" event. *)
 let observe_faults ~obs network =
   if Grid_obs.Obs.enabled obs then
     Grid_sim.Network.on_fault network (fun event ->
@@ -43,7 +44,9 @@ let observe_faults ~obs network =
         in
         Grid_obs.Obs.incr obs
           ~labels:[ ("event", event_label); ("link", link) ]
-          "network_faults_total")
+          "network_faults_total";
+        Grid_obs.Obs.emit obs ~layer:"net" "net.fault"
+          [ ("event", event_label); ("link", link) ])
 
 (* Serialize the live job table for snapshot compaction: one Job_created
    record per contact, in sorted contact order so snapshots are
@@ -72,7 +75,7 @@ let create ?(name = "resource") ?network ?gatekeeper_pep ?allocation ?obs
   let mode =
     match authz_cache with None -> mode | Some cache -> Mode.with_cache ~cache mode
   in
-  let mode = Mode.instrument ~obs mode in
+  let mode = Mode.instrument ?epoch:policy_epoch ~obs mode in
   (* The gatekeeper PEP shares the cache under its own scope (it answers
      from different policy than the job manager's callout). *)
   let gatekeeper_pep =
@@ -90,6 +93,25 @@ let create ?(name = "resource") ?network ?gatekeeper_pep ?allocation ?obs
       authz_cache; mode; store; policy_epoch; jmis = Hashtbl.create 32;
       entries = Hashtbl.create 32; lrm_contacts = Hashtbl.create 32 }
   in
+  (* Degraded authorization decisions belong in the audit trail, not just
+     the event stream: a fail-open conversion is a security-relevant
+     choice an administrator must be able to reconstruct later. *)
+  if Grid_obs.Obs.enabled obs then
+    Grid_obs.Event.subscribe (Grid_obs.Obs.events obs) (fun e ->
+        if String.equal e.Grid_obs.Event.kind "authz.degraded" then
+          let attr name =
+            Option.value ~default:"?"
+              (List.assoc_opt name e.Grid_obs.Event.attrs)
+          in
+          Grid_audit.Audit.log audit ~at:e.Grid_obs.Event.at
+            ~kind:Grid_audit.Audit.Authorization
+            ?policy_epoch:(Option.map (fun epoch -> epoch ()) policy_epoch)
+            ?corr_id:e.Grid_obs.Event.corr
+            ~outcome:
+              (Grid_audit.Audit.Failure
+                 (Printf.sprintf "authorization degraded (%s)" (attr "mode")))
+            (Printf.sprintf "backend outage: %s -> %s under %s" (attr "original")
+               (attr "final") (attr "mode")));
   (match store with
   | None -> ()
   | Some store ->
@@ -104,11 +126,12 @@ let create ?(name = "resource") ?network ?gatekeeper_pep ?allocation ?obs
           match job.Grid_lrm.Lrm.state with
           | Grid_lrm.Lrm.Completed | Grid_lrm.Lrm.Cancelled | Grid_lrm.Lrm.Killed _ ->
             Hashtbl.remove t.lrm_contacts job.Grid_lrm.Lrm.id;
+            let state = Grid_lrm.Lrm.state_to_string job.Grid_lrm.Lrm.state in
             record_event t
               (Persist.Job_state
-                 { contact;
-                   state = Grid_lrm.Lrm.state_to_string job.Grid_lrm.Lrm.state;
-                   at = Grid_sim.Engine.now engine })
+                 { contact; state; at = Grid_sim.Engine.now engine });
+            Grid_obs.Obs.emit obs ~layer:"gram" "job.terminal"
+              [ ("contact", contact); ("state", state) ]
           | Grid_lrm.Lrm.Pending | Grid_lrm.Lrm.Running | Grid_lrm.Lrm.Suspended -> ()
         end));
   t
@@ -125,6 +148,13 @@ let gatekeeper t = t.gatekeeper
 let store t = t.store
 
 let now t = Grid_sim.Engine.now t.engine
+
+let current_epoch t = Option.map (fun epoch -> epoch ()) t.policy_epoch
+
+let epoch_attr t =
+  match current_epoch t with
+  | None -> []
+  | Some e -> [ ("epoch", string_of_int e) ]
 
 let find_jmi t contact = Hashtbl.find_opt t.jmis contact
 
@@ -158,32 +188,42 @@ let jobs_with_tag t tag =
 let new_challenge t = Gatekeeper.new_challenge t.gatekeeper
 
 let submit_direct t ~credential ~rsl =
-  match Gatekeeper.handle_submit t.gatekeeper ~credential ~rsl with
-  | Error _ as e -> e
-  | Ok (jmi, reply) ->
-    let contact = Job_manager.contact jmi in
-    Hashtbl.replace t.jmis contact jmi;
-    if Option.is_some t.store then begin
-      let job = Job_manager.job jmi in
-      let entry =
-        { Persist.contact;
-          owner = Job_manager.owner jmi;
-          account = Job_manager.account jmi;
-          jobtag = Job_manager.jobtag jmi;
-          rsl = Grid_rsl.Job.to_string job;
-          rsl_fingerprint = Persist.fingerprint job;
-          policy_epoch = Option.map (fun epoch -> epoch ()) t.policy_epoch;
-          limits = Job_manager.limits jmi;
-          lrm_job = Job_manager.lrm_job_id jmi;
-          created_at = now t }
-      in
-      Hashtbl.replace t.entries contact entry;
-      Option.iter
-        (fun lrm_id -> Hashtbl.replace t.lrm_contacts lrm_id contact)
-        entry.Persist.lrm_job;
-      record_event t (Persist.Job_created entry)
-    end;
-    Ok reply
+  (* Everything this submission causes — authentication, the callout
+     decision, job creation, the LRM hand-off — shares one correlation
+     id, minted here unless the networked wrapper already supplied it. *)
+  Grid_obs.Obs.ensure_correlation t.obs (fun () ->
+      match Gatekeeper.handle_submit t.gatekeeper ~credential ~rsl with
+      | Error _ as e -> e
+      | Ok (jmi, reply) ->
+        let contact = Job_manager.contact jmi in
+        Hashtbl.replace t.jmis contact jmi;
+        let durable = Option.is_some t.store in
+        if durable then begin
+          let job = Job_manager.job jmi in
+          let entry =
+            { Persist.contact;
+              owner = Job_manager.owner jmi;
+              account = Job_manager.account jmi;
+              jobtag = Job_manager.jobtag jmi;
+              rsl = Grid_rsl.Job.to_string job;
+              rsl_fingerprint = Persist.fingerprint job;
+              policy_epoch = current_epoch t;
+              limits = Job_manager.limits jmi;
+              lrm_job = Job_manager.lrm_job_id jmi;
+              created_at = now t }
+          in
+          Hashtbl.replace t.entries contact entry;
+          Option.iter
+            (fun lrm_id -> Hashtbl.replace t.lrm_contacts lrm_id contact)
+            entry.Persist.lrm_job;
+          record_event t (Persist.Job_created entry)
+        end;
+        Grid_obs.Obs.emit t.obs ~layer:"gram" "job.created"
+          ([ ("contact", contact);
+             ("owner", Grid_gsi.Dn.to_string (Job_manager.owner jmi));
+             ("durable", string_of_bool durable) ]
+          @ epoch_attr t);
+        Ok reply)
 
 (* The JMI "accepts, authenticates and authorizes management requests"
    (Section 4.2): when a credential accompanies the request it must
@@ -191,6 +231,7 @@ let submit_direct t ~credential ~rsl =
    the claimed requester identity. A credential-less call is reserved
    for in-process trusted callers (tests, monitoring). *)
 let manage_direct t ~requester ?credential ~contact action =
+  Grid_obs.Obs.ensure_correlation t.obs (fun () ->
   let result =
     match find_jmi t contact with
     | None -> Error (Protocol.Unknown_job contact)
@@ -231,7 +272,7 @@ let manage_direct t ~requester ?credential ~contact action =
                | Error _ -> "error");
              at = now t })
   | Protocol.Status -> ());
-  result
+  result)
 
 (* --- Crash and recovery ------------------------------------------------ *)
 
@@ -249,7 +290,11 @@ let crash t =
   Grid_sim.Trace.record t.trace ~at:(now t) ~source:t.name ~target:t.name
     "job manager crashed";
   if Grid_obs.Obs.enabled t.obs then Grid_obs.Obs.incr t.obs "resource_crashes_total";
+  Grid_obs.Obs.emit t.obs ~layer:"resource" "resource.crashed"
+    ([ ("lost", string_of_int lost) ] @ epoch_attr t);
   Grid_audit.Audit.log t.audit ~at:(now t) ~kind:Grid_audit.Audit.Recovery
+    ?policy_epoch:(current_epoch t)
+    ?corr_id:(Grid_obs.Obs.correlation t.obs)
     ~outcome:(Grid_audit.Audit.Failure (Printf.sprintf "%d in-memory JMIs lost" lost))
     "job manager crashed"
 
@@ -299,6 +344,12 @@ let recover t =
             (fun lrm_id -> Hashtbl.replace t.lrm_contacts lrm_id e.Persist.contact)
             e.Persist.lrm_job;
           incr restored;
+          Grid_obs.Obs.emit t.obs ~layer:"resource" "job.restored"
+            [ ("contact", e.Persist.contact);
+              ("admitted_epoch",
+               match e.Persist.policy_epoch with
+               | Some ep -> string_of_int ep
+               | None -> "?") ];
           match (current_epoch, e.Persist.policy_epoch) with
           | Some now_epoch, Some then_epoch when now_epoch <> then_epoch -> incr stale
           | _ -> ())
@@ -316,7 +367,17 @@ let recover t =
     end;
     Grid_sim.Trace.record t.trace ~at:(now t) ~source:t.name ~target:t.name
       "job manager recovered";
+    Grid_obs.Obs.emit t.obs ~layer:"resource" "resource.recovered"
+      ([ ("restored", string_of_int !restored);
+         ("replayed", string_of_int events);
+         ("dropped_bytes",
+          string_of_int replayed.Grid_store.Store.dropped_bytes);
+         ("decode_failures", string_of_int !failures);
+         ("stale", string_of_int !stale) ]
+      @ epoch_attr t);
     Grid_audit.Audit.log t.audit ~at:(now t) ~kind:Grid_audit.Audit.Recovery
+      ?policy_epoch:current_epoch
+      ?corr_id:(Grid_obs.Obs.correlation t.obs)
       ~outcome:Grid_audit.Audit.Success
       (Printf.sprintf
          "replayed %d records (%d snapshot, %d journal), restored %d jobs%s%s" events
@@ -385,38 +446,70 @@ let arm_timeout t ~timeout ~settle timeout_error =
 let effective_timeout t timeout =
   match timeout with Some _ as s -> s | None -> t.request_timeout
 
+(* Each networked request mints the correlation id at the client edge, so
+   the request event, every resource-side event its processing causes
+   (the delivery continuation re-establishes the id — the ambient stack
+   does not survive the scheduling gap), the reply and even a timeout all
+   share one chain. *)
 let submit ?timeout t ~credential ~rsl ~reply =
   Grid_sim.Trace.record t.trace ~at:(now t) ~source:"client"
     ~target:(t.name ^ ":gatekeeper") "job request + credentials";
+  let corr = Grid_obs.Obs.fresh_correlation t.obs in
+  Grid_obs.Obs.emit t.obs ~corr ~layer:"gram" "gram.request" [ ("kind", "submit") ];
   let span = request_span t ~kind:"submit" in
   let settle = settle_guard t ~kind:"submit" ~span reply in
+  let settle ~timed_out result =
+    if timed_out then
+      Grid_obs.Obs.emit t.obs ~corr ~layer:"gram" "gram.timeout"
+        [ ("kind", "submit") ];
+    settle ~timed_out result
+  in
   arm_timeout t ~timeout:(effective_timeout t timeout) ~settle (fun m ->
       Protocol.Request_timeout m);
   Grid_sim.Network.send ~link:"client->resource" t.network (fun () ->
-      let result =
-        Grid_obs.Obs.in_scope t.obs span (fun () -> submit_direct t ~credential ~rsl)
-      in
-      (match result with
-      | Ok r ->
-        Grid_sim.Trace.record t.trace ~at:(now t) ~source:("jmi:" ^ r.Protocol.job_contact)
-          ~target:"client" "job contact"
-      | Error _ ->
-        Grid_sim.Trace.record t.trace ~at:(now t) ~source:(t.name ^ ":gatekeeper")
-          ~target:"client" "submission error");
-      Grid_sim.Network.send ~link:"resource->client" t.network (fun () ->
-          settle ~timed_out:false result))
+      Grid_obs.Obs.with_correlation t.obs ~corr (fun () ->
+          let result =
+            Grid_obs.Obs.in_scope t.obs span (fun () -> submit_direct t ~credential ~rsl)
+          in
+          (match result with
+          | Ok r ->
+            Grid_sim.Trace.record t.trace ~at:(now t)
+              ~source:("jmi:" ^ r.Protocol.job_contact) ~target:"client" "job contact"
+          | Error _ ->
+            Grid_sim.Trace.record t.trace ~at:(now t) ~source:(t.name ^ ":gatekeeper")
+              ~target:"client" "submission error");
+          Grid_obs.Obs.emit t.obs ~layer:"gram" "gram.reply"
+            [ ("kind", "submit");
+              ("outcome", match result with Ok _ -> "ok" | Error _ -> "error") ];
+          Grid_sim.Network.send ~link:"resource->client" t.network (fun () ->
+              settle ~timed_out:false result)))
 
 let manage ?timeout t ~requester ?credential ~contact action ~reply =
   Grid_sim.Trace.record t.trace ~at:(now t) ~source:"client" ~target:("jmi:" ^ contact)
     (Protocol.management_action_to_string action);
+  let corr = Grid_obs.Obs.fresh_correlation t.obs in
+  Grid_obs.Obs.emit t.obs ~corr ~layer:"gram" "gram.request"
+    [ ("kind", "manage");
+      ("action", Protocol.management_action_to_string action);
+      ("contact", contact) ];
   let span = request_span t ~kind:"manage" in
   let settle = settle_guard t ~kind:"manage" ~span reply in
+  let settle ~timed_out result =
+    if timed_out then
+      Grid_obs.Obs.emit t.obs ~corr ~layer:"gram" "gram.timeout"
+        [ ("kind", "manage"); ("contact", contact) ];
+    settle ~timed_out result
+  in
   arm_timeout t ~timeout:(effective_timeout t timeout) ~settle (fun m ->
       Protocol.Request_timed_out m);
   Grid_sim.Network.send ~link:"client->resource" t.network (fun () ->
-      let result =
-        Grid_obs.Obs.in_scope t.obs span (fun () ->
-            manage_direct t ~requester ?credential ~contact action)
-      in
-      Grid_sim.Network.send ~link:"resource->client" t.network (fun () ->
-          settle ~timed_out:false result))
+      Grid_obs.Obs.with_correlation t.obs ~corr (fun () ->
+          let result =
+            Grid_obs.Obs.in_scope t.obs span (fun () ->
+                manage_direct t ~requester ?credential ~contact action)
+          in
+          Grid_obs.Obs.emit t.obs ~layer:"gram" "gram.reply"
+            [ ("kind", "manage");
+              ("outcome", match result with Ok _ -> "ok" | Error _ -> "error") ];
+          Grid_sim.Network.send ~link:"resource->client" t.network (fun () ->
+              settle ~timed_out:false result)))

@@ -1,0 +1,73 @@
+(** Online safety-invariant monitor over the wide-event stream.
+
+    Consumes {!Event} streams and continuously asserts the paper's
+    enforcement guarantees: default-deny (via an injected policy
+    oracle), epoch freshness, credential liveness past the propagation
+    window, crash-recovery equivalence, and fail-closed integrity.
+
+    Events are buffered per simulation tick and applied in a canonical
+    content-based order, so verdicts never depend on the arrival order
+    of events within one tick; a same-tick epoch bump excuses same-tick
+    decisions. Each violation carries the full correlated event chain of
+    the offending request. *)
+
+type violation_class =
+  | Default_deny
+      (** a Permit with no matching policy statement at the decision's
+          epoch *)
+  | Stale_epoch
+      (** a decision or cache answer served under an old policy epoch
+          strictly after a bump propagated *)
+  | Expired_credential
+      (** an expired or revoked credential authorized an action past
+          the propagation window *)
+  | Recovery_divergence
+      (** a durably-admitted live job did not come back from recovery
+          although the store reported no loss *)
+  | Fail_open_upgrade
+      (** fail-closed degradation produced a Permit *)
+
+val class_to_string : violation_class -> string
+val class_of_string : string -> violation_class option
+val all_classes : violation_class list
+
+type violation = {
+  vclass : violation_class;
+  at : Grid_sim.Clock.time;
+  corr : string option;
+  message : string;
+  chain : Event.t list;  (** correlated event chain, chronological *)
+}
+
+type t
+
+val create :
+  ?oracle:(Event.t -> bool option) ->
+  ?propagation_window:float ->
+  ?chain_limit:int ->
+  Event.bus ->
+  t
+(** Subscribe a fresh monitor to the bus. [oracle] re-derives the policy
+    answer for an ["authz.decision"] event ([Some false] means the
+    policy denies — a permitted event is then a default-deny violation;
+    [None] means "not my backend / unknown epoch"). The campaign driver
+    injects it, keeping the monitor free of policy dependencies.
+    [propagation_window] (default 300 s) is the grace period granted to
+    revocation propagation. [chain_limit] bounds retained per-request
+    chains. *)
+
+val flush : t -> unit
+(** Process the still-buffered final tick. Call once the run is over
+    (no more events will arrive) before reading {!violations}. *)
+
+val violations : t -> violation list
+(** Chronological. Does not {!flush}. *)
+
+val violation_count : t -> int
+val events_seen : t -> int
+val current_epoch : t -> int option
+val classes : t -> violation_class list
+(** Distinct violation classes seen, sorted. *)
+
+val pp_violation : violation Fmt.t
+val pp : t Fmt.t

@@ -4,21 +4,51 @@ type t = {
   on : bool;
   metrics : Metrics.t;
   tracer : Span.t;
+  events : Event.bus;
   clock : unit -> Grid_sim.Clock.time;
 }
 
 let create ?(clock = fun () -> 0.0) () =
-  { on = true; metrics = Metrics.create (); tracer = Span.create (); clock }
+  { on = true;
+    metrics = Metrics.create ();
+    tracer = Span.create ();
+    events = Event.create_bus ();
+    clock }
 
 let of_engine engine = create ~clock:(fun () -> Grid_sim.Engine.now engine) ()
 
 let noop =
-  { on = false; metrics = Metrics.create (); tracer = Span.create (); clock = (fun () -> 0.0) }
+  { on = false;
+    metrics = Metrics.create ();
+    tracer = Span.create ();
+    events = Event.create_bus ();
+    clock = (fun () -> 0.0) }
 
 let enabled t = t.on
 let metrics t = t.metrics
 let tracer t = t.tracer
+let events t = t.events
 let now t = t.clock ()
+
+(* --- Wide events and correlation --------------------------------------- *)
+
+let emit t ?corr ~layer kind attrs =
+  if t.on then Event.emit t.events ~at:(t.clock ()) ?corr ~layer ~kind attrs
+
+let fresh_correlation t = Event.fresh_corr t.events
+let correlation t = Event.current_corr t.events
+
+let with_correlation t ~corr f =
+  if not t.on then f () else Event.with_corr t.events corr f
+
+(* Direct entry points may be the outermost frame (no networked request
+   minted an id): give their emissions a correlation of their own. *)
+let ensure_correlation t f =
+  if not t.on then f ()
+  else
+    match Event.current_corr t.events with
+    | Some _ -> f ()
+    | None -> Event.with_corr t.events (Event.fresh_corr t.events) f
 
 let incr t ?by ?labels name = if t.on then Metrics.inc t.metrics ?by ?labels name
 let set_gauge t ?labels name v = if t.on then Metrics.set t.metrics ?labels name v

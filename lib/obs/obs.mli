@@ -29,6 +29,33 @@ val metrics : t -> Metrics.t
 val tracer : t -> Span.t
 val now : t -> Grid_sim.Clock.time
 
+val events : t -> Event.bus
+(** The wide-event bus: the {!Monitor} and other consumers subscribe
+    here. *)
+
+(** {1 Wide events and correlation} *)
+
+val emit : t -> ?corr:string -> layer:string -> string -> (string * string) list -> unit
+(** [emit t ~layer kind attrs] publishes a wide event stamped with the
+    clock and the ambient correlation id (overridable via [corr]). A
+    disabled handle emits nothing. *)
+
+val fresh_correlation : t -> string
+(** Mint a correlation id for a new request. *)
+
+val correlation : t -> string option
+(** The ambient correlation id, if inside {!with_correlation}. *)
+
+val with_correlation : t -> corr:string -> (unit -> 'a) -> 'a
+(** Make [corr] the ambient correlation id for the callback: every
+    {!emit} underneath inherits it. Network-delivery continuations use
+    this to re-establish their request's id. *)
+
+val ensure_correlation : t -> (unit -> 'a) -> 'a
+(** Run under the ambient correlation id, minting a fresh one only when
+    none is established — how direct (non-networked) entry points get
+    correlated events without double-tagging networked requests. *)
+
 (** {1 Metrics shorthands} *)
 
 val incr : t -> ?by:float -> ?labels:Metrics.labels -> string -> unit

@@ -128,6 +128,58 @@ let pp_span ppf s =
       s.attrs
   | None -> Fmt.pf ppf "%8.3fs  %s (open)%a" s.started_at s.name pp_attrs s.attrs
 
+(* Chrome trace_event JSON ("X" complete events): one object per closed
+   span, timestamps and durations in microseconds of simulated time.
+   Open spans are skipped — the exporter runs after the engine drained,
+   so anything still open is the outermost scaffolding. Attributes land
+   in [args]; the parent id too, since complete events carry no explicit
+   hierarchy. Loadable in chrome://tracing and Perfetto. *)
+let to_chrome_json t =
+  let buf = Buffer.create 4096 in
+  let escape s =
+    let b = Buffer.create (String.length s + 8) in
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string b "\\\""
+        | '\\' -> Buffer.add_string b "\\\\"
+        | '\n' -> Buffer.add_string b "\\n"
+        | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char b c)
+      s;
+    Buffer.contents b
+  in
+  Buffer.add_string buf "{\"traceEvents\":[";
+  let first = ref true in
+  List.iter
+    (fun s ->
+      match s.ended_at with
+      | None -> ()
+      | Some ended ->
+        if not !first then Buffer.add_char buf ',';
+        first := false;
+        let args =
+          ("span_id", string_of_int s.id)
+          :: (match s.parent with
+             | Some p -> [ ("parent_id", string_of_int p) ]
+             | None -> [])
+          @ List.rev s.attrs
+        in
+        Buffer.add_string buf
+          (Printf.sprintf
+             "{\"name\":\"%s\",\"cat\":\"grid\",\"ph\":\"X\",\"ts\":%.1f,\"dur\":%.1f,\"pid\":1,\"tid\":1,\"args\":{%s}}"
+             (escape s.name)
+             (s.started_at *. 1e6)
+             ((ended -. s.started_at) *. 1e6)
+             (String.concat ","
+                (List.map
+                   (fun (k, v) -> Printf.sprintf "\"%s\":\"%s\"" (escape k) (escape v))
+                   args))))
+    (spans t);
+  Buffer.add_string buf "],\"displayTimeUnit\":\"ms\"}";
+  Buffer.contents buf
+
 let pp ppf t =
   (* Index children once: rendering is O(n) over the stored forest. *)
   let by_parent = Hashtbl.create 64 in

@@ -87,6 +87,12 @@ val summarize : t -> (string * stage) list
 (** Completed spans grouped by name, sorted by name: the per-stage
     latency breakdown. *)
 
+val to_chrome_json : t -> string
+(** Export every closed span as a Chrome [trace_event] "X" (complete)
+    event — [ts]/[dur] in microseconds of simulated time, attributes and
+    the parent span id under [args]. The output loads directly into
+    chrome://tracing or Perfetto ([gridctl trace export]). *)
+
 val pp_span : span Fmt.t
 val pp : t Fmt.t
 (** Render the span forest, indented by depth, with durations. *)

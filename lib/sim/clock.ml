@@ -16,3 +16,4 @@ let of_seconds s = s
 let to_seconds t = t
 let minutes m = m *. 60.0
 let hours h = h *. 3600.0
+let days d = d *. 86400.0

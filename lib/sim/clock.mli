@@ -12,3 +12,6 @@ val of_seconds : float -> time
 val to_seconds : time -> float
 val minutes : float -> time
 val hours : float -> time
+
+val days : float -> time
+(** Multi-day soak campaigns are expressed in these. *)

@@ -25,18 +25,25 @@ let tmp_file_of name = name ^ ".snapshot.tmp"
 let observe_disk ~obs disk =
   if Grid_obs.Obs.enabled obs then
     Grid_sim.Disk.on_event disk (fun event ->
+        let fault kind file detail =
+          Grid_obs.Obs.emit obs ~layer:"disk" "disk.fault"
+            ([ ("event", kind); ("file", file) ] @ detail)
+        in
         match event with
         | Grid_sim.Disk.Synced { latency; _ } ->
           Grid_obs.Obs.incr obs "store_fsyncs_total";
           Grid_obs.Obs.observe obs "store_fsync_seconds" latency
         | Grid_sim.Disk.Torn { file; lost; _ } ->
           Grid_obs.Obs.incr obs ~labels:[ ("file", file) ] "store_torn_writes_total";
-          Grid_obs.Obs.incr obs ~by:(float_of_int lost) "store_lost_tail_bytes_total"
+          Grid_obs.Obs.incr obs ~by:(float_of_int lost) "store_lost_tail_bytes_total";
+          fault "torn" file [ ("lost", string_of_int lost) ]
         | Grid_sim.Disk.Truncated { file; lost } ->
           Grid_obs.Obs.incr obs ~labels:[ ("file", file) ] "store_truncated_tails_total";
-          Grid_obs.Obs.incr obs ~by:(float_of_int lost) "store_lost_tail_bytes_total"
+          Grid_obs.Obs.incr obs ~by:(float_of_int lost) "store_lost_tail_bytes_total";
+          fault "truncated" file [ ("lost", string_of_int lost) ]
         | Grid_sim.Disk.Corrupted { file; _ } ->
-          Grid_obs.Obs.incr obs ~labels:[ ("file", file) ] "store_corruptions_total")
+          Grid_obs.Obs.incr obs ~labels:[ ("file", file) ] "store_corruptions_total";
+          fault "corrupted" file [])
 
 let create ?(obs = Grid_obs.Obs.noop) ?sync ?snapshot_every ~disk ~name () =
   (match snapshot_every with

@@ -594,7 +594,7 @@ let t12_workload () =
               Workload.rsl_templates =
                 [ "&(executable=test1)(directory=/sandbox/test)(count=2)(simduration=30)" ] })
           profiles
-      | `Flat_file -> profiles
+      | `Flat_file | `Rebac -> profiles
     in
     let t0 = Sys.time () in
     let stats =
@@ -1030,6 +1030,120 @@ let t18_soak () =
     :: !collected
 
 (* ------------------------------------------------------------------ *)
+(* T19: ReBAC deep-nesting expansion vs flat compiled evaluation       *)
+
+let t19_rebac () =
+  section "T19: ReBAC graph expansion (deep nesting) vs flat compiled index";
+  (* A trie 8 organizational levels deep with 4 sibling branches per
+     level: the grant sits at the org root, the requester at the deepest
+     leaf, so every ReBAC decision walks >= 6 child levels (the paper's
+     group-nesting worst case) where the flat index answers with bucket
+     probes. Statements at every level keep the interior nodes real
+     (each carries its own grant) rather than skeletal. *)
+  let depth = 8 in
+  let branching = 4 in
+  let chain level = String.concat "" (List.init level (fun i -> Printf.sprintf "/OU=l%ds0" (i + 1))) in
+  let statements =
+    ("/O=Grid: &(action = information)"
+    :: List.concat_map
+         (fun level ->
+           List.init branching (fun s ->
+               Printf.sprintf "/O=Grid%s/OU=l%ds%d: &(action = information)"
+                 (chain (level - 1)) level s))
+         (List.init depth (fun i -> i + 1)))
+  in
+  let policy = Policy.Parse.parse (String.concat "\n" statements) in
+  let sources = [ Policy.Combine.source ~name:"synthetic" policy ] in
+  let rebac_pep = Rebac.Pep.create sources in
+  let rebac = Rebac.Pep.callout rebac_pep in
+  let flat = Callout.File_pep.of_sources sources in
+  let make_cached ?epoch ?revision pep =
+    Callout.Cache.with_cache
+      (Callout.Cache.create ~capacity:4096 ~ttl:1e12 ?epoch ?revision
+         ~now:(fun () -> 0.0) ())
+      pep
+  in
+  let rebac_cached =
+    make_cached
+      ~epoch:(fun () -> Rebac.Pep.epoch rebac_pep)
+      ~revision:(fun () -> Rebac.Pep.revision rebac_pep)
+      rebac
+  in
+  let flat_cached = make_cached flat in
+  let user level i =
+    Gsi.Dn.parse (Printf.sprintf "/O=Grid%s/CN=user%02d" (chain level) i)
+  in
+  let query ?(level = depth) ?(i = 0) ?(action = Policy.Types.Action.Information) () =
+    Callout.Callout.management_query ~requester:(user level i) ~action ~job_id:"job-0"
+      ~job_owner:(user level i) ~jobtag:None ()
+  in
+  let q = query () in
+  ignore (rebac_cached q);
+  ignore (flat_cached q);
+  (* warm: measure the hit path *)
+  Printf.printf "   trie: %d levels, %d branches/level, %d tuples; requester at depth %d\n"
+    depth branching
+    (Rebac.Store.tuple_count (Rebac.Pep.store rebac_pep))
+    (depth + 2);
+  let rows =
+    run_tests
+      [ Test.make ~name:"rebac/0-expansion" (Staged.stage (fun () -> ignore (rebac q)));
+        Test.make ~name:"rebac/1-expansion+cached"
+          (Staged.stage (fun () -> ignore (rebac_cached q)));
+        Test.make ~name:"flat/0-compiled" (Staged.stage (fun () -> ignore (flat q)));
+        Test.make ~name:"flat/1-compiled+cached"
+          (Staged.stage (fun () -> ignore (flat_cached q))) ]
+  in
+  print_table
+    (Printf.sprintf "deep-nesting decision, depth %d, branching %d" depth branching)
+    rows;
+  (match
+     ( List.assoc_opt "rebac/0-expansion" rows,
+       List.assoc_opt "rebac/1-expansion+cached" rows,
+       List.assoc_opt "flat/0-compiled" rows )
+   with
+  | Some e, Some h, Some f ->
+    Printf.printf
+      "   expansion costs %.1fx the flat index; the decision cache recovers %.1fx\n"
+      (e /. f) (e /. h);
+    collected :=
+      ( "rebac expansion ratios",
+        [ ("ratio/expansion_vs_flat", e /. f); ("ratio/expansion_vs_cached", e /. h);
+          ("shape/nesting_levels", float_of_int depth);
+          ("shape/tuples", float_of_int (Rebac.Store.tuple_count (Rebac.Pep.store rebac_pep)))
+        ] )
+      :: !collected
+  | _ -> ());
+  (* Divergence check across the whole query mix — every nesting level,
+     strangers, all actions, third-party targets — with the caches live
+     so cache hits are compared against fresh evaluations too. *)
+  let rng = Util.Rng.create ~seed:20260808 in
+  let trials = 1000 in
+  let divergences = ref 0 in
+  for _ = 1 to trials do
+    let level = Util.Rng.int rng (depth + 1) in
+    let requester =
+      if Util.Rng.int rng 10 = 0 then Gsi.Dn.parse "/O=Elsewhere/CN=stranger"
+      else user level (Util.Rng.int rng 4)
+    in
+    let q =
+      Callout.Callout.management_query ~requester
+        ~action:(Util.Rng.pick rng Policy.Types.Action.all)
+        ~job_id:(Printf.sprintf "job-%03d" (Util.Rng.int rng 8))
+        ~job_owner:(user (Util.Rng.int rng (depth + 1)) 0)
+        ~jobtag:(if Util.Rng.bool rng then Some "NFC" else None)
+        ()
+    in
+    let r = rebac q and rc = rebac_cached q and f = flat q and fc = flat_cached q in
+    if r <> f || r <> rc || r <> fc then incr divergences
+  done;
+  Printf.printf "   divergence check: %d/%d decisions differ across pipelines (must be 0)\n"
+    !divergences trials;
+  collected :=
+    ("rebac decision divergence", [ ("divergences", float_of_int !divergences) ])
+    :: !collected
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [ ("f1", figure1); ("f2", figure2); ("f3", figure3);
@@ -1038,7 +1152,8 @@ let experiments =
     ("t7", t7_accounts); ("t8", t8_pep_placement); ("t9", t9_policy_syntax);
     ("t10", t10_discovery); ("t11", t11_allocation); ("t12", t12_workload);
     ("t13", t13_akenti_cache); ("t14", t14_obs_overhead); ("t15", t15_faults);
-    ("t16", t16_authz_cache); ("t17", t17_recovery); ("t18", t18_soak) ]
+    ("t16", t16_authz_cache); ("t17", t17_recovery); ("t18", t18_soak);
+    ("t19", t19_rebac) ]
 
 (* Every experiment has a canonical artifact, so multi-experiment --json
    runs write one file per experiment instead of lumping everything into
@@ -1049,13 +1164,14 @@ let artifact_of = function
   | "t16" -> "BENCH_authz_cache.json"
   | "t17" -> "BENCH_recovery.json"
   | "t18" -> "BENCH_soak.json"
+  | "t19" -> "BENCH_rebac.json"
   | name -> Printf.sprintf "BENCH_%s.json" name
 
 let usage () =
   Printf.printf "usage: bench [--json] [EXPERIMENT...]\n\n";
   Printf.printf "Experiments (default: all):\n";
   Printf.printf "  f1 f2 f3     figure reproductions\n";
-  Printf.printf "  t1..t18      microbenchmarks (see DESIGN.md)\n\n";
+  Printf.printf "  t1..t19      microbenchmarks (see DESIGN.md)\n\n";
   Printf.printf "--json additionally writes each experiment's table to its canonical\n";
   Printf.printf "artifact (e.g. t15 -> BENCH_faults.json, t18 -> BENCH_soak.json).\n"
 
@@ -1072,7 +1188,7 @@ let () =
     | names -> names
   in
   Printf.printf "Fine-grain GRID authorization: benchmark & figure harness\n";
-  Printf.printf "(figures F1-F3 reproduce the paper's artifacts; T1-T18 are the\n";
+  Printf.printf "(figures F1-F3 reproduce the paper's artifacts; T1-T19 are the\n";
   Printf.printf " quantitative microbenchmarks defined in DESIGN.md)\n";
   List.iter
     (fun name ->
@@ -1091,5 +1207,5 @@ let () =
           | [] -> ()
           | tables -> write_json (artifact_of name) tables
         end
-      | None -> Printf.printf "unknown experiment %S (known: f1 f2 f3 t1..t18)\n" name)
+      | None -> Printf.printf "unknown experiment %S (known: f1 f2 f3 t1..t19)\n" name)
     requested

@@ -311,8 +311,21 @@ let simulate_cmd =
   let baseline =
     Arg.(value & flag & info [ "baseline" ] ~doc:"Run unmodified GT2 instead of extended GRAM.")
   in
-  let run jobs seed baseline faults fault_seed snapshot_every crash_at =
-    let backend = if baseline then `Baseline else `Flat_file in
+  let pep =
+    Arg.(
+      value
+      & opt
+          (enum [ ("flat-file", `Flat_file); ("baseline", `Baseline); ("rebac", `Rebac) ])
+          `Flat_file
+      & info [ "pep" ] ~docv:"BACKEND"
+          ~doc:
+            "Authorization backend: flat-file (the compiled policy index), rebac (the \
+             relationship-based tuple graph over the same policies) or baseline \
+             (unmodified GT2; same as --baseline).")
+  in
+  let run jobs seed baseline pep faults fault_seed snapshot_every crash_at =
+    let backend = if baseline then `Baseline else pep in
+    let baseline = backend = `Baseline in
     let faults = faults_of faults in
     (* Faulty networks need bounded requests: without a timeout a dropped
        reply would leave the workload hanging forever. *)
@@ -359,7 +372,11 @@ let simulate_cmd =
           weight = 2 } ]
     in
     Printf.printf "Simulating %d jobs on the fusion testbed (%s mode, seed %d)...\n" jobs
-      (if baseline then "GT2 baseline" else "extended") seed;
+      (match backend with
+      | `Baseline -> "GT2 baseline"
+      | `Rebac -> "extended, rebac PEP"
+      | _ -> "extended")
+      seed;
     let stats =
       Core.Workload.run
         ~engine:(Core.Testbed.engine w.Core.Fusion.testbed)
@@ -379,8 +396,8 @@ let simulate_cmd =
     (Cmd.info "simulate"
        ~doc:"Run a synthetic workload against the National Fusion Collaboratory testbed.")
     Term.(
-      const run $ jobs $ seed $ baseline $ faults_arg $ fault_seed_arg $ snapshot_every_arg
-      $ crash_at_arg)
+      const run $ jobs $ seed $ baseline $ pep $ faults_arg $ fault_seed_arg
+      $ snapshot_every_arg $ crash_at_arg)
 
 (* A short deterministic scenario on the fusion testbed so every decision
    point fires: permitted and denied submissions, a third-party cancel,
@@ -680,11 +697,24 @@ let soak_cmd =
             "Grace period after a revocation or policy-epoch change before decisions \
              against the old state count as violations.")
   in
-  let run days jobs_per_day seed faults inject no_monitor window =
+  let pep_arg =
+    Arg.(
+      value
+      & opt
+          (enum
+             [ ("flat-file", Core.Soak.Flat_file_pep); ("rebac", Core.Soak.Rebac_pep) ])
+          Core.Soak.Flat_file_pep
+      & info [ "pep" ] ~docv:"BACKEND"
+          ~doc:
+            "Authorization backend under soak: flat-file (compiled policy index) or \
+             rebac (relationship-based tuple graph). The monitor's oracle re-derives \
+             decisions through the matching engine either way.")
+  in
+  let run days jobs_per_day seed faults inject no_monitor window pep =
     let report =
       Core.Soak.run
         { Core.Soak.days; jobs_per_day; seed; faults; monitor = not no_monitor;
-          inject; propagation_window = window }
+          inject; propagation_window = window; pep }
     in
     Fmt.pr "%a@." Core.Soak.pp_report report;
     match inject with
@@ -715,7 +745,7 @@ let soak_cmd =
           the injected class is detected).")
     Term.(
       const run $ days_arg $ jobs_per_day_arg $ seed_arg $ soak_faults_arg $ inject_arg
-      $ no_monitor_arg $ window_arg)
+      $ no_monitor_arg $ window_arg $ pep_arg)
 
 let trace_export_cmd =
   let output_arg =

@@ -43,6 +43,7 @@ type t = {
   ttl : float;
   now : unit -> float;
   epoch : (unit -> int) option;
+  revision : (unit -> int) option;
   obs : Grid_obs.Obs.t;
   table : (string, node) Hashtbl.t;
   mutable head : node option; (* most recently used *)
@@ -55,13 +56,15 @@ type t = {
   mutable bypasses : int;
 }
 
-let create ?(capacity = 1024) ?(ttl = 300.0) ?(obs = Grid_obs.Obs.noop) ?epoch ~now () =
+let create ?(capacity = 1024) ?(ttl = 300.0) ?(obs = Grid_obs.Obs.noop) ?epoch ?revision
+    ~now () =
   if capacity <= 0 then invalid_arg "Cache.create: capacity must be positive";
   if ttl <= 0.0 then invalid_arg "Cache.create: ttl must be positive";
   { capacity;
     ttl;
     now;
     epoch;
+    revision;
     obs;
     table = Hashtbl.create (min capacity 1024);
     head = None;
@@ -127,23 +130,35 @@ let rsl_fingerprint = function
   | None -> ""
   | Some clause -> Grid_rsl.Ast.clause_to_string clause
 
-(* Component-wise DN encoding (values may in principle contain '/'). *)
+(* Length-prefixed part encoding. Joining components with a separator
+   byte is not injective once a component can contain that byte (a
+   hand-built DN value may hold any byte, including '\x00' and '\x01'),
+   and two different queries must never share a key — a collision here
+   is a cross-principal cache hit. [<len>.<bytes>] is unambiguous
+   whatever the bytes are; the key-collision QCheck suite in
+   [test_callout] pins this. *)
+let part s = Printf.sprintf "%d.%s" (String.length s) s
+
+(* Component-wise DN encoding (values may contain '/', '=', or any
+   separator byte). *)
 let dn_key (dn : Grid_gsi.Dn.t) =
-  String.concat "\x01"
-    (List.concat_map (fun (r : Grid_gsi.Dn.rdn) -> [ r.attr; r.value ]) dn)
+  String.concat ""
+    (List.concat_map (fun (r : Grid_gsi.Dn.rdn) -> [ part r.attr; part r.value ]) dn)
 
 let opt_key f = function None -> "-" | Some v -> "+" ^ f v
 
-let query_key ~scope ~epoch (q : Callout.query) =
-  String.concat "\x00"
-    [ scope;
-      string_of_int epoch;
-      dn_key q.requester;
-      Grid_policy.Types.Action.to_string q.action;
-      opt_key Fun.id q.job_id;
-      opt_key Fun.id q.jobtag;
-      opt_key dn_key q.job_owner;
-      rsl_fingerprint q.rsl ]
+let query_key ~scope ~epoch ?revision (q : Callout.query) =
+  String.concat ""
+    (List.map part
+       [ scope;
+         string_of_int epoch;
+         opt_key string_of_int revision;
+         dn_key q.requester;
+         Grid_policy.Types.Action.to_string q.action;
+         opt_key Fun.id q.job_id;
+         opt_key Fun.id q.jobtag;
+         opt_key dn_key q.job_owner;
+         rsl_fingerprint q.rsl ])
 
 (* --- Credential gate --------------------------------------------------- *)
 
@@ -166,6 +181,12 @@ let with_cache t ?(scope = "authz") (backend : Callout.t) : Callout.t =
  fun q ->
   let now = t.now () in
   let epoch = match t.epoch with None -> 0 | Some f -> f () in
+  (* Revision (tuple-store writes under the ReBAC PEP) participates in
+     the key but does not flush: unlike an epoch bump — a wholesale
+     policy replacement — a revision bump invalidates no *other*
+     revision's entries, it just stops them being probed; the LRU ages
+     them out. *)
+  let revision = Option.map (fun f -> f ()) t.revision in
   (* A policy reload bumped the epoch: every live entry is stale (its key
      carries the old epoch and can never be probed again), so flush and
      account the loss as invalidation. *)
@@ -184,7 +205,7 @@ let with_cache t ?(scope = "authz") (backend : Callout.t) : Callout.t =
       [ ("scope", scope); ("reason", "credential_expired") ];
     backend q
   | credential ->
-    let key = query_key ~scope ~epoch q in
+    let key = query_key ~scope ~epoch ?revision q in
     let cached =
       match Hashtbl.find_opt t.table key with
       | Some node when now < node.expires_at -> Some node

@@ -21,14 +21,19 @@ val create :
   ?ttl:float ->
   ?obs:Grid_obs.Obs.t ->
   ?epoch:(unit -> int) ->
+  ?revision:(unit -> int) ->
   now:(unit -> float) ->
   unit ->
   t
 (** [capacity] defaults to 1024 entries, [ttl] to 300 simulated seconds.
     [epoch] is sampled on every lookup (pass the compiled PEP's epoch);
-    when it changes, the whole cache is invalidated. [now] is typically
-    the engine clock. Raises [Invalid_argument] on non-positive capacity
-    or ttl. *)
+    when it changes, the whole cache is invalidated. [revision] (the
+    ReBAC tuple-store revision, {!Grid_rebac.Store.revision} via the
+    PEP) is likewise sampled per lookup and folded into the key, but a
+    change orphans old entries instead of flushing — a tuple write
+    invalidates nothing about other snapshots' answers. [now] is
+    typically the engine clock. Raises [Invalid_argument] on
+    non-positive capacity or ttl. *)
 
 val with_cache : t -> ?scope:string -> Callout.t -> Callout.t
 (** Memoize a callout through the cache. [scope] (default ["authz"])
@@ -42,6 +47,12 @@ val invalidate : t -> unit
 val rsl_fingerprint : Grid_rsl.Ast.clause option -> string
 (** The stable clause rendering used in keys ([""] for [None]); its
     stability is pinned by the RSL round-trip property in [test_rsl]. *)
+
+val query_key : scope:string -> epoch:int -> ?revision:int -> Callout.query -> string
+(** The cache key itself: length-prefixed over every component the
+    answer can depend on, so distinct queries cannot collide even when
+    components contain separator bytes. Exposed for the key-collision
+    property suite in [test_callout]. *)
 
 (** {1 Introspection} *)
 

@@ -24,6 +24,7 @@ module Mds = Grid_mds
 module Audit = Grid_audit
 module Obs = Grid_obs
 module Store = Grid_store
+module Rebac = Grid_rebac
 
 module Workload = Workload
 module Soak = Soak
@@ -34,6 +35,10 @@ type backend =
     (** unmodified GT2: gridmap-only authorization, owner-only management *)
   | Flat_file of Grid_policy.Combine.source list
     (** the prototype's plain-text policies (resource owner + VO) *)
+  | Rebac of Grid_rebac.Pep.t
+    (** the relationship-based (Zanzibar-style) PEP: the same policy
+        sources compiled to a tuple graph, decisions at the store's
+        head snapshot *)
   | Custom of Grid_callout.Callout.t
     (** any callout (Akenti adapter, CAS PEP, chains, fault injectors) *)
 
@@ -91,9 +96,18 @@ module Testbed = struct
           ~advice:(Grid_callout.File_pep.advice sources)
           (Grid_callout.File_pep.Compiled.callout pep),
         Some (fun () -> Grid_callout.File_pep.Compiled.epoch pep) )
+    | Rebac pep ->
+      ( Grid_gram.Mode.extended ~backend:"rebac" (Grid_rebac.Pep.callout pep),
+        Some (fun () -> Grid_rebac.Pep.epoch pep) )
     | Custom authorization -> (Grid_gram.Mode.extended authorization, None)
 
   let mode_of_backend ~obs backend = fst (mode_and_epoch_of_backend ~obs backend)
+
+  (* Ad-hoc tuple writes under the ReBAC PEP advance the store revision
+     without an epoch bump; the decision cache folds it into its keys. *)
+  let revision_of_backend = function
+    | Rebac pep -> Some (fun () -> Grid_rebac.Pep.revision pep)
+    | Baseline | Flat_file _ | Custom _ -> None
 
   let make_resource ?(name = "resource") ?(nodes = 4) ?(cpus_per_node = 8) ?queues
       ?(gridmap = Grid_gsi.Gridmap.empty) ?dynamic_accounts ?static_limits
@@ -110,11 +124,12 @@ module Testbed = struct
       Grid_accounts.Mapper.create ?pool ?static_limits ?dynamic_limits gridmap
     in
     let mode, epoch = mode_and_epoch_of_backend ~obs:t.obs backend in
+    let revision = revision_of_backend backend in
     let authz_cache =
       Option.map
         (fun capacity ->
           Grid_callout.Cache.create ~capacity ~ttl:(Grid_sim.Clock.minutes 5.0)
-            ~obs:t.obs ?epoch
+            ~obs:t.obs ?epoch ?revision
             ~now:(fun () -> Grid_sim.Engine.now t.engine)
             ())
         authz_cache
@@ -146,11 +161,15 @@ module Fusion = struct
     vo_admin : Grid_gram.Client.t;
   }
 
-  let build ?(backend = `Flat_file) ?(nodes = 4) ?(cpus_per_node = 8) ?faults
-      ?(fault_seed = 1299709) ?request_timeout ?flaky_pep ?authz_cache
+  let build ?(backend = `Flat_file) ?(rebac = false) ?(nodes = 4) ?(cpus_per_node = 8)
+      ?faults ?(fault_seed = 1299709) ?request_timeout ?flaky_pep ?authz_cache
       ?(store = false) ?snapshot_every ?disk_faults () =
     let testbed = Testbed.create () in
     let vo = build_vo () in
+    (* [~rebac:true] swaps the PEP for the relationship-based backend
+       over the same policy sources; decisions are differentially pinned
+       to the flat-file PEP's, so the world behaves identically. *)
+    let backend = if rebac then `Rebac else backend in
     let backend =
       match (backend, flaky_pep) with
       | `Baseline, _ -> Baseline
@@ -165,6 +184,13 @@ module Fusion = struct
           (Grid_callout.Callout.flaky ~rng ~failure_probability
              (Grid_callout.File_pep.of_sources ~obs:(Testbed.obs testbed)
                 (policy_sources vo)))
+      | `Rebac, None ->
+        Rebac (Grid_rebac.Pep.create ~obs:(Testbed.obs testbed) (policy_sources vo))
+      | `Rebac, Some failure_probability ->
+        let rng = Grid_util.Rng.create ~seed:(fault_seed + 17) in
+        Custom
+          (Grid_callout.Callout.flaky ~rng ~failure_probability
+             (Grid_rebac.Pep.of_sources ~obs:(Testbed.obs testbed) (policy_sources vo)))
       | `Custom callout, None -> Custom callout
       | `Custom callout, Some failure_probability ->
         let rng = Grid_util.Rng.create ~seed:(fault_seed + 17) in

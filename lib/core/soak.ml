@@ -32,6 +32,14 @@ let fault_level_to_string = function
   | Light -> "light"
   | Heavy -> "heavy"
 
+type pep_backend =
+  | Flat_file_pep
+  | Rebac_pep
+
+let pep_backend_to_string = function
+  | Flat_file_pep -> "flat_file"
+  | Rebac_pep -> "rebac"
+
 type config = {
   days : float;                (* campaign length in simulated days *)
   jobs_per_day : int;          (* baseline Poisson arrival volume *)
@@ -40,6 +48,7 @@ type config = {
   monitor : bool;              (* false: measure the monitor's absence *)
   inject : Grid_obs.Monitor.violation_class option;
   propagation_window : float;  (* revocation grace period, seconds *)
+  pep : pep_backend;           (* which PEP answers the callouts *)
 }
 
 let default_config =
@@ -49,7 +58,8 @@ let default_config =
     faults = Light;
     monitor = true;
     inject = None;
-    propagation_window = 300.0 }
+    propagation_window = 300.0;
+    pep = Flat_file_pep }
 
 type report = {
   submitted : int;
@@ -107,44 +117,63 @@ let request_of_event (e : Grid_obs.Event.t) : Grid_policy.Types.request option =
     | _ -> None
   with _ -> None
 
-(* The oracle answers only for the flat-file backend, looking the event's
-   epoch up in the (epoch, compiled sources) history the campaign keeps: a
-   decision event that flushes after a policy churn is re-derived against
-   the sources that were live at its epoch, not today's. Verdicts are
-   memoized on the raw (epoch, request attrs) — policy sources at a given
-   epoch are immutable snapshots, so a repeated question has a fixed
-   answer and the workload's few templates repeat constantly. *)
-let make_oracle history =
+(* The campaign's policy history: for each epoch a PEP announced, a
+   closure re-deriving the policy answer from the engine that was live
+   at that epoch. Flat-file epochs re-evaluate the compiled sources;
+   ReBAC epochs re-expand the tuple graph of the plan compiled at the
+   reload. Either way a decision event that flushes after a churn is
+   judged against the policy it was actually decided under, not
+   today's. *)
+type answerer = Grid_policy.Types.request -> bool option
+
+let flat_file_answerer sources : answerer =
+  let compiled = Grid_policy.Combine.compile_sources sources in
+  fun request ->
+    Some (Grid_policy.Combine.is_permit (Grid_policy.Combine.evaluate_compiled compiled request))
+
+let rebac_answerer sources : answerer =
+  let plan = Grid_rebac.Compile.of_sources sources in
+  let store = Grid_rebac.Compile.load plan in
+  fun request ->
+    match Grid_rebac.Compile.decide plan store request with
+    | Ok decision -> Some (Grid_policy.Combine.is_permit decision)
+    | Error _ -> None (* expansion failure: indeterminate, not a verdict *)
+
+(* One oracle body shared by every backend; [Monitor.oracle_for_backend]
+   scopes it to the decision events the campaign's PEP actually stamps.
+   Verdicts are memoized on the raw (epoch, request attrs) — the policy
+   at a given epoch is an immutable snapshot, so a repeated question has
+   a fixed answer and the workload's few templates repeat constantly. *)
+let make_oracle (history : (int * answerer) list ref) : Grid_obs.Monitor.oracle =
   let memo : (string, bool option) Hashtbl.t = Hashtbl.create 4096 in
   fun (e : Grid_obs.Event.t) ->
-    if Grid_obs.Event.attr e "backend" <> Some "flat_file" then None
-    else
-      match Grid_obs.Event.attr_int e "epoch" with
-      | None -> None
-      | Some epoch ->
-        let field k = Option.value ~default:"" (Grid_obs.Event.attr e k) in
-        let key =
-          String.concat "\x00"
-            [ string_of_int epoch; field "subject"; field "action"; field "rsl";
-              field "jobowner"; field "jobtag" ]
-        in
-        (match Hashtbl.find_opt memo key with
-        | Some verdict -> verdict
-        | None -> begin
-          match List.assoc_opt epoch !history with
-          | None -> None (* not memoized: the epoch may land in history later *)
-          | Some sources ->
-            let verdict =
-              match request_of_event e with
-              | None -> None
-              | Some request ->
-                Some
-                  (Grid_policy.Combine.is_permit
-                     (Grid_policy.Combine.evaluate_compiled sources request))
-            in
-            Hashtbl.add memo key verdict;
-            verdict
-        end)
+    match Grid_obs.Event.attr_int e "epoch" with
+    | None -> None
+    | Some epoch ->
+      let field k = Option.value ~default:"" (Grid_obs.Event.attr e k) in
+      let key =
+        String.concat "\x00"
+          [ string_of_int epoch; field "subject"; field "action"; field "rsl";
+            field "jobowner"; field "jobtag" ]
+      in
+      (match Hashtbl.find_opt memo key with
+      | Some verdict -> verdict
+      | None -> begin
+        match List.assoc_opt epoch !history with
+        | None -> None (* not memoized: the epoch may land in history later *)
+        | Some answer ->
+          let verdict = Option.bind (request_of_event e) answer in
+          Hashtbl.add memo key verdict;
+          verdict
+      end)
+
+(* The composite the monitor gets: the same history-backed oracle, once
+   per backend label a PEP in this campaign can stamp on decisions. *)
+let campaign_oracle history : Grid_obs.Monitor.oracle =
+  let oracle = make_oracle history in
+  Grid_obs.Monitor.any_oracle
+    [ Grid_obs.Monitor.oracle_for_backend "flat_file" oracle;
+      Grid_obs.Monitor.oracle_for_backend "rebac" oracle ]
 
 (* --- The campaign ------------------------------------------------------- *)
 
@@ -183,11 +212,11 @@ let run (config : config) : report =
 
   (* Policy history for the oracle; the monitor subscribes before the PEP
      exists so it also sees the create-epoch event. *)
-  let history : (int * Grid_policy.Combine.compiled_source list) list ref = ref [] in
+  let history : (int * answerer) list ref = ref [] in
   let monitor =
     if config.monitor then
       Some
-        (Grid_obs.Monitor.create ~oracle:(make_oracle history)
+        (Grid_obs.Monitor.create ~oracle:(campaign_oracle history)
            ~propagation_window:config.propagation_window
            (Grid_obs.Obs.events obs))
     else None
@@ -197,9 +226,29 @@ let run (config : config) : report =
   Grid_vo.Vo.add_member vo ~dn:mallory ~groups:[ "analysts" ];
   let sources () = Fusion_world.policy_sources vo in
   let initial_sources = sources () in
-  let pep = Grid_callout.File_pep.Compiled.create ~obs initial_sources in
-  let epoch () = Grid_callout.File_pep.Compiled.epoch pep in
-  history := [ (epoch (), Grid_policy.Combine.compile_sources initial_sources) ];
+  (* The configured PEP behind a uniform handle: callout, epoch source,
+     reload. The oracle side is symmetric — [answerer_for] snapshots the
+     sources into a closure the monitor can re-derive answers from. *)
+  let answerer_for =
+    match config.pep with
+    | Flat_file_pep -> flat_file_answerer
+    | Rebac_pep -> rebac_answerer
+  in
+  let backend_label = pep_backend_to_string config.pep in
+  let pep_callout, epoch, reload_pep =
+    match config.pep with
+    | Flat_file_pep ->
+      let pep = Grid_callout.File_pep.Compiled.create ~obs initial_sources in
+      ( Grid_callout.File_pep.Compiled.callout pep,
+        (fun () -> Grid_callout.File_pep.Compiled.epoch pep),
+        Grid_callout.File_pep.Compiled.reload pep )
+    | Rebac_pep ->
+      let pep = Grid_rebac.Pep.create ~obs initial_sources in
+      ( Grid_rebac.Pep.callout pep,
+        (fun () -> Grid_rebac.Pep.epoch pep),
+        Grid_rebac.Pep.reload pep )
+  in
+  history := [ (epoch (), answerer_for initial_sources) ];
   let epoch0 = epoch () in
 
   (* Default-deny mis-wiring: while armed, the next Denied answer from the
@@ -207,13 +256,13 @@ let run (config : config) : report =
      correlation id, exactly the bug class the monitor must catch. *)
   let flip_next_denial = ref false in
   let callout q =
-    match Grid_callout.File_pep.Compiled.callout pep q with
+    match pep_callout q with
     | Error (Grid_callout.Callout.Denied _) when !flip_next_denial ->
       flip_next_denial := false;
       Ok ()
     | decision -> decision
   in
-  let mode = Grid_gram.Mode.extended ~backend:"flat_file" callout in
+  let mode = Grid_gram.Mode.extended ~backend:backend_label callout in
 
   let network =
     Grid_sim.Network.create ?faults:(network_faults config.faults)
@@ -326,8 +375,8 @@ let run (config : config) : report =
            end
            else Grid_vo.Vo.remove_member vo ~dn:(Grid_gsi.Dn.parse mallory));
           let fresh = sources () in
-          Grid_callout.File_pep.Compiled.reload pep fresh;
-          history := (epoch (), Grid_policy.Combine.compile_sources fresh) :: !history;
+          reload_pep fresh;
+          history := (epoch (), answerer_for fresh) :: !history;
           incr reloads))
     churn_points;
 

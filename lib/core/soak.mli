@@ -21,6 +21,13 @@ type fault_level =
 
 val fault_level_to_string : fault_level -> string
 
+type pep_backend =
+  | Flat_file_pep  (** the compiled flat-file policy index *)
+  | Rebac_pep  (** the relationship-based (Zanzibar-style) PEP *)
+
+val pep_backend_to_string : pep_backend -> string
+(** The backend label stamped on decision events ("flat_file"/"rebac"). *)
+
 type config = {
   days : float;  (** campaign length in simulated days *)
   jobs_per_day : int;  (** baseline Poisson arrival volume *)
@@ -29,10 +36,14 @@ type config = {
   monitor : bool;  (** [false] runs monitor-less (for overhead baselines) *)
   inject : Grid_obs.Monitor.violation_class option;
   propagation_window : float;  (** revocation grace period, seconds *)
+  pep : pep_backend;
+      (** which PEP answers callouts; the monitor's oracle re-derives
+          answers through the matching engine either way *)
 }
 
 val default_config : config
-(** 3 days, 400 jobs/day, seed 42, light faults, monitor on, no injection. *)
+(** 3 days, 400 jobs/day, seed 42, light faults, monitor on, no
+    injection, flat-file PEP. *)
 
 type report = {
   submitted : int;

@@ -57,13 +57,30 @@ type violation = {
   chain : Event.t list;  (* the correlated event chain, chronological *)
 }
 
+(* --- Oracles ------------------------------------------------------------ *)
+
+type oracle = Event.t -> bool option
+
+(* Scope an oracle to one PEP: decision events carry the backend label
+   [Callout.instrument] stamped them with, and an oracle answering for
+   the wrong backend would re-derive answers from the wrong policy
+   world. *)
+let oracle_for_backend backend (oracle : oracle) : oracle =
+ fun e -> if Event.attr e "backend" = Some backend then oracle e else None
+
+(* Compose per-backend oracles into one: the first that claims the event
+   answers. With [oracle_for_backend] scoping, claims are disjoint, so
+   composition order carries no meaning. *)
+let any_oracle (oracles : oracle list) : oracle =
+ fun e -> List.find_map (fun o -> o e) oracles
+
 type t = {
   (* [oracle event] re-derives the policy answer for an
      ["authz.decision"] event: [Some true] = policy permits, [Some
      false] = policy denies (a permit is then a default-deny violation),
      [None] = not my backend / epoch unknown. Injected by the campaign
      driver, which holds the live policy sources per epoch. *)
-  oracle : (Event.t -> bool option) option;
+  oracle : oracle option;
   propagation_window : float;
   chain_limit : int;
   mutable current_epoch : int option;

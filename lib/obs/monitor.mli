@@ -39,10 +39,25 @@ type violation = {
   chain : Event.t list;  (** correlated event chain, chronological *)
 }
 
+type oracle = Event.t -> bool option
+(** Re-derives the policy answer for an ["authz.decision"] event:
+    [Some true] = policy permits, [Some false] = policy denies (a
+    permitted event is then a default-deny violation), [None] = not my
+    backend / unknown epoch. *)
+
+val oracle_for_backend : string -> oracle -> oracle
+(** Scope an oracle to decision events stamped with the given [backend]
+    label ({!Grid_callout.Callout.instrument}'s [?backend]); all other
+    events answer [None]. *)
+
+val any_oracle : oracle list -> oracle
+(** First claiming oracle answers — compose one {!oracle_for_backend}
+    per PEP into the composite a mixed-backend campaign injects. *)
+
 type t
 
 val create :
-  ?oracle:(Event.t -> bool option) ->
+  ?oracle:oracle ->
   ?propagation_window:float ->
   ?chain_limit:int ->
   Event.bus ->

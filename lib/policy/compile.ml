@@ -91,11 +91,17 @@ let fresh_epoch () =
 
 (* --- Compilation ------------------------------------------------------- *)
 
-(* The separators cannot appear in DN attrs/values that came through
-   [Dn.parse]; encoding component-wise (rather than [Dn.to_string]) keeps
-   hand-built DNs whose values contain '/' from colliding. *)
-let component_key (rdn : Grid_gsi.Dn.rdn) = rdn.attr ^ "\x01" ^ rdn.value
-let extend_key key comp = if key = "" then comp else key ^ "\x00" ^ comp
+(* Length-prefixed component encoding: [Dn.t] is a concrete rdn list, so
+   hand-built DNs can hold any byte — '/', '=', former separator bytes —
+   and a bucket-key collision silently widens (or narrows) a statement's
+   audience. [<len>.<bytes>] per attr and value is injective whatever
+   the bytes are; test_policy_compile's edge-case suite pinned the
+   separator-joined encoding aliasing [a=b,c=d] with [a=b\x00c\x01d]
+   before this. *)
+let component_key (rdn : Grid_gsi.Dn.rdn) =
+  Printf.sprintf "%d.%s%d.%s" (String.length rdn.attr) rdn.attr
+    (String.length rdn.value) rdn.value
+let extend_key key comp = key ^ comp
 let pattern_key (dn : Grid_gsi.Dn.t) =
   List.fold_left (fun key rdn -> extend_key key (component_key rdn)) "" dn
 

@@ -1,0 +1,80 @@
+(* The relationship-based policy evaluation point.
+
+   Same shape as [File_pep.Compiled]: built from named policy sources,
+   reloadable (a reload recompiles the tuple graph under a strictly
+   larger policy epoch, drawn from the same process-global counter as
+   every compiled PEP), and announced on the event bus with the same
+   ["policy.epoch"] event the safety monitor dates its staleness window
+   from. The extra dimension is the store *revision*: ad-hoc tuple
+   writes through [store] advance it without an epoch change, and
+   decision caches fold [revision] into their keys next to the epoch.
+
+   Graph-side failures (depth budget exceeded, future token, expired
+   snapshot) surface as [System_error] — the authorization system could
+   not answer — never as [Denied]; default-deny is a policy stance, not
+   an error-masking one. *)
+
+type t = {
+  obs : Grid_obs.Obs.t option;
+  mutable plan : Compile.t;
+  mutable store : Store.t;
+  mutable nsources : int;
+}
+
+(* Registry coordinates, alongside libauthz_file / Akenti / CAS. *)
+let library = "librebac_authz.so"
+let symbol = "rebac_authz_callout"
+
+let note_epoch ?(kind = "reload") t =
+  match t.obs with
+  | None -> ()
+  | Some obs ->
+    Grid_obs.Obs.emit obs ~layer:"pep" "policy.epoch"
+      [ ("epoch", string_of_int (Store.epoch t.store));
+        ("sources", string_of_int t.nsources);
+        ("cause", kind) ]
+
+let create ?obs (sources : Grid_policy.Combine.source list) =
+  let plan = Compile.of_sources sources in
+  let store = Compile.load ~epoch:(Grid_policy.Compile.fresh_epoch ()) plan in
+  let t = { obs; plan; store; nsources = List.length sources } in
+  note_epoch ~kind:"create" t;
+  t
+
+(* The new store gets a fresh (strictly larger) epoch, so zookies issued
+   before the reload are older than every post-reload token and caches
+   keyed on (epoch, revision) cannot serve stale decisions. *)
+let reload t sources =
+  let plan = Compile.of_sources sources in
+  t.plan <- plan;
+  t.store <- Compile.load ~epoch:(Grid_policy.Compile.fresh_epoch ()) plan;
+  t.nsources <- List.length sources;
+  note_epoch t
+
+let store t = t.store
+let epoch t = Store.epoch t.store
+let revision t = Store.revision t.store
+let head t = Store.head t.store
+
+let decision_to_callout = function
+  | Grid_policy.Combine.Permit -> Ok ()
+  | Grid_policy.Combine.Deny { source; reason } ->
+    Error
+      (Grid_callout.Callout.Denied
+         (Printf.sprintf "%s: %s" source (Grid_policy.Eval.reason_to_string reason)))
+
+let callout_with ?budget ?consistency t : Grid_callout.Callout.t =
+ fun query ->
+  let request = Grid_callout.Callout.to_policy_request query in
+  match Compile.decide ?obs:t.obs ?budget ?consistency t.plan t.store request with
+  | Ok decision -> decision_to_callout decision
+  | Error e ->
+    Error
+      (Grid_callout.Callout.System_error ("rebac: " ^ Store.check_error_to_string e))
+
+(* The store is the single replica, so [Latest] already satisfies every
+   issued token; a caller pinning [At_least z] or [Snapshot z] gets the
+   token-respecting variants. *)
+let callout t = callout_with t
+
+let of_sources ?obs sources = callout (create ?obs sources)

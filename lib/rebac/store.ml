@@ -1,0 +1,259 @@
+(* The relation-tuple store with userset-rewrite rules and snapshot
+   reads.
+
+   Writes are multi-versioned: every write or delete bumps a revision
+   counter, and each tuple records the revision interval over which it
+   is visible ([added_at, removed_at)). A check therefore evaluates
+   against a *snapshot* — by default the head revision, but a caller
+   holding a zookie can pin an older same-epoch snapshot and get exactly
+   the answer that snapshot gave, regardless of later writes. That is
+   the zookie-monotonicity property the QCheck suite pins: a decision at
+   revision r never uses tuples newer than r.
+
+   Membership questions are answered by iterative graph expansion over
+   the userset-rewrite rules of Zanzibar's namespace configs:
+
+     - [This]: the stored (and contextual) tuples of the relation;
+     - [Computed_userset r]: membership of relation [r] on the same
+       object (e.g. every [manager] is a [member]);
+     - [Tuple_to_userset]: walk the [tupleset] relation to other objects
+       and test [computed] there (e.g. a group inherits the members of
+       the groups its [child] tuples name);
+     - [Union]: any branch suffices.
+
+   Expansion is breadth-first with a visited set — cyclic graphs
+   terminate unconditionally — and a depth budget: a graph deeper than
+   the budget yields [Error Depth_exceeded] rather than a silent
+   default-deny, because "too deep to know" is an authorization-system
+   condition, not a policy answer (the PEP maps it to [System_error],
+   fail closed). *)
+
+type rewrite =
+  | This
+  | Computed_userset of string
+  | Tuple_to_userset of {
+      tupleset : string;
+      computed : string;
+    }
+  | Union of rewrite list
+
+type record = {
+  tuple : Tuple.t;
+  added_at : int;
+  mutable removed_at : int;  (* max_int while live *)
+}
+
+type t = {
+  mutable epoch : int;
+  mutable revision : int;
+  (* (namespace, id, relation) -> records, newest first *)
+  index : (string, record list ref) Hashtbl.t;
+  (* (namespace, relation) -> rewrite; missing means This *)
+  rules : (string, rewrite) Hashtbl.t;
+}
+
+let default_budget = 64
+
+let create ?(epoch = 0) () =
+  if epoch < 0 then invalid_arg "Store.create: negative epoch";
+  { epoch; revision = 0; index = Hashtbl.create 64; rules = Hashtbl.create 16 }
+
+let epoch t = t.epoch
+
+let set_epoch t epoch =
+  if epoch < t.epoch then invalid_arg "Store.set_epoch: epoch must not decrease";
+  t.epoch <- epoch
+
+let revision t = t.revision
+let head t = Zookie.make ~epoch:t.epoch ~revision:t.revision
+
+let index_key (o : Tuple.obj) relation =
+  Printf.sprintf "%d.%s%d.%s%d.%s" (String.length o.Tuple.namespace)
+    o.Tuple.namespace (String.length o.Tuple.id) o.Tuple.id (String.length relation)
+    relation
+
+let rule_key namespace relation =
+  Printf.sprintf "%d.%s%d.%s" (String.length namespace) namespace
+    (String.length relation) relation
+
+let set_rule t ~namespace ~relation rewrite =
+  Hashtbl.replace t.rules (rule_key namespace relation) rewrite
+
+let rule t ~namespace ~relation =
+  Option.value ~default:This (Hashtbl.find_opt t.rules (rule_key namespace relation))
+
+let records_for t (o : Tuple.obj) relation =
+  match Hashtbl.find_opt t.index (index_key o relation) with
+  | Some records -> !records
+  | None -> []
+
+let live_exists t (tuple : Tuple.t) =
+  List.exists
+    (fun r -> r.removed_at = max_int && Tuple.equal r.tuple tuple)
+    (records_for t tuple.Tuple.obj tuple.Tuple.relation)
+
+(* A write is idempotent on content but still advances the revision: the
+   returned zookie must name a snapshot at least as fresh as the write
+   it acknowledges, duplicate or not. *)
+let add_record t (tuple : Tuple.t) =
+  if not (live_exists t tuple) then begin
+    let key = index_key tuple.Tuple.obj tuple.Tuple.relation in
+    let cell =
+      match Hashtbl.find_opt t.index key with
+      | Some cell -> cell
+      | None ->
+        let cell = ref [] in
+        Hashtbl.add t.index key cell;
+        cell
+    in
+    cell := { tuple; added_at = t.revision; removed_at = max_int } :: !cell
+  end
+
+let write t tuple =
+  t.revision <- t.revision + 1;
+  add_record t tuple;
+  head t
+
+let write_batch t tuples =
+  t.revision <- t.revision + 1;
+  List.iter (add_record t) tuples;
+  head t
+
+let delete t (tuple : Tuple.t) =
+  t.revision <- t.revision + 1;
+  List.iter
+    (fun r ->
+      if r.removed_at = max_int && Tuple.equal r.tuple tuple then
+        r.removed_at <- t.revision)
+    (records_for t tuple.Tuple.obj tuple.Tuple.relation);
+  head t
+
+let tuple_count t =
+  Hashtbl.fold
+    (fun _ records acc ->
+      acc + List.length (List.filter (fun r -> r.removed_at = max_int) !records))
+    t.index 0
+
+(* --- Snapshot resolution ------------------------------------------------ *)
+
+type consistency =
+  | Latest
+  | At_least of Zookie.t
+  | Snapshot of Zookie.t
+
+type check_error =
+  | Depth_exceeded of int
+  | Future_token of {
+      token : Zookie.t;
+      head : Zookie.t;
+    }
+  | Snapshot_gone of {
+      token : Zookie.t;
+      epoch : int;
+    }
+
+let check_error_to_string = function
+  | Depth_exceeded budget ->
+    Printf.sprintf "userset expansion exceeded depth budget %d" budget
+  | Future_token { token; head } ->
+    Printf.sprintf "consistency token %s is newer than head %s" (Zookie.to_string token)
+      (Zookie.to_string head)
+  | Snapshot_gone { token; epoch } ->
+    Printf.sprintf "snapshot %s predates the current policy epoch %d"
+      (Zookie.to_string token) epoch
+
+(* The revision to evaluate at. [At_least z] never serves a snapshot
+   older than the caller's token: the head either covers z (answer at
+   head) or the token is from the future (error, fail closed).
+   [Snapshot z] pins z's exact same-epoch revision; snapshots from an
+   older epoch were rebuilt away by the reload that bumped it. *)
+let resolve_revision t = function
+  | Latest -> Ok t.revision
+  | At_least z ->
+    if Zookie.newer_than z (head t) then Error (Future_token { token = z; head = head t })
+    else Ok t.revision
+  | Snapshot z ->
+    if Zookie.newer_than z (head t) then Error (Future_token { token = z; head = head t })
+    else if Zookie.epoch z < t.epoch then
+      Error (Snapshot_gone { token = z; epoch = t.epoch })
+    else Ok (Zookie.revision z)
+
+(* --- Expansion ---------------------------------------------------------- *)
+
+(* Contextual tuples (OpenFGA's term): request-scoped facts the caller
+   supplies, visible at every snapshot but never stored — the PEP uses
+   them to graft the requester into the DN-prefix trie. *)
+
+let visible_at ~revision records =
+  List.filter_map
+    (fun r ->
+      if r.added_at <= revision && revision < r.removed_at then Some r.tuple else None)
+    records
+
+let check ?(budget = default_budget) ?(context = []) ?(consistency = Latest) t
+    ~(obj : Tuple.obj) ~relation ~user : (bool, check_error) result =
+  match resolve_revision t consistency with
+  | Error e -> Error e
+  | Ok revision ->
+    let visible (o : Tuple.obj) rel =
+      let stored = visible_at ~revision (records_for t o rel) in
+      let contextual =
+        List.filter
+          (fun (c : Tuple.t) -> Tuple.obj_equal c.Tuple.obj o && c.Tuple.relation = rel)
+          context
+      in
+      stored @ contextual
+    in
+    let visited : (string, unit) Hashtbl.t = Hashtbl.create 64 in
+    let queue : (Tuple.obj * string * int) Queue.t = Queue.create () in
+    let push o rel depth =
+      let key = index_key o rel in
+      if not (Hashtbl.mem visited key) then begin
+        Hashtbl.add visited key ();
+        Queue.add (o, rel, depth) queue
+      end
+    in
+    push obj relation 0;
+    let result = ref (Ok false) in
+    (try
+       while not (Queue.is_empty queue) do
+         let o, rel, depth = Queue.pop queue in
+         if depth > budget then begin
+           (* Breadth-first order: everything within the budget has
+              already been examined without finding the user, so the
+              remaining graph is out of reach — indeterminate. *)
+           result := Error (Depth_exceeded budget);
+           raise Exit
+         end;
+         let rec apply = function
+           | This ->
+             List.iter
+               (fun (tup : Tuple.t) ->
+                 match tup.Tuple.subject with
+                 | Tuple.User u ->
+                   if String.equal u user then begin
+                     result := Ok true;
+                     raise Exit
+                   end
+                 | Tuple.Userset { uobj; urelation } -> push uobj urelation (depth + 1))
+               (visible o rel)
+           | Computed_userset r -> push o r (depth + 1)
+           | Tuple_to_userset { tupleset; computed } ->
+             List.iter
+               (fun (tup : Tuple.t) ->
+                 match tup.Tuple.subject with
+                 | Tuple.Userset { uobj; _ } -> push uobj computed (depth + 1)
+                 | Tuple.User s -> begin
+                   (* a tupleset subject naming an object, Zanzibar's
+                      parent-folder shape *)
+                   match Tuple.obj_of_string s with
+                   | Some uobj -> push uobj computed (depth + 1)
+                   | None -> ()
+                 end)
+               (visible o tupleset)
+           | Union rewrites -> List.iter apply rewrites
+         in
+         apply (rule t ~namespace:o.Tuple.namespace ~relation:rel)
+       done
+     with Exit -> ());
+    !result

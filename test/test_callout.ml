@@ -410,6 +410,151 @@ let test_cache_scopes_partition_keys () =
   Alcotest.(check int) "scope a cached" 1 (deny_calls ());
   Alcotest.(check int) "scope b cached" 1 (permit_calls ())
 
+(* --- Cache key construction ----------------------------------------------- *)
+
+(* A key collision between two different queries is a cross-principal
+   cache hit, so [Cache.query_key] must be injective over everything a
+   decision can depend on: scope, epoch, store revision, requester DN,
+   action, job id, jobtag, job owner, RSL fingerprint. *)
+
+let base_query () =
+  Callout.management_query ~requester:(dn "/O=Grid/CN=U")
+    ~action:Grid_policy.Types.Action.Information ~job_id:"job-1"
+    ~job_owner:(dn "/O=Grid/CN=U") ~jobtag:(Some "NFC") ()
+
+let test_cache_key_single_component_never_collides () =
+  let base = base_query () in
+  let key ?(scope = "authz") ?(epoch = 1) ?(revision = 7) q =
+    Cache.query_key ~scope ~epoch ~revision q
+  in
+  (* each variant differs from base in exactly one component *)
+  let variants =
+    [ ("scope", key ~scope:"authz2" base);
+      ("epoch", key ~epoch:2 base);
+      ("revision", key ~revision:8 base);
+      ("requester", key { base with Callout.requester = dn "/O=Grid/CN=V" });
+      ("action", key { base with Callout.action = Grid_policy.Types.Action.Cancel });
+      ("job id", key { base with Callout.job_id = Some "job-2" });
+      ("job id absent", key { base with Callout.job_id = None });
+      ("jobtag", key { base with Callout.jobtag = Some "ADS" });
+      ("jobtag absent", key { base with Callout.jobtag = None });
+      ("owner", key { base with Callout.job_owner = Some (dn "/O=Grid/CN=W") });
+      ("owner absent", key { base with Callout.job_owner = None });
+      ("rsl", key { base with Callout.rsl = Some (Grid_rsl.Parser.parse_clause_exn "&(executable=x)") }) ]
+  in
+  let base_key = key base in
+  List.iter
+    (fun (what, k) ->
+      Alcotest.(check bool) (what ^ " differs from base") true (k <> base_key))
+    variants;
+  (* and all the variants are pairwise distinct *)
+  let keys = base_key :: List.map snd variants in
+  let distinct = List.sort_uniq compare keys in
+  Alcotest.(check int) "all keys pairwise distinct" (List.length keys)
+    (List.length distinct)
+
+let test_cache_key_adversarial_boundaries () =
+  (* Hand-built DNs may contain any byte; the length-prefixed encoding
+     must keep component boundaries unambiguous where separator-joined
+     keys collide. *)
+  let rdn attr value = { Grid_gsi.Dn.attr; value } in
+  let q dn_parts =
+    { (base_query ()) with Callout.requester = dn_parts; job_owner = None }
+  in
+  let key q = Cache.query_key ~scope:"authz" ~epoch:1 q in
+  let pairs =
+    [ (* value/attr boundary shifts *)
+      ("attr/value shift", q [ rdn "ab" "c" ], q [ rdn "a" "bc" ]);
+      (* one rdn vs two, same concatenation *)
+      ("rdn split", q [ rdn "a" "bc=d" ], q [ rdn "a" "bc"; rdn "" "d" ]);
+      (* '/' inside a value vs a structural '/' *)
+      ("slash in value", q [ rdn "O" "G/OU=u1" ], q [ rdn "O" "G"; rdn "OU" "u1" ]);
+      (* digits bleeding into a length prefix *)
+      ("digit bleed", q [ rdn "a" "1" ], q [ rdn "a1" "" ]);
+      (* empty components still occupy a position *)
+      ("empty components", q [ rdn "" ""; rdn "" "" ], q [ rdn "" "" ]) ]
+  in
+  List.iter
+    (fun (what, qa, qb) ->
+      Alcotest.(check bool) what true (key qa <> key qb))
+    pairs;
+  (* requester/owner fields must not be confusable either *)
+  let a = { (base_query ()) with Callout.requester = dn "/O=G"; job_owner = Some (dn "/O=H") } in
+  let b = { (base_query ()) with Callout.requester = dn "/O=H"; job_owner = Some (dn "/O=G") } in
+  Alcotest.(check bool) "requester/owner not interchangeable" true
+    (Cache.query_key ~scope:"authz" ~epoch:1 a <> Cache.query_key ~scope:"authz" ~epoch:1 b)
+
+(* Injectivity as a property: two random key tuples collide iff every
+   component is equal. Pools are tiny so genuine equality happens often
+   and both directions of the iff get exercised. *)
+let qcheck_cache_key_injective =
+  let gen_dn =
+    QCheck.Gen.(
+      let rdn =
+        let* attr = oneofl [ ""; "O"; "CN"; "a"; "a1"; "ab" ] in
+        let* value = oneofl [ ""; "G"; "1"; "b"; "bc"; "G/OU=u1"; "x\x00y"; "x\x01y" ] in
+        return { Grid_gsi.Dn.attr; value }
+      in
+      list_size (int_range 0 3) rdn)
+  in
+  let gen_keyed =
+    QCheck.Gen.(
+      let* scope = oneofl [ "authz"; "jm" ] in
+      let* epoch = int_range 0 2 in
+      let* revision = opt (int_range 0 2) in
+      let* requester = gen_dn in
+      let* action =
+        oneofl Grid_policy.Types.Action.[ Start; Cancel; Information; Signal ]
+      in
+      let* job_id = opt (oneofl [ "job-1"; "job-2"; "" ]) in
+      let* jobtag = opt (oneofl [ "NFC"; "ADS"; "" ]) in
+      let* job_owner = opt gen_dn in
+      let* rsl =
+        opt (map Grid_rsl.Parser.parse_clause_exn (oneofl [ "&(executable=x)"; "&(count=2)" ]))
+      in
+      return (scope, epoch, revision, requester, action, job_id, jobtag, job_owner, rsl))
+  in
+  let key (scope, epoch, revision, requester, action, job_id, jobtag, job_owner, rsl) =
+    Cache.query_key ~scope ~epoch ?revision
+      { Callout.requester; requester_credential = None; job_owner; action; job_id; rsl;
+        jobtag }
+  in
+  QCheck.Test.make ~name:"query_key collides iff all components equal" ~count:2000
+    (QCheck.make QCheck.Gen.(pair gen_keyed gen_keyed))
+    (fun (a, b) -> key a = key b = (a = b))
+
+let pinned test = QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 0x5EED; 421 |]) test
+
+let test_cache_revision_keys_without_flushing () =
+  (* A revision bump (a tuple write under the ReBAC PEP) must stop old
+     entries being served — the key changes — without flushing them:
+     rolling back to the same revision probes the original entry again,
+     and no invalidations are counted. An epoch bump still flushes. *)
+  let clock = ref 0.0 in
+  let epoch = ref 1 in
+  let revision = ref 10 in
+  let backend, calls = Callout.counting Callout.permit_all in
+  let cache =
+    Cache.create ~capacity:8 ~ttl:100.0 ~epoch:(fun () -> !epoch)
+      ~revision:(fun () -> !revision) ~now:(fun () -> !clock) ()
+  in
+  let pep = Cache.with_cache cache backend in
+  let q = keyed_query ~job_id:"job-1" () in
+  ignore (pep q);
+  ignore (pep q);
+  Alcotest.(check int) "cached within a revision" 1 (calls ());
+  incr revision;
+  ignore (pep q);
+  Alcotest.(check int) "new revision misses" 2 (calls ());
+  Alcotest.(check int) "no flush on revision change" 0 (Cache.invalidations cache);
+  Alcotest.(check int) "old entry still resident" 2 (Cache.size cache);
+  revision := 10;
+  ignore (pep q);
+  Alcotest.(check int) "same-revision entry probed again" 2 (calls ());
+  incr epoch;
+  ignore (pep q);
+  Alcotest.(check bool) "epoch change flushes" true (Cache.invalidations cache > 0)
+
 let () =
   Alcotest.run "grid_callout"
     [ ( "combinators",
@@ -447,6 +592,14 @@ let () =
             test_cache_lru_bound_under_churn;
           Alcotest.test_case "scopes partition keys" `Quick
             test_cache_scopes_partition_keys ] );
+      ( "cache-keys",
+        [ Alcotest.test_case "one differing component never collides" `Quick
+            test_cache_key_single_component_never_collides;
+          Alcotest.test_case "adversarial component boundaries" `Quick
+            test_cache_key_adversarial_boundaries;
+          pinned qcheck_cache_key_injective;
+          Alcotest.test_case "revision keys without flushing" `Quick
+            test_cache_revision_keys_without_flushing ] );
       ( "file-pep",
         [ Alcotest.test_case "decisions" `Quick test_file_pep_decisions;
           Alcotest.test_case "management" `Quick test_file_pep_management;

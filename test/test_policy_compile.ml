@@ -20,8 +20,23 @@ let start ~who ~rsl =
 let manage ~who ~action ~owner ~tag =
   Types.management_request ~subject:(dn who) ~action ~jobowner:(dn owner) ~jobtag:tag
 
-(* Every QCheck test in this file runs under a pinned seed. *)
-let pinned test = QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 0x5EED; 421 |]) test
+(* Every QCheck test in this file runs under a pinned seed, overridable
+   via QCHECK_SEED for exploratory CI laps; QCHECK_COUNT scales the
+   differential volume. A bad override fails loudly. *)
+let env_int name =
+  match Sys.getenv_opt name with
+  | None | Some "" -> None
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some n -> Some n
+    | None -> Printf.ksprintf failwith "%s must be an integer, got %S" name s)
+
+let override_seed = env_int "QCHECK_SEED"
+let count ~default = match env_int "QCHECK_COUNT" with Some n -> n | None -> default
+
+let pinned test =
+  let seeds = match override_seed with Some s -> [| s |] | None -> [| 0x5EED; 421 |] in
+  QCheck_alcotest.to_alcotest ~rand:(Random.State.make seeds) test
 
 (* --- Generators ------------------------------------------------------------ *)
 
@@ -107,14 +122,14 @@ let arb_pair =
 let qcheck_compile_agrees_with_reference =
   (* The headline property: decision and reason, structurally equal, on
      2000 policy/request pairs. *)
-  QCheck.Test.make ~name:"Compile.eval = Eval.evaluate (decision and reason)" ~count:2000
+  QCheck.Test.make ~name:"Compile.eval = Eval.evaluate (decision and reason)" ~count:(count ~default:2000)
     arb_pair
     (fun (policy, request) ->
       Compile.eval (Compile.compile policy) request = Eval.evaluate policy request)
 
 let qcheck_compiled_is_reusable =
   (* One compilation answers many requests: no hidden per-eval state. *)
-  QCheck.Test.make ~name:"compiled policy is reusable across requests" ~count:300
+  QCheck.Test.make ~name:"compiled policy is reusable across requests" ~count:(count ~default:300)
     (QCheck.make
        QCheck.Gen.(pair gen_policy (list_size (int_range 1 5) gen_request))
        ~print:(fun (p, _) -> Types.to_string p))
@@ -129,7 +144,7 @@ let qcheck_compiled_is_reusable =
 let qcheck_combine_compiled_agrees =
   (* Conjunctive combination through compiled sources: same decision,
      same denying source, same reason. *)
-  QCheck.Test.make ~name:"Combine.evaluate_compiled = Combine.evaluate" ~count:500
+  QCheck.Test.make ~name:"Combine.evaluate_compiled = Combine.evaluate" ~count:(count ~default:500)
     (QCheck.make
        QCheck.Gen.(triple gen_policy gen_policy gen_request)
        ~print:(fun (p1, p2, r) ->
@@ -155,7 +170,7 @@ let query_of_request (r : Types.request) : Grid_callout.Callout.query =
 let qcheck_file_pep_compiled_agrees =
   (* End-to-end through the PEP: the compiled callout and the reference
      callout answer identically, denial messages included. *)
-  QCheck.Test.make ~name:"File_pep.of_sources = File_pep.reference" ~count:500
+  QCheck.Test.make ~name:"File_pep.of_sources = File_pep.reference" ~count:(count ~default:500)
     (QCheck.make
        QCheck.Gen.(triple gen_policy gen_policy gen_request)
        ~print:(fun (p1, p2, r) ->
@@ -271,6 +286,104 @@ let test_figure3_scenarios_agree () =
         (Eval.decision_to_string (Compile.eval compiled r)))
     requests
 
+(* --- Bucket-key edge cases ------------------------------------------------- *)
+
+(* [Dn.t] is a concrete rdn list, so hand-built DNs can carry bytes the
+   parser never produces — '/', '=', control bytes, multi-byte UTF-8 —
+   and the index's bucket keys must still agree with the structural
+   [Dn.is_prefix] reference. These pinned a real divergence: the keys
+   used to join components with '\x00'/'\x01' separators, so an rdn
+   value embedding those bytes could alias a longer pattern's bucket
+   (e.g. subject [a=b\x00c\x01d] probed the bucket of pattern [a=b,
+   c=d]) until the encoding moved to length prefixes. *)
+
+let rdn attr value = { Grid_gsi.Dn.attr; value }
+
+let cancel_grant pattern =
+  [ { Types.kind = Types.Grant;
+      subject_pattern = pattern;
+      clauses = [ [ { Types.attribute = "action"; op = Grid_rsl.Ast.Eq;
+                      values = [ Types.Str "cancel" ] } ] ] } ]
+
+(* With a single (action = cancel) grant, the decision on a cancel
+   request is Permit iff the statement applies — so an applicability
+   divergence is visible as a decision flip. *)
+let check_agreement what pattern subject =
+  let policy = cancel_grant pattern in
+  let r =
+    Types.management_request ~subject ~action:Types.Action.Cancel ~jobowner:subject
+      ~jobtag:None
+  in
+  let reference = Eval.evaluate policy r in
+  Alcotest.(check bool) (what ^ ": reference applies iff structural prefix")
+    (Types.statement_applies (List.hd policy) ~subject)
+    (Eval.is_permit reference);
+  Alcotest.(check string) (what ^ ": compiled agrees")
+    (Eval.decision_to_string reference)
+    (Eval.decision_to_string (Compile.eval (Compile.compile policy) r))
+
+let test_control_byte_values_do_not_alias_buckets () =
+  (* one rdn whose value embeds the old separators vs the two-rdn
+     pattern with the same byte image — both directions *)
+  check_agreement "subject aliases deeper pattern"
+    [ rdn "a" "b"; rdn "c" "d" ]
+    [ rdn "a" "b\x00c\x01d" ];
+  check_agreement "pattern aliases deeper subject"
+    [ rdn "a" "b\x00c\x01d" ]
+    [ rdn "a" "b"; rdn "c" "d" ];
+  (* attr/value boundary shift within one rdn *)
+  check_agreement "attr/value boundary"
+    [ rdn "a\x01b" "c" ]
+    [ rdn "a" "b\x01c" ]
+
+let test_empty_component_subjects () =
+  check_agreement "empty rdn matches itself" [ rdn "" "" ] [ rdn "" ""; rdn "CN" "a" ];
+  check_agreement "empty value is not a wildcard" [ rdn "O" "" ] [ rdn "O" "G" ];
+  check_agreement "empty pattern prefixes empty subject" [] [];
+  check_agreement "empty vs attr-only shift" [ rdn "a" "" ] [ rdn "" "a" ]
+
+let test_slash_prefix_overlap () =
+  (* a '/' inside a value is data, not structure: "O=G/OU=u1" as one
+     component must not act as the two-component prefix *)
+  check_agreement "slash in pattern value" [ rdn "O" "G/OU=u1" ] (dn "/O=G/OU=u1/CN=a");
+  check_agreement "slash in subject value" (dn "/O=G/OU=u1") [ rdn "O" "G/OU=u1/CN=a" ];
+  check_agreement "equals in value" [ rdn "O" "G=H" ] [ rdn "O" "G"; rdn "" "H" ]
+
+let test_unicode_dn_components () =
+  let grp = [ rdn "O" "Grüße"; rdn "OU" "日本" ] in
+  check_agreement "unicode prefix applies" grp (grp @ [ rdn "CN" "ß" ]);
+  check_agreement "unicode mismatch refused" grp [ rdn "O" "Grüße"; rdn "OU" "中国" ];
+  (* a byte-truncated copy (cutting a multi-byte rune in half) is a
+     different value, not a prefix *)
+  check_agreement "truncated rune is not a prefix"
+    [ rdn "O" (String.sub "Grüße" 0 3) ]
+    [ rdn "O" "Grüße" ]
+
+let qcheck_handbuilt_dns_agree =
+  (* The property behind the pinned cases: over rdn components drawn
+     from an adversarial byte pool (old separators, '/', '=', unicode,
+     empties), compiled applicability = structural applicability. *)
+  let gen_rdn =
+    QCheck.Gen.(
+      let* attr = oneofl [ ""; "O"; "a"; "a\x01b"; "Grüße" ] in
+      let* value = oneofl [ ""; "G"; "b"; "b\x00c"; "b\x01c"; "G/OU=u1"; "G=H"; "日本" ] in
+      return { Grid_gsi.Dn.attr; value })
+  in
+  let gen_dn = QCheck.Gen.(list_size (int_range 0 3) gen_rdn) in
+  QCheck.Test.make ~name:"hand-built DNs: compiled = reference" ~count:(count ~default:1000)
+    (QCheck.make
+       QCheck.Gen.(pair gen_dn gen_dn)
+       ~print:(fun (p, s) ->
+         Printf.sprintf "PATTERN: %S SUBJECT: %S" (Grid_gsi.Dn.to_string p)
+           (Grid_gsi.Dn.to_string s)))
+    (fun (pattern, subject) ->
+      let policy = cancel_grant pattern in
+      let r =
+        Types.management_request ~subject ~action:Types.Action.Cancel ~jobowner:subject
+          ~jobtag:None
+      in
+      Compile.eval (Compile.compile policy) r = Eval.evaluate policy r)
+
 let () =
   Alcotest.run "grid_policy_compile"
     [ ( "differential",
@@ -290,4 +403,11 @@ let () =
           Alcotest.test_case "statement order preserved across buckets" `Quick
             test_statement_order_preserved;
           Alcotest.test_case "figure 3 scenarios agree" `Quick
-            test_figure3_scenarios_agree ] ) ]
+            test_figure3_scenarios_agree ] );
+      ( "edge-cases",
+        [ Alcotest.test_case "control bytes do not alias buckets" `Quick
+            test_control_byte_values_do_not_alias_buckets;
+          Alcotest.test_case "empty components" `Quick test_empty_component_subjects;
+          Alcotest.test_case "'/'-prefix overlap" `Quick test_slash_prefix_overlap;
+          Alcotest.test_case "unicode components" `Quick test_unicode_dn_components;
+          pinned qcheck_handbuilt_dns_agree ] ) ]

@@ -39,6 +39,11 @@ let run_tests ?(quota = 0.5) tests =
    machine-readably at the end. *)
 let collected : (string * (string * float) list) list ref = ref []
 
+(* Experiments with enforced acceptance bounds (T20's allocation ceiling,
+   divergence checks) record failures here; the harness exits 1 if any
+   tripped, so CI can gate on a bench run. *)
+let bench_failures = ref 0
+
 let print_table title rows =
   let rows = List.sort (fun (a, _) (b, _) -> compare a b) rows in
   collected := (title, rows) :: !collected;
@@ -1144,6 +1149,206 @@ let t19_rebac () =
     :: !collected
 
 (* ------------------------------------------------------------------ *)
+(* T20: batch decision pipeline throughput and allocation             *)
+
+(* The checked-in allocation budget for the batched compiled path, in
+   minor words per decision. A missing file falls back to the built-in
+   default so ad-hoc runs outside the repo root still work. *)
+let batch_alloc_ceiling () =
+  let default = (200.0, "built-in default") in
+  match open_in "bench/batch_alloc_ceiling.txt" with
+  | exception Sys_error _ -> default
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        match float_of_string_opt (String.trim (input_line ic)) with
+        | Some v -> (v, "bench/batch_alloc_ceiling.txt")
+        | None -> default
+        | exception End_of_file -> default)
+
+let t20_batch () =
+  section "T20: batch decision pipeline — throughput and allocation";
+  let sources = Fusion.policy_sources (Fusion.build_vo ()) in
+  let compiled_pep = Callout.File_pep.Compiled.create sources in
+  let compiled = Callout.File_pep.Compiled.batch compiled_pep in
+  let rebac_pep = Rebac.Pep.create sources in
+  let rebac = Rebac.Pep.batch rebac_pep in
+  let cache =
+    Callout.Cache.create ~capacity:8192 ~ttl:1e12
+      ~epoch:(fun () -> Callout.File_pep.Compiled.epoch compiled_pep)
+      ~now:(fun () -> 0.0) ()
+  in
+  let cached = Callout.Cache.with_cache_many cache compiled in
+  (* T12's traffic shape as a query stream: the fusion cast submitting
+     their usual templates and managing each other's jobs, plus stranger
+     noise. A small cast times a small action space yields the natural
+     repetition a job manager sees under sustained load — exactly what
+     the batch lanes amortize (request dedupe, subject grouping, shared
+     index probes). *)
+  let bo = Gsi.Dn.parse Fusion.bo_liu in
+  let kate = Gsi.Dn.parse Fusion.kate_keahey in
+  let vo_admin = Gsi.Dn.parse Fusion.admin in
+  let strangers =
+    Array.init 4 (fun i -> Gsi.Dn.parse (Printf.sprintf "/O=Elsewhere/CN=stranger%d" i))
+  in
+  (* T12's templates: bo's ADS pair (one over the developer count cap, so
+     the stream carries real denials) and kate's NFC production run. *)
+  let templates =
+    Array.map Rsl.Parser.parse_clause_exn
+      [| "&(executable=test1)(directory=/sandbox/test)(jobtag=ADS)(count=2)";
+         "&(executable=test1)(directory=/sandbox/test)(jobtag=ADS)(count=6)";
+         "&(executable=TRANSP)(directory=/sandbox/test)(jobtag=NFC)(count=4)" |]
+  in
+  (* Management targets are running jobs, so the jobtag rides with its
+     owner exactly as the job manager would present it. *)
+  let owners = [| (bo, Some "ADS"); (kate, Some "NFC") |] in
+  let managers = [| bo; kate; vo_admin |] in
+  let actions =
+    [| Policy.Types.Action.Information; Policy.Types.Action.Cancel;
+       Policy.Types.Action.Signal |]
+  in
+  let query_stream ~seed n =
+    let rng = Util.Rng.create ~seed in
+    Array.init n (fun _ ->
+        let stranger = Util.Rng.int rng 10 = 0 in
+        if Util.Rng.int rng 10 < 3 then
+          let requester =
+            if stranger then strangers.(Util.Rng.int rng (Array.length strangers))
+            else if Util.Rng.bool rng then bo
+            else kate
+          in
+          Callout.Callout.Query.make ~requester
+            (Callout.Callout.Query.Start
+               templates.(Util.Rng.int rng (Array.length templates)))
+        else
+          let requester =
+            if stranger then strangers.(Util.Rng.int rng (Array.length strangers))
+            else managers.(Util.Rng.int rng (Array.length managers))
+          in
+          let job_owner, jobtag = owners.(Util.Rng.int rng (Array.length owners)) in
+          Callout.Callout.Query.make ~requester
+            ~job_id:(Printf.sprintf "job-%02d" (Util.Rng.int rng 8))
+            (Callout.Callout.Query.Management
+               { action = actions.(Util.Rng.int rng (Array.length actions));
+                 job_owner;
+                 jobtag }))
+  in
+  let queries = query_stream ~seed:20260808 4096 in
+  let batch_size = 1024 in
+  let chunks =
+    Array.init (Array.length queries / batch_size) (fun i ->
+        Array.sub queries (i * batch_size) batch_size)
+  in
+  (* Hand-rolled measurement (bechamel's OLS does not surface allocation
+     per run): one [run ()] is a full pass over the 4096-query stream;
+     reps are calibrated so the minor-word delta averages many passes. *)
+  let measure run =
+    ignore (run ());
+    let reps = ref 1 in
+    let rec calibrate () =
+      let t0 = Sys.time () in
+      for _ = 1 to !reps do
+        ignore (run ())
+      done;
+      if Sys.time () -. t0 < 0.1 && !reps < 1 lsl 16 then begin
+        reps := !reps * 4;
+        calibrate ()
+      end
+    in
+    calibrate ();
+    let minor0 = Gc.minor_words () in
+    let t0 = Sys.time () in
+    for _ = 1 to !reps do
+      ignore (run ())
+    done;
+    let dt = Sys.time () -. t0 in
+    let minor = Gc.minor_words () -. minor0 in
+    let ops = float_of_int (!reps * Array.length queries) in
+    (ops /. dt, minor /. ops)
+  in
+  let single_lane b =
+    let single = Callout.Callout.Batch.check b in
+    fun () -> Array.map single queries
+  in
+  let many_lane b () = Array.map (Callout.Callout.Batch.evaluate_many b) chunks in
+  let cases =
+    [ ("compiled", compiled); ("compiled+cache", cached); ("rebac", rebac) ]
+  in
+  Printf.printf "   batches of %d over a %d-query stream\n" batch_size
+    (Array.length queries);
+  Printf.printf "   %-28s %12s %10s %18s\n" "case" "kdec/s" "ns/op" "minor words/op";
+  let rows = ref [] in
+  let results =
+    List.map
+      (fun (name, b) ->
+        let s_dps, s_w = measure (single_lane b) in
+        let m_dps, m_w = measure (many_lane b) in
+        List.iter
+          (fun (label, dps, w) ->
+            Printf.printf "   %-28s %12.0f %10.0f %18.1f\n" label (dps /. 1e3)
+              (1e9 /. dps) w;
+            rows :=
+              !rows
+              @ [ (label ^ "/decisions_per_sec", dps);
+                  (label ^ "/minor_words_per_op", w) ])
+          [ (name ^ "/0-single", s_dps, s_w); (name ^ "/1-batched", m_dps, m_w) ];
+        (name, (s_dps, m_dps, m_w)))
+      cases
+  in
+  (match List.assoc_opt "compiled" results with
+  | Some (s_dps, m_dps, m_w) ->
+    let speedup = m_dps /. s_dps in
+    Printf.printf
+      "   compiled: batched %.1fx single-shot, %.2fM decisions/s (targets: >=5x, >1M/s)\n"
+      speedup (m_dps /. 1e6);
+    let ceiling, origin = batch_alloc_ceiling () in
+    Printf.printf "   allocation: %.1f minor words/op vs ceiling %.1f (%s)\n" m_w
+      ceiling origin;
+    if m_w > ceiling then begin
+      Printf.printf "   FAIL: batched compiled path exceeds the allocation ceiling\n";
+      incr bench_failures
+    end;
+    rows :=
+      !rows @ [ ("compiled/batch_speedup", speedup); ("compiled/alloc_ceiling", ceiling) ]
+  | None -> ());
+  collected := ("batch decision pipeline", !rows) :: !collected;
+  (* Differential oracle: every backend's many lane must agree with its
+     single lane element-wise — decision AND reason (the structural
+     compare covers the full error payload) — across a fresh seeded mix
+     chopped into ragged batch sizes. The fallback lane exercises
+     [Batch.of_callout] itself over the uncompiled reference evaluator. *)
+  let fallback = Callout.Callout.Batch.of_callout (Callout.File_pep.reference sources) in
+  let trials = 1200 in
+  let stream = query_stream ~seed:20260811 trials in
+  let rng = Util.Rng.create ~seed:99 in
+  let divergences = ref 0 in
+  List.iter
+    (fun (name, b) ->
+      let single = Callout.Callout.Batch.check b in
+      let expect = Array.map single stream in
+      let got = Array.make trials Callout.Callout.permitted in
+      let pos = ref 0 in
+      while !pos < trials do
+        let len = min (trials - !pos) (1 + Util.Rng.int rng 97) in
+        let answers = Callout.Callout.Batch.evaluate_many b (Array.sub stream !pos len) in
+        Array.blit answers 0 got !pos len;
+        pos := !pos + len
+      done;
+      let diff = ref 0 in
+      for i = 0 to trials - 1 do
+        if expect.(i) <> got.(i) then incr diff
+      done;
+      if !diff > 0 then Printf.printf "   %-28s %d/%d divergences\n" name !diff trials;
+      divergences := !divergences + !diff)
+    (("fallback", fallback) :: cases);
+  Printf.printf "   divergence check: %d/%d per-backend answers differ (must be 0)\n"
+    !divergences (trials * 4);
+  if !divergences > 0 then incr bench_failures;
+  collected :=
+    ("batch divergence", [ ("divergences", float_of_int !divergences) ]) :: !collected
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [ ("f1", figure1); ("f2", figure2); ("f3", figure3);
@@ -1153,7 +1358,7 @@ let experiments =
     ("t10", t10_discovery); ("t11", t11_allocation); ("t12", t12_workload);
     ("t13", t13_akenti_cache); ("t14", t14_obs_overhead); ("t15", t15_faults);
     ("t16", t16_authz_cache); ("t17", t17_recovery); ("t18", t18_soak);
-    ("t19", t19_rebac) ]
+    ("t19", t19_rebac); ("t20", t20_batch) ]
 
 (* Every experiment has a canonical artifact, so multi-experiment --json
    runs write one file per experiment instead of lumping everything into
@@ -1165,13 +1370,14 @@ let artifact_of = function
   | "t17" -> "BENCH_recovery.json"
   | "t18" -> "BENCH_soak.json"
   | "t19" -> "BENCH_rebac.json"
+  | "t20" -> "BENCH_batch.json"
   | name -> Printf.sprintf "BENCH_%s.json" name
 
 let usage () =
   Printf.printf "usage: bench [--json] [EXPERIMENT...]\n\n";
   Printf.printf "Experiments (default: all):\n";
   Printf.printf "  f1 f2 f3     figure reproductions\n";
-  Printf.printf "  t1..t19      microbenchmarks (see DESIGN.md)\n\n";
+  Printf.printf "  t1..t20      microbenchmarks (see DESIGN.md)\n\n";
   Printf.printf "--json additionally writes each experiment's table to its canonical\n";
   Printf.printf "artifact (e.g. t15 -> BENCH_faults.json, t18 -> BENCH_soak.json).\n"
 
@@ -1188,7 +1394,7 @@ let () =
     | names -> names
   in
   Printf.printf "Fine-grain GRID authorization: benchmark & figure harness\n";
-  Printf.printf "(figures F1-F3 reproduce the paper's artifacts; T1-T19 are the\n";
+  Printf.printf "(figures F1-F3 reproduce the paper's artifacts; T1-T20 are the\n";
   Printf.printf " quantitative microbenchmarks defined in DESIGN.md)\n";
   List.iter
     (fun name ->
@@ -1207,5 +1413,9 @@ let () =
           | [] -> ()
           | tables -> write_json (artifact_of name) tables
         end
-      | None -> Printf.printf "unknown experiment %S (known: f1 f2 f3 t1..t19)\n" name)
-    requested
+      | None -> Printf.printf "unknown experiment %S (known: f1 f2 f3 t1..t20)\n" name)
+    requested;
+  if !bench_failures > 0 then begin
+    Printf.printf "\n%d experiment acceptance check(s) FAILED\n" !bench_failures;
+    exit 1
+  end

@@ -303,6 +303,22 @@ let print_store_summary resource =
       (Core.Store.Store.snapshots_taken store)
       (Core.Store.Store.journal_bytes store)
 
+(* Shared by simulate and soak: the batch decision pipeline knob. *)
+let batch_arg =
+  let parse s =
+    match int_of_string_opt s with
+    | Some n when n >= 1 -> Ok n
+    | _ -> Error (`Msg "expected a batch size >= 1")
+  in
+  let print ppf n = Fmt.int ppf n in
+  Arg.(
+    value
+    & opt (conv (parse, print)) 1
+    & info [ "batch" ] ~docv:"N"
+        ~doc:
+          "Coalesce management follow-ups and authorize them $(docv) at a time through \
+           the batch decision pipeline; 1 (the default) keeps the per-request path.")
+
 let simulate_cmd =
   let jobs =
     Arg.(value & opt int 200 & info [ "j"; "jobs" ] ~docv:"N" ~doc:"Jobs to generate.")
@@ -323,7 +339,7 @@ let simulate_cmd =
              relationship-based tuple graph over the same policies) or baseline \
              (unmodified GT2; same as --baseline).")
   in
-  let run jobs seed baseline pep faults fault_seed snapshot_every crash_at =
+  let run jobs seed baseline pep faults fault_seed snapshot_every crash_at batch =
     let backend = if baseline then `Baseline else pep in
     let baseline = backend = `Baseline in
     let faults = faults_of faults in
@@ -381,7 +397,10 @@ let simulate_cmd =
       Core.Workload.run
         ~engine:(Core.Testbed.engine w.Core.Fusion.testbed)
         ~resource:w.Core.Fusion.resource ~profiles
-        { Core.Workload.default_config with Core.Workload.job_count = jobs; seed }
+        { Core.Workload.default_config with
+          Core.Workload.job_count = jobs;
+          seed;
+          management_batch = batch }
     in
     Fmt.pr "%a@." Core.Workload.pp_stats stats;
     if Option.is_some faults then pp_network_counters w.Core.Fusion.resource;
@@ -397,7 +416,7 @@ let simulate_cmd =
        ~doc:"Run a synthetic workload against the National Fusion Collaboratory testbed.")
     Term.(
       const run $ jobs $ seed $ baseline $ pep $ faults_arg $ fault_seed_arg
-      $ snapshot_every_arg $ crash_at_arg)
+      $ snapshot_every_arg $ crash_at_arg $ batch_arg)
 
 (* A short deterministic scenario on the fusion testbed so every decision
    point fires: permitted and denied submissions, a third-party cancel,
@@ -710,11 +729,11 @@ let soak_cmd =
              rebac (relationship-based tuple graph). The monitor's oracle re-derives \
              decisions through the matching engine either way.")
   in
-  let run days jobs_per_day seed faults inject no_monitor window pep =
+  let run days jobs_per_day seed faults inject no_monitor window pep batch =
     let report =
       Core.Soak.run
         { Core.Soak.days; jobs_per_day; seed; faults; monitor = not no_monitor;
-          inject; propagation_window = window; pep }
+          inject; propagation_window = window; pep; batch }
     in
     Fmt.pr "%a@." Core.Soak.pp_report report;
     match inject with
@@ -745,7 +764,7 @@ let soak_cmd =
           the injected class is detected).")
     Term.(
       const run $ days_arg $ jobs_per_day_arg $ seed_arg $ soak_faults_arg $ inject_arg
-      $ no_monitor_arg $ window_arg $ pep_arg)
+      $ no_monitor_arg $ window_arg $ pep_arg $ batch_arg)
 
 let trace_export_cmd =
   let output_arg =

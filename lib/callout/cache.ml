@@ -126,9 +126,23 @@ let invalidate t =
 
 (* --- Keys -------------------------------------------------------------- *)
 
+(* One-slot physical-equality memo: workload generators and the job
+   manager hold on to the same clause value across the repeated queries
+   of a job's lifetime, so the (allocating) rendering happens once per
+   clause instead of once per lookup. Structural behavior is unchanged —
+   a memo hit returns the identical string the rendering would. *)
+let rsl_fingerprint_memo : (Grid_rsl.Ast.clause * string) option ref = ref None
+
 let rsl_fingerprint = function
   | None -> ""
-  | Some clause -> Grid_rsl.Ast.clause_to_string clause
+  | Some clause -> begin
+    match !rsl_fingerprint_memo with
+    | Some (c, s) when c == clause -> s
+    | _ ->
+      let s = Grid_rsl.Ast.clause_to_string clause in
+      rsl_fingerprint_memo := Some (clause, s);
+      s
+  end
 
 (* Length-prefixed part encoding. Joining components with a separator
    byte is not injective once a component can contain that byte (a
@@ -137,28 +151,39 @@ let rsl_fingerprint = function
    is a cross-principal cache hit. [<len>.<bytes>] is unambiguous
    whatever the bytes are; the key-collision QCheck suite in
    [test_callout] pins this. *)
-let part s = Printf.sprintf "%d.%s" (String.length s) s
+let add_part buf s =
+  Buffer.add_string buf (string_of_int (String.length s));
+  Buffer.add_char buf '.';
+  Buffer.add_string buf s
 
 (* Component-wise DN encoding (values may contain '/', '=', or any
    separator byte). *)
 let dn_key (dn : Grid_gsi.Dn.t) =
-  String.concat ""
-    (List.concat_map (fun (r : Grid_gsi.Dn.rdn) -> [ part r.attr; part r.value ]) dn)
+  let buf = Buffer.create 64 in
+  List.iter
+    (fun (r : Grid_gsi.Dn.rdn) ->
+      add_part buf r.attr;
+      add_part buf r.value)
+    dn;
+  Buffer.contents buf
 
 let opt_key f = function None -> "-" | Some v -> "+" ^ f v
 
+(* Built into one buffer — byte-identical to length-prefix-encoding each
+   part and concatenating (the encoding test_callout pins), without the
+   intermediate part list and per-part strings. *)
 let query_key ~scope ~epoch ?revision (q : Callout.query) =
-  String.concat ""
-    (List.map part
-       [ scope;
-         string_of_int epoch;
-         opt_key string_of_int revision;
-         dn_key q.requester;
-         Grid_policy.Types.Action.to_string q.action;
-         opt_key Fun.id q.job_id;
-         opt_key Fun.id q.jobtag;
-         opt_key dn_key q.job_owner;
-         rsl_fingerprint q.rsl ])
+  let buf = Buffer.create 96 in
+  add_part buf scope;
+  add_part buf (string_of_int epoch);
+  add_part buf (opt_key string_of_int revision);
+  add_part buf (dn_key q.requester);
+  add_part buf (Grid_policy.Types.Action.to_string q.action);
+  add_part buf (opt_key Fun.id q.job_id);
+  add_part buf (opt_key Fun.id q.jobtag);
+  add_part buf (opt_key dn_key q.job_owner);
+  add_part buf (rsl_fingerprint q.rsl);
+  Buffer.contents buf
 
 (* --- Credential gate --------------------------------------------------- *)
 
@@ -177,6 +202,61 @@ let cacheable : Callout.decision -> bool = function
   | Ok () | Error (Callout.Denied _) -> true
   | Error (Callout.System_error _ | Callout.Bad_configuration _) -> false
 
+(* A policy reload bumped the epoch: every live entry is stale (its key
+   carries the old epoch and can never be probed again), so flush and
+   account the loss as invalidation. *)
+let flush_on_epoch t epoch =
+  (match t.last_epoch with
+  | Some e when e <> epoch -> invalidate t
+  | Some _ | None -> ());
+  t.last_epoch <- Some epoch
+
+(* A live node for [key], with past-deadline entries evicted in passing. *)
+let probe t ~now key =
+  match Hashtbl.find_opt t.table key with
+  | Some node when now < node.expires_at -> Some node
+  | Some node ->
+    remove_node t node;
+    note_eviction t;
+    note_size t;
+    None
+  | None -> None
+
+let serve_hit t ~scope ~epoch node =
+  detach t node;
+  push_front t node;
+  t.hits <- t.hits + 1;
+  Grid_obs.Obs.incr t.obs "authz_cache_hits_total";
+  (* The epoch the cached answer was computed under equals the epoch
+     in the probe key, so a hit served after a reload propagated is a
+     stale-epoch violation the monitor can spot from this event. *)
+  Grid_obs.Obs.emit t.obs ~layer:"cache" "cache.hit"
+    [ ("scope", scope); ("epoch", string_of_int epoch);
+      ("outcome", Callout.outcome_label node.value) ];
+  node.value
+
+let store t ~now ~credential key decision =
+  if cacheable decision then begin
+    let deadline =
+      match credential with
+      | Some cred -> Float.min (now +. t.ttl) (credential_deadline cred)
+      | None -> now +. t.ttl
+    in
+    if deadline > now then begin
+      if Hashtbl.length t.table >= t.capacity then begin
+        match t.tail with
+        | Some lru ->
+          remove_node t lru;
+          note_eviction t
+        | None -> ()
+      end;
+      let node = { key; value = decision; expires_at = deadline; prev = None; next = None } in
+      Hashtbl.replace t.table key node;
+      push_front t node;
+      note_size t
+    end
+  end
+
 let with_cache t ?(scope = "authz") (backend : Callout.t) : Callout.t =
  fun q ->
   let now = t.now () in
@@ -187,13 +267,7 @@ let with_cache t ?(scope = "authz") (backend : Callout.t) : Callout.t =
      revision's entries, it just stops them being probed; the LRU ages
      them out. *)
   let revision = Option.map (fun f -> f ()) t.revision in
-  (* A policy reload bumped the epoch: every live entry is stale (its key
-     carries the old epoch and can never be probed again), so flush and
-     account the loss as invalidation. *)
-  (match t.last_epoch with
-  | Some e when e <> epoch -> invalidate t
-  | Some _ | None -> ());
-  t.last_epoch <- Some epoch;
+  flush_on_epoch t epoch;
   match q.Callout.requester_credential with
   | Some cred when not (credential_live ~now cred) ->
     (* Expired requester credential: the cache neither answers for it nor
@@ -204,59 +278,116 @@ let with_cache t ?(scope = "authz") (backend : Callout.t) : Callout.t =
     Grid_obs.Obs.emit t.obs ~layer:"cache" "cache.bypass"
       [ ("scope", scope); ("reason", "credential_expired") ];
     backend q
-  | credential ->
+  | credential -> begin
     let key = query_key ~scope ~epoch ?revision q in
-    let cached =
-      match Hashtbl.find_opt t.table key with
-      | Some node when now < node.expires_at -> Some node
-      | Some node ->
-        (* present but past its deadline: evict in passing *)
-        remove_node t node;
-        note_eviction t;
-        note_size t;
-        None
-      | None -> None
-    in
-    match cached with
-    | Some node ->
-      detach t node;
-      push_front t node;
-      t.hits <- t.hits + 1;
-      Grid_obs.Obs.incr t.obs "authz_cache_hits_total";
-      (* The epoch the cached answer was computed under equals the epoch
-         in the probe key, so a hit served after a reload propagated is a
-         stale-epoch violation the monitor can spot from this event. *)
-      Grid_obs.Obs.emit t.obs ~layer:"cache" "cache.hit"
-        [ ("scope", scope); ("epoch", string_of_int epoch);
-          ("outcome", Callout.outcome_label node.value) ];
-      node.value
+    match probe t ~now key with
+    | Some node -> serve_hit t ~scope ~epoch node
     | None ->
       t.misses <- t.misses + 1;
       Grid_obs.Obs.incr t.obs "authz_cache_misses_total";
       Grid_obs.Obs.emit t.obs ~layer:"cache" "cache.miss"
         [ ("scope", scope); ("epoch", string_of_int epoch) ];
       let decision = backend q in
-      if cacheable decision then begin
-        let deadline =
-          match credential with
-          | Some cred -> Float.min (now +. t.ttl) (credential_deadline cred)
-          | None -> now +. t.ttl
-        in
-        if deadline > now then begin
-          if Hashtbl.length t.table >= t.capacity then begin
-            match t.tail with
-            | Some lru ->
-              remove_node t lru;
-              note_eviction t
-            | None -> ()
-          end;
-          let node = { key; value = decision; expires_at = deadline; prev = None; next = None } in
-          Hashtbl.replace t.table key node;
-          push_front t node;
-          note_size t
-        end
-      end;
+      store t ~now ~credential key decision;
       decision
+  end
+
+(* --- Batched lookup ----------------------------------------------------- *)
+
+(* One cache pass for a whole batch. The many lane classifies every
+   query in one sweep — live credential + table hit is served on the
+   spot; expired-credential bypasses and cache misses are collected into
+   a single sub-batch for the backend's many lane, with within-batch
+   duplicate keys collapsed onto one representative ask (a batch is one
+   simulated instant: the sequential single-shot path would have served
+   the duplicates from the entry the representative just stored, so
+   collapsing answers identically for cacheable results and spares a
+   failing backend the hammering for non-cacheable ones). Bypasses are
+   never stored; representative answers are stored under the
+   representative's credential deadline, exactly as single-shot. Answers
+   scatter back by original index, so batch order is preserved. *)
+let with_cache_many t ?(scope = "authz") (backend : Callout.Batch.t) : Callout.Batch.t =
+  let single = with_cache t ~scope (Callout.Batch.callout backend) in
+  let many (qs : Callout.query array) =
+    let n = Array.length qs in
+    let now = t.now () in
+    let epoch = match t.epoch with None -> 0 | Some f -> f () in
+    let revision = Option.map (fun f -> f ()) t.revision in
+    flush_on_epoch t epoch;
+    let results = Array.make n Callout.permitted in
+    (* Sub-batch entries destined for the backend, reversed:
+       (original index, key when this is a representative miss —
+       [None] marks a credential bypass). *)
+    let sub = ref [] in
+    let sub_count = ref 0 in
+    let rep_slot : (string, int) Hashtbl.t = Hashtbl.create 16 in
+    let dups = ref [] in
+    let bypasses = ref 0 in
+    let misses = ref 0 in
+    for i = 0 to n - 1 do
+      let q = qs.(i) in
+      match q.Callout.requester_credential with
+      | Some cred when not (credential_live ~now cred) ->
+        incr bypasses;
+        Grid_obs.Obs.emit t.obs ~layer:"cache" "cache.bypass"
+          [ ("scope", scope); ("reason", "credential_expired") ];
+        sub := (i, None) :: !sub;
+        incr sub_count
+      | _ -> begin
+        let key = query_key ~scope ~epoch ?revision q in
+        match probe t ~now key with
+        | Some node -> results.(i) <- serve_hit t ~scope ~epoch node
+        | None -> begin
+          match Hashtbl.find_opt rep_slot key with
+          | Some slot -> dups := (i, slot) :: !dups
+          | None ->
+            incr misses;
+            Grid_obs.Obs.emit t.obs ~layer:"cache" "cache.miss"
+              [ ("scope", scope); ("epoch", string_of_int epoch) ];
+            Hashtbl.add rep_slot key !sub_count;
+            sub := (i, Some key) :: !sub;
+            incr sub_count
+        end
+      end
+    done;
+    let entries = Array.of_list (List.rev !sub) in
+    if Array.length entries > 0 then begin
+      let batch = Array.map (fun (i, _) -> qs.(i)) entries in
+      let answers = Callout.Batch.evaluate_many backend batch in
+      Array.iteri
+        (fun slot (i, key_opt) ->
+          let decision = answers.(slot) in
+          results.(i) <- decision;
+          match key_opt with
+          | None -> () (* bypass: the cache never learns from it *)
+          | Some key ->
+            store t ~now ~credential:qs.(i).Callout.requester_credential key decision)
+        entries
+    end;
+    (* Fan representative answers out to within-batch duplicates; each
+       counts as the hit it would have been on the sequential path. *)
+    List.iter
+      (fun (i, slot) ->
+        let rep_index, _ = entries.(slot) in
+        let decision = results.(rep_index) in
+        results.(i) <- decision;
+        t.hits <- t.hits + 1;
+        Grid_obs.Obs.incr t.obs "authz_cache_hits_total";
+        Grid_obs.Obs.emit t.obs ~layer:"cache" "cache.hit"
+          [ ("scope", scope); ("epoch", string_of_int epoch);
+            ("outcome", Callout.outcome_label decision) ])
+      !dups;
+    if !bypasses > 0 then begin
+      t.bypasses <- t.bypasses + !bypasses;
+      Grid_obs.Obs.incr t.obs ~by:(float_of_int !bypasses) "authz_cache_bypass_total"
+    end;
+    if !misses > 0 then begin
+      t.misses <- t.misses + !misses;
+      Grid_obs.Obs.incr t.obs ~by:(float_of_int !misses) "authz_cache_misses_total"
+    end;
+    results
+  in
+  Callout.Batch.make ~single ~many
 
 let pp ppf t =
   let lookups = t.hits + t.misses in

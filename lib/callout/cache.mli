@@ -41,6 +41,16 @@ val with_cache : t -> ?scope:string -> Callout.t -> Callout.t
     backed by different policy (e.g. the gatekeeper PEP and the job
     manager's mode callout). *)
 
+val with_cache_many : t -> ?scope:string -> Callout.Batch.t -> Callout.Batch.t
+(** Batched sibling of {!with_cache}: the single lane is exactly
+    [with_cache t ~scope]; the many lane classifies the whole batch in
+    one sweep — hits served from the table, credential bypasses and
+    (representative) misses shipped to the backend's many lane as one
+    sub-batch, within-batch duplicate keys collapsed onto one backend
+    ask and answered like the cache hits they would have been
+    sequentially. Answers come back in request order; bypassed queries
+    are never stored. *)
+
 val invalidate : t -> unit
 (** Drop every entry, counting them as invalidations. *)
 

@@ -30,21 +30,68 @@ type error =
 type decision = (unit, error) result
 type t = query -> decision
 
-let error_to_string = function
-  | Denied m -> "authorization denied: " ^ m
-  | System_error m -> "authorization system failure: " ^ m
-  | Bad_configuration m -> "authorization callout misconfigured: " ^ m
+(* The shared permit. [Ok ()] is immutable, so one value can stand for
+   every permitted decision — the batch pipeline returns this constant
+   and allocates nothing on its hot (permitting) path. The PEPs likewise
+   intern their recurring [Denied] values; see [File_pep]. *)
+let permitted : decision = Ok ()
+
+(* Rendering an error allocates (message concatenation), and the audit
+   trail renders every denial on hot workload paths while the PEPs hand
+   back physically shared (interned) error values. A one-slot
+   physical-equality memo therefore collapses the rebuild to a pointer
+   compare on repeats, without ever returning a stale string for a
+   structurally-equal-but-distinct error. *)
+let error_to_string_memo : (error * string) option ref = ref None
+
+let error_to_string e =
+  match !error_to_string_memo with
+  | Some (e', s) when e' == e -> s
+  | _ ->
+    let s =
+      match e with
+      | Denied m -> "authorization denied: " ^ m
+      | System_error m -> "authorization system failure: " ^ m
+      | Bad_configuration m -> "authorization callout misconfigured: " ^ m
+    in
+    error_to_string_memo := Some (e, s);
+    s
 
 let pp_error ppf e = Fmt.string ppf (error_to_string e)
 
+(* --- Query construction ----------------------------------------------- *)
+
+(* The one smart constructor behind every query. The historical pair
+   [start_query]/[management_query] survives as thin wrappers; new code
+   states its intent through the variant instead of remembering which
+   optional fields a start or a management question may carry. *)
+module Query = struct
+  type intent =
+    | Start of Grid_rsl.Ast.clause
+      (* job submission: the callout sees the full RSL job description *)
+    | Management of {
+        action : Grid_policy.Types.Action.t;
+        job_owner : Grid_gsi.Dn.t;
+        jobtag : string option;
+      }
+      (* cancel/query/signal on a running job: the callout sees the
+         target job's initiator and tag instead of the RSL *)
+
+  let make ~requester ?credential ?job_id intent =
+    match intent with
+    | Start rsl ->
+      { requester; requester_credential = credential; job_owner = None;
+        action = Grid_policy.Types.Action.Start; job_id; rsl = Some rsl; jobtag = None }
+    | Management { action; job_owner; jobtag } ->
+      { requester; requester_credential = credential; job_owner = Some job_owner;
+        action; job_id; rsl = None; jobtag }
+end
+
 let start_query ~requester ?credential ~job_id ~rsl () =
-  { requester; requester_credential = credential; job_owner = None;
-    action = Grid_policy.Types.Action.Start; job_id = Some job_id; rsl = Some rsl;
-    jobtag = None }
+  Query.make ~requester ?credential ~job_id (Query.Start rsl)
 
 let management_query ~requester ?credential ~action ~job_id ~job_owner ~jobtag () =
-  { requester; requester_credential = credential; job_owner = Some job_owner; action;
-    job_id = Some job_id; rsl = None; jobtag }
+  Query.make ~requester ?credential ~job_id (Query.Management { action; job_owner; jobtag })
 
 (* Translate a callout query into a policy-engine request. *)
 let to_policy_request (q : query) : Grid_policy.Types.request =
@@ -85,16 +132,58 @@ let counting (c : t) : t * (unit -> int) =
       c q),
     fun () -> !n )
 
+(* --- Batched decisions ------------------------------------------------- *)
+
+(* The batch decision API. A [Batch.t] carries two lanes over the same
+   policy: the single-shot callout every existing integration keeps
+   using, and [evaluate_many], which answers a whole query array in one
+   call so a backend can amortize — sort by subject for index locality,
+   dedupe policy-identical questions, reuse evaluation scratch state —
+   where the single-shot path pays per decision.
+
+   Contract: [evaluate_many b qs] answers element-wise exactly what
+   [Array.map (callout b) qs] would (decision and reason), and
+   [results.(i)] always answers [qs.(i)] — internal partitioning or
+   reordering never leaks into the returned array. The QCheck suite in
+   [test_batch] holds every backend to both properties. *)
+module Batch = struct
+  type callout = t
+
+  type t = {
+    single : callout;
+    many : query array -> decision array;
+  }
+
+  (* A native batch implementation: [many] must agree element-wise with
+     [single]. *)
+  let make ~single ~many = { single; many }
+
+  (* The derived fallback: any plain callout becomes a batch by mapping
+     the single-shot path — no amortization, full compatibility. *)
+  let of_callout (c : callout) = { single = c; many = (fun qs -> Array.map c qs) }
+
+  let callout b = b.single
+  let check b q = b.single q
+  let evaluate_many b qs = if Array.length qs = 0 then [||] else b.many qs
+end
+
 (* Full observability wrapper: the callout is the paper's PEP seam, so this
    is where every authorization decision is counted and timed. The span
    nests under whatever stage is current (the JMI's start/manage span),
    and the decision lands in authz_decisions_total split by action,
    outcome and backend. *)
-let outcome_label : decision -> string = function
-  | Ok () -> "permitted"
-  | Error (Denied _) -> "denied"
-  | Error (System_error _) -> "system_error"
-  | Error (Bad_configuration _) -> "bad_configuration"
+(* The label vocabulary is a fixed four-element set; labels are drawn
+   from one interned array so [outcome_label] never allocates and every
+   metric carrying an outcome shares the same string values. *)
+let outcome_labels = [| "permitted"; "denied"; "system_error"; "bad_configuration" |]
+
+let outcome_index : decision -> int = function
+  | Ok () -> 0
+  | Error (Denied _) -> 1
+  | Error (System_error _) -> 2
+  | Error (Bad_configuration _) -> 3
+
+let outcome_label (d : decision) : string = outcome_labels.(outcome_index d)
 
 (* --- Resilience combinators ------------------------------------------ *)
 
@@ -232,23 +321,94 @@ let decision_attrs ?epoch ~backend ~action (q : query) decision =
   @ opt "cred_expiry" (Printf.sprintf "%.3f")
       (Option.bind q.requester_credential credential_expiry)
 
+(* Metric label lists for the instrumented hot path, preallocated per
+   (action, outcome) when the wrapper is built: the action and outcome
+   vocabularies are closed, so the per-decision cost is two array loads
+   instead of a fresh three-pair association list per call. *)
+let action_slot : Grid_policy.Types.Action.t -> int = function
+  | Grid_policy.Types.Action.Start -> 0
+  | Grid_policy.Types.Action.Cancel -> 1
+  | Grid_policy.Types.Action.Information -> 2
+  | Grid_policy.Types.Action.Signal -> 3
+
+let decision_label_table ~backend =
+  let actions = Array.of_list Grid_policy.Types.Action.all in
+  Array.map
+    (fun action ->
+      let action = Grid_policy.Types.Action.to_string action in
+      Array.map
+        (fun outcome -> [ ("backend", backend); ("action", action); ("outcome", outcome) ])
+        outcome_labels)
+    actions
+
+let span_attr_table ~backend =
+  Array.of_list
+    (List.map
+       (fun action ->
+         [ ("backend", backend); ("action", Grid_policy.Types.Action.to_string action) ])
+       Grid_policy.Types.Action.all)
+
 let instrument ?(backend = "pep") ?epoch ~obs (c : t) : t =
   if not (Grid_obs.Obs.enabled obs) then c
-  else fun q ->
-    let action = Grid_policy.Types.Action.to_string q.action in
-    let decision =
-      Grid_obs.Obs.with_span obs
-        ~attrs:[ ("backend", backend); ("action", action) ]
-        "authz.callout"
-        (fun span ->
-          let decision = c q in
-          Grid_obs.Span.set_attr span "outcome" (outcome_label decision);
-          decision)
+  else begin
+    let labels = decision_label_table ~backend in
+    let span_attrs = span_attr_table ~backend in
+    fun q ->
+      let slot = action_slot q.action in
+      let action = Grid_policy.Types.Action.to_string q.action in
+      let decision =
+        Grid_obs.Obs.with_span obs ~attrs:span_attrs.(slot) "authz.callout"
+          (fun span ->
+            let decision = c q in
+            Grid_obs.Span.set_attr span "outcome" (outcome_label decision);
+            decision)
+      in
+      Grid_obs.Obs.incr obs ~labels:labels.(slot).(outcome_index decision)
+        "authz_decisions_total";
+      Grid_obs.Obs.emit obs ~layer:"callout" "authz.decision"
+        (decision_attrs ?epoch ~backend ~action q decision);
+      decision
+  end
+
+(* Batched sibling of {!instrument}. The whole batch runs under one
+   ["authz.batch"] span; counters are incremented in bulk per
+   (action, outcome) cell, but the ["authz.decision"] wide event is
+   still emitted per decision — the online safety monitor re-derives
+   each answer from that record, so batching must not thin it out. *)
+let instrument_batch ?(backend = "pep") ?epoch ~obs (b : Batch.t) : Batch.t =
+  if not (Grid_obs.Obs.enabled obs) then b
+  else begin
+    let single = instrument ~backend ?epoch ~obs (Batch.callout b) in
+    let labels = decision_label_table ~backend in
+    let many qs =
+      let n = Array.length qs in
+      let decisions =
+        Grid_obs.Obs.with_span obs
+          ~attrs:[ ("backend", backend); ("size", string_of_int n) ]
+          "authz.batch"
+          (fun _ -> b.Batch.many qs)
+      in
+      let counts = Array.make_matrix 4 (Array.length outcome_labels) 0 in
+      Array.iteri
+        (fun i q ->
+          let decision = decisions.(i) in
+          let a = action_slot q.action and o = outcome_index decision in
+          counts.(a).(o) <- counts.(a).(o) + 1;
+          Grid_obs.Obs.emit obs ~layer:"callout" "authz.decision"
+            (decision_attrs ?epoch ~backend
+               ~action:(Grid_policy.Types.Action.to_string q.action)
+               q decision))
+        qs;
+      Array.iteri
+        (fun a per_outcome ->
+          Array.iteri
+            (fun o count ->
+              if count > 0 then
+                Grid_obs.Obs.incr obs ~by:(float_of_int count) ~labels:labels.(a).(o)
+                  "authz_decisions_total")
+            per_outcome)
+        counts;
+      decisions
     in
-    Grid_obs.Obs.incr obs
-      ~labels:
-        [ ("backend", backend); ("action", action); ("outcome", outcome_label decision) ]
-      "authz_decisions_total";
-    Grid_obs.Obs.emit obs ~layer:"callout" "authz.decision"
-      (decision_attrs ?epoch ~backend ~action q decision);
-    decision
+    Batch.make ~single ~many
+  end

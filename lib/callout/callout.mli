@@ -26,8 +26,50 @@ type decision = (unit, error) result
 
 type t = query -> decision
 
+val permitted : decision
+(** The shared [Ok ()] decision. Hot paths return this constant instead
+    of allocating a fresh [Ok ()] per call; callers must not rely on
+    physical identity, only on structural equality. *)
+
 val error_to_string : error -> string
 val pp_error : error Fmt.t
+
+(** Smart constructor for queries — the single supported way to build a
+    {!query}.
+
+    Migration path: the legacy [start_query] and [management_query]
+    constructors below are thin wrappers over [Query.make] and are kept
+    for source compatibility only. New code should write
+
+    {[
+      Query.make ~requester ?credential ?job_id (Query.Start rsl)
+      Query.make ~requester ?credential ?job_id
+        (Query.Management { action; job_owner; jobtag })
+    ]}
+
+    The variant-typed [intent] makes the start/management split explicit
+    in the type instead of in two near-identical functions, and is the
+    extension point for future intents (e.g. delegation). *)
+module Query : sig
+  type intent =
+    | Start of Grid_rsl.Ast.clause
+        (** Job submission: the RSL clause is the object of the decision
+            and the action is forced to [Action.Start]. *)
+    | Management of {
+        action : Grid_policy.Types.Action.t;
+        job_owner : Grid_gsi.Dn.t;
+        jobtag : string option;
+      }
+        (** Cancel/query/signal on a running job owned by [job_owner],
+            optionally via a delegated [jobtag]. *)
+
+  val make :
+    requester:Grid_gsi.Dn.t ->
+    ?credential:Grid_gsi.Credential.t ->
+    ?job_id:string ->
+    intent ->
+    query
+end
 
 val start_query :
   requester:Grid_gsi.Dn.t ->
@@ -36,6 +78,8 @@ val start_query :
   rsl:Grid_rsl.Ast.clause ->
   unit ->
   query
+(** @deprecated Thin wrapper over [Query.make _ (Query.Start _)]; see
+    the migration note on {!module:Query}. *)
 
 val management_query :
   requester:Grid_gsi.Dn.t ->
@@ -46,6 +90,8 @@ val management_query :
   jobtag:string option ->
   unit ->
   query
+(** @deprecated Thin wrapper over [Query.make _ (Query.Management _)];
+    see the migration note on {!module:Query}. *)
 
 val to_policy_request : query -> Grid_policy.Types.request
 
@@ -61,6 +107,37 @@ val failing : message:string -> t
 
 val counting : t -> t * (unit -> int)
 (** Wrap a callout with an invocation counter. *)
+
+(** Batched decisions: a two-lane callout whose [many] lane answers a
+    whole [query array] in one call, with the contract that
+    [evaluate_many b qs] is element-wise equal (decision and reason) to
+    [Array.map (check b) qs] and preserves order. Backends that can
+    amortize work across a batch (shared policy-index probes, per-batch
+    dedupe, one cache pass) implement [many] natively; any plain
+    {!type:t} lifts via {!Batch.of_callout} with the derived
+    (non-amortized) lane, so every existing callout keeps working. *)
+module Batch : sig
+  type callout = t
+
+  type t = private {
+    single : callout;
+    many : query array -> decision array;
+  }
+
+  val make : single:callout -> many:(query array -> decision array) -> t
+  (** [many] must be element-wise equivalent to mapping [single] and
+      must return the answers in request order. *)
+
+  val of_callout : callout -> t
+  (** Derived fallback: [many] is [Array.map] over the single lane. *)
+
+  val callout : t -> callout
+  val check : t -> callout
+
+  val evaluate_many : t -> query array -> decision array
+  (** Answers in request order; [[||]] for the empty batch without
+      touching the backend. *)
+end
 
 val outcome_label : decision -> string
 (** ["permitted"] / ["denied"] / ["system_error"] / ["bad_configuration"]:
@@ -120,3 +197,12 @@ val instrument : ?backend:string -> ?epoch:(unit -> int) -> obs:Grid_obs.Obs.t -
     outcome, the policy epoch sampled from [epoch] and the requesting
     credential's expiry — the record the online safety monitor checks.
     A disabled observer returns the callout unchanged. *)
+
+val instrument_batch :
+  ?backend:string -> ?epoch:(unit -> int) -> obs:Grid_obs.Obs.t -> Batch.t -> Batch.t
+(** Batched sibling of {!instrument}: the single lane is instrumented
+    per-decision as usual; the many lane runs the whole batch under one
+    ["authz.batch"] span and bulk-increments
+    [authz_decisions_total{action,outcome,backend}] per cell, but still
+    emits one ["authz.decision"] wide event per decision — the safety
+    monitor's input must not be thinned out by batching. *)

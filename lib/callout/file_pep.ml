@@ -13,17 +13,39 @@
    T16 benchmark baseline. *)
 
 let decision_to_callout = function
-  | Grid_policy.Combine.Permit -> Ok ()
+  | Grid_policy.Combine.Permit -> Callout.permitted
   | Grid_policy.Combine.Deny { source; reason } ->
     Error
       (Callout.Denied
          (Printf.sprintf "%s: %s" source (Grid_policy.Eval.reason_to_string reason)))
+
+(* Denial interning: the hot path answers the same few distinct
+   (source, reason) denials over and over, so the message is rendered
+   once per distinct combined decision and the resulting callout
+   decision value shared thereafter — structurally identical to what
+   [decision_to_callout] would build fresh. The table is capped (an
+   adversarial reason stream cannot grow it without bound) and reset on
+   reload, since a new policy makes old denial shapes unreachable. *)
+let intern_cap = 1024
+
+let intern_decision (tbl : (Grid_policy.Combine.combined_decision, Callout.decision) Hashtbl.t)
+    = function
+  | Grid_policy.Combine.Permit -> Callout.permitted
+  | Grid_policy.Combine.Deny _ as d -> begin
+    match Hashtbl.find_opt tbl d with
+    | Some decision -> decision
+    | None ->
+      let decision = decision_to_callout d in
+      if Hashtbl.length tbl < intern_cap then Hashtbl.add tbl d decision;
+      decision
+  end
 
 module Compiled = struct
   type t = {
     obs : Grid_obs.Obs.t option;
     mutable sources : Grid_policy.Combine.compiled_source list;
     mutable epoch : int;
+    interned : (Grid_policy.Combine.combined_decision, Callout.decision) Hashtbl.t;
   }
 
   (* An empty source list still gets a fresh epoch, so reloading a PEP
@@ -46,7 +68,7 @@ module Compiled = struct
 
   let create ?obs sources =
     let sources = Grid_policy.Combine.compile_sources sources in
-    let t = { obs; sources; epoch = stamp sources } in
+    let t = { obs; sources; epoch = stamp sources; interned = Hashtbl.create 16 } in
     note_epoch ~kind:"create" t;
     t
 
@@ -58,13 +80,52 @@ module Compiled = struct
     let sources = Grid_policy.Combine.compile_sources sources in
     t.sources <- sources;
     t.epoch <- stamp sources;
+    Hashtbl.reset t.interned;
     note_epoch t
 
   let callout t : Callout.t =
    fun query ->
-    decision_to_callout
+    intern_decision t.interned
       (Grid_policy.Combine.evaluate_compiled ?obs:t.obs t.sources
          (Callout.to_policy_request query))
+
+  (* Native batch lane: structurally identical questions are collapsed
+     once, up front, so the per-source pipeline and the denial interning
+     each run once per *distinct* request rather than once per query —
+     the dominant saving on the repetitive streams job managers emit.
+     [Combine.evaluate_compiled_many] still sorts and groups what
+     remains by subject. *)
+  let batch t : Callout.Batch.t =
+    let single = callout t in
+    let many qs =
+      let n = Array.length qs in
+      if n = 0 then [||]
+      else begin
+        let requests = Array.map Callout.to_policy_request qs in
+        let rep = Array.make n 0 in
+        let seen : (Grid_policy.Types.request, int) Hashtbl.t =
+          Hashtbl.create (min n 64)
+        in
+        let distinct_rev = ref [] in
+        let count = ref 0 in
+        for i = 0 to n - 1 do
+          match Hashtbl.find_opt seen requests.(i) with
+          | Some j -> rep.(i) <- j
+          | None ->
+            Hashtbl.add seen requests.(i) !count;
+            rep.(i) <- !count;
+            distinct_rev := requests.(i) :: !distinct_rev;
+            incr count
+        done;
+        let distinct = Array.of_list (List.rev !distinct_rev) in
+        let answers =
+          Array.map (intern_decision t.interned)
+            (Grid_policy.Combine.evaluate_compiled_many ?obs:t.obs t.sources distinct)
+        in
+        Array.init n (fun i -> answers.(rep.(i)))
+      end
+    in
+    Callout.Batch.make ~single ~many
 end
 
 let of_sources ?obs (sources : Grid_policy.Combine.source list) : Callout.t =

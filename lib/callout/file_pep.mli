@@ -13,6 +13,14 @@ module Compiled : sig
 
   val create : ?obs:Grid_obs.Obs.t -> Grid_policy.Combine.source list -> t
   val callout : t -> Callout.t
+
+  val batch : t -> Callout.Batch.t
+  (** Native batch lane: one amortized pass over the compiled sources
+      per batch ({!Grid_policy.Combine.evaluate_compiled_many}), with
+      denial decisions interned so repeated reasons share one rendered
+      message. Element-wise equal to mapping {!callout} over the batch,
+      in request order. *)
+
   val epoch : t -> int
 
   val sources : t -> Grid_policy.Combine.source list

@@ -92,12 +92,12 @@ module Testbed = struct
          decision rested on configures the enforcement envelope
          (DESIGN.md, Section 7 direction). *)
       let pep = Grid_callout.File_pep.Compiled.create ~obs sources in
-      ( Grid_gram.Mode.extended ~backend:"flat_file"
+      ( Grid_gram.Mode.extended_batch ~backend:"flat_file"
           ~advice:(Grid_callout.File_pep.advice sources)
-          (Grid_callout.File_pep.Compiled.callout pep),
+          (Grid_callout.File_pep.Compiled.batch pep),
         Some (fun () -> Grid_callout.File_pep.Compiled.epoch pep) )
     | Rebac pep ->
-      ( Grid_gram.Mode.extended ~backend:"rebac" (Grid_rebac.Pep.callout pep),
+      ( Grid_gram.Mode.extended_batch ~backend:"rebac" (Grid_rebac.Pep.batch pep),
         Some (fun () -> Grid_rebac.Pep.epoch pep) )
     | Custom authorization -> (Grid_gram.Mode.extended authorization, None)
 

@@ -49,6 +49,9 @@ type config = {
   inject : Grid_obs.Monitor.violation_class option;
   propagation_window : float;  (* revocation grace period, seconds *)
   pep : pep_backend;           (* which PEP answers the callouts *)
+  batch : int;                 (* 1 = per-request management over the wire;
+                                  N > 1 coalesces follow-ups and authorizes
+                                  them through the batch decision pipeline *)
 }
 
 let default_config =
@@ -59,7 +62,8 @@ let default_config =
     monitor = true;
     inject = None;
     propagation_window = 300.0;
-    pep = Flat_file_pep }
+    pep = Flat_file_pep;
+    batch = 1 }
 
 type report = {
   submitted : int;
@@ -193,6 +197,7 @@ type user_cell = {
 let run (config : config) : report =
   if config.days <= 0.0 then invalid_arg "Soak.run: days must be positive";
   if config.jobs_per_day <= 0 then invalid_arg "Soak.run: jobs_per_day must be positive";
+  if config.batch < 1 then invalid_arg "Soak.run: batch must be >= 1";
   let total = Grid_sim.Clock.days config.days in
   Grid_util.Ids.reset ();
   let engine = Grid_sim.Engine.create () in
@@ -333,6 +338,42 @@ let run (config : config) : report =
   let management = ref 0 in
   let management_denied = ref 0 in
 
+  (* Batched management ([config.batch > 1]): follow-ups accumulate here
+     (newest first, as (manager, contact, action)) and flush through
+     [Resource.manage_many_direct] — one authorization batch per
+     [config.batch] requests. Credentials are minted at flush time, one
+     fresh challenge per request, exactly as the per-request path does
+     at send time. [batch = 1] keeps the original wire path. *)
+  let pending : (user_cell * string * Grid_gram.Protocol.management_action) list ref =
+    ref []
+  in
+  let pending_count = ref 0 in
+  let flush_pending () =
+    if !pending_count > 0 then begin
+      let items = Array.of_list (List.rev !pending) in
+      pending := [];
+      pending_count := 0;
+      let requests =
+        Array.map
+          (fun (manager, contact, action) ->
+            { Grid_gram.Resource.requester =
+                Grid_gsi.Identity.effective_subject manager.proxy;
+              credential =
+                Some
+                  (Grid_gsi.Credential.of_identity manager.proxy
+                     ~challenge:(Grid_gram.Resource.new_challenge resource));
+              contact;
+              action })
+          items
+      in
+      Array.iter
+        (function
+          | Ok _ -> ()
+          | Error _ -> incr management_denied)
+        (Grid_gram.Resource.manage_many_direct resource requests)
+    end
+  in
+
   (* Proxy renewal: every 10 simulated hours, each user re-delegates a
      fresh 12-hour proxy — the operational rhythm that keeps credential
      expiry from ever authorizing anything. *)
@@ -407,19 +448,28 @@ let run (config : config) : report =
             let delay = 1.0 +. Grid_util.Rng.float rng 60.0 in
             Grid_sim.Engine.schedule_after engine delay (fun () ->
                 incr management;
-                let credential =
-                  Grid_gsi.Credential.of_identity manager.proxy
-                    ~challenge:(Grid_gram.Resource.new_challenge resource)
-                in
-                Grid_gram.Resource.manage resource
-                  ~requester:(Grid_gsi.Identity.effective_subject manager.proxy)
-                  ~credential ~contact:reply.Grid_gram.Protocol.job_contact action
-                  ~reply:(fun result ->
-                    match result with
-                    | Ok _ -> ()
-                    | Error (Grid_gram.Protocol.Request_timed_out _) ->
-                      incr timed_out
-                    | Error _ -> incr management_denied))
+                if config.batch = 1 then begin
+                  let credential =
+                    Grid_gsi.Credential.of_identity manager.proxy
+                      ~challenge:(Grid_gram.Resource.new_challenge resource)
+                  in
+                  Grid_gram.Resource.manage resource
+                    ~requester:(Grid_gsi.Identity.effective_subject manager.proxy)
+                    ~credential ~contact:reply.Grid_gram.Protocol.job_contact action
+                    ~reply:(fun result ->
+                      match result with
+                      | Ok _ -> ()
+                      | Error (Grid_gram.Protocol.Request_timed_out _) ->
+                        incr timed_out
+                      | Error _ -> incr management_denied)
+                end
+                else begin
+                  pending :=
+                    (manager, reply.Grid_gram.Protocol.job_contact, action)
+                    :: !pending;
+                  incr pending_count;
+                  if !pending_count >= config.batch then flush_pending ()
+                end)
           end
         | Error
             ( Grid_gram.Protocol.Authorization_failed _
@@ -522,6 +572,10 @@ let run (config : config) : report =
         Grid_obs.Obs.emit obs ~layer:"injected" "resource.recovered"
           [ ("restored", "0"); ("dropped_bytes", "0"); ("decode_failures", "0") ]));
 
+  Grid_sim.Engine.run engine;
+  (* A partial management batch may remain after the last follow-up:
+     flush it and drain whatever the performed actions scheduled. *)
+  flush_pending ();
   Grid_sim.Engine.run engine;
   Option.iter Grid_obs.Monitor.flush monitor;
 

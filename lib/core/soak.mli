@@ -39,11 +39,16 @@ type config = {
   pep : pep_backend;
       (** which PEP answers callouts; the monitor's oracle re-derives
           answers through the matching engine either way *)
+  batch : int;
+      (** [1] (the default) sends each management follow-up over the
+          wire individually; [N > 1] coalesces follow-ups and authorizes
+          them [N] at a time through
+          {!Grid_gram.Resource.manage_many_direct}. *)
 }
 
 val default_config : config
 (** 3 days, 400 jobs/day, seed 42, light faults, monitor on, no
-    injection, flat-file PEP. *)
+    injection, flat-file PEP, batch 1. *)
 
 type report = {
   submitted : int;

@@ -12,11 +12,17 @@ type config = {
   arrival_rate : float;
   job_count : int;
   management_probability : float;
+  management_batch : int;
+      (** [1] (the default) sends each management follow-up over the
+          wire as before; [N > 1] coalesces follow-ups and authorizes
+          them [N] at a time through
+          {!Grid_gram.Resource.manage_many_direct} — the batch decision
+          pipeline. *)
   seed : int;
 }
 
 val default_config : config
-(** 1 job/s, 100 jobs, 30% management follow-ups, seed 42. *)
+(** 1 job/s, 100 jobs, 30% management follow-ups, batch 1, seed 42. *)
 
 type stats = {
   mutable submitted : int;

@@ -134,7 +134,7 @@ let authorize t (query : Grid_callout.Callout.query) =
        backend label. *)
     t.callout_invocations <- t.callout_invocations + 1;
     record t ~target:"pep" "authorization callout";
-    authorization query
+    Grid_callout.Callout.Batch.check authorization query
 
 (* --- Job startup ------------------------------------------------------- *)
 
@@ -377,20 +377,25 @@ let perform t (action : Protocol.management_action) :
       spanned "lrm.set_priority" (fun () -> Grid_lrm.Lrm.set_priority t.lrm lrm_id p)
   end
 
-let manage_inner t ~requester ?(credential : Grid_gsi.Credential.t option)
-    (action : Protocol.management_action) :
+let management_query t ~requester ~(credential : Grid_gsi.Credential.t option)
+    (action : Protocol.management_action) : Grid_callout.Callout.query =
+  { Grid_callout.Callout.requester;
+    requester_credential = credential;
+    job_owner = Some t.owner;
+    action = Protocol.to_policy_action action;
+    job_id = Some t.contact;
+    rsl = None;
+    jobtag = t.jobtag }
+
+(* The post-authorization half of a management request: audit the
+   decision and, when permitted, perform the action. Shared by the
+   single-shot path and the batched path, so both audit and act
+   identically. *)
+let manage_decided t ~requester (action : Protocol.management_action)
+    (decision : Grid_callout.Callout.decision) :
     (Protocol.management_reply, Protocol.management_error) result =
   let action_name = Protocol.management_action_to_string action in
-  let query =
-    { Grid_callout.Callout.requester;
-      requester_credential = credential;
-      job_owner = Some t.owner;
-      action = Protocol.to_policy_action action;
-      job_id = Some t.contact;
-      rsl = None;
-      jobtag = t.jobtag }
-  in
-  match authorize t query with
+  match decision with
   | Error e ->
     audit_authz t ~requester ~job_id:t.contact ~action:action_name
       (Grid_audit.Audit.Failure (Grid_callout.Callout.error_to_string e));
@@ -401,15 +406,25 @@ let manage_inner t ~requester ?(credential : Grid_gsi.Credential.t option)
       ~subject:requester ~job_id:t.contact ~outcome:Grid_audit.Audit.Success action_name;
     perform t action
 
-let manage t ~requester ?credential action =
-  if not (Grid_obs.Obs.enabled t.obs) then manage_inner t ~requester ?credential action
+let manage_inner t ~requester ?(credential : Grid_gsi.Credential.t option)
+    (action : Protocol.management_action) :
+    (Protocol.management_reply, Protocol.management_error) result =
+  let query = management_query t ~requester ~credential action in
+  manage_decided t ~requester action (authorize t query)
+
+(* Span/counter/event wrapper around one management request; shared by
+   [manage] and the batched path so every request lands in
+   [management_requests_total] and the ["jmi.manage"] event stream the
+   same way, batched or not. *)
+let observed_manage t (action : Protocol.management_action) run =
+  if not (Grid_obs.Obs.enabled t.obs) then run ()
   else begin
     let action_name = Protocol.management_action_to_string action in
     Grid_obs.Obs.with_span t.obs
       ~attrs:[ ("action", action_name); ("contact", t.contact) ]
       "jmi.manage"
       (fun span ->
-        let result = manage_inner t ~requester ?credential action in
+        let result = run () in
         let outcome =
           match result with
           | Ok _ -> "ok"
@@ -424,3 +439,54 @@ let manage t ~requester ?credential action =
           [ ("contact", t.contact); ("action", action_name); ("outcome", outcome) ];
         result)
   end
+
+let manage t ~requester ?credential action =
+  observed_manage t action (fun () -> manage_inner t ~requester ?credential action)
+
+(* --- Batched management ------------------------------------------------ *)
+
+(* Authorize-and-perform a whole batch of management requests, possibly
+   spanning many JMIs. Authorization goes through the Extended mode's
+   many lane: items sharing one (physically equal) batch callout — the
+   common case, since a resource wires one mode into every JMI — are
+   authorized in a single [evaluate_many] call; baseline items keep the
+   inline initiator check. Every item is then audited/performed through
+   the same [manage_decided]/[observed_manage] pair as the single-shot
+   path, and the result array preserves request order. *)
+let manage_many
+    (items :
+      (t * Grid_gsi.Dn.t * Grid_gsi.Credential.t option * Protocol.management_action)
+      array) : (Protocol.management_reply, Protocol.management_error) result array =
+  let n = Array.length items in
+  let decisions = Array.make n Grid_callout.Callout.permitted in
+  let groups : (Grid_callout.Callout.Batch.t * int list ref) list ref = ref [] in
+  for i = 0 to n - 1 do
+    let t, requester, credential, action = items.(i) in
+    match t.mode with
+    | Mode.Gt2_baseline ->
+      decisions.(i) <- authorize t (management_query t ~requester ~credential action)
+    | Mode.Extended { authorization; _ } -> begin
+      t.callout_invocations <- t.callout_invocations + 1;
+      record t ~target:"pep" "authorization callout";
+      match List.find_opt (fun (b, _) -> b == authorization) !groups with
+      | Some (_, ids) -> ids := i :: !ids
+      | None -> groups := (authorization, ref [ i ]) :: !groups
+    end
+  done;
+  List.iter
+    (fun (authorization, ids) ->
+      let idx = Array.of_list (List.rev !ids) in
+      let queries =
+        Array.map
+          (fun i ->
+            let t, requester, credential, action = items.(i) in
+            management_query t ~requester ~credential action)
+          idx
+      in
+      let answers = Grid_callout.Callout.Batch.evaluate_many authorization queries in
+      Array.iteri (fun k i -> decisions.(i) <- answers.(k)) idx)
+    !groups;
+  Array.mapi
+    (fun i (t, requester, _credential, action) ->
+      observed_manage t action (fun () -> manage_decided t ~requester action decisions.(i)))
+    items

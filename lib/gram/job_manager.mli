@@ -84,3 +84,12 @@ val manage :
   (Protocol.management_reply, Protocol.management_error) result
 (** Authorize the requester (owner-only in baseline mode; callout in
     extended mode), then perform the action against the LRM. *)
+
+val manage_many :
+  (t * Grid_gsi.Dn.t * Grid_gsi.Credential.t option * Protocol.management_action) array ->
+  (Protocol.management_reply, Protocol.management_error) result array
+(** Batched {!manage} across (possibly many) JMIs: items whose extended
+    modes share one batch callout are authorized in a single
+    [evaluate_many] pass, baseline items keep the inline initiator
+    check, and every item is audited, performed, and counted exactly as
+    the single-shot path would. Results come back in request order. *)

@@ -12,7 +12,12 @@
 type t =
   | Gt2_baseline
   | Extended of {
-      authorization : Grid_callout.Callout.t;
+      authorization : Grid_callout.Callout.Batch.t;
+      (* Two-lane callout: the single lane answers the per-request
+         consultations, the many lane lets the job manager authorize a
+         whole management batch in one amortized pass. Plain callouts
+         enter through [extended], which lifts them with the derived
+         (map-the-single-lane) many lane. *)
       (* Optional policy-derived-enforcement hook (the paper's Section 7
          "GT3" direction): given a query that was just authorized,
          return the policy clause the decision rested on so the JMI can
@@ -34,16 +39,21 @@ let to_string = function
 (* Resolve the Extended mode's callout from a configuration file against a
    registry — the deployment path; misconfiguration yields a mode whose
    callout fails closed with the configuration error. *)
-let extended ?advice ?(backend = "custom") authorization =
+let extended_batch ?advice ?(backend = "custom") authorization =
   Extended { authorization; advice; backend }
 
+let extended ?advice ?backend authorization =
+  extended_batch ?advice ?backend (Grid_callout.Callout.Batch.of_callout authorization)
+
 let extended_from_config config registry =
-  match
-    Grid_callout.Config.resolve config registry Grid_callout.Config.gram_authz_type
-  with
-  | Ok authorization -> Extended { authorization; advice = None; backend = "config" }
-  | Error e ->
-    Extended { authorization = (fun _ -> Error e); advice = None; backend = "config" }
+  let authorization =
+    match
+      Grid_callout.Config.resolve config registry Grid_callout.Config.gram_authz_type
+    with
+    | Ok authorization -> Grid_callout.Callout.Batch.of_callout authorization
+    | Error e -> Grid_callout.Callout.Batch.of_callout (fun _ -> Error e)
+  in
+  Extended { authorization; advice = None; backend = "config" }
 
 (* Wrap the mode's callout so every consultation is spanned and counted
    under its backend label. GT2 baseline has no callout to wrap; its
@@ -52,7 +62,8 @@ let instrument ?epoch ~obs = function
   | Gt2_baseline -> Gt2_baseline
   | Extended { authorization; advice; backend } ->
     Extended
-      { authorization = Grid_callout.Callout.instrument ~backend ?epoch ~obs authorization;
+      { authorization =
+          Grid_callout.Callout.instrument_batch ~backend ?epoch ~obs authorization;
         advice;
         backend }
 
@@ -64,6 +75,7 @@ let with_cache ~cache = function
   | Gt2_baseline -> Gt2_baseline
   | Extended { authorization; advice; backend } ->
     Extended
-      { authorization = Grid_callout.Cache.with_cache cache ~scope:backend authorization;
+      { authorization =
+          Grid_callout.Cache.with_cache_many cache ~scope:backend authorization;
         advice;
         backend }

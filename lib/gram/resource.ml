@@ -274,6 +274,84 @@ let manage_direct t ~requester ?credential ~contact action =
   | Protocol.Status -> ());
   result)
 
+(* One element of a management batch: the same inputs [manage_direct]
+   takes, as data. *)
+type manage_request = {
+  requester : Grid_gsi.Dn.t;
+  credential : Grid_gsi.Credential.t option;
+  contact : string;
+  action : Protocol.management_action;
+}
+
+(* Batched [manage_direct]: resolve and authenticate every request
+   first, then authorize-and-perform all surviving requests through
+   [Job_manager.manage_many] — one callout batch for the whole tick in
+   extended mode. Lookup failures and authentication refusals answer in
+   place without consuming a callout, exactly as the single-shot path;
+   journalling follows the same state-changing-actions-only rule.
+   Results preserve request order. *)
+let manage_many_direct t (requests : manage_request array) :
+    (Protocol.management_reply, Protocol.management_error) result array =
+  Grid_obs.Obs.ensure_correlation t.obs (fun () ->
+      let n = Array.length requests in
+      let results = Array.make n (Error (Protocol.Invalid_request "unanswered")) in
+      let ready = ref [] in
+      for i = 0 to n - 1 do
+        let r = requests.(i) in
+        match find_jmi t r.contact with
+        | None -> results.(i) <- Error (Protocol.Unknown_job r.contact)
+        | Some jmi -> begin
+          match r.credential with
+          | None -> ready := (i, jmi) :: !ready
+          | Some credential -> begin
+            match Gatekeeper.authenticate t.gatekeeper credential with
+            | Error e ->
+              results.(i) <-
+                Error
+                  (Protocol.Management_authentication_failed
+                     (Grid_gsi.Authn.error_to_string e))
+            | Ok ctx ->
+              if not (Grid_gsi.Dn.equal ctx.Grid_gsi.Authn.peer r.requester) then
+                results.(i) <-
+                  Error
+                    (Protocol.Management_authentication_failed
+                       (Printf.sprintf "credential authenticates %s, request claims %s"
+                          (Grid_gsi.Dn.to_string ctx.Grid_gsi.Authn.peer)
+                          (Grid_gsi.Dn.to_string r.requester)))
+              else ready := (i, jmi) :: !ready
+          end
+        end
+      done;
+      let ready = Array.of_list (List.rev !ready) in
+      let items =
+        Array.map
+          (fun (i, jmi) ->
+            let r = requests.(i) in
+            (jmi, r.requester, r.credential, r.action))
+          ready
+      in
+      let replies = Job_manager.manage_many items in
+      Array.iteri (fun k (i, _) -> results.(i) <- replies.(k)) ready;
+      Array.iteri
+        (fun i r ->
+          match r.action with
+          | Protocol.Cancel | Protocol.Signal _ ->
+            if Option.is_some t.store && Hashtbl.mem t.jmis r.contact then
+              record_event t
+                (Persist.Management
+                   { contact = r.contact;
+                     requester = r.requester;
+                     action = Protocol.management_action_to_string r.action;
+                     outcome =
+                       (match results.(i) with
+                       | Ok _ -> "ok"
+                       | Error (Protocol.Not_authorized _) -> "denied"
+                       | Error _ -> "error");
+                     at = now t })
+          | Protocol.Status -> ())
+        requests;
+      results)
+
 (* --- Crash and recovery ------------------------------------------------ *)
 
 (* Kill the job manager process: every in-memory JMI is lost, and the

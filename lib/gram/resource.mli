@@ -116,6 +116,26 @@ val manage_direct :
     revocation, single-use challenge) and must assert [requester];
     credential-less calls are for in-process trusted callers only. *)
 
+type manage_request = {
+  requester : Grid_gsi.Dn.t;
+  credential : Grid_gsi.Credential.t option;
+  contact : string;
+  action : Protocol.management_action;
+}
+(** One element of a management batch — the inputs of {!manage_direct},
+    as data. *)
+
+val manage_many_direct :
+  t ->
+  manage_request array ->
+  (Protocol.management_reply, Protocol.management_error) result array
+(** Batched {!manage_direct}: every request is resolved and
+    authenticated individually, then all surviving requests are
+    authorized in one callout batch (the Extended mode's many lane) and
+    performed. Element-wise the answers, audit records, and journal
+    entries match the single-shot path; results come back in request
+    order. *)
+
 val submit :
   ?timeout:float ->
   t ->

@@ -80,3 +80,46 @@ let evaluate_compiled ?obs (sources : compiled_source list) (request : Types.req
   in
   if sources = [] then Deny { source = "(none)"; reason = Eval.No_applicable_grant }
   else go sources
+
+(* Batched conjunction, source-major: evaluate the whole pending batch
+   against source 1, drop the requests it denied (recording the denial),
+   and hand only the survivors to source 2, and so on. Element-wise this
+   answers exactly what [evaluate_compiled] answers — a request's first
+   denying source (in source order) is the one reported — while each
+   source sees one amortized [Compile.eval_many] pass instead of
+   per-request calls. Answers are scattered back by original index, so
+   batch order is preserved. *)
+let evaluate_compiled_many ?obs (sources : compiled_source list)
+    (requests : Types.request array) : combined_decision array =
+  let n = Array.length requests in
+  if n = 0 then [||]
+  else if sources = [] then
+    Array.make n (Deny { source = "(none)"; reason = Eval.No_applicable_grant })
+  else begin
+    let results = Array.make n Permit in
+    let pending = Array.init n (fun i -> i) in
+    let n_pending = ref n in
+    List.iter
+      (fun c ->
+        if !n_pending > 0 then begin
+          let batch = Array.init !n_pending (fun k -> requests.(pending.(k))) in
+          let decisions =
+            Eval.observed_many_with ?obs ~source:c.origin.name
+              ~eval_many:(Compile.eval_many c.compiled)
+              batch
+          in
+          let kept = ref 0 in
+          Array.iteri
+            (fun k d ->
+              match d with
+              | Eval.Permit ->
+                pending.(!kept) <- pending.(k);
+                incr kept
+              | Eval.Deny reason ->
+                results.(pending.(k)) <- Deny { source = c.origin.name; reason })
+            decisions;
+          n_pending := !kept
+        end)
+      sources;
+    results
+  end

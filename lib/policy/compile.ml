@@ -211,8 +211,7 @@ let compile (policy : Types.t) : t =
    defaulting to "1" on start requests. Attributes the policy never
    names are not interned and simply dropped — no constraint can
    observe them. *)
-let build_view t (r : Types.request) : string list option array =
-  let view = Array.make t.n_attrs None in
+let build_view_into t (view : string list option array) (r : Types.request) : unit =
   let append id vals =
     match view.(id) with
     | None -> view.(id) <- Some vals
@@ -244,7 +243,11 @@ let build_view t (r : Types.request) : string list option array =
                  rel.values))
       clause);
   if r.action = Types.Action.Start && view.(t.count_id) = None then
-    view.(t.count_id) <- Some [ "1" ];
+    view.(t.count_id) <- Some [ "1" ]
+
+let build_view t (r : Types.request) : string list option array =
+  let view = Array.make t.n_attrs None in
+  build_view_into t view r;
   view
 
 let numeric_holds op bound present =
@@ -319,12 +322,12 @@ let applicable t (subject : Grid_gsi.Dn.t) : cstatement list =
     (fun a b -> compare a.index b.index)
     (probe subject 0 "" [])
 
-let eval (t : t) (request : Types.request) : Eval.decision =
-  let subject = request.subject in
-  let subject_str = Grid_gsi.Dn.to_string subject in
-  let view = build_view t request in
+(* The decision procedure proper, over an already-built view and an
+   already-probed applicable-statement list — shared by [eval] and the
+   per-subject groups of [eval_many]. *)
+let decide ~subject_str (view : string list option array)
+    (statements : cstatement list) : Eval.decision =
   let sat = check_sat ~subject_str view in
-  let statements = applicable t subject in
   let violated =
     List.find_map
       (fun st ->
@@ -372,8 +375,86 @@ let eval (t : t) (request : Types.request) : Eval.decision =
       in
       Eval.Deny (Eval.No_satisfied_clause { considered })
 
+let eval (t : t) (request : Types.request) : Eval.decision =
+  let subject = request.subject in
+  let subject_str = Grid_gsi.Dn.to_string subject in
+  let view = build_view t request in
+  decide ~subject_str view (applicable t subject)
+
+(* Batched evaluation: element-wise identical to [Array.map (eval t)],
+   answers in request order. Amortization within the batch:
+
+     - Dedupe. Management ticks over a running job population repeat the
+       same (subject, action, jobowner, jobtag) request many times per
+       batch — requests are plain data, so structurally equal requests
+       necessarily get the same decision and are evaluated once, with
+       the representative's decision (a shared immutable value) written
+       to every duplicate slot.
+     - Subject grouping. Distinct requests are sorted by subject so each
+       subject's DN rendering and index probe happen once per group, not
+       once per request.
+     - Scratch view. One view array serves the whole batch, cleared
+       between requests — no per-decision view allocation.
+
+   The result array is scattered by original index, so the sort is
+   invisible to the caller. *)
+let eval_many (t : t) (requests : Types.request array) : Eval.decision array =
+  let n = Array.length requests in
+  if n = 0 then [||]
+  else if n = 1 then [| eval t requests.(0) |]
+  else begin
+    let rep = Array.make n (-1) in
+    let seen : (Types.request, int) Hashtbl.t = Hashtbl.create (min n 64) in
+    let n_unique = ref 0 in
+    for i = 0 to n - 1 do
+      match Hashtbl.find_opt seen requests.(i) with
+      | Some j -> rep.(i) <- j
+      | None ->
+        Hashtbl.add seen requests.(i) i;
+        rep.(i) <- i;
+        incr n_unique
+    done;
+    let order = Array.make !n_unique 0 in
+    let k = ref 0 in
+    for i = 0 to n - 1 do
+      if rep.(i) = i then begin
+        order.(!k) <- i;
+        incr k
+      end
+    done;
+    Array.sort
+      (fun i j -> Stdlib.compare requests.(i).Types.subject requests.(j).Types.subject)
+      order;
+    let results = Array.make n Eval.Permit in
+    let view = Array.make t.n_attrs None in
+    let m = Array.length order in
+    let i = ref 0 in
+    while !i < m do
+      let subject = requests.(order.(!i)).Types.subject in
+      let subject_str = Grid_gsi.Dn.to_string subject in
+      let statements = applicable t subject in
+      let same_subject r =
+        Stdlib.compare r.Types.subject subject = 0
+      in
+      while !i < m && same_subject requests.(order.(!i)) do
+        let idx = order.(!i) in
+        Array.fill view 0 t.n_attrs None;
+        build_view_into t view requests.(idx);
+        results.(idx) <- decide ~subject_str view statements;
+        incr i
+      done
+    done;
+    for i = 0 to n - 1 do
+      if rep.(i) <> i then results.(i) <- results.(rep.(i))
+    done;
+    results
+  end
+
 let observed ?obs ?source t request =
   Eval.observed_with ?obs ?source ~eval:(eval t) request
+
+let observed_many ?obs ?source t requests =
+  Eval.observed_many_with ?obs ?source ~eval_many:(eval_many t) requests
 
 (* --- Reloadable store -------------------------------------------------- *)
 

@@ -30,10 +30,23 @@ val eval : t -> Types.request -> Eval.decision
     differential property suite ([test_policy_compile]) holds this to
     decision-and-reason equality on generated policies. *)
 
+val eval_many : t -> Types.request array -> Eval.decision array
+(** Element-wise identical to [Array.map (eval t)], in request order,
+    but amortized across the batch: structurally equal requests are
+    evaluated once (requests are plain data, so equal requests get equal
+    decisions), distinct requests are grouped by subject so the DN
+    rendering and index probe are shared per group, and one scratch view
+    array serves the whole batch. *)
+
 val observed :
   ?obs:Grid_obs.Obs.t -> ?source:string -> t -> Types.request -> Eval.decision
 (** {!eval} under the same span/counter instrumentation as
     {!Eval.observed}. *)
+
+val observed_many :
+  ?obs:Grid_obs.Obs.t -> ?source:string -> t -> Types.request array -> Eval.decision array
+(** {!eval_many} under the bulk instrumentation of
+    {!Eval.observed_many_with}. *)
 
 (** A mutable slot holding the current compilation of a reloadable
     policy; [reload] recompiles and therefore bumps the epoch. *)

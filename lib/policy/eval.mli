@@ -65,6 +65,16 @@ val observed_with :
     [policy_eval_total{source,decision}] counter — the hook the compiled
     evaluator ({!Compile}) shares with the reference path. *)
 
+val observed_many_with :
+  ?obs:Grid_obs.Obs.t ->
+  ?source:string ->
+  eval_many:(Types.request array -> decision array) ->
+  Types.request array ->
+  decision array
+(** Batched sibling of {!observed_with}: one ["policy.eval"] span for
+    the whole batch, with [policy_eval_total{source,decision}] bulk
+    incremented so counter totals match the per-request path. *)
+
 val observed :
   ?obs:Grid_obs.Obs.t -> ?source:string -> Types.t -> Types.request -> decision
 (** [evaluate] wrapped in a ["policy.eval"] span and a

@@ -36,5 +36,15 @@ val callout_with :
 (** [consistency] pins decisions to a caller token ([At_least] /
     [Snapshot]); [budget] overrides the expansion depth budget. *)
 
+val batch : t -> Grid_callout.Callout.Batch.t
+(** Native batch lane at the head snapshot: structurally equal requests
+    in a batch share one graph expansion (one decision per distinct
+    question), answers in request order — element-wise equal to mapping
+    {!callout}. *)
+
+val batch_with :
+  ?budget:int -> ?consistency:Store.consistency -> t -> Grid_callout.Callout.Batch.t
+(** {!batch} under the same pinning knobs as {!callout_with}. *)
+
 val of_sources : ?obs:Grid_obs.Obs.t -> Grid_policy.Combine.source list -> Grid_callout.Callout.t
 (** [callout (create ?obs sources)]. *)

@@ -35,6 +35,7 @@ let chaos_config jobs =
   { Workload.job_count = jobs;
     arrival_rate = 10.0;
     management_probability = 0.4;
+    management_batch = 1;
     seed = 23 }
 
 let run_chaos ~fault_seed ?flaky_pep () =

@@ -823,9 +823,10 @@ let t16_authz_cache () =
   let cached = Callout.Cache.with_cache cache compiled in
   let user i = Gsi.Dn.parse (Printf.sprintf "/O=Grid/O=Synth/CN=user%04d" i) in
   let query ?(i = n - 1) ?(action = Policy.Types.Action.Information) ?(job = 0) () =
-    Callout.Callout.management_query ~requester:(user i) ~action
+    Callout.Callout.Query.make ~requester:(user i)
       ~job_id:(Printf.sprintf "job-%03d" job)
-      ~job_owner:(user i) ~jobtag:None ()
+      (Callout.Callout.Query.Management
+         { action; job_owner = user i; jobtag = None })
   in
   let q = query () in
   ignore (cached q);
@@ -864,12 +865,12 @@ let t16_authz_cache () =
     (* some misses *)
     let owner = if Util.Rng.bool rng then i else Util.Rng.int rng n in
     let q =
-      Callout.Callout.management_query ~requester:(user i)
-        ~action:(Util.Rng.pick rng Policy.Types.Action.all)
+      Callout.Callout.Query.make ~requester:(user i)
         ~job_id:(Printf.sprintf "job-%03d" (Util.Rng.int rng 8))
-        ~job_owner:(user owner)
-        ~jobtag:(if Util.Rng.bool rng then Some "NFC" else None)
-        ()
+        (Callout.Callout.Query.Management
+           { action = Util.Rng.pick rng Policy.Types.Action.all;
+             job_owner = user owner;
+             jobtag = (if Util.Rng.bool rng then Some "NFC" else None) })
     in
     let r = reference q and c = compiled q and h = cached q in
     if r <> c || r <> h then incr divergences
@@ -1079,8 +1080,9 @@ let t19_rebac () =
     Gsi.Dn.parse (Printf.sprintf "/O=Grid%s/CN=user%02d" (chain level) i)
   in
   let query ?(level = depth) ?(i = 0) ?(action = Policy.Types.Action.Information) () =
-    Callout.Callout.management_query ~requester:(user level i) ~action ~job_id:"job-0"
-      ~job_owner:(user level i) ~jobtag:None ()
+    Callout.Callout.Query.make ~requester:(user level i) ~job_id:"job-0"
+      (Callout.Callout.Query.Management
+         { action; job_owner = user level i; jobtag = None })
   in
   let q = query () in
   ignore (rebac_cached q);
@@ -1132,12 +1134,12 @@ let t19_rebac () =
       else user level (Util.Rng.int rng 4)
     in
     let q =
-      Callout.Callout.management_query ~requester
-        ~action:(Util.Rng.pick rng Policy.Types.Action.all)
+      Callout.Callout.Query.make ~requester
         ~job_id:(Printf.sprintf "job-%03d" (Util.Rng.int rng 8))
-        ~job_owner:(user (Util.Rng.int rng (depth + 1)) 0)
-        ~jobtag:(if Util.Rng.bool rng then Some "NFC" else None)
-        ()
+        (Callout.Callout.Query.Management
+           { action = Util.Rng.pick rng Policy.Types.Action.all;
+             job_owner = user (Util.Rng.int rng (depth + 1)) 0;
+             jobtag = (if Util.Rng.bool rng then Some "NFC" else None) })
     in
     let r = rebac q and rc = rebac_cached q and f = flat q and fc = flat_cached q in
     if r <> f || r <> rc || r <> fc then incr divergences
@@ -1349,6 +1351,150 @@ let t20_batch () =
     ("batch divergence", [ ("divergences", float_of_int !divergences) ]) :: !collected
 
 (* ------------------------------------------------------------------ *)
+(* T21: federated fleet — population-scale workload across N members   *)
+
+(* The checked-in allocation budget for the population synthesizer, in
+   minor words per (sample + dn) pair. Same fallback scheme as
+   [batch_alloc_ceiling]. *)
+let population_alloc_ceiling () =
+  let default = (512.0, "built-in default") in
+  match open_in "bench/population_alloc_ceiling.txt" with
+  | exception Sys_error _ -> default
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        match float_of_string_opt (String.trim (input_line ic)) with
+        | Some v -> (v, "bench/population_alloc_ceiling.txt")
+        | None -> default
+        | exception End_of_file -> default)
+
+let t21_fleet () =
+  section "T21: federated fleet — population-scale workload across N resources";
+  (* Smoke mode (BENCH_FLEET_SMOKE=1, the CI setting) shrinks the member
+     sweep and job count but keeps the population at 10^5 distinct DNs —
+     the synthesizer is O(1) in size, so only job count costs time. *)
+  let smoke = Sys.getenv_opt "BENCH_FLEET_SMOKE" <> None in
+  let population_size = 100_000 in
+  let jobs = if smoke then 400 else 2_000 in
+  let member_counts = if smoke then [ 2 ] else [ 1; 2; 4; 8 ] in
+  let cache_capacity = 1024 in
+  (* capacity << distinct subjects: the hot cache covers the zipf head *)
+  let run n =
+    let pop = Core.Population.create ~seed:49 ~size:population_size in
+    let w =
+      Fusion.build ~fleet:n ~population:pop ~authz_cache:cache_capacity
+        ~nodes:8 ~cpus_per_node:8 ~faults:Sim.Network.Faults.none ~broker_seed:42 ()
+    in
+    let fleet = Option.get w.Fusion.fleet in
+    let t0 = Sys.time () in
+    let stats =
+      Workload.run_population ~fleet ~population:pop
+        ~ca:(Testbed.ca w.Fusion.testbed)
+        { Workload.default_population_config with
+          Workload.pop_job_count = jobs;
+          pop_seed = 42 }
+    in
+    let wall = Sys.time () -. t0 in
+    let makespan = Sim.Engine.now (Fleet.engine fleet) in
+    (fleet, stats, wall, makespan)
+  in
+  Printf.printf
+    "   %d jobs, population %d (zipfian), decision cache %d entries/member\n"
+    jobs population_size cache_capacity;
+  Printf.printf "   %-4s %12s %10s %10s %10s %12s\n" "N" "accepted"
+    "jobs/sim-s" "p50 (s)" "p99 (s)" "wall (ms)";
+  let rows = ref [] in
+  let last = ref None in
+  List.iter
+    (fun n ->
+      let fleet, stats, wall, makespan = run n in
+      let accepted = stats.Workload.tally.Workload.accepted in
+      let throughput = float_of_int accepted /. makespan in
+      let p50 = Option.value (Workload.latency_percentile stats 0.5) ~default:0.0 in
+      let p99 = Option.value (Workload.latency_percentile stats 0.99) ~default:0.0 in
+      Printf.printf "   %-4d %12d %10.2f %10.3f %10.3f %12.1f\n" n accepted
+        throughput p50 p99 (wall *. 1000.0);
+      rows :=
+        !rows
+        @ [ (Printf.sprintf "fleet/n%d/accepted" n, float_of_int accepted);
+            (Printf.sprintf "fleet/n%d/jobs_per_sim_s" n, throughput);
+            (Printf.sprintf "fleet/n%d/latency_p50_s" n, p50);
+            (Printf.sprintf "fleet/n%d/latency_p99_s" n, p99);
+            (Printf.sprintf "fleet/n%d/wall_ms" n, wall *. 1000.0);
+            ( Printf.sprintf "fleet/n%d/distinct_subjects" n,
+              float_of_int stats.Workload.distinct_subjects ) ];
+      last := Some (fleet, stats))
+    member_counts;
+  (* Per-member decision-cache hit rates at the largest fleet. Start
+     decisions are keyed per job contact (a fresh job can never reuse a
+     cached answer), so only repeated management of the same job can
+     hit — a one-shot-follow-up workload measures the floor, not a
+     defect. *)
+  (match !last with
+  | None -> ()
+  | Some (fleet, stats) ->
+    Printf.printf
+      "   per-member decision cache at N=%d (start decisions key per job;\n\
+      \   hits come from repeated management of the same job):\n"
+      (Fleet.size fleet);
+    List.iter
+      (fun m ->
+        match Fleet.member_cache m with
+        | None -> ()
+        | Some cache ->
+          let hits = float_of_int (Callout.Cache.hits cache) in
+          let misses = float_of_int (Callout.Cache.misses cache) in
+          let rate = if hits +. misses = 0.0 then 0.0 else hits /. (hits +. misses) in
+          let name = Fleet.member_name m in
+          Printf.printf "     %-16s hits %6.0f  misses %6.0f  hit rate %5.1f%%\n"
+            name hits misses (rate *. 100.0);
+          rows := !rows @ [ ("cache/" ^ name ^ "/hit_rate", rate) ])
+      (Fleet.members fleet);
+    if stats.Workload.distinct_subjects <= cache_capacity / 4 then begin
+      Printf.printf
+        "   FAIL: workload touched too few distinct subjects to stress the cache\n";
+      incr bench_failures
+    end);
+  (* The synthesizer's allocation budget: one (sample + dn) pair must
+     stay under the checked-in ceiling, and building a 10^6-subject
+     population must cost no more than building a 10^2-subject one —
+     the O(1)-in-size claims T21 rests on. *)
+  let pop = Core.Population.create ~seed:7 ~size:population_size in
+  let rng = Util.Rng.create ~seed:7 in
+  let iters = 200_000 in
+  let minor0 = Gc.minor_words () in
+  for _ = 1 to iters do
+    ignore (Core.Population.dn pop (Core.Population.sample pop rng))
+  done;
+  let per_pair = (Gc.minor_words () -. minor0) /. float_of_int iters in
+  let ceiling, origin = population_alloc_ceiling () in
+  Printf.printf "   synthesizer: %.1f minor words per (sample+dn) vs ceiling %.1f (%s)\n"
+    per_pair ceiling origin;
+  if per_pair > ceiling then begin
+    Printf.printf "   FAIL: population synthesizer exceeds the allocation ceiling\n";
+    incr bench_failures
+  end;
+  let create_words size =
+    let before = Gc.minor_words () in
+    ignore (Core.Population.create ~seed:11 ~size);
+    Gc.minor_words () -. before
+  in
+  let small = create_words 100 and large = create_words 1_000_000 in
+  Printf.printf "   create: %.0f words at size 10^2, %.0f at 10^6 (must match)\n"
+    small large;
+  if abs_float (large -. small) > 64.0 then begin
+    Printf.printf "   FAIL: Population.create allocation grows with size\n";
+    incr bench_failures
+  end;
+  rows :=
+    !rows
+    @ [ ("synthesizer/minor_words_per_pair", per_pair);
+        ("synthesizer/alloc_ceiling", ceiling);
+        ("synthesizer/create_words_1e6", large) ];
+  collected := ("fleet population workload", !rows) :: !collected
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [ ("f1", figure1); ("f2", figure2); ("f3", figure3);
@@ -1358,7 +1504,7 @@ let experiments =
     ("t10", t10_discovery); ("t11", t11_allocation); ("t12", t12_workload);
     ("t13", t13_akenti_cache); ("t14", t14_obs_overhead); ("t15", t15_faults);
     ("t16", t16_authz_cache); ("t17", t17_recovery); ("t18", t18_soak);
-    ("t19", t19_rebac); ("t20", t20_batch) ]
+    ("t19", t19_rebac); ("t20", t20_batch); ("t21", t21_fleet) ]
 
 (* Every experiment has a canonical artifact, so multi-experiment --json
    runs write one file per experiment instead of lumping everything into
@@ -1371,13 +1517,14 @@ let artifact_of = function
   | "t18" -> "BENCH_soak.json"
   | "t19" -> "BENCH_rebac.json"
   | "t20" -> "BENCH_batch.json"
+  | "t21" -> "BENCH_fleet.json"
   | name -> Printf.sprintf "BENCH_%s.json" name
 
 let usage () =
   Printf.printf "usage: bench [--json] [EXPERIMENT...]\n\n";
   Printf.printf "Experiments (default: all):\n";
   Printf.printf "  f1 f2 f3     figure reproductions\n";
-  Printf.printf "  t1..t20      microbenchmarks (see DESIGN.md)\n\n";
+  Printf.printf "  t1..t21      microbenchmarks (see DESIGN.md)\n\n";
   Printf.printf "--json additionally writes each experiment's table to its canonical\n";
   Printf.printf "artifact (e.g. t15 -> BENCH_faults.json, t18 -> BENCH_soak.json).\n"
 
@@ -1394,7 +1541,7 @@ let () =
     | names -> names
   in
   Printf.printf "Fine-grain GRID authorization: benchmark & figure harness\n";
-  Printf.printf "(figures F1-F3 reproduce the paper's artifacts; T1-T20 are the\n";
+  Printf.printf "(figures F1-F3 reproduce the paper's artifacts; T1-T21 are the\n";
   Printf.printf " quantitative microbenchmarks defined in DESIGN.md)\n";
   List.iter
     (fun name ->
@@ -1413,7 +1560,7 @@ let () =
           | [] -> ()
           | tables -> write_json (artifact_of name) tables
         end
-      | None -> Printf.printf "unknown experiment %S (known: f1 f2 f3 t1..t20)\n" name)
+      | None -> Printf.printf "unknown experiment %S (known: f1 f2 f3 t1..t21)\n" name)
     requested;
   if !bench_failures > 0 then begin
     Printf.printf "\n%d experiment acceptance check(s) FAILED\n" !bench_failures;

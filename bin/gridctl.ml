@@ -319,11 +319,36 @@ let batch_arg =
           "Coalesce management follow-ups and authorize them $(docv) at a time through \
            the batch decision pipeline; 1 (the default) keeps the per-request path.")
 
+(* Shared by simulate and soak: federation size. *)
+let resources_arg =
+  let parse s =
+    match int_of_string_opt s with
+    | Some n when n >= 1 -> Ok n
+    | _ -> Error (`Msg "expected a resource count >= 1")
+  in
+  Arg.(
+    value
+    & opt (conv (parse, Fmt.int)) 1
+    & info [ "resources" ] ~docv:"N"
+        ~doc:
+          "Federate $(docv) gatekeeper-fronted resources behind one MDS directory and \
+           broker; 1 (the default) keeps the single-site path.")
+
 let simulate_cmd =
   let jobs =
     Arg.(value & opt int 200 & info [ "j"; "jobs" ] ~docv:"N" ~doc:"Jobs to generate.")
   in
   let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Workload seed.") in
+  let population =
+    Arg.(
+      value
+      & opt int 0
+      & info [ "population" ] ~docv:"M"
+          ~doc:
+            "Draw subjects zipfian from a synthesized population of $(docv) distinct \
+             DNs (policy via per-group DN-prefix grants, dynamic account leases) \
+             instead of the Figure 3 cast. Implies the fleet path.")
+  in
   let baseline =
     Arg.(value & flag & info [ "baseline" ] ~doc:"Run unmodified GT2 instead of extended GRAM.")
   in
@@ -339,7 +364,8 @@ let simulate_cmd =
              relationship-based tuple graph over the same policies) or baseline \
              (unmodified GT2; same as --baseline).")
   in
-  let run jobs seed baseline pep faults fault_seed snapshot_every crash_at batch =
+  let run jobs seed baseline pep faults fault_seed snapshot_every crash_at batch
+      resources population =
     let backend = if baseline then `Baseline else pep in
     let baseline = backend = `Baseline in
     let faults = faults_of faults in
@@ -347,6 +373,55 @@ let simulate_cmd =
        reply would leave the workload hanging forever. *)
     let request_timeout = Option.map (fun _ -> 0.25) faults in
     let store = Option.is_some snapshot_every || Option.is_some crash_at in
+    if resources > 1 || population > 0 then begin
+      (* The federated path: a fleet of full members behind one MDS, the
+         population synthesizer as subject source, placement through the
+         broker's asynchronous lane. *)
+      if baseline then
+        failwith "simulate: --resources/--population need the extended backends";
+      if Option.is_some snapshot_every || Option.is_some crash_at then
+        failwith "simulate: --snapshot-every/--crash-at apply to the single-site path";
+      let population = if population > 0 then population else 100_000 in
+      let pop = Core.Population.create ~seed:(seed + 7) ~size:population in
+      let w =
+        Core.Fusion.build ~backend ~nodes:8 ~cpus_per_node:8 ?faults ~fault_seed
+          ?request_timeout ~fleet:resources ~population:pop ~broker_seed:seed ()
+      in
+      let fleet = Option.get w.Core.Fusion.fleet in
+      Printf.printf
+        "Simulating %d jobs across %d resources, population %d (%s mode, seed %d)...\n"
+        jobs resources population
+        (match backend with `Rebac -> "extended, rebac PEP" | _ -> "extended")
+        seed;
+      let stats =
+        Core.Workload.run_population ~fleet ~population:pop
+          ~ca:(Core.Testbed.ca w.Core.Fusion.testbed)
+          { Core.Workload.default_population_config with
+            Core.Workload.pop_job_count = jobs;
+            pop_seed = seed;
+            pop_management_batch = batch }
+      in
+      Fmt.pr "%a@." Core.Workload.pp_population_stats stats;
+      (match
+         ( Core.Workload.latency_percentile stats 0.5,
+           Core.Workload.latency_percentile stats 0.99 )
+       with
+      | Some p50, Some p99 ->
+        Printf.printf "placement latency: p50 %.3fs, p99 %.3fs (simulated)\n" p50 p99
+      | _ -> ());
+      List.iter
+        (fun m ->
+          let name = Core.Fleet.member_name m in
+          let accepted =
+            Option.value
+              (Hashtbl.find_opt stats.Core.Workload.per_resource_accepted name)
+              ~default:0
+          in
+          Printf.printf "  %s: accepted %d, policy epoch %d\n" name accepted
+            (Core.Fleet.member_epoch m))
+        (Core.Fleet.members fleet)
+    end
+    else begin
     let w =
       Core.Fusion.build ~backend ~nodes:8 ~cpus_per_node:8 ?faults ~fault_seed
         ?request_timeout ~store ?snapshot_every ()
@@ -410,13 +485,14 @@ let simulate_cmd =
       (Core.Audit.Audit.count audit)
       (Core.Audit.Audit.failure_count audit);
     Fmt.pr "%a@." Core.Audit.Reports.pp audit
+    end
   in
   Cmd.v
     (Cmd.info "simulate"
        ~doc:"Run a synthetic workload against the National Fusion Collaboratory testbed.")
     Term.(
       const run $ jobs $ seed $ baseline $ pep $ faults_arg $ fault_seed_arg
-      $ snapshot_every_arg $ crash_at_arg $ batch_arg)
+      $ snapshot_every_arg $ crash_at_arg $ batch_arg $ resources_arg $ population)
 
 (* A short deterministic scenario on the fusion testbed so every decision
    point fires: permitted and denied submissions, a third-party cancel,
@@ -729,11 +805,11 @@ let soak_cmd =
              rebac (relationship-based tuple graph). The monitor's oracle re-derives \
              decisions through the matching engine either way.")
   in
-  let run days jobs_per_day seed faults inject no_monitor window pep batch =
+  let run days jobs_per_day seed faults inject no_monitor window pep batch resources =
     let report =
       Core.Soak.run
         { Core.Soak.days; jobs_per_day; seed; faults; monitor = not no_monitor;
-          inject; propagation_window = window; pep; batch }
+          inject; propagation_window = window; pep; batch; resources }
     in
     Fmt.pr "%a@." Core.Soak.pp_report report;
     match inject with
@@ -764,7 +840,7 @@ let soak_cmd =
           the injected class is detected).")
     Term.(
       const run $ days_arg $ jobs_per_day_arg $ seed_arg $ soak_faults_arg $ inject_arg
-      $ no_monitor_arg $ window_arg $ pep_arg $ batch_arg)
+      $ no_monitor_arg $ window_arg $ pep_arg $ batch_arg $ resources_arg)
 
 let trace_export_cmd =
   let output_arg =

@@ -78,6 +78,7 @@ val start_query :
   rsl:Grid_rsl.Ast.clause ->
   unit ->
   query
+[@@ocaml.deprecated "Use Query.make ... (Query.Start rsl) instead."]
 (** @deprecated Thin wrapper over [Query.make _ (Query.Start _)]; see
     the migration note on {!module:Query}. *)
 
@@ -90,6 +91,7 @@ val management_query :
   jobtag:string option ->
   unit ->
   query
+[@@ocaml.deprecated "Use Query.make ... (Query.Management ...) instead."]
 (** @deprecated Thin wrapper over [Query.make _ (Query.Management _)];
     see the migration note on {!module:Query}. *)
 

@@ -28,6 +28,8 @@ module Rebac = Grid_rebac
 
 module Workload = Workload
 module Soak = Soak
+module Population = Population
+module Fleet = Fleet
 
 (** Which policy evaluation point backs the extended GRAM mode. *)
 type backend =
@@ -159,13 +161,83 @@ module Fusion = struct
     bo : Grid_gram.Client.t;
     kate : Grid_gram.Client.t;
     vo_admin : Grid_gram.Client.t;
+    fleet : Fleet.t option;
+    population : Population.t option;
   }
 
   let build ?(backend = `Flat_file) ?(rebac = false) ?(nodes = 4) ?(cpus_per_node = 8)
-      ?faults ?(fault_seed = 1299709) ?request_timeout ?flaky_pep ?authz_cache
-      ?(store = false) ?snapshot_every ?disk_faults () =
+      ?queues ?faults ?(fault_seed = 1299709) ?request_timeout ?flaky_pep ?authz_cache
+      ?(store = false) ?snapshot_every ?disk_faults ?fleet ?population
+      ?dynamic_accounts ?broker_seed () =
+    match fleet with
+    | Some resources ->
+      (* Federated variant: [resources] full members behind one MDS. The
+         population (when given) contributes its own policy source and a
+         dynamic-account pool for its unmapped DNs; the Figure 3 cast
+         keeps its static gridmap entries. Only the self-hosted backends
+         replicate per member. *)
+      if (backend <> `Flat_file && backend <> `Rebac) || Option.is_some flaky_pep
+         || Option.is_some snapshot_every || Option.is_some disk_faults
+      then
+        invalid_arg
+          "Fusion.build: a fleet replicates the flat-file or rebac backend only";
+      let testbed = Testbed.create () in
+      let vo = build_vo () in
+      (* Combination is conjunctive with per-source default-deny, so the
+         population merges INTO both sources (owner statements into
+         resource-owner, community grants into the VO's) — a third
+         stand-alone source would deny the Figure 3 cast and vice
+         versa. *)
+      let sources () =
+        match population with
+        | None -> policy_sources vo
+        | Some p ->
+          [ Grid_policy.Combine.source ~name:"resource-owner"
+              (resource_owner_policy () @ Population.owner_policy p);
+            Grid_policy.Combine.source ~name:(Grid_vo.Vo.name vo)
+              (Grid_vo.Vo.compile_policy vo @ Population.policy p) ]
+      in
+      let dynamic_accounts =
+        match (dynamic_accounts, population) with
+        | (Some _ as given), _ -> given
+        | None, Some p -> Some (min (Population.size p) 8192)
+        | None, None -> None
+      in
+      let fleet =
+        Fleet.create ~resources ~name_prefix:"fusion-site" ~nodes ~cpus_per_node ?queues
+          ~gridmap:(Grid_gsi.Gridmap.parse gridmap_text) ?dynamic_accounts
+          ~rebac:(rebac || backend = `Rebac) ?authz_cache ~store ?faults ~fault_seed
+          ?request_timeout ?seed:broker_seed ~sources ~engine:(Testbed.engine testbed)
+          ~trust:(Testbed.trust testbed) ~obs:(Testbed.obs testbed) ()
+      in
+      let resource = Fleet.member_resource (Fleet.member fleet 0) in
+      let mk dn =
+        Testbed.client testbed ~user:(Testbed.add_user testbed dn) ~resource
+      in
+      { testbed;
+        vo;
+        resource;
+        bo = mk bo_liu;
+        kate = mk kate_keahey;
+        vo_admin = mk admin;
+        fleet = Some fleet;
+        population }
+    | None ->
     let testbed = Testbed.create () in
     let vo = build_vo () in
+    (* The single-resource world enforces the same sources a 1-member
+       fleet would: VO + resource-owner policy, with the population
+       merged into both (see the fleet branch) — the differential fleet
+       suite pins the two paths against each other. *)
+    let world_sources () =
+      match population with
+      | None -> policy_sources vo
+      | Some p ->
+        [ Grid_policy.Combine.source ~name:"resource-owner"
+            (resource_owner_policy () @ Population.owner_policy p);
+          Grid_policy.Combine.source ~name:(Grid_vo.Vo.name vo)
+            (Grid_vo.Vo.compile_policy vo @ Population.policy p) ]
+    in
     (* [~rebac:true] swaps the PEP for the relationship-based backend
        over the same policy sources; decisions are differentially pinned
        to the flat-file PEP's, so the world behaves identically. *)
@@ -173,7 +245,7 @@ module Fusion = struct
     let backend =
       match (backend, flaky_pep) with
       | `Baseline, _ -> Baseline
-      | `Flat_file, None -> Flat_file (policy_sources vo)
+      | `Flat_file, None -> Flat_file (world_sources ())
       | `Flat_file, Some failure_probability ->
         (* Chaos variant: the flat-file PEP behind a seeded fault injector.
            No degradation combinator is applied, so backend faults surface
@@ -183,14 +255,14 @@ module Fusion = struct
         Custom
           (Grid_callout.Callout.flaky ~rng ~failure_probability
              (Grid_callout.File_pep.of_sources ~obs:(Testbed.obs testbed)
-                (policy_sources vo)))
+                (world_sources ())))
       | `Rebac, None ->
-        Rebac (Grid_rebac.Pep.create ~obs:(Testbed.obs testbed) (policy_sources vo))
+        Rebac (Grid_rebac.Pep.create ~obs:(Testbed.obs testbed) (world_sources ()))
       | `Rebac, Some failure_probability ->
         let rng = Grid_util.Rng.create ~seed:(fault_seed + 17) in
         Custom
           (Grid_callout.Callout.flaky ~rng ~failure_probability
-             (Grid_rebac.Pep.of_sources ~obs:(Testbed.obs testbed) (policy_sources vo)))
+             (Grid_rebac.Pep.of_sources ~obs:(Testbed.obs testbed) (world_sources ())))
       | `Custom callout, None -> Custom callout
       | `Custom callout, Some failure_probability ->
         let rng = Grid_util.Rng.create ~seed:(fault_seed + 17) in
@@ -216,13 +288,26 @@ module Fusion = struct
       end
       else None
     in
+    let dynamic_accounts =
+      match (dynamic_accounts, population) with
+      | (Some _ as given), _ -> given
+      | None, Some p -> Some (min (Population.size p) 8192)
+      | None, None -> None
+    in
     let resource =
-      Testbed.make_resource testbed ~name:"fusion-site" ~nodes ~cpus_per_node
-        ~gridmap:(Grid_gsi.Gridmap.parse gridmap_text) ?network ?request_timeout
-        ?authz_cache ?store ~backend
+      Testbed.make_resource testbed ~name:"fusion-site" ~nodes ~cpus_per_node ?queues
+        ~gridmap:(Grid_gsi.Gridmap.parse gridmap_text) ?dynamic_accounts ?network
+        ?request_timeout ?authz_cache ?store ~backend
     in
     let mk dn = Testbed.client testbed ~user:(Testbed.add_user testbed dn) ~resource in
-    { testbed; vo; resource; bo = mk bo_liu; kate = mk kate_keahey; vo_admin = mk admin }
+    { testbed;
+      vo;
+      resource;
+      bo = mk bo_liu;
+      kate = mk kate_keahey;
+      vo_admin = mk admin;
+      fleet = None;
+      population }
 end
 
 let version = "1.0.0"

@@ -52,6 +52,10 @@ type config = {
   batch : int;                 (* 1 = per-request management over the wire;
                                   N > 1 coalesces follow-ups and authorizes
                                   them through the batch decision pipeline *)
+  resources : int;             (* 1 = the original single-site campaign;
+                                  N > 1 federates N members behind an MDS
+                                  directory and broker, with staggered
+                                  reloads and rotating crash targets *)
 }
 
 let default_config =
@@ -63,7 +67,8 @@ let default_config =
     inject = None;
     propagation_window = 300.0;
     pep = Flat_file_pep;
-    batch = 1 }
+    batch = 1;
+    resources = 1 }
 
 type report = {
   submitted : int;
@@ -198,6 +203,7 @@ let run (config : config) : report =
   if config.days <= 0.0 then invalid_arg "Soak.run: days must be positive";
   if config.jobs_per_day <= 0 then invalid_arg "Soak.run: jobs_per_day must be positive";
   if config.batch < 1 then invalid_arg "Soak.run: batch must be >= 1";
+  if config.resources < 1 then invalid_arg "Soak.run: resources must be >= 1";
   let total = Grid_sim.Clock.days config.days in
   Grid_util.Ids.reset ();
   let engine = Grid_sim.Engine.create () in
@@ -240,59 +246,122 @@ let run (config : config) : report =
     | Rebac_pep -> rebac_answerer
   in
   let backend_label = pep_backend_to_string config.pep in
-  let pep_callout, epoch, reload_pep =
-    match config.pep with
-    | Flat_file_pep ->
-      let pep = Grid_callout.File_pep.Compiled.create ~obs initial_sources in
-      ( Grid_callout.File_pep.Compiled.callout pep,
-        (fun () -> Grid_callout.File_pep.Compiled.epoch pep),
-        Grid_callout.File_pep.Compiled.reload pep )
-    | Rebac_pep ->
-      let pep = Grid_rebac.Pep.create ~obs initial_sources in
-      ( Grid_rebac.Pep.callout pep,
-        (fun () -> Grid_rebac.Pep.epoch pep),
-        Grid_rebac.Pep.reload pep )
-  in
-  history := [ (epoch (), answerer_for initial_sources) ];
-  let epoch0 = epoch () in
 
-  (* Default-deny mis-wiring: while armed, the next Denied answer from the
+  (* Default-deny mis-wiring: while armed, the next Denied answer from a
      real PEP is flipped to a permit — under the live request's
      correlation id, exactly the bug class the monitor must catch. *)
   let flip_next_denial = ref false in
-  let callout q =
-    match pep_callout q with
-    | Error (Grid_callout.Callout.Denied _) when !flip_next_denial ->
-      flip_next_denial := false;
-      Ok ()
-    | decision -> decision
-  in
-  let mode = Grid_gram.Mode.extended ~backend:backend_label callout in
-
-  let network =
-    Grid_sim.Network.create ?faults:(network_faults config.faults)
-      ~fault_seed:(config.seed + 17) engine
-  in
-  let disk =
-    Grid_sim.Disk.create ?faults:(disk_faults config.faults) ~seed:(config.seed + 29) ()
-  in
-  let store = Grid_store.Store.create ~obs ~snapshot_every:64 ~disk ~name:"soak-site" () in
-  let authz_cache =
-    Grid_callout.Cache.create ~capacity:2048 ~ttl:(Grid_sim.Clock.minutes 5.0) ~obs
-      ~epoch
-      ~now:(fun () -> Grid_sim.Engine.now engine)
-      ()
-  in
   let request_timeout =
     match config.faults with No_faults -> None | Light | Heavy -> Some 0.25
   in
-  let resource =
-    Grid_gram.Resource.create ~name:"soak-site" ~network ?request_timeout
-      ~authz_cache ~store ~policy_epoch:epoch ~obs ~trust
-      ~mapper:(Grid_accounts.Mapper.create (Grid_gsi.Gridmap.parse gridmap_text))
-      ~mode
-      ~lrm:(Grid_lrm.Lrm.create ~obs ~nodes:8 ~cpus_per_node:8 engine)
-      ~engine ()
+  (* One federation member. Member 0 reproduces the original single-site
+     campaign byte for byte (same name and fault-stream seeds); further
+     members get their own names and decorrelated seed offsets. Every
+     member owns a full stack — PEP (independent epoch), cache, store on
+     its own disk, faulty network — and registers its create-epoch in
+     the oracle history. *)
+  let make_member i =
+    let name = if i = 0 then "soak-site" else Printf.sprintf "soak-site-%d" i in
+    (* Multi-member runs scope each member's emission stream with its
+       resource name so the monitor judges epoch freshness per member;
+       single-member runs keep the unscoped stream (and its event
+       shapes) byte-for-byte as before. *)
+    let obs =
+      if config.resources = 1 then obs
+      else Grid_obs.Obs.scoped obs [ ("resource", name) ]
+    in
+    let pep_callout, epoch, reload_pep =
+      match config.pep with
+      | Flat_file_pep ->
+        let pep = Grid_callout.File_pep.Compiled.create ~obs initial_sources in
+        ( Grid_callout.File_pep.Compiled.callout pep,
+          (fun () -> Grid_callout.File_pep.Compiled.epoch pep),
+          Grid_callout.File_pep.Compiled.reload pep )
+      | Rebac_pep ->
+        let pep = Grid_rebac.Pep.create ~obs initial_sources in
+        ( Grid_rebac.Pep.callout pep,
+          (fun () -> Grid_rebac.Pep.epoch pep),
+          Grid_rebac.Pep.reload pep )
+    in
+    history := (epoch (), answerer_for initial_sources) :: !history;
+    let callout q =
+      match pep_callout q with
+      | Error (Grid_callout.Callout.Denied _) when !flip_next_denial ->
+        flip_next_denial := false;
+        Ok ()
+      | decision -> decision
+    in
+    let mode = Grid_gram.Mode.extended ~backend:backend_label callout in
+    let network =
+      Grid_sim.Network.create ?faults:(network_faults config.faults)
+        ~fault_seed:(config.seed + 17 + (31 * i)) engine
+    in
+    let disk =
+      Grid_sim.Disk.create ?faults:(disk_faults config.faults)
+        ~seed:(config.seed + 29 + (101 * i)) ()
+    in
+    let store = Grid_store.Store.create ~obs ~snapshot_every:64 ~disk ~name () in
+    let authz_cache =
+      Grid_callout.Cache.create ~capacity:2048 ~ttl:(Grid_sim.Clock.minutes 5.0) ~obs
+        ~epoch
+        ~now:(fun () -> Grid_sim.Engine.now engine)
+        ()
+    in
+    let resource =
+      Grid_gram.Resource.create ~name ~network ?request_timeout ~authz_cache ~store
+        ~policy_epoch:epoch ~obs ~trust
+        ~mapper:(Grid_accounts.Mapper.create (Grid_gsi.Gridmap.parse gridmap_text))
+        ~mode
+        ~lrm:(Grid_lrm.Lrm.create ~obs ~nodes:8 ~cpus_per_node:8 engine)
+        ~engine ()
+    in
+    (resource, epoch, reload_pep)
+  in
+  let members = Array.init config.resources make_member in
+  let member_resources = Array.map (fun (r, _, _) -> r) members in
+  let resource = member_resources.(0) in
+  let epoch = (fun (_, e, _) -> e) members.(0) in
+  let epoch0 = epoch () in
+  (* Federation plumbing only past one member: each resource publishes
+     into a shared directory, and arrivals place through the broker's
+     pure ranked selection (capacity-aware, seeded tie-break, breakers
+     fed from submission outcomes). *)
+  let directory, providers, broker =
+    if config.resources = 1 then (None, [], None)
+    else begin
+      let directory = Grid_mds.Directory.create engine in
+      let providers =
+        Array.to_list
+          (Array.map
+             (fun r ->
+               Grid_mds.Provider.attach ~site:(Grid_gram.Resource.name r) ~directory r)
+             member_resources)
+      in
+      let broker =
+        Grid_mds.Broker.create ~seed:config.seed ~obs ~directory
+          (Array.to_list member_resources)
+      in
+      (Some directory, providers, Some broker)
+    end
+  in
+  ignore directory;
+  let round_robin = ref 0 in
+  let pick_resource rsl =
+    match broker with
+    | None -> resource
+    | Some b -> begin
+      match Grid_rsl.Job.of_string rsl with
+      | Error _ -> resource
+      | Ok job -> begin
+        match Grid_mds.Broker.select b ~job with
+        | r :: _ -> r
+        | [] ->
+          (* All stale or breaker-open: rotate rather than pile onto one
+             member — the arrival still happens, the directory recovers. *)
+          incr round_robin;
+          member_resources.(!round_robin mod config.resources)
+      end
+    end
   in
 
   (* Users: the fusion cast plus a revocable analyst and an outsider whose
@@ -339,38 +408,49 @@ let run (config : config) : report =
   let management_denied = ref 0 in
 
   (* Batched management ([config.batch > 1]): follow-ups accumulate here
-     (newest first, as (manager, contact, action)) and flush through
-     [Resource.manage_many_direct] — one authorization batch per
-     [config.batch] requests. Credentials are minted at flush time, one
-     fresh challenge per request, exactly as the per-request path does
-     at send time. [batch = 1] keeps the original wire path. *)
-  let pending : (user_cell * string * Grid_gram.Protocol.management_action) list ref =
+     (newest first, as (manager, owning resource, contact, action)) and
+     flush through [Resource.manage_many_direct] — grouped by owning
+     member, one authorization batch per group. Credentials are minted
+     at flush time, one fresh challenge per request against the owning
+     member, exactly as the per-request path does at send time.
+     [batch = 1] keeps the original wire path. *)
+  let pending :
+      (user_cell * Grid_gram.Resource.t * string * Grid_gram.Protocol.management_action)
+      list
+      ref =
     ref []
   in
   let pending_count = ref 0 in
   let flush_pending () =
     if !pending_count > 0 then begin
-      let items = Array.of_list (List.rev !pending) in
+      let items = List.rev !pending in
       pending := [];
       pending_count := 0;
-      let requests =
-        Array.map
-          (fun (manager, contact, action) ->
-            { Grid_gram.Resource.requester =
-                Grid_gsi.Identity.effective_subject manager.proxy;
-              credential =
-                Some
-                  (Grid_gsi.Credential.of_identity manager.proxy
-                     ~challenge:(Grid_gram.Resource.new_challenge resource));
-              contact;
-              action })
-          items
-      in
       Array.iter
-        (function
-          | Ok _ -> ()
-          | Error _ -> incr management_denied)
-        (Grid_gram.Resource.manage_many_direct resource requests)
+        (fun target ->
+          let mine = List.filter (fun (_, r, _, _) -> r == target) items in
+          if mine <> [] then begin
+            let requests =
+              Array.of_list
+                (List.map
+                   (fun (manager, _, contact, action) ->
+                     { Grid_gram.Resource.requester =
+                         Grid_gsi.Identity.effective_subject manager.proxy;
+                       credential =
+                         Some
+                           (Grid_gsi.Credential.of_identity manager.proxy
+                              ~challenge:(Grid_gram.Resource.new_challenge target));
+                       contact;
+                       action })
+                   mine)
+            in
+            Array.iter
+              (function
+                | Ok _ -> ()
+                | Error _ -> incr management_denied)
+              (Grid_gram.Resource.manage_many_direct target requests)
+          end)
+        member_resources
     end
   in
 
@@ -416,8 +496,24 @@ let run (config : config) : report =
            end
            else Grid_vo.Vo.remove_member vo ~dn:(Grid_gsi.Dn.parse mallory));
           let fresh = sources () in
-          reload_pep fresh;
-          history := (epoch (), answerer_for fresh) :: !history;
+          (* Every member recompiles the churned sources. One member is
+             immediate (the original single-site behaviour); further
+             members lag 5 s apart, so for a short window the federation
+             deliberately enforces mixed policy generations — the oracle
+             history keyed by epoch keeps the monitor exact through it. *)
+          Array.iteri
+            (fun m (_, epoch, reload_pep) ->
+              if m = 0 then begin
+                reload_pep fresh;
+                history := (epoch (), answerer_for fresh) :: !history
+              end
+              else
+                Grid_sim.Engine.schedule_after engine
+                  (float_of_int m *. 5.0)
+                  (fun () ->
+                    reload_pep fresh;
+                    history := (epoch (), answerer_for fresh) :: !history))
+            members;
           incr reloads))
     churn_points;
 
@@ -425,11 +521,21 @@ let run (config : config) : report =
      minted per request, proxy credential presented, reply tallied. *)
   let submit cell rsl =
     incr submitted;
+    let resource = pick_resource rsl in
+    let site = Grid_gram.Resource.name resource in
     let credential =
       Grid_gsi.Credential.of_identity cell.proxy
         ~challenge:(Grid_gram.Resource.new_challenge resource)
     in
     Grid_gram.Resource.submit resource ~credential ~rsl ~reply:(fun result ->
+        (match broker with
+        | None -> ()
+        | Some b -> begin
+          match result with
+          | Error (Grid_gram.Protocol.Request_timeout _) ->
+            Grid_mds.Broker.observe b ~site `Timeout
+          | Ok _ | Error _ -> Grid_mds.Broker.observe b ~site `Answered
+        end);
         match result with
         | Ok reply ->
           incr accepted;
@@ -465,7 +571,7 @@ let run (config : config) : report =
                 end
                 else begin
                   pending :=
-                    (manager, reply.Grid_gram.Protocol.job_contact, action)
+                    (manager, resource, reply.Grid_gram.Protocol.job_contact, action)
                     :: !pending;
                   incr pending_count;
                   if !pending_count >= config.batch then flush_pending ()
@@ -518,8 +624,11 @@ let run (config : config) : report =
       done;
       Grid_sim.Engine.schedule_at engine (burst_start +. 300.0) (fun () ->
           incr crashes;
-          Grid_gram.Resource.crash resource;
-          let summary = Grid_gram.Resource.recover resource in
+          (* Rotate the crash target so every member's recovery path is
+             exercised across a multi-day federation campaign. *)
+          let target = member_resources.(day mod config.resources) in
+          Grid_gram.Resource.crash target;
+          let summary = Grid_gram.Resource.recover target in
           restored := !restored + summary.Grid_gram.Resource.jobs_restored)
     end
   done;
@@ -541,10 +650,17 @@ let run (config : config) : report =
           "&(executable=test1)(directory=/sandbox/test)(jobtag=ADS)(count=6)(simduration=60)")
   | Some Grid_obs.Monitor.Stale_epoch ->
     (* A cache answer stamped with the pre-churn epoch, emitted well
-       after the first reload propagated. *)
+       after the first reload propagated. Fleet campaigns scope every
+       member stream by resource and the monitor judges epoch freshness
+       per scope, so the plant must land in member 0's scope (the epoch0
+       baseline) or it would fall into an untracked scope and pass. *)
     synthetic ~at:(0.45 *. total) (fun () ->
-        Grid_obs.Obs.emit obs ~layer:"injected" "cache.hit"
-          [ ("scope", "injected"); ("epoch", string_of_int epoch0) ])
+        let attrs = [ ("scope", "injected"); ("epoch", string_of_int epoch0) ] in
+        let attrs =
+          if config.resources > 1 then ("resource", "soak-site") :: attrs
+          else attrs
+        in
+        Grid_obs.Obs.emit obs ~layer:"injected" "cache.hit" attrs)
   | Some Grid_obs.Monitor.Expired_credential ->
     synthetic ~at:(0.5 *. total) (fun () ->
         let at = Grid_sim.Engine.now engine in
@@ -572,7 +688,17 @@ let run (config : config) : report =
         Grid_obs.Obs.emit obs ~layer:"injected" "resource.recovered"
           [ ("restored", "0"); ("dropped_bytes", "0"); ("decode_failures", "0") ]));
 
-  Grid_sim.Engine.run engine;
+  (* Providers re-arm their publish loop forever, so a federation
+     campaign cannot drain with a plain [run]: advance past the campaign
+     end plus the longest follow-up delays, quiesce publication, then
+     settle the remainder. The single-site path keeps the original
+     drain. *)
+  (match providers with
+  | [] -> Grid_sim.Engine.run engine
+  | ps ->
+    Grid_sim.Engine.run_until engine (total +. 600.0);
+    List.iter Grid_mds.Provider.stop ps;
+    Grid_sim.Engine.run engine);
   (* A partial management batch may remain after the last follow-up:
      flush it and drain whatever the performed actions scheduled. *)
   flush_pending ();

@@ -44,11 +44,19 @@ type config = {
           wire individually; [N > 1] coalesces follow-ups and authorizes
           them [N] at a time through
           {!Grid_gram.Resource.manage_many_direct}. *)
+  resources : int;
+      (** [1] (the default) keeps the original single-site campaign.
+          [N > 1] federates [N] full members ("soak-site",
+          "soak-site-1", ...) behind a shared MDS directory and broker:
+          capacity-aware placement with seeded tie-breaks, per-member
+          PEP/cache/store/disk, staggered policy reloads at each churn
+          point (mixed epochs in flight, judged exactly by the oracle
+          history), and crash bursts rotating across members. *)
 }
 
 val default_config : config
 (** 3 days, 400 jobs/day, seed 42, light faults, monitor on, no
-    injection, flat-file PEP, batch 1. *)
+    injection, flat-file PEP, batch 1, one resource. *)
 
 type report = {
   submitted : int;

@@ -157,3 +157,213 @@ let run ~(engine : Grid_sim.Engine.t) ~(resource : Grid_gram.Resource.t)
   flush_pending ();
   Grid_sim.Engine.run engine;
   stats
+
+(* Population-scale generation over a fleet.
+
+   Subjects are drawn zipfian from a seeded synthesizer — identities are
+   minted at arrival time and dropped after the submission, so resident
+   credential state tracks active jobs, not population size. Placement
+   goes through the fleet's asynchronous brokered lane (safe inside
+   engine callbacks); management follow-ups are routed cross-resource,
+   and a configurable share of them come from the community admin — the
+   third-party-manager flow of the paper, exercised across sites.
+   Mid-flight, at each churn point, the population's generation advances
+   and every member reloads its policy on a staggered schedule, so for a
+   short window different members enforce different epochs. *)
+
+type population_config = {
+  pop_arrival_rate : float;
+  pop_job_count : int;
+  pop_management_probability : float;
+  pop_management_batch : int;
+  cross_admin_probability : float;
+      (* share of management follow-ups issued by the community admin
+         rather than the job owner *)
+  churn_points : float list; (* fractions of the arrival span *)
+  reload_stagger : float;    (* seconds between successive member reloads *)
+  pop_seed : int;
+}
+
+let default_population_config =
+  { pop_arrival_rate = 20.0;
+    pop_job_count = 2_000;
+    pop_management_probability = 0.25;
+    pop_management_batch = 1;
+    cross_admin_probability = 0.2;
+    churn_points = [ 0.35; 0.7 ];
+    reload_stagger = 5.0;
+    pop_seed = 42 }
+
+type population_stats = {
+  tally : stats;
+  mutable unplaceable : int;
+  mutable cross_admin_requests : int;
+  mutable churns : int;
+  mutable reloads : int;
+  mutable distinct_subjects : int;
+  per_resource_accepted : (string, int) Hashtbl.t;
+  mutable latencies : float list;
+      (* simulated submit->reply time of every placement attempt
+         (accepted or refused), newest first *)
+}
+
+let latency_percentile p q =
+  match p.latencies with
+  | [] -> None
+  | latencies ->
+    let sorted = Array.of_list latencies in
+    Array.sort compare sorted;
+    let n = Array.length sorted in
+    let i = int_of_float (q *. float_of_int (n - 1)) in
+    Some sorted.(max 0 (min (n - 1) i))
+
+let pp_population_stats ppf p =
+  Fmt.pf ppf "%a; unplaceable %d; cross-admin %d; churns %d; reloads %d; distinct %d"
+    pp_stats p.tally p.unplaceable p.cross_admin_requests p.churns p.reloads
+    p.distinct_subjects
+
+let run_population ~(fleet : Fleet.t) ~(population : Population.t)
+    ~(ca : Grid_gsi.Ca.t) (config : population_config) : population_stats =
+  if config.pop_job_count < 1 then
+    invalid_arg "Workload.run_population: pop_job_count must be >= 1";
+  if config.pop_management_batch < 1 then
+    invalid_arg "Workload.run_population: pop_management_batch must be >= 1";
+  let engine = Fleet.engine fleet in
+  let rng = Grid_util.Rng.create ~seed:config.pop_seed in
+  let stats = fresh_stats () in
+  let pop_stats =
+    { tally = stats;
+      unplaceable = 0;
+      cross_admin_requests = 0;
+      churns = 0;
+      reloads = 0;
+      distinct_subjects = 0;
+      per_resource_accepted = Hashtbl.create (Fleet.size fleet);
+      latencies = [] }
+  in
+  (* One bit per rank: distinct-subject accounting in size/8 bytes, the
+     only population-sized state the runner holds. *)
+  let seen = Bytes.make ((Population.size population / 8) + 1) '\000' in
+  let mark_seen rank =
+    let byte = rank / 8 and bit = rank mod 8 in
+    let current = Char.code (Bytes.get seen byte) in
+    if current land (1 lsl bit) = 0 then begin
+      Bytes.set seen byte (Char.chr (current lor (1 lsl bit)));
+      pop_stats.distinct_subjects <- pop_stats.distinct_subjects + 1
+    end
+  in
+  let admin_rank = Population.admin_rank population in
+  let pending : Grid_gram.Resource.manage_request list ref = ref [] in
+  let pending_count = ref 0 in
+  let flush_pending () =
+    if !pending_count > 0 then begin
+      let batch = Array.of_list (List.rev !pending) in
+      pending := [];
+      pending_count := 0;
+      stats.management_requests <- stats.management_requests + Array.length batch;
+      Array.iter
+        (function
+          | Ok _ -> ()
+          | Error _ -> stats.management_denied <- stats.management_denied + 1)
+        (Fleet.manage_many fleet batch)
+    end
+  in
+  let manage_followup ~owner_rank ~contact =
+    let cross =
+      Grid_util.Rng.float rng 1.0 < config.cross_admin_probability
+      && owner_rank <> admin_rank
+    in
+    let requester_rank = if cross then admin_rank else owner_rank in
+    if cross then pop_stats.cross_admin_requests <- pop_stats.cross_admin_requests + 1;
+    let action =
+      Grid_util.Rng.pick rng
+        [ Grid_gram.Protocol.Status;
+          Grid_gram.Protocol.Cancel;
+          Grid_gram.Protocol.Signal Grid_gram.Protocol.Suspend ]
+    in
+    let delay = 1.0 +. Grid_util.Rng.float rng 30.0 in
+    Grid_sim.Engine.schedule_after engine delay (fun () ->
+        let requester =
+          Grid_gsi.Dn.parse (Population.dn population requester_rank)
+        in
+        if config.pop_management_batch = 1 then begin
+          stats.management_requests <- stats.management_requests + 1;
+          Fleet.manage fleet ~requester ~contact action ~reply:(fun result ->
+              match result with
+              | Ok _ -> ()
+              | Error (Grid_gram.Protocol.Request_timed_out _) ->
+                stats.timed_out <- stats.timed_out + 1
+              | Error _ -> stats.management_denied <- stats.management_denied + 1)
+        end
+        else begin
+          pending :=
+            { Grid_gram.Resource.requester; credential = None; contact; action }
+            :: !pending;
+          incr pending_count;
+          if !pending_count >= config.pop_management_batch then flush_pending ()
+        end)
+  in
+  let start = Grid_sim.Engine.now engine in
+  let arrival_time = ref start in
+  for _ = 1 to config.pop_job_count do
+    arrival_time := !arrival_time +. exponential rng config.pop_arrival_rate;
+    let rank = Population.sample population rng in
+    Grid_sim.Engine.schedule_at engine !arrival_time (fun () ->
+        stats.submitted <- stats.submitted + 1;
+        mark_seen rank;
+        (* Identity minted at arrival, dropped with this closure. *)
+        let identity =
+          Population.identity population ~ca ~now:(Grid_sim.Engine.now engine) rank
+        in
+        let rsl = Population.template population rng rank in
+        let sent = Grid_sim.Engine.now engine in
+        Fleet.submit fleet ~identity ~rsl ~reply:(fun result ->
+            pop_stats.latencies <-
+              (Grid_sim.Engine.now engine -. sent) :: pop_stats.latencies;
+            match result with
+            | Ok (site, reply) ->
+              stats.accepted <- stats.accepted + 1;
+              Hashtbl.replace pop_stats.per_resource_accepted site
+                (1
+                + Option.value
+                    (Hashtbl.find_opt pop_stats.per_resource_accepted site)
+                    ~default:0);
+              if Grid_util.Rng.float rng 1.0 < config.pop_management_probability then
+                manage_followup ~owner_rank:rank
+                  ~contact:reply.Grid_gram.Protocol.job_contact
+            | Error Fleet.Unplaceable ->
+              pop_stats.unplaceable <- pop_stats.unplaceable + 1
+            | Error (Fleet.Site_error (_, Grid_gram.Protocol.Authorization_failed _))
+            | Error (Fleet.Site_error (_, Grid_gram.Protocol.Gatekeeper_refused _)) ->
+              stats.denied_authorization <- stats.denied_authorization + 1
+            | Error (Fleet.Unreachable _) -> stats.timed_out <- stats.timed_out + 1
+            | Error (Fleet.Rejected _) | Error (Fleet.Site_error _) ->
+              stats.denied_other <- stats.denied_other + 1))
+  done;
+  let span = !arrival_time -. start in
+  (* Generation churn plus staggered per-member reloads: between the
+     churn instant and the last member's reload, different members
+     enforce different policy generations — deliberately. *)
+  List.iter
+    (fun fraction ->
+      Grid_sim.Engine.schedule_at engine
+        (start +. (fraction *. span))
+        (fun () ->
+          Population.churn population;
+          pop_stats.churns <- pop_stats.churns + 1;
+          for i = 0 to Fleet.size fleet - 1 do
+            Grid_sim.Engine.schedule_after engine
+              (float_of_int i *. config.reload_stagger)
+              (fun () ->
+                ignore (Fleet.reload_member fleet i);
+                pop_stats.reloads <- pop_stats.reloads + 1)
+          done))
+    config.churn_points;
+  (* Providers re-arm themselves forever, so a plain [run] would never
+     return: advance to past the last arrival and its longest follow-up,
+     quiesce the publish loops, then settle the remainder. *)
+  Grid_sim.Engine.run_until engine (!arrival_time +. 64.0);
+  Fleet.quiesce fleet;
+  flush_pending ();
+  Grid_sim.Engine.run engine;
+  pop_stats

@@ -44,3 +44,59 @@ val run :
   stats
 (** Schedule the whole arrival stream, drain the engine, and tally the
     outcomes. Deterministic for a given seed. *)
+
+(** {1 Population-scale workloads over a fleet} *)
+
+type population_config = {
+  pop_arrival_rate : float;
+  pop_job_count : int;
+  pop_management_probability : float;
+  pop_management_batch : int;
+      (** [1] routes each follow-up over the owning member's network;
+          [N > 1] coalesces follow-ups and flushes them through
+          {!Fleet.manage_many}. *)
+  cross_admin_probability : float;
+      (** share of follow-ups issued by the community admin instead of
+          the job owner — the cross-resource third-party manager flow *)
+  churn_points : float list;
+      (** fractions of the arrival span at which the population's
+          generation advances and every member reloads, staggered *)
+  reload_stagger : float;  (** seconds between successive member reloads *)
+  pop_seed : int;
+}
+
+val default_population_config : population_config
+(** 20 jobs/s, 2000 jobs, 25% management (20% of those cross-admin),
+    churn at 35% and 70% of the span with 5 s reload stagger, seed 42. *)
+
+type population_stats = {
+  tally : stats;
+  mutable unplaceable : int;  (** discovery produced no candidate *)
+  mutable cross_admin_requests : int;
+  mutable churns : int;
+  mutable reloads : int;  (** per-member reload events performed *)
+  mutable distinct_subjects : int;  (** distinct population ranks seen *)
+  per_resource_accepted : (string, int) Hashtbl.t;
+  mutable latencies : float list;
+      (** simulated submit->reply time of every placement attempt,
+          newest first *)
+}
+
+val latency_percentile : population_stats -> float -> float option
+(** [latency_percentile stats q] is the [q]-quantile ([0, 1]) of the
+    recorded placement latencies; [None] before any reply. *)
+
+val pp_population_stats : population_stats Fmt.t
+
+val run_population :
+  fleet:Fleet.t ->
+  population:Population.t ->
+  ca:Grid_gsi.Ca.t ->
+  population_config ->
+  population_stats
+(** Drive the fleet with a zipfian population stream: identities are
+    minted per arrival (resident credential state stays O(active jobs)),
+    placement goes through the fleet's asynchronous brokered lane,
+    management follow-ups route cross-resource, and churn points swap
+    policy generations mid-flight. Deterministic for a given seed.
+    Quiesces the fleet's providers before returning. *)

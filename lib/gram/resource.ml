@@ -131,7 +131,7 @@ let create ?(name = "resource") ?network ?gatekeeper_pep ?allocation ?obs
               (Persist.Job_state
                  { contact; state; at = Grid_sim.Engine.now engine });
             Grid_obs.Obs.emit obs ~layer:"gram" "job.terminal"
-              [ ("contact", contact); ("state", state) ]
+              [ ("contact", contact); ("state", state); ("resource", name) ]
           | Grid_lrm.Lrm.Pending | Grid_lrm.Lrm.Running | Grid_lrm.Lrm.Suspended -> ()
         end));
   t
@@ -221,7 +221,8 @@ let submit_direct t ~credential ~rsl =
         Grid_obs.Obs.emit t.obs ~layer:"gram" "job.created"
           ([ ("contact", contact);
              ("owner", Grid_gsi.Dn.to_string (Job_manager.owner jmi));
-             ("durable", string_of_bool durable) ]
+             ("durable", string_of_bool durable);
+             ("resource", t.name) ]
           @ epoch_attr t);
         Ok reply)
 
@@ -367,9 +368,10 @@ let crash t =
   Option.iter Grid_store.Store.crash t.store;
   Grid_sim.Trace.record t.trace ~at:(now t) ~source:t.name ~target:t.name
     "job manager crashed";
-  if Grid_obs.Obs.enabled t.obs then Grid_obs.Obs.incr t.obs "resource_crashes_total";
+  if Grid_obs.Obs.enabled t.obs then
+    Grid_obs.Obs.incr t.obs ~labels:[ ("resource", t.name) ] "resource_crashes_total";
   Grid_obs.Obs.emit t.obs ~layer:"resource" "resource.crashed"
-    ([ ("lost", string_of_int lost) ] @ epoch_attr t);
+    ([ ("lost", string_of_int lost); ("resource", t.name) ] @ epoch_attr t);
   Grid_audit.Audit.log t.audit ~at:(now t) ~kind:Grid_audit.Audit.Recovery
     ?policy_epoch:(current_epoch t)
     ?corr_id:(Grid_obs.Obs.correlation t.obs)
@@ -424,6 +426,7 @@ let recover t =
           incr restored;
           Grid_obs.Obs.emit t.obs ~layer:"resource" "job.restored"
             [ ("contact", e.Persist.contact);
+              ("resource", t.name);
               ("admitted_epoch",
                match e.Persist.policy_epoch with
                | Some ep -> string_of_int ep
@@ -439,14 +442,17 @@ let recover t =
     Option.iter Grid_callout.Cache.invalidate t.authz_cache;
     let duration = Sys.time () -. started in
     if Grid_obs.Obs.enabled t.obs then begin
-      Grid_obs.Obs.incr t.obs "resource_recoveries_total";
-      Grid_obs.Obs.incr t.obs ~by:(float_of_int !stale) "recovery_epoch_mismatches_total";
+      Grid_obs.Obs.incr t.obs ~labels:[ ("resource", t.name) ] "resource_recoveries_total";
+      Grid_obs.Obs.incr t.obs ~by:(float_of_int !stale)
+        ~labels:[ ("resource", t.name) ]
+        "recovery_epoch_mismatches_total";
       Grid_obs.Obs.observe t.obs "recovery_duration_seconds" duration
     end;
     Grid_sim.Trace.record t.trace ~at:(now t) ~source:t.name ~target:t.name
       "job manager recovered";
     Grid_obs.Obs.emit t.obs ~layer:"resource" "resource.recovered"
       ([ ("restored", string_of_int !restored);
+         ("resource", t.name);
          ("replayed", string_of_int events);
          ("dropped_bytes",
           string_of_int replayed.Grid_store.Store.dropped_bytes);
@@ -486,7 +492,9 @@ let recover t =
    request. *)
 let request_span t ~kind =
   if Grid_obs.Obs.enabled t.obs then begin
-    Grid_obs.Obs.incr t.obs ~labels:[ ("kind", kind) ] "gram_requests_total";
+    Grid_obs.Obs.incr t.obs
+      ~labels:[ ("kind", kind); ("resource", t.name) ]
+      "gram_requests_total";
     Grid_obs.Obs.start_span t.obs ~attrs:[ ("kind", kind) ] "gram.request"
   end
   else Grid_obs.Span.null
@@ -503,7 +511,9 @@ let settle_guard t ~kind ~span reply =
       settled := true;
       if timed_out && Grid_obs.Obs.enabled t.obs then begin
         Grid_obs.Span.set_attr span "outcome" "timeout";
-        Grid_obs.Obs.incr t.obs ~labels:[ ("kind", kind) ] "gram_request_timeouts_total"
+        Grid_obs.Obs.incr t.obs
+          ~labels:[ ("kind", kind); ("resource", t.name) ]
+          "gram_request_timeouts_total"
       end;
       Grid_obs.Obs.finish_span t.obs span;
       reply result

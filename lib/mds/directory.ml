@@ -36,10 +36,20 @@ type t = {
 
 let create ?(ttl = 60.0) engine = { engine; ttl; entries = Hashtbl.create 16; publications = 0; queries = 0 }
 
+let engine t = t.engine
+
 let register t (info : static_info) =
   if Hashtbl.mem t.entries info.resource_name then
     invalid_arg ("Directory.register: duplicate resource " ^ info.resource_name);
   Hashtbl.replace t.entries info.resource_name { info; latest = None }
+
+(* Administrative removal (decommissioning, or a provider detaching):
+   the entry disappears immediately — unlike TTL staleness, not even
+   [~fresh_only:false] queries see it again until re-registration. A
+   no-op for unknown names, so churny detach paths need no guard. *)
+let deregister t resource_name = Hashtbl.remove t.entries resource_name
+
+let registered t resource_name = Hashtbl.mem t.entries resource_name
 
 let publish t ~resource_name status =
   match Hashtbl.find_opt t.entries resource_name with

@@ -25,8 +25,16 @@ type t
 val create : ?ttl:Grid_sim.Clock.time -> Grid_sim.Engine.t -> t
 (** Default TTL 60 simulated seconds. *)
 
+val engine : t -> Grid_sim.Engine.t
+
 val register : t -> static_info -> unit
 (** Raises [Invalid_argument] on duplicate registration. *)
+
+val deregister : t -> string -> unit
+(** Remove a resource entirely (decommissioning): it no longer appears
+    in any query or lookup until re-registered. No-op when unknown. *)
+
+val registered : t -> string -> bool
 
 val publish : t -> resource_name:string -> status -> unit
 (** Raises [Invalid_argument] for unregistered resources. *)

@@ -7,7 +7,8 @@
         the decision's epoch (checked through an injected oracle — the
         monitor itself is policy-agnostic);
      2. no decision served from a stale policy epoch strictly after an
-        epoch bump has propagated;
+        epoch bump has propagated (scoped per resource: each fleet
+        member's decisions are judged against its own reloads);
      3. no expired or revoked credential authorizing an action past the
         propagation window;
      4. post-recovery equivalence: every durably-admitted live job is
@@ -83,12 +84,21 @@ type t = {
   oracle : oracle option;
   propagation_window : float;
   chain_limit : int;
-  mutable current_epoch : int option;
-  mutable epoch_changed_at : Grid_sim.Clock.time;
+  (* Epoch freshness is scoped per resource (the "resource" event
+     attribute; "" when absent): each fleet member reloads on its own
+     cadence, and site A's decisions must only be judged against site
+     A's reloads. Single-site streams carry no resource attribute and
+     collapse to one scope, behaving exactly as before. *)
+  epochs : (string, int * Grid_sim.Clock.time) Hashtbl.t;
   revoked : (string, Grid_sim.Clock.time) Hashtbl.t;  (* subject -> revoked at *)
-  live_durable : (string, Grid_sim.Clock.time) Hashtbl.t;  (* contact -> created at *)
-  restored : (string, unit) Hashtbl.t;  (* contacts restored since last crash *)
-  mutable crashed_at : Grid_sim.Clock.time option;
+  (* Crash/recovery bookkeeping is scoped per resource (the "resource"
+     event attribute; "" when absent, which keeps single-site event
+     streams behaving exactly as before): in a fleet, site A's recovery
+     must only answer for jobs durably admitted at site A. *)
+  live_durable : (string, string * Grid_sim.Clock.time) Hashtbl.t;
+    (* contact -> (resource scope, created at) *)
+  restored : (string, unit) Hashtbl.t;  (* scope\x00contact since last crash *)
+  crashed_at : (string, Grid_sim.Clock.time) Hashtbl.t;  (* scope -> crash tick *)
   by_corr : (string, Event.t list) Hashtbl.t;  (* reversed chains *)
   mutable chain_count : int;
   mutable pending : Event.t list;  (* current tick, arrival order reversed *)
@@ -149,15 +159,19 @@ let violate t ~event vclass message =
 
 (* --- Per-event checks --------------------------------------------------- *)
 
+let scope_of (e : Event.t) = Option.value (Event.attr e "resource") ~default:""
+let restored_key scope contact = scope ^ "\x00" ^ contact
+
 let apply_state t (e : Event.t) =
   match e.Event.kind with
   | "policy.epoch" -> begin
     match Event.attr_int e "epoch" with
-    | Some epoch
-      when (match t.current_epoch with None -> true | Some cur -> epoch > cur) ->
-      t.current_epoch <- Some epoch;
-      t.epoch_changed_at <- e.Event.at
-    | Some _ | None -> ()
+    | Some epoch ->
+      let scope = scope_of e in
+      (match Hashtbl.find_opt t.epochs scope with
+      | Some (cur, _) when epoch <= cur -> ()
+      | Some _ | None -> Hashtbl.replace t.epochs scope (epoch, e.Event.at))
+    | None -> ()
   end
   | "credential.revoked" -> begin
     match Event.attr e "subject" with
@@ -168,7 +182,8 @@ let apply_state t (e : Event.t) =
   end
   | "job.created" -> begin
     match (Event.attr e "contact", Event.attr e "durable") with
-    | Some contact, Some "true" -> Hashtbl.replace t.live_durable contact e.Event.at
+    | Some contact, Some "true" ->
+      Hashtbl.replace t.live_durable contact (scope_of e, e.Event.at)
     | _ -> ()
   end
   | "job.terminal" -> begin
@@ -177,26 +192,39 @@ let apply_state t (e : Event.t) =
     | None -> ()
   end
   | "resource.crashed" ->
-    t.crashed_at <- Some e.Event.at;
-    Hashtbl.reset t.restored
+    let scope = scope_of e in
+    Hashtbl.replace t.crashed_at scope e.Event.at;
+    Hashtbl.iter
+      (fun key () ->
+        if String.length key > String.length scope
+           && String.sub key 0 (String.length scope) = scope
+           && key.[String.length scope] = '\x00'
+        then Hashtbl.remove t.restored key)
+      (Hashtbl.copy t.restored)
   | "job.restored" -> begin
     match Event.attr e "contact" with
-    | Some contact -> Hashtbl.replace t.restored contact ()
+    | Some contact -> Hashtbl.replace t.restored (restored_key (scope_of e) contact) ()
     | None -> ()
   end
   | "resource.recovered" -> begin
-    (* Invariant 4. Everything durably admitted before the crash tick
-       must come back; losses explained by the disk (torn/corrupt tail
-       bytes, undecodable records) are excused but still reconciled, so
-       a disk-explained loss is not re-reported at the next recovery. *)
+    (* Invariant 4, per resource scope. Everything durably admitted at
+       this resource before its crash tick must come back; losses
+       explained by the disk (torn/corrupt tail bytes, undecodable
+       records) are excused but still reconciled, so a disk-explained
+       loss is not re-reported at the next recovery. *)
+    let scope = scope_of e in
     let dropped = Option.value (Event.attr_int e "dropped_bytes") ~default:0 in
     let undecodable = Option.value (Event.attr_int e "decode_failures") ~default:0 in
-    let crash_tick = Option.value t.crashed_at ~default:e.Event.at in
+    let crash_tick =
+      Option.value (Hashtbl.find_opt t.crashed_at scope) ~default:e.Event.at
+    in
     let missing =
       Hashtbl.fold
-        (fun contact created_at acc ->
-          if created_at < crash_tick && not (Hashtbl.mem t.restored contact) then
-            contact :: acc
+        (fun contact (job_scope, created_at) acc ->
+          if
+            String.equal job_scope scope && created_at < crash_tick
+            && not (Hashtbl.mem t.restored (restored_key scope contact))
+          then contact :: acc
           else acc)
         t.live_durable []
       |> List.sort String.compare
@@ -211,22 +239,21 @@ let apply_state t (e : Event.t) =
              (String.concat ", " missing));
       List.iter (Hashtbl.remove t.live_durable) missing
     end;
-    Hashtbl.reset t.restored;
-    t.crashed_at <- None
+    Hashtbl.remove t.crashed_at scope
   end
   | _ -> ()
 
 let check_epoch t (e : Event.t) =
-  (* Invariant 2: strictly after a bump's tick, no decision (or cache
-     answer) may carry an older epoch. Same-tick decisions are excused:
-     within one simulation instant ordering against the reload is not
-     defined. *)
-  match (Event.attr_int e "epoch", t.current_epoch) with
-  | Some epoch, Some current
-    when epoch < current && e.Event.at > t.epoch_changed_at ->
+  (* Invariant 2: strictly after a bump's tick at the same resource, no
+     decision (or cache answer) there may carry an older epoch.
+     Same-tick decisions are excused: within one simulation instant
+     ordering against the reload is not defined. *)
+  match (Event.attr_int e "epoch", Hashtbl.find_opt t.epochs (scope_of e)) with
+  | Some epoch, Some (current, changed_at)
+    when epoch < current && e.Event.at > changed_at ->
     violate t ~event:e Stale_epoch
       (Printf.sprintf "%s served under stale policy epoch %d (current %d since t=%.3fs)"
-         e.Event.kind epoch current t.epoch_changed_at)
+         e.Event.kind epoch current changed_at)
   | _ -> ()
 
 let check_decision t (e : Event.t) =
@@ -315,12 +342,11 @@ let create ?oracle ?(propagation_window = 300.0) ?(chain_limit = 500_000) bus =
     { oracle;
       propagation_window;
       chain_limit;
-      current_epoch = None;
-      epoch_changed_at = 0.0;
+      epochs = Hashtbl.create 8;
       revoked = Hashtbl.create 8;
       live_durable = Hashtbl.create 64;
       restored = Hashtbl.create 64;
-      crashed_at = None;
+      crashed_at = Hashtbl.create 8;
       by_corr = Hashtbl.create 1024;
       chain_count = 0;
       pending = [];
@@ -334,7 +360,13 @@ let create ?oracle ?(propagation_window = 300.0) ?(chain_limit = 500_000) bus =
 let violations t = List.rev t.violations_rev
 let violation_count t = List.length t.violations_rev
 let events_seen t = t.events_seen
-let current_epoch t = t.current_epoch
+
+(* The newest epoch observed across every resource scope. *)
+let current_epoch t =
+  Hashtbl.fold
+    (fun _ (epoch, _) acc ->
+      match acc with Some e when e >= epoch -> acc | _ -> Some epoch)
+    t.epochs None
 
 let classes t =
   List.sort_uniq compare (List.map (fun v -> v.vclass) t.violations_rev)

@@ -17,7 +17,7 @@ type violation_class =
           epoch *)
   | Stale_epoch
       (** a decision or cache answer served under an old policy epoch
-          strictly after a bump propagated *)
+          strictly after a bump propagated at the same resource *)
   | Expired_credential
       (** an expired or revoked credential authorized an action past
           the propagation window *)
@@ -81,6 +81,8 @@ val violations : t -> violation list
 val violation_count : t -> int
 val events_seen : t -> int
 val current_epoch : t -> int option
+(** The newest policy epoch observed across every resource scope. *)
+
 val classes : t -> violation_class list
 (** Distinct violation classes seen, sorted. *)
 

@@ -6,6 +6,11 @@ type t = {
   tracer : Span.t;
   events : Event.bus;
   clock : unit -> Grid_sim.Clock.time;
+  (* Static attributes stamped on every event (and appended as labels to
+     every metric) recorded through this handle — how a fleet member's
+     whole emission stream gets its [resource=<name>] dimension without
+     threading the name through every layer. *)
+  extra : (string * string) list;
 }
 
 let create ?(clock = fun () -> 0.0) () =
@@ -13,7 +18,8 @@ let create ?(clock = fun () -> 0.0) () =
     metrics = Metrics.create ();
     tracer = Span.create ();
     events = Event.create_bus ();
-    clock }
+    clock;
+    extra = [] }
 
 let of_engine engine = create ~clock:(fun () -> Grid_sim.Engine.now engine) ()
 
@@ -22,7 +28,16 @@ let noop =
     metrics = Metrics.create ();
     tracer = Span.create ();
     events = Event.create_bus ();
-    clock = (fun () -> 0.0) }
+    clock = (fun () -> 0.0);
+    extra = [] }
+
+(* Explicit attributes win over scope attributes, and an inner scope wins
+   over an outer one — a handle never overrides what a call site said. *)
+let under explicit extra =
+  explicit @ List.filter (fun (k, _) -> not (List.mem_assoc k explicit)) extra
+
+let scoped t attrs =
+  if (not t.on) || attrs = [] then t else { t with extra = under attrs t.extra }
 
 let enabled t = t.on
 let metrics t = t.metrics
@@ -33,7 +48,9 @@ let now t = t.clock ()
 (* --- Wide events and correlation --------------------------------------- *)
 
 let emit t ?corr ~layer kind attrs =
-  if t.on then Event.emit t.events ~at:(t.clock ()) ?corr ~layer ~kind attrs
+  if t.on then
+    let attrs = match t.extra with [] -> attrs | extra -> under attrs extra in
+    Event.emit t.events ~at:(t.clock ()) ?corr ~layer ~kind attrs
 
 let fresh_correlation t = Event.fresh_corr t.events
 let correlation t = Event.current_corr t.events
@@ -50,9 +67,20 @@ let ensure_correlation t f =
     | Some _ -> f ()
     | None -> Event.with_corr t.events (Event.fresh_corr t.events) f
 
-let incr t ?by ?labels name = if t.on then Metrics.inc t.metrics ?by ?labels name
-let set_gauge t ?labels name v = if t.on then Metrics.set t.metrics ?labels name v
-let observe t ?labels name v = if t.on then Metrics.observe t.metrics ?labels name v
+let merge_labels t labels =
+  match (t.extra, labels) with
+  | [], labels -> labels
+  | extra, None -> Some extra
+  | extra, Some ls -> Some (under ls extra)
+
+let incr t ?by ?labels name =
+  if t.on then Metrics.inc t.metrics ?by ?labels:(merge_labels t labels) name
+
+let set_gauge t ?labels name v =
+  if t.on then Metrics.set t.metrics ?labels:(merge_labels t labels) name v
+
+let observe t ?labels name v =
+  if t.on then Metrics.observe t.metrics ?labels:(merge_labels t labels) name v
 
 let stage_metric = "stage_seconds"
 

@@ -24,6 +24,16 @@ val of_engine : Grid_sim.Engine.t -> t
 val noop : t
 (** Disabled: records nothing, costs a branch. *)
 
+val scoped : t -> (string * string) list -> t
+(** A handle sharing [t]'s registry, tracer, bus and clock that stamps
+    the given attributes on every event it emits and appends them as
+    labels to every metric it records — e.g.
+    [scoped obs [("resource", name)]] gives one fleet member's whole
+    emission stream its per-resource dimension. Explicit event
+    attributes and metric labels win over scope ones; nesting composes
+    with the inner scope winning. A disabled handle is returned
+    unchanged. *)
+
 val enabled : t -> bool
 val metrics : t -> Metrics.t
 val tracer : t -> Span.t

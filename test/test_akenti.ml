@@ -217,13 +217,15 @@ let test_callout_adapter () =
   Engine.publish_attribute w.engine (alice_attr w);
   let callout = Akenti_pep.callout ~engine:w.engine ~now:(fun () -> 1.0) in
   let ok_query =
-    Grid_callout.Callout.start_query ~requester:(dn alice) ~job_id:"j1"
-      ~rsl:(Grid_rsl.Parser.parse_clause_exn "&(executable=TRANSP)(jobtag=NFC)") ()
+    Grid_callout.Callout.Query.make ~requester:(dn alice) ~job_id:"j1"
+      (Grid_callout.Callout.Query.Start
+         (Grid_rsl.Parser.parse_clause_exn "&(executable=TRANSP)(jobtag=NFC)"))
   in
   Alcotest.(check bool) "adapter grants" true (callout ok_query = Ok ());
   let bad_query =
-    Grid_callout.Callout.start_query ~requester:(dn alice) ~job_id:"j2"
-      ~rsl:(Grid_rsl.Parser.parse_clause_exn "&(executable=rm)") ()
+    Grid_callout.Callout.Query.make ~requester:(dn alice) ~job_id:"j2"
+      (Grid_callout.Callout.Query.Start
+         (Grid_rsl.Parser.parse_clause_exn "&(executable=rm)"))
   in
   match callout bad_query with
   | Error (Grid_callout.Callout.Denied m) ->

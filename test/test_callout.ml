@@ -6,12 +6,12 @@ open Grid_callout
 let dn = Grid_gsi.Dn.parse
 
 let start_query ?(who = "/O=Grid/CN=U") rsl =
-  Callout.start_query ~requester:(dn who) ~job_id:"job-1"
-    ~rsl:(Grid_rsl.Parser.parse_clause_exn rsl) ()
+  Callout.Query.make ~requester:(dn who) ~job_id:"job-1"
+    (Callout.Query.Start (Grid_rsl.Parser.parse_clause_exn rsl))
 
 let manage_query ?(who = "/O=Grid/CN=U") ~action ~owner ~tag () =
-  Callout.management_query ~requester:(dn who) ~action ~job_id:"job-1"
-    ~job_owner:(dn owner) ~jobtag:tag ()
+  Callout.Query.make ~requester:(dn who) ~job_id:"job-1"
+    (Callout.Query.Management { action; job_owner = dn owner; jobtag = tag })
 
 (* --- Combinators -------------------------------------------------------- *)
 
@@ -284,9 +284,11 @@ let test_file_pep_of_texts_good () =
 
 (* Distinct-keyed management queries for churn tests. *)
 let keyed_query ?credential ~job_id () =
-  Callout.management_query ~requester:(dn "/O=Grid/CN=U") ?credential
-    ~action:Grid_policy.Types.Action.Information ~job_id ~job_owner:(dn "/O=Grid/CN=U")
-    ~jobtag:(Some "NFC") ()
+  Callout.Query.make ~requester:(dn "/O=Grid/CN=U") ?credential ~job_id
+    (Callout.Query.Management
+       { action = Grid_policy.Types.Action.Information;
+         job_owner = dn "/O=Grid/CN=U";
+         jobtag = Some "NFC" })
 
 let test_cache_hits_and_epoch_invalidation () =
   let clock = ref 0.0 in
@@ -418,9 +420,11 @@ let test_cache_scopes_partition_keys () =
    action, job id, jobtag, job owner, RSL fingerprint. *)
 
 let base_query () =
-  Callout.management_query ~requester:(dn "/O=Grid/CN=U")
-    ~action:Grid_policy.Types.Action.Information ~job_id:"job-1"
-    ~job_owner:(dn "/O=Grid/CN=U") ~jobtag:(Some "NFC") ()
+  Callout.Query.make ~requester:(dn "/O=Grid/CN=U") ~job_id:"job-1"
+    (Callout.Query.Management
+       { action = Grid_policy.Types.Action.Information;
+         job_owner = dn "/O=Grid/CN=U";
+         jobtag = Some "NFC" })
 
 let test_cache_key_single_component_never_collides () =
   let base = base_query () in

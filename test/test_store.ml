@@ -300,8 +300,10 @@ let test_recovery_observable () =
   Alcotest.(check int) "crash + recovery audited" 2 (List.length recovery_records);
   let metrics = Obs.Obs.metrics (Gram.Resource.obs w.Fusion.resource) in
   let counter ?labels name = Obs.Metrics.counter_value metrics ?labels name in
-  Alcotest.(check bool) "crash counted" true (counter "resource_crashes_total" >= 1.0);
-  Alcotest.(check bool) "recovery counted" true (counter "resource_recoveries_total" >= 1.0);
+  Alcotest.(check bool) "crash counted" true
+    (counter ~labels:[ ("resource", "fusion-site") ] "resource_crashes_total" >= 1.0);
+  Alcotest.(check bool) "recovery counted" true
+    (counter ~labels:[ ("resource", "fusion-site") ] "resource_recoveries_total" >= 1.0);
   let journal_file =
     match Gram.Resource.store w.Fusion.resource with
     | Some store -> Store.Store.journal_file store

@@ -1494,6 +1494,157 @@ let t21_fleet () =
         ("synthesizer/create_words_1e6", large) ];
   collected := ("fleet population workload", !rows) :: !collected
 
+(* T22: the security token service. Three questions:
+   - what does the token gate cost per validation (decode + signature +
+     claims) on top of the policy decision it guards?
+   - once a subject is revoked, how long until every member enforces it
+     — per distribution mode, as simulated p50/p99 — and does the p99
+     stay inside the mode's declared propagation window?
+   - what resident revocation state does each mode pay for that window?
+   The sweep runs the 10^5-subject population workload over a tokenized
+   fleet, revoking zipf-head subjects mid-campaign. Smoke mode
+   (BENCH_STS_SMOKE=1, the CI setting) shrinks jobs and revocations but
+   keeps the population and all three modes. *)
+let t22_sts () =
+  section "T22: security token service — validation cost and revocation enforcement";
+  let smoke = Sys.getenv_opt "BENCH_STS_SMOKE" <> None in
+  let rows = ref [] in
+  (* validation microbench: one token, one member's gate, fixed query *)
+  Util.Ids.reset ();
+  Crypto.Keypair.reset_keystore ();
+  let engine = Sim.Engine.create () in
+  let ca = Gsi.Ca.create ~now:0.0 "/O=Grid/CN=Bench CA" in
+  let trust = Gsi.Ca.Trust_store.create () in
+  Gsi.Ca.Trust_store.add trust (Gsi.Ca.certificate ca);
+  let service =
+    Sts.Service.create ~name:"bench-sts" ~engine ~trust ~obs:Obs.Obs.noop ()
+  in
+  let alice = Gsi.Identity.create ~ca ~now:0.0 ~lifetime:43_200.0 "/O=Grid/CN=Alice" in
+  let proxy, token =
+    Result.get_ok (Sts.Service.proxy_with_token service ~now:0.0 alice)
+  in
+  let encoded = Sts.Token.encode token in
+  let sts_key = Sts.Service.public_key service in
+  let credential =
+    Gsi.Credential.of_identity proxy
+      ~challenge:(Sts.Service.fresh_challenge service)
+  in
+  let query =
+    Callout.Callout.Query.make ~requester:(Gsi.Identity.subject alice) ~credential
+      ~job_id:"job-1"
+      (Callout.Callout.Query.Start (Rsl.Parser.parse_clause_exn "&(executable=x)"))
+  in
+  let gate =
+    Sts.Pep.callout ~sts_key ~audience:"*" ~now:(fun () -> 100.0)
+      Callout.Callout.permit_all
+  in
+  print_table "T22a: token validation (ns/op)"
+    (run_tests
+       [ Test.make ~name:"token/decode"
+           (Staged.stage (fun () -> ignore (Sts.Token.decode encoded)));
+         Test.make ~name:"token/verify"
+           (Staged.stage (fun () ->
+                ignore
+                  (Sts.Token.verify token ~sts_key
+                     ~presenter:(Gsi.Identity.subject alice) ~audience:"gram"
+                     ~now:100.0)));
+         Test.make ~name:"pep/full_gate"
+           (Staged.stage (fun () -> ignore (gate query))) ]);
+  (* per-mode revocation sweep over the tokenized fleet *)
+  let population_size = 100_000 in
+  let jobs = if smoke then 300 else 1_500 in
+  let revocation_count = if smoke then 24 else 120 in
+  let arrival_rate = 2.0 in
+  let span = float_of_int jobs /. arrival_rate in
+  let percentile q = function
+    | [] -> 0.0
+    | xs ->
+      let a = Array.of_list xs in
+      Array.sort compare a;
+      a.(min (Array.length a - 1)
+           (int_of_float (q *. float_of_int (Array.length a))))
+  in
+  Printf.printf
+    "   %d jobs over %.0f sim-s, population %d, %d mid-campaign revocations\n"
+    jobs span population_size revocation_count;
+  Printf.printf "   %-10s %10s %12s %12s %12s %14s\n" "mode" "accepted"
+    "latencies" "p50 (s)" "p99 (s)" "state (bytes)";
+  List.iter
+    (fun mode ->
+      let pop = Core.Population.create ~seed:51 ~size:population_size in
+      let w =
+        Fusion.build ~fleet:2 ~population:pop ~authz_cache:1024 ~nodes:8
+          ~cpus_per_node:8 ~faults:Sim.Network.Faults.none ~broker_seed:42
+          ~sts:mode ()
+      in
+      let fleet = Option.get w.Fusion.fleet in
+      let sts = Option.get w.Fusion.sts in
+      let engine = Fleet.engine fleet in
+      (* Revocations land across the first 60% of the arrival span, on
+         distinct zipf-head ranks (the subjects the workload actually
+         exercises). Short-TTL enforcement is expiry: its latency sample
+         is the subject's latest outstanding [not_after] at revocation
+         time. *)
+      let short_ttl_latencies = ref [] in
+      for k = 0 to revocation_count - 1 do
+        let at = span *. 0.6 *. float_of_int (k + 1) /. float_of_int revocation_count in
+        Sim.Engine.schedule_at engine at (fun () ->
+            let subject = Gsi.Dn.parse (Core.Population.dn pop k) in
+            let now = Sim.Engine.now engine in
+            (match Sts.Service.outstanding_not_after sts subject with
+            | Some not_after when mode = Sts.Validator.Short_ttl ->
+              short_ttl_latencies := (not_after -. now) :: !short_ttl_latencies
+            | _ -> ());
+            Sts.Service.revoke_subject sts ~now subject)
+      done;
+      let stats =
+        Workload.run_population ~sts ~fleet ~population:pop
+          ~ca:(Testbed.ca w.Fusion.testbed)
+          { Workload.default_population_config with
+            Workload.pop_job_count = jobs;
+            pop_arrival_rate = arrival_rate;
+            pop_seed = 42 }
+      in
+      let validators = List.filter_map Fleet.member_validator (Fleet.members fleet) in
+      let latencies =
+        match mode with
+        | Sts.Validator.Short_ttl -> !short_ttl_latencies
+        | Sts.Validator.Push | Sts.Validator.Pull ->
+          List.concat_map Sts.Validator.enforcement_latencies validators
+      in
+      let state_bytes =
+        List.fold_left (fun acc v -> acc + Sts.Validator.state_bytes v) 0 validators
+      in
+      let p50 = percentile 0.5 latencies and p99 = percentile 0.99 latencies in
+      let window = Sts.Service.propagation_window sts in
+      let label = Sts.Validator.mode_to_string mode in
+      Printf.printf "   %-10s %10d %12d %12.3f %12.3f %14d\n" label
+        stats.Workload.tally.Workload.accepted (List.length latencies) p50 p99
+        state_bytes;
+      if latencies = [] then begin
+        Printf.printf "   FAIL: %s produced no enforcement-latency samples\n" label;
+        incr bench_failures
+      end;
+      if p99 > window then begin
+        Printf.printf
+          "   FAIL: %s revocation-to-enforcement p99 %.3fs exceeds the mode's \
+           %.0fs window\n"
+          label p99 window;
+        incr bench_failures
+      end;
+      rows :=
+        !rows
+        @ [ (Printf.sprintf "%s/accepted" label,
+             float_of_int stats.Workload.tally.Workload.accepted);
+            (Printf.sprintf "%s/latency_samples" label,
+             float_of_int (List.length latencies));
+            (Printf.sprintf "%s/enforcement_p50_s" label, p50);
+            (Printf.sprintf "%s/enforcement_p99_s" label, p99);
+            (Printf.sprintf "%s/propagation_window_s" label, window);
+            (Printf.sprintf "%s/state_bytes" label, float_of_int state_bytes) ])
+    Sts.Validator.all_modes;
+  collected := ("sts revocation enforcement", !rows) :: !collected
+
 (* ------------------------------------------------------------------ *)
 
 let experiments =
@@ -1504,7 +1655,8 @@ let experiments =
     ("t10", t10_discovery); ("t11", t11_allocation); ("t12", t12_workload);
     ("t13", t13_akenti_cache); ("t14", t14_obs_overhead); ("t15", t15_faults);
     ("t16", t16_authz_cache); ("t17", t17_recovery); ("t18", t18_soak);
-    ("t19", t19_rebac); ("t20", t20_batch); ("t21", t21_fleet) ]
+    ("t19", t19_rebac); ("t20", t20_batch); ("t21", t21_fleet);
+    ("t22", t22_sts) ]
 
 (* Every experiment has a canonical artifact, so multi-experiment --json
    runs write one file per experiment instead of lumping everything into
@@ -1518,6 +1670,7 @@ let artifact_of = function
   | "t19" -> "BENCH_rebac.json"
   | "t20" -> "BENCH_batch.json"
   | "t21" -> "BENCH_fleet.json"
+  | "t22" -> "BENCH_sts.json"
   | name -> Printf.sprintf "BENCH_%s.json" name
 
 let usage () =
@@ -1541,7 +1694,7 @@ let () =
     | names -> names
   in
   Printf.printf "Fine-grain GRID authorization: benchmark & figure harness\n";
-  Printf.printf "(figures F1-F3 reproduce the paper's artifacts; T1-T21 are the\n";
+  Printf.printf "(figures F1-F3 reproduce the paper's artifacts; T1-T22 are the\n";
   Printf.printf " quantitative microbenchmarks defined in DESIGN.md)\n";
   List.iter
     (fun name ->

@@ -319,6 +319,30 @@ let batch_arg =
           "Coalesce management follow-ups and authorize them $(docv) at a time through \
            the batch decision pipeline; 1 (the default) keeps the per-request path.")
 
+(* Shared by simulate and soak: the STS token layer. *)
+let tokens_arg =
+  let parse s =
+    match Core.Sts.Validator.mode_of_string s with
+    | Some m -> Ok m
+    | None ->
+      Error
+        (`Msg
+          (Printf.sprintf "unknown token revocation mode %S (expected one of: %s)" s
+             (String.concat ", "
+                (List.map Core.Sts.Validator.mode_to_string
+                   Core.Sts.Validator.all_modes))))
+  in
+  let print ppf m = Fmt.string ppf (Core.Sts.Validator.mode_to_string m) in
+  Arg.(
+    value
+    & opt (some (conv (parse, print))) None
+    & info [ "tokens" ] ~docv:"MODE"
+        ~doc:
+          "Route every request through STS capability tokens, with revocation \
+           distributed per $(docv): short-ttl (stateless, expiry is the \
+           enforcement), push (in-band deltas over the network) or pull \
+           (periodic CRL fetch from disk).")
+
 (* Shared by simulate and soak: federation size. *)
 let resources_arg =
   let parse s =
@@ -365,9 +389,11 @@ let simulate_cmd =
              (unmodified GT2; same as --baseline).")
   in
   let run jobs seed baseline pep faults fault_seed snapshot_every crash_at batch
-      resources population =
+      resources population tokens =
     let backend = if baseline then `Baseline else pep in
     let baseline = backend = `Baseline in
+    if baseline && Option.is_some tokens then
+      failwith "simulate: --tokens needs the extended backends";
     let faults = faults_of faults in
     (* Faulty networks need bounded requests: without a timeout a dropped
        reply would leave the workload hanging forever. *)
@@ -385,7 +411,8 @@ let simulate_cmd =
       let pop = Core.Population.create ~seed:(seed + 7) ~size:population in
       let w =
         Core.Fusion.build ~backend ~nodes:8 ~cpus_per_node:8 ?faults ~fault_seed
-          ?request_timeout ~fleet:resources ~population:pop ~broker_seed:seed ()
+          ?request_timeout ~fleet:resources ~population:pop ~broker_seed:seed
+          ?sts:tokens ()
       in
       let fleet = Option.get w.Core.Fusion.fleet in
       Printf.printf
@@ -394,7 +421,7 @@ let simulate_cmd =
         (match backend with `Rebac -> "extended, rebac PEP" | _ -> "extended")
         seed;
       let stats =
-        Core.Workload.run_population ~fleet ~population:pop
+        Core.Workload.run_population ?sts:w.Core.Fusion.sts ~fleet ~population:pop
           ~ca:(Core.Testbed.ca w.Core.Fusion.testbed)
           { Core.Workload.default_population_config with
             Core.Workload.pop_job_count = jobs;
@@ -424,7 +451,7 @@ let simulate_cmd =
     else begin
     let w =
       Core.Fusion.build ~backend ~nodes:8 ~cpus_per_node:8 ?faults ~fault_seed
-        ?request_timeout ~store ?snapshot_every ()
+        ?request_timeout ~store ?snapshot_every ?sts:tokens ()
     in
     (* A crash mid-workload: the job manager dies (in-memory JMIs lost,
        unsynced journal tail lost per the disk fault profile) and restarts
@@ -469,7 +496,7 @@ let simulate_cmd =
       | _ -> "extended")
       seed;
     let stats =
-      Core.Workload.run
+      Core.Workload.run ?sts:w.Core.Fusion.sts
         ~engine:(Core.Testbed.engine w.Core.Fusion.testbed)
         ~resource:w.Core.Fusion.resource ~profiles
         { Core.Workload.default_config with
@@ -492,7 +519,8 @@ let simulate_cmd =
        ~doc:"Run a synthetic workload against the National Fusion Collaboratory testbed.")
     Term.(
       const run $ jobs $ seed $ baseline $ pep $ faults_arg $ fault_seed_arg
-      $ snapshot_every_arg $ crash_at_arg $ batch_arg $ resources_arg $ population)
+      $ snapshot_every_arg $ crash_at_arg $ batch_arg $ resources_arg $ population
+      $ tokens_arg)
 
 (* A short deterministic scenario on the fusion testbed so every decision
    point fires: permitted and denied submissions, a third-party cancel,
@@ -775,8 +803,9 @@ let soak_cmd =
       & info [ "inject-violation" ] ~docv:"CLASS"
           ~doc:
             "Self-test mode: provoke exactly this violation class (default_deny, \
-             stale_epoch, expired_credential, recovery_divergence, fail_open_upgrade) \
-             and require the monitor to report it — and nothing else.")
+             stale_epoch, expired_credential, recovery_divergence, fail_open_upgrade, \
+             token_revocation) and require the monitor to report it — and nothing \
+             else.")
   in
   let no_monitor_arg =
     Arg.(
@@ -805,11 +834,12 @@ let soak_cmd =
              rebac (relationship-based tuple graph). The monitor's oracle re-derives \
              decisions through the matching engine either way.")
   in
-  let run days jobs_per_day seed faults inject no_monitor window pep batch resources =
+  let run days jobs_per_day seed faults inject no_monitor window pep batch resources
+      tokens =
     let report =
       Core.Soak.run
         { Core.Soak.days; jobs_per_day; seed; faults; monitor = not no_monitor;
-          inject; propagation_window = window; pep; batch; resources }
+          inject; propagation_window = window; pep; batch; resources; tokens }
     in
     Fmt.pr "%a@." Core.Soak.pp_report report;
     match inject with
@@ -840,7 +870,7 @@ let soak_cmd =
           the injected class is detected).")
     Term.(
       const run $ days_arg $ jobs_per_day_arg $ seed_arg $ soak_faults_arg $ inject_arg
-      $ no_monitor_arg $ window_arg $ pep_arg $ batch_arg $ resources_arg)
+      $ no_monitor_arg $ window_arg $ pep_arg $ batch_arg $ resources_arg $ tokens_arg)
 
 let trace_export_cmd =
   let output_arg =

@@ -44,6 +44,8 @@ type t = {
   now : unit -> float;
   epoch : (unit -> int) option;
   revision : (unit -> int) option;
+  extra_deadline : Grid_gsi.Credential.t -> float option;
+  revoked : Grid_gsi.Credential.t -> bool;
   obs : Grid_obs.Obs.t;
   table : (string, node) Hashtbl.t;
   mutable head : node option; (* most recently used *)
@@ -57,7 +59,7 @@ type t = {
 }
 
 let create ?(capacity = 1024) ?(ttl = 300.0) ?(obs = Grid_obs.Obs.noop) ?epoch ?revision
-    ~now () =
+    ?(extra_deadline = fun _ -> None) ?(revoked = fun _ -> false) ~now () =
   if capacity <= 0 then invalid_arg "Cache.create: capacity must be positive";
   if ttl <= 0.0 then invalid_arg "Cache.create: ttl must be positive";
   { capacity;
@@ -65,6 +67,8 @@ let create ?(capacity = 1024) ?(ttl = 300.0) ?(obs = Grid_obs.Obs.noop) ?epoch ?
     now;
     epoch;
     revision;
+    extra_deadline;
+    revoked;
     obs;
     table = Hashtbl.create (min capacity 1024);
     head = None;
@@ -239,7 +243,13 @@ let store t ~now ~credential key decision =
   if cacheable decision then begin
     let deadline =
       match credential with
-      | Some cred -> Float.min (now +. t.ttl) (credential_deadline cred)
+      | Some cred ->
+        let d = Float.min (now +. t.ttl) (credential_deadline cred) in
+        (* A credential can carry a grant (an STS token) that dies before
+           the chain does; the entry must not outlive either. *)
+        (match t.extra_deadline cred with
+        | None -> d
+        | Some extra -> Float.min d extra)
       | None -> now +. t.ttl
     in
     if deadline > now then begin
@@ -277,6 +287,16 @@ let with_cache t ?(scope = "authz") (backend : Callout.t) : Callout.t =
     Grid_obs.Obs.incr t.obs "authz_cache_bypass_total";
     Grid_obs.Obs.emit t.obs ~layer:"cache" "cache.bypass"
       [ ("scope", scope); ("reason", "credential_expired") ];
+    backend q
+  | Some cred when t.revoked cred ->
+    (* Revoked-but-unexpired credential: a permit cached before the
+       revocation must not answer for it, and nothing learned now may
+       outlive the next CRL read — so, like expiry, the backend stack
+       owns the refusal. *)
+    t.bypasses <- t.bypasses + 1;
+    Grid_obs.Obs.incr t.obs "authz_cache_bypass_total";
+    Grid_obs.Obs.emit t.obs ~layer:"cache" "cache.bypass"
+      [ ("scope", scope); ("reason", "credential_revoked") ];
     backend q
   | credential -> begin
     let key = query_key ~scope ~epoch ?revision q in
@@ -331,6 +351,12 @@ let with_cache_many t ?(scope = "authz") (backend : Callout.Batch.t) : Callout.B
         incr bypasses;
         Grid_obs.Obs.emit t.obs ~layer:"cache" "cache.bypass"
           [ ("scope", scope); ("reason", "credential_expired") ];
+        sub := (i, None) :: !sub;
+        incr sub_count
+      | Some cred when t.revoked cred ->
+        incr bypasses;
+        Grid_obs.Obs.emit t.obs ~layer:"cache" "cache.bypass"
+          [ ("scope", scope); ("reason", "credential_revoked") ];
         sub := (i, None) :: !sub;
         incr sub_count
       | _ -> begin

@@ -22,6 +22,8 @@ val create :
   ?obs:Grid_obs.Obs.t ->
   ?epoch:(unit -> int) ->
   ?revision:(unit -> int) ->
+  ?extra_deadline:(Grid_gsi.Credential.t -> float option) ->
+  ?revoked:(Grid_gsi.Credential.t -> bool) ->
   now:(unit -> float) ->
   unit ->
   t
@@ -31,9 +33,16 @@ val create :
     ReBAC tuple-store revision, {!Grid_rebac.Store.revision} via the
     PEP) is likewise sampled per lookup and folded into the key, but a
     change orphans old entries instead of flushing — a tuple write
-    invalidates nothing about other snapshots' answers. [now] is
-    typically the engine clock. Raises [Invalid_argument] on
-    non-positive capacity or ttl. *)
+    invalidates nothing about other snapshots' answers.
+    [extra_deadline] further caps a stored entry's deadline from the
+    requester credential — e.g. the [not_after] of a carried STS token
+    ({!Grid_sts.Token.credential_deadline} at the wiring layer), so a
+    cached permit never outlives the grant that earned it. [revoked]
+    makes matching credentials bypass the cache entirely (reason
+    ["credential_revoked"]) — wire it to the trust store's CRL so a
+    revoked-but-unexpired proxy can neither be served from nor teach the
+    cache. [now] is typically the engine clock. Raises
+    [Invalid_argument] on non-positive capacity or ttl. *)
 
 val with_cache : t -> ?scope:string -> Callout.t -> Callout.t
 (** Memoize a callout through the cache. [scope] (default ["authz"])
@@ -75,7 +84,7 @@ val invalidations : t -> int
 
 val bypasses : t -> int
 (** Queries that skipped the cache because the requester credential was
-    not live. *)
+    not live or was revoked. *)
 
 val pp : t Fmt.t
 (** One-line statistics view (the [gridctl metrics] cache report). *)

@@ -16,12 +16,19 @@ type t = {
   signature : string;           (* by the CAS server's key *)
 }
 
+(* Length-prefixed ([Grid_util.Wire]) to-be-signed bytes: a separator
+   join is not injective once a field can contain the separator, and
+   both the policy text and (in principle) DN values are
+   attacker-influenced. Timestamps use the lossless hex-float form so
+   [decode (encode t)] verifies against the same bytes [make] signed. *)
 let signing_bytes ~holder ~vo ~policy_text ~issued_at ~not_after =
-  Printf.sprintf "cas-capability|%s|%s|%s|%.6f|%.6f"
-    (Grid_gsi.Dn.to_string holder)
-    vo
-    (Grid_crypto.Base64.encode policy_text)
-    issued_at not_after
+  Grid_util.Wire.encode
+    [ "cas-capability";
+      Grid_gsi.Dn.to_string holder;
+      vo;
+      policy_text;
+      Printf.sprintf "%h" issued_at;
+      Printf.sprintf "%h" not_after ]
 
 let make ~holder ~vo ~policy_text ~issued_at ~not_after ~signing_key =
   let body = signing_bytes ~holder ~vo ~policy_text ~issued_at ~not_after in
@@ -56,30 +63,35 @@ let verify t ~cas_key ~presenter ~now =
 
 let extension_oid = "cas-capability"
 
+(* The wire form is the signing preimage plus the detached signature —
+   one length-prefixed part list, so a policy text or VO name carrying
+   newlines (or any other byte) round-trips unchanged. *)
 let encode t =
-  String.concat "\n"
-    [ Grid_gsi.Dn.to_string t.holder;
+  Grid_util.Wire.encode
+    [ "cas-capability";
+      Grid_gsi.Dn.to_string t.holder;
       t.vo;
-      Grid_crypto.Base64.encode t.policy_text;
-      Printf.sprintf "%.6f" t.issued_at;
-      Printf.sprintf "%.6f" t.not_after;
+      t.policy_text;
+      Printf.sprintf "%h" t.issued_at;
+      Printf.sprintf "%h" t.not_after;
       t.signature ]
 
 let decode s =
-  match String.split_on_char '\n' s with
-  | [ holder; vo; policy_b64; issued; expiry; signature ] -> begin
+  match Grid_util.Wire.decode s with
+  | Some [ "cas-capability"; holder; vo; policy_text; issued; expiry; signature ]
+    -> begin
     try
       Ok
         { holder = Grid_gsi.Dn.parse holder;
           vo;
-          policy_text = Grid_crypto.Base64.decode policy_b64;
+          policy_text;
           issued_at = float_of_string issued;
           not_after = float_of_string expiry;
           signature }
     with Grid_gsi.Dn.Parse_error m -> Error ("bad holder DN: " ^ m)
-       | Failure _ | Invalid_argument _ -> Error "malformed capability encoding"
+       | Failure _ -> Error "malformed capability encoding"
   end
-  | _ -> Error "malformed capability encoding"
+  | Some _ | None -> Error "malformed capability encoding"
 
 let to_extension t =
   { Grid_gsi.Cert.oid = extension_oid; critical = false; payload = encode t }

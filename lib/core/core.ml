@@ -25,6 +25,7 @@ module Audit = Grid_audit
 module Obs = Grid_obs
 module Store = Grid_store
 module Rebac = Grid_rebac
+module Sts = Grid_sts
 
 module Workload = Workload
 module Soak = Soak
@@ -114,7 +115,7 @@ module Testbed = struct
   let make_resource ?(name = "resource") ?(nodes = 4) ?(cpus_per_node = 8) ?queues
       ?(gridmap = Grid_gsi.Gridmap.empty) ?dynamic_accounts ?static_limits
       ?dynamic_limits ?gatekeeper_pep ?allocation ?network ?request_timeout
-      ?authz_cache ?store ~backend t =
+      ?authz_cache ?store ?sts ~backend t =
     let lrm = Grid_lrm.Lrm.create ~obs:t.obs ?queues ~nodes ~cpus_per_node t.engine in
     let pool =
       Option.map
@@ -127,15 +128,49 @@ module Testbed = struct
     in
     let mode, epoch = mode_and_epoch_of_backend ~obs:t.obs backend in
     let revision = revision_of_backend backend in
+    (* Tokenized resource ([?sts]): a validator attached to the service
+       plus the token-validating PEP composed outside the backend's batch
+       lane — the token gate first, the policy engine's verdict and
+       reason unchanged for valid presenters. The baseline mode has no
+       callout to gate and is left alone. *)
+    let validator =
+      Option.map
+        (fun s -> Grid_sts.Service.attach_validator s ~obs:t.obs ~name ())
+        sts
+    in
+    let mode =
+      match (sts, mode) with
+      | None, _ | _, Grid_gram.Mode.Gt2_baseline -> mode
+      | Some s, Grid_gram.Mode.Extended { authorization; advice; backend } ->
+        Grid_gram.Mode.Extended
+          { authorization =
+              Grid_sts.Pep.batch ~obs:t.obs ?validator
+                ~sts_key:(Grid_sts.Service.public_key s) ~audience:"*"
+                ~now:(fun () -> Grid_sim.Engine.now t.engine)
+                authorization;
+            advice;
+            backend }
+    in
     let authz_cache =
       Option.map
         (fun capacity ->
           Grid_callout.Cache.create ~capacity ~ttl:(Grid_sim.Clock.minutes 5.0)
             ~obs:t.obs ?epoch ?revision
+            ?extra_deadline:
+              (Option.map (fun _ -> Grid_sts.Token.credential_deadline) sts)
+            ~revoked:(fun cred ->
+              List.exists
+                (Grid_gsi.Ca.Trust_store.is_revoked t.trust)
+                cred.Grid_gsi.Credential.chain)
             ~now:(fun () -> Grid_sim.Engine.now t.engine)
             ())
         authz_cache
     in
+    (match (validator, authz_cache) with
+    | Some v, Some c ->
+      Grid_sts.Validator.on_revocation v (fun ~jti:_ ~subject:_ ->
+          Grid_callout.Cache.invalidate c)
+    | _ -> ());
     Grid_gram.Resource.create ~name ?gatekeeper_pep ?allocation ?network ?request_timeout
       ?authz_cache ?store ?policy_epoch:epoch ~obs:t.obs ~trust:t.trust ~mapper ~mode
       ~lrm ~engine:t.engine ()
@@ -163,12 +198,40 @@ module Fusion = struct
     vo_admin : Grid_gram.Client.t;
     fleet : Fleet.t option;
     population : Population.t option;
+    sts : Grid_sts.Service.t option;
+        (** the token service when the world runs tokenized ([?sts]) *)
   }
 
   let build ?(backend = `Flat_file) ?(rebac = false) ?(nodes = 4) ?(cpus_per_node = 8)
       ?queues ?faults ?(fault_seed = 1299709) ?request_timeout ?flaky_pep ?authz_cache
       ?(store = false) ?snapshot_every ?disk_faults ?fleet ?population
-      ?dynamic_accounts ?broker_seed () =
+      ?dynamic_accounts ?broker_seed ?sts () =
+    (* Token mode: one service with the default permissive relation —
+       the policy engines stay the sole deniers, so tokenized worlds are
+       differentially comparable to the proxy path. Clients present
+       proxies carrying the token as an extension. *)
+    let make_sts testbed =
+      Option.map
+        (fun mode ->
+          Grid_sts.Service.create ~name:"fusion-sts" ~mode
+            ~engine:(Testbed.engine testbed) ~trust:(Testbed.trust testbed)
+            ~obs:(Testbed.obs testbed) ())
+        sts
+    in
+    let tokenize sts_service testbed identity =
+      match sts_service with
+      | None -> identity
+      | Some s -> begin
+        match
+          Grid_sts.Service.proxy_with_token s ~now:(Testbed.now testbed) identity
+        with
+        | Ok (proxy, _token) -> proxy
+        | Error e ->
+          invalid_arg
+            ("Fusion.build: token exchange refused: "
+            ^ Grid_sts.Service.exchange_error_to_string e)
+      end
+    in
     match fleet with
     | Some resources ->
       (* Federated variant: [resources] full members behind one MDS. The
@@ -203,16 +266,20 @@ module Fusion = struct
         | None, Some p -> Some (min (Population.size p) 8192)
         | None, None -> None
       in
+      let sts_service = make_sts testbed in
       let fleet =
         Fleet.create ~resources ~name_prefix:"fusion-site" ~nodes ~cpus_per_node ?queues
           ~gridmap:(Grid_gsi.Gridmap.parse gridmap_text) ?dynamic_accounts
           ~rebac:(rebac || backend = `Rebac) ?authz_cache ~store ?faults ~fault_seed
-          ?request_timeout ?seed:broker_seed ~sources ~engine:(Testbed.engine testbed)
-          ~trust:(Testbed.trust testbed) ~obs:(Testbed.obs testbed) ()
+          ?request_timeout ?seed:broker_seed ?sts:sts_service ~sources
+          ~engine:(Testbed.engine testbed) ~trust:(Testbed.trust testbed)
+          ~obs:(Testbed.obs testbed) ()
       in
       let resource = Fleet.member_resource (Fleet.member fleet 0) in
       let mk dn =
-        Testbed.client testbed ~user:(Testbed.add_user testbed dn) ~resource
+        Testbed.client testbed
+          ~user:(tokenize sts_service testbed (Testbed.add_user testbed dn))
+          ~resource
       in
       { testbed;
         vo;
@@ -221,7 +288,8 @@ module Fusion = struct
         kate = mk kate_keahey;
         vo_admin = mk admin;
         fleet = Some fleet;
-        population }
+        population;
+        sts = sts_service }
     | None ->
     let testbed = Testbed.create () in
     let vo = build_vo () in
@@ -294,12 +362,17 @@ module Fusion = struct
       | None, Some p -> Some (min (Population.size p) 8192)
       | None, None -> None
     in
+    let sts_service = make_sts testbed in
     let resource =
       Testbed.make_resource testbed ~name:"fusion-site" ~nodes ~cpus_per_node ?queues
         ~gridmap:(Grid_gsi.Gridmap.parse gridmap_text) ?dynamic_accounts ?network
-        ?request_timeout ?authz_cache ?store ~backend
+        ?request_timeout ?authz_cache ?store ?sts:sts_service ~backend
     in
-    let mk dn = Testbed.client testbed ~user:(Testbed.add_user testbed dn) ~resource in
+    let mk dn =
+      Testbed.client testbed
+        ~user:(tokenize sts_service testbed (Testbed.add_user testbed dn))
+        ~resource
+    in
     { testbed;
       vo;
       resource;
@@ -307,7 +380,8 @@ module Fusion = struct
       kate = mk kate_keahey;
       vo_admin = mk admin;
       fleet = None;
-      population }
+      population;
+      sts = sts_service }
 end
 
 let version = "1.0.0"

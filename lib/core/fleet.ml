@@ -31,6 +31,8 @@ type member = {
   reload_sources : Grid_policy.Combine.source list -> unit;
   cache : Grid_callout.Cache.t option;
   store : Grid_store.Store.t option;
+  validator : Grid_sts.Validator.t option;
+      (* the member's revocation view when the fleet runs tokenized *)
 }
 
 type t = {
@@ -67,11 +69,14 @@ let submit_error_to_string = function
 
 (* One member's policy evaluation point. Mirrors
    [Testbed.mode_and_epoch_of_backend] for the two self-hosted backends;
-   each member compiles its own index so epochs advance independently. *)
-let backend_for ~obs ~rebac sources =
+   each member compiles its own index so epochs advance independently.
+   [wrap] composes an outer gate around the batch lane before it becomes
+   the mode — the token-validating PEP plugs in here, so the gate and
+   the policy engine reload/epoch machinery stay independent. *)
+let backend_for ~obs ?(wrap = fun batch -> batch) ~rebac sources =
   if rebac then begin
     let pep = Grid_rebac.Pep.create ~obs sources in
-    ( Grid_gram.Mode.extended_batch ~backend:"rebac" (Grid_rebac.Pep.batch pep),
+    ( Grid_gram.Mode.extended_batch ~backend:"rebac" (wrap (Grid_rebac.Pep.batch pep)),
       (fun () -> Grid_rebac.Pep.epoch pep),
       Some (fun () -> Grid_rebac.Pep.revision pep),
       Grid_rebac.Pep.reload pep )
@@ -80,7 +85,7 @@ let backend_for ~obs ~rebac sources =
     let pep = Grid_callout.File_pep.Compiled.create ~obs sources in
     ( Grid_gram.Mode.extended_batch ~backend:"flat_file"
         ~advice:(Grid_callout.File_pep.advice sources)
-        (Grid_callout.File_pep.Compiled.batch pep),
+        (wrap (Grid_callout.File_pep.Compiled.batch pep)),
       (fun () -> Grid_callout.File_pep.Compiled.epoch pep),
       None,
       Grid_callout.File_pep.Compiled.reload pep )
@@ -90,7 +95,7 @@ let create ?(resources = 4) ?(name_prefix = "site") ?(nodes = 4) ?(cpus_per_node
     ?queues ?(gridmap = Grid_gsi.Gridmap.empty) ?dynamic_accounts ?(rebac = false)
     ?authz_cache ?(store = false) ?faults ?(fault_seed = 1299709) ?request_timeout
     ?precheck ?(seed = 0) ?breaker_threshold ?breaker_cooldown ?directory_ttl
-    ?(provider_period = 30.0) ~sources ~engine ~trust ~obs () =
+    ?(provider_period = 30.0) ?sts ~sources ~engine ~trust ~obs () =
   if resources < 1 then invalid_arg "Fleet.create: resources must be >= 1";
   let directory = Grid_mds.Directory.create ?ttl:directory_ttl engine in
   let member i =
@@ -108,16 +113,45 @@ let create ?(resources = 4) ?(name_prefix = "site") ?(nodes = 4) ?(cpus_per_node
         dynamic_accounts
     in
     let mapper = Grid_accounts.Mapper.create ?pool gridmap in
-    let mode, epoch, revision, reload_sources = backend_for ~obs ~rebac (sources ()) in
+    (* Tokenized fleet: every member validates tokens against its own
+       revocation view (fed per the service's distribution mode) before
+       its policy engine sees the query. *)
+    let validator =
+      Option.map (fun s -> Grid_sts.Service.attach_validator s ~obs ~name ()) sts
+    in
+    let wrap =
+      Option.map
+        (fun s ->
+          Grid_sts.Pep.batch ~obs ?validator
+            ~sts_key:(Grid_sts.Service.public_key s) ~audience:"*"
+            ~now:(fun () -> Grid_sim.Engine.now engine))
+        sts
+    in
+    let mode, epoch, revision, reload_sources =
+      backend_for ~obs ?wrap ~rebac (sources ())
+    in
     let cache =
       Option.map
         (fun capacity ->
           Grid_callout.Cache.create ~capacity ~ttl:(Grid_sim.Clock.minutes 5.0) ~obs
             ~epoch ?revision
+            ?extra_deadline:
+              (Option.map (fun _ -> Grid_sts.Token.credential_deadline) sts)
+            ~revoked:(fun cred ->
+              List.exists
+                (Grid_gsi.Ca.Trust_store.is_revoked trust)
+                cred.Grid_gsi.Credential.chain)
             ~now:(fun () -> Grid_sim.Engine.now engine)
             ())
         authz_cache
     in
+    (* A cached permit never outlives a revoked jti: the validator's
+       apply hook flushes this member's decision cache. *)
+    (match (validator, cache) with
+    | Some v, Some c ->
+      Grid_sts.Validator.on_revocation v (fun ~jti:_ ~subject:_ ->
+          Grid_callout.Cache.invalidate c)
+    | _ -> ());
     let network =
       (* Only fault-injected members need their own network; each gets an
          independent fault stream so one seed partitions members
@@ -143,7 +177,8 @@ let create ?(resources = 4) ?(name_prefix = "site") ?(nodes = 4) ?(cpus_per_node
     let provider =
       Grid_mds.Provider.attach ~period:provider_period ~site:name ~directory resource
     in
-    { index = i; name; resource; provider; epoch; reload_sources; cache; store }
+    { index = i; name; resource; provider; epoch; reload_sources; cache; store;
+      validator }
   in
   let members = Array.init resources member in
   let broker =
@@ -179,6 +214,7 @@ let member_name m = m.name
 let member_resource m = m.resource
 let member_cache m = m.cache
 let member_store m = m.store
+let member_validator m = m.validator
 let member_epoch m = m.epoch ()
 let member_publications m = Grid_mds.Provider.publications m.provider
 
@@ -269,12 +305,20 @@ let submit t ~identity ~rsl ~reply =
 
 (* Routed third-party management: any member's jobtag grant works
    against any member's jobs — the fleet finds the owner, the owner's
-   PEP decides. *)
-let manage ?timeout t ~requester ?credential ~contact action ~reply =
+   PEP decides. Challenges are per-gatekeeper, so a caller that wants a
+   credential on the request but cannot know the owner up front (e.g. a
+   tokenized population workload) supplies [credential_for], which mints
+   one against the located member's resource. *)
+let manage ?timeout ?credential_for t ~requester ?credential ~contact action ~reply =
   match locate t ~contact with
   | None -> reply (Error (Grid_gram.Protocol.Unknown_job contact))
   | Some m ->
     count t ~labels:[ ("resource", m.name) ] "fleet_management_routed_total";
+    let credential =
+      match (credential, credential_for) with
+      | (Some _ as c), _ | c, None -> c
+      | None, Some mint -> mint m.resource
+    in
     Grid_gram.Resource.manage ?timeout m.resource ~requester ?credential ~contact action
       ~reply
 
@@ -289,7 +333,7 @@ let manage_sync t ~requester ?credential ~contact action =
    member (members in index order, requests in arrival order within each
    group) and each group goes through that member's batch lane; results
    come back in request order. *)
-let manage_many t (requests : Grid_gram.Resource.manage_request array) =
+let manage_many ?credential_for t (requests : Grid_gram.Resource.manage_request array) =
   let n = Array.length requests in
   let results =
     Array.make n (Error (Grid_gram.Protocol.Unknown_job "unrouted") : _ result)
@@ -314,9 +358,19 @@ let manage_many t (requests : Grid_gram.Resource.manage_request array) =
           ~by:(float_of_int (Array.length pairs))
           ~labels:[ ("resource", m.name) ]
           "fleet_management_routed_total";
-        let replies =
-          Grid_gram.Resource.manage_many_direct m.resource (Array.map snd pairs)
+        let group = Array.map snd pairs in
+        let group =
+          match credential_for with
+          | None -> group
+          | Some mint ->
+            Array.map
+              (fun (r : Grid_gram.Resource.manage_request) ->
+                match r.Grid_gram.Resource.credential with
+                | Some _ -> r
+                | None -> { r with credential = mint m.resource r })
+              group
         in
+        let replies = Grid_gram.Resource.manage_many_direct m.resource group in
         Array.iteri (fun k (i, _) -> results.(i) <- replies.(k)) pairs)
     t.members;
   results
@@ -335,6 +389,11 @@ let refresh t =
   Array.iter (fun m -> Grid_mds.Provider.publish_now m.provider) t.members
 
 (* Stop the publish loops so [Engine.run] can settle in-flight work and
-   terminate — self-rescheduling providers otherwise keep the event
-   queue non-empty forever. *)
-let quiesce t = Array.iter (fun m -> Grid_mds.Provider.stop m.provider) t.members
+   terminate — self-rescheduling providers (and pull-mode token
+   validators) otherwise keep the event queue non-empty forever. *)
+let quiesce t =
+  Array.iter
+    (fun m ->
+      Grid_mds.Provider.stop m.provider;
+      Option.iter Grid_sts.Validator.stop m.validator)
+    t.members

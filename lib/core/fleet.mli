@@ -43,6 +43,7 @@ val create :
   ?breaker_cooldown:float ->
   ?directory_ttl:Grid_sim.Clock.time ->
   ?provider_period:Grid_sim.Clock.time ->
+  ?sts:Grid_sts.Service.t ->
   sources:(unit -> Grid_policy.Combine.source list) ->
   engine:Grid_sim.Engine.t ->
   trust:Grid_gsi.Ca.Trust_store.store ->
@@ -57,7 +58,11 @@ val create :
     durable job-manager store on its own seeded disk; [faults] a
     fault-injected network with an independent per-member stream derived
     from [fault_seed]. [seed] fixes the broker's tie-break ranking.
-    Raises [Invalid_argument] when [resources < 1]. *)
+    [sts] runs the fleet tokenized: each member gates its policy engine
+    behind a token-validating PEP ({!Grid_sts.Pep}) with its own
+    attached validator, member caches cap entry deadlines at the carried
+    token's [not_after], and an applied revocation flushes the owning
+    member's cache. Raises [Invalid_argument] when [resources < 1]. *)
 
 (** {1 Topology} *)
 
@@ -74,6 +79,10 @@ val member_name : member -> string
 val member_resource : member -> Grid_gram.Resource.t
 val member_cache : member -> Grid_callout.Cache.t option
 val member_store : member -> Grid_store.Store.t option
+
+val member_validator : member -> Grid_sts.Validator.t option
+(** The member's token-revocation view when the fleet runs tokenized
+    ([Fleet.create ?sts]). *)
 
 val member_epoch : member -> int
 (** The member's current policy epoch. *)
@@ -116,6 +125,7 @@ val locate : t -> contact:string -> member option
 
 val manage :
   ?timeout:float ->
+  ?credential_for:(Grid_gram.Resource.t -> Grid_gsi.Credential.t option) ->
   t ->
   requester:Grid_gsi.Dn.t ->
   ?credential:Grid_gsi.Credential.t ->
@@ -128,7 +138,9 @@ val manage :
 (** Route the request to the owning member and manage over its network;
     [Unknown_job] when no member owns the contact. The owning member's
     PEP decides — a jobtag granted at one site authorizes management of
-    tagged jobs at every site. *)
+    tagged jobs at every site. Challenges are per-gatekeeper, so when no
+    [credential] is given, [credential_for] can mint one against the
+    located member's resource (the tokenized workload's path). *)
 
 val manage_sync :
   t ->
@@ -140,12 +152,18 @@ val manage_sync :
 (** In-process routed management (the owning member's direct lane). *)
 
 val manage_many :
+  ?credential_for:
+    (Grid_gram.Resource.t ->
+    Grid_gram.Resource.manage_request ->
+    Grid_gsi.Credential.t option) ->
   t ->
   Grid_gram.Resource.manage_request array ->
   (Grid_gram.Protocol.management_reply, Grid_gram.Protocol.management_error) result array
 (** Batched routed management: requests grouped by owning member, each
     group authorized through that member's batch lane; results in
-    request order. Unroutable contacts answer [Unknown_job]. *)
+    request order. Unroutable contacts answer [Unknown_job].
+    [credential_for] fills a credential-less request once its owning
+    member is known (see {!manage}). *)
 
 (** {1 Operations} *)
 

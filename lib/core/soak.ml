@@ -56,6 +56,16 @@ type config = {
                                   N > 1 federates N members behind an MDS
                                   directory and broker, with staggered
                                   reloads and rotating crash targets *)
+  tokens : Grid_sts.Validator.mode option;
+                               (* None = the original proxy-path campaign.
+                                  Some mode routes every request through
+                                  STS tokens: proxies carry a token
+                                  extension, a per-member token-validating
+                                  PEP gates the callout, renewal becomes
+                                  refresh-before-expiry against the STS
+                                  escrow, and the mid-campaign revocation
+                                  lands at the STS (distributed per the
+                                  mode) instead of the CA trust store. *)
 }
 
 let default_config =
@@ -68,7 +78,8 @@ let default_config =
     propagation_window = 300.0;
     pep = Flat_file_pep;
     batch = 1;
-    resources = 1 }
+    resources = 1;
+    tokens = None }
 
 type report = {
   submitted : int;
@@ -221,14 +232,35 @@ let run (config : config) : report =
   let obs = Grid_obs.Obs.of_engine engine in
   let rng = Grid_util.Rng.create ~seed:config.seed in
 
+  (* The STS, when the campaign runs tokenized. One default permissive
+     relation: the policy engine stays the sole denier, which is what
+     makes token-world decisions differentially comparable to the proxy
+     path. *)
+  let sts =
+    Option.map
+      (fun mode ->
+        Grid_sts.Service.create ~name:"soak-sts" ~mode ~engine ~trust ~obs ())
+      config.tokens
+  in
+
   (* Policy history for the oracle; the monitor subscribes before the PEP
-     exists so it also sees the create-epoch event. *)
+     exists so it also sees the create-epoch event. The grace period it
+     grants revocations must cover the token layer's own enforcement
+     bound — in short-TTL mode a pre-revocation token is legitimately
+     accepted until it expires, so judging it against a tighter window
+     would manufacture violations out of correct behaviour. *)
+  let monitor_window =
+    match sts with
+    | None -> config.propagation_window
+    | Some s ->
+      Float.max config.propagation_window (Grid_sts.Service.propagation_window s)
+  in
   let history : (int * answerer) list ref = ref [] in
   let monitor =
     if config.monitor then
       Some
         (Grid_obs.Monitor.create ~oracle:(campaign_oracle history)
-           ~propagation_window:config.propagation_window
+           ~propagation_window:monitor_window
            (Grid_obs.Obs.events obs))
     else None
   in
@@ -291,6 +323,24 @@ let run (config : config) : report =
         Ok ()
       | decision -> decision
     in
+    (* Token mode: a per-member validator (fed per the service's
+       distribution mode) and the token-gating PEP outside the policy
+       callout — the token is checked first, then the same inner engine
+       decides, so non-revoked subjects get bit-identical answers. *)
+    let validator =
+      Option.map
+        (fun s -> Grid_sts.Service.attach_validator s ~obs ~name ())
+        sts
+    in
+    let callout =
+      match sts with
+      | None -> callout
+      | Some s ->
+        Grid_sts.Pep.callout ~obs ?validator
+          ~sts_key:(Grid_sts.Service.public_key s) ~audience:"*"
+          ~now:(fun () -> Grid_sim.Engine.now engine)
+          callout
+    in
     let mode = Grid_gram.Mode.extended ~backend:backend_label callout in
     let network =
       Grid_sim.Network.create ?faults:(network_faults config.faults)
@@ -304,9 +354,17 @@ let run (config : config) : report =
     let authz_cache =
       Grid_callout.Cache.create ~capacity:2048 ~ttl:(Grid_sim.Clock.minutes 5.0) ~obs
         ~epoch
+        ?extra_deadline:(Option.map (fun _ -> Grid_sts.Token.credential_deadline) sts)
         ~now:(fun () -> Grid_sim.Engine.now engine)
         ()
     in
+    (* A cached permit must not outlive the jti that earned it: any
+       revocation this member's validator applies flushes the cache. *)
+    Option.iter
+      (fun v ->
+        Grid_sts.Validator.on_revocation v (fun ~jti:_ ~subject:_ ->
+            Grid_callout.Cache.invalidate authz_cache))
+      validator;
     let resource =
       Grid_gram.Resource.create ~name ~network ?request_timeout ~authz_cache ~store
         ~policy_epoch:epoch ~obs ~trust
@@ -367,13 +425,23 @@ let run (config : config) : report =
   (* Users: the fusion cast plus a revocable analyst and an outsider whose
      refusals are ordinary traffic, not violations. Each acts through a
      12-hour proxy renewed every ~10 hours. *)
+  let tokenized_proxy base =
+    match sts with
+    | None -> Grid_gsi.Identity.delegate base ~now:(Grid_sim.Engine.now engine)
+    | Some s -> begin
+      match
+        Grid_sts.Service.proxy_with_token s ~now:(Grid_sim.Engine.now engine) base
+      with
+      | Ok (proxy, _token) -> proxy
+      | Error e ->
+        invalid_arg
+          ("Soak: initial token exchange refused: "
+          ^ Grid_sts.Service.exchange_error_to_string e)
+    end
+  in
   let make_cell dn weight templates =
     let base = Grid_gsi.Identity.create ~ca ~now:(Grid_sim.Engine.now engine) dn in
-    { dn;
-      base;
-      proxy = Grid_gsi.Identity.delegate base ~now:(Grid_sim.Engine.now engine);
-      weight;
-      templates }
+    { dn; base; proxy = tokenized_proxy base; weight; templates }
   in
   let durations = [ "60"; "180"; "600"; "2400" ] in
   let with_duration template =
@@ -454,32 +522,85 @@ let run (config : config) : report =
     end
   in
 
+  (* Every user escrows its identity with the STS, so the token-mode
+     renewal rhythm is refresh-before-expiry rather than re-delegation. *)
+  Option.iter
+    (fun s ->
+      List.iter
+        (fun cell ->
+          ignore
+            (Grid_sts.Service.deposit s ~identity:cell.base
+               ~authorized_renewers:[ Grid_gsi.Identity.subject cell.base ]
+               ~now:(Grid_sim.Engine.now engine) ()))
+        users)
+    sts;
+
   (* Proxy renewal: every 10 simulated hours, each user re-delegates a
      fresh 12-hour proxy — the operational rhythm that keeps credential
-     expiry from ever authorizing anything. *)
-  let renewal_period = Grid_sim.Clock.hours 10.0 in
+     expiry from ever authorizing anything. Token mode runs on the
+     token's clock instead: refresh-before-expiry at 80% of the TTL,
+     through the escrow, so a revoked subject's refresh is refused and
+     its proxy simply ages out with the last token. *)
+  let renewal_period =
+    match sts with
+    | None -> Grid_sim.Clock.hours 10.0
+    | Some s -> 0.8 *. Grid_sts.Service.default_ttl s
+  in
+  let renew_cell cell =
+    match sts with
+    | None ->
+      cell.proxy <-
+        Grid_gsi.Identity.delegate cell.base ~now:(Grid_sim.Engine.now engine);
+      incr renewals;
+      Grid_obs.Obs.emit obs ~layer:"gsi" "credential.renewed"
+        [ ("subject", cell.dn) ]
+    | Some s -> begin
+      let now = Grid_sim.Engine.now engine in
+      let credential =
+        Grid_gsi.Credential.of_identity cell.proxy
+          ~challenge:(Grid_sts.Service.fresh_challenge s)
+      in
+      match
+        Grid_sts.Service.refresh s ~now
+          ~owner:(Grid_gsi.Identity.subject cell.base) credential
+      with
+      | Ok (proxy, _token) ->
+        cell.proxy <- proxy;
+        incr renewals;
+        Grid_obs.Obs.emit obs ~layer:"gsi" "credential.renewed"
+          [ ("subject", cell.dn) ]
+      | Error _ -> () (* revoked or stale: the proxy keeps its last expiry *)
+    end
+  in
   let rec schedule_renewal cell at =
     if at < total then
       Grid_sim.Engine.schedule_at engine at (fun () ->
-          cell.proxy <-
-            Grid_gsi.Identity.delegate cell.base ~now:(Grid_sim.Engine.now engine);
-          incr renewals;
-          Grid_obs.Obs.emit obs ~layer:"gsi" "credential.renewed"
-            [ ("subject", cell.dn) ];
+          renew_cell cell;
           schedule_renewal cell (at +. renewal_period))
   in
   List.iter (fun cell -> schedule_renewal cell renewal_period) users;
 
-  (* CRL revocation mid-campaign: mallory's end-entity certificate is
-     revoked; every proxy chained from it fails validation from the next
-     authentication on. *)
+  (* Revocation mid-campaign. Proxy path: mallory's end-entity
+     certificate lands on the CA CRL and every chained proxy fails
+     validation from the next authentication on. Token mode: the subject
+     is revoked at the STS instead — outstanding jtis die and the news
+     reaches each member's validator per the configured mode, so
+     enforcement flows through the token layer the campaign is
+     exercising (the service emits the ["credential.revoked"] and
+     ["token.revoked"] events itself). *)
   Grid_sim.Engine.schedule_at engine (0.4 *. total) (fun () ->
       let cell = List.nth users 3 in
-      Grid_gsi.Ca.Trust_store.revoke trust
-        (Grid_gsi.Identity.certificate cell.base);
-      incr revocations;
-      Grid_obs.Obs.emit obs ~layer:"ca" "credential.revoked"
-        [ ("subject", cell.dn) ]);
+      match sts with
+      | None ->
+        Grid_gsi.Ca.Trust_store.revoke trust
+          (Grid_gsi.Identity.certificate cell.base);
+        incr revocations;
+        Grid_obs.Obs.emit obs ~layer:"ca" "credential.revoked"
+          [ ("subject", cell.dn) ]
+      | Some s ->
+        Grid_sts.Service.revoke_subject s ~now:(Grid_sim.Engine.now engine)
+          (Grid_gsi.Identity.subject cell.base);
+        incr revocations);
 
   (* VO/policy churn: membership and jobtag registration change while
      jobs are in flight; each reload recompiles the PEP, bumps the epoch
@@ -686,18 +807,36 @@ let run (config : config) : report =
           [ ("lost", "1") ]);
     synthetic ~at:(base +. 120.0) (fun () ->
         Grid_obs.Obs.emit obs ~layer:"injected" "resource.recovered"
-          [ ("restored", "0"); ("dropped_bytes", "0"); ("decode_failures", "0") ]));
+          [ ("restored", "0"); ("dropped_bytes", "0"); ("decode_failures", "0") ])
+  | Some Grid_obs.Monitor.Token_revocation ->
+    (* A revoked jti accepted by a validating PEP well outside the
+       monitor's effective window — the chain the instrumentation would
+       emit if a validator silently lost a revocation. The synthetic
+       token's [not_after] lies past the acceptance so the plant trips
+       exactly one class, not expiry as well. *)
+    let revoke_at = 0.5 *. total in
+    let accept_at = revoke_at +. monitor_window +. 3600.0 in
+    synthetic ~at:revoke_at (fun () ->
+        Grid_obs.Obs.emit obs ~layer:"injected" "token.revoked"
+          [ ("jti", "injected-jti"); ("subject", "/O=Grid/CN=Injected Ghost");
+            ("revoked_at", Printf.sprintf "%.6f" (Grid_sim.Engine.now engine)) ]);
+    synthetic ~at:accept_at (fun () ->
+        Grid_obs.Obs.emit obs ~layer:"injected" "token.validated"
+          [ ("outcome", "accepted"); ("jti", "injected-jti");
+            ("subject", "/O=Grid/CN=Injected Ghost"); ("action", "start");
+            ("not_after", Printf.sprintf "%.6f" (accept_at +. 7200.0)) ]));
 
-  (* Providers re-arm their publish loop forever, so a federation
-     campaign cannot drain with a plain [run]: advance past the campaign
-     end plus the longest follow-up delays, quiesce publication, then
-     settle the remainder. The single-site path keeps the original
-     drain. *)
-  (match providers with
-  | [] -> Grid_sim.Engine.run engine
-  | ps ->
+  (* Providers re-arm their publish loop forever — and a pull-mode STS
+     validator its poll loop — so those campaigns cannot drain with a
+     plain [run]: advance past the campaign end plus the longest
+     follow-up delays, quiesce the loops, then settle the remainder. The
+     original single-site proxy-path drain is kept byte for byte. *)
+  (match (providers, sts) with
+  | [], None -> Grid_sim.Engine.run engine
+  | ps, s ->
     Grid_sim.Engine.run_until engine (total +. 600.0);
     List.iter Grid_mds.Provider.stop ps;
+    Option.iter Grid_sts.Service.quiesce s;
     Grid_sim.Engine.run engine);
   (* A partial management batch may remain after the last follow-up:
      flush it and drain whatever the performed actions scheduled. *)

@@ -52,11 +52,25 @@ type config = {
           PEP/cache/store/disk, staggered policy reloads at each churn
           point (mixed epochs in flight, judged exactly by the oracle
           history), and crash bursts rotating across members. *)
+  tokens : Grid_sts.Validator.mode option;
+      (** [None] (the default) keeps the original proxy-path campaign.
+          [Some mode] runs it tokenized: one {!Grid_sts.Service} mints
+          audience-bound capability tokens through its default
+          permissive relation, every user's proxy carries one as a
+          certificate extension, each member gates its callout behind a
+          token-validating PEP with a per-member validator fed per
+          [mode], renewal becomes refresh-before-expiry against the STS
+          escrow at 80% of the token TTL, and the mid-campaign
+          revocation lands at the STS ({!Grid_sts.Service.revoke_subject})
+          instead of the CA trust store. The monitor's propagation
+          window widens to the mode's enforcement bound when that is
+          larger, so short-TTL enforcement-by-expiry is not
+          misclassified. *)
 }
 
 val default_config : config
 (** 3 days, 400 jobs/day, seed 42, light faults, monitor on, no
-    injection, flat-file PEP, batch 1, one resource. *)
+    injection, flat-file PEP, batch 1, one resource, no tokens. *)
 
 type report = {
   submitted : int;

@@ -72,8 +72,9 @@ let exponential rng rate = -.log (1.0 -. Grid_util.Rng.float rng 1.0) /. rate
 (* Run a workload to completion: schedules all arrivals, drains the
    engine, returns the tally. Management follow-ups are sent by the job
    owner a short while after acceptance. *)
-let run ~(engine : Grid_sim.Engine.t) ~(resource : Grid_gram.Resource.t)
-    ~(profiles : user_profile list) (config : config) : stats =
+let run ?(sts : Grid_sts.Service.t option) ~(engine : Grid_sim.Engine.t)
+    ~(resource : Grid_gram.Resource.t) ~(profiles : user_profile list)
+    (config : config) : stats =
   if profiles = [] then invalid_arg "Workload.run: no user profiles";
   if config.management_batch < 1 then
     invalid_arg "Workload.run: management_batch must be >= 1";
@@ -151,7 +152,16 @@ let run ~(engine : Grid_sim.Engine.t) ~(resource : Grid_gram.Resource.t)
                     end)
               end))
   done;
-  Grid_sim.Engine.run engine;
+  (* A tokenized resource with a pull-mode validator reschedules its CRL
+     poll forever, so a bare drain would never terminate: settle past the
+     longest job (simduration <= 120 s) plus the management follow-up
+     window, stop the poll loops, then drain what remains. *)
+  (match sts with
+  | None -> Grid_sim.Engine.run engine
+  | Some s ->
+    Grid_sim.Engine.run_until engine (!arrival_time +. 256.0);
+    Grid_sts.Service.quiesce s;
+    Grid_sim.Engine.run engine);
   (* A partial batch may remain after the last arrival: flush it and
      drain whatever the performed actions scheduled. *)
   flush_pending ();
@@ -222,7 +232,7 @@ let pp_population_stats ppf p =
     pp_stats p.tally p.unplaceable p.cross_admin_requests p.churns p.reloads
     p.distinct_subjects
 
-let run_population ~(fleet : Fleet.t) ~(population : Population.t)
+let run_population ?sts ~(fleet : Fleet.t) ~(population : Population.t)
     ~(ca : Grid_gsi.Ca.t) (config : population_config) : population_stats =
   if config.pop_job_count < 1 then
     invalid_arg "Workload.run_population: pop_job_count must be >= 1";
@@ -253,6 +263,35 @@ let run_population ~(fleet : Fleet.t) ~(population : Population.t)
     end
   in
   let admin_rank = Population.admin_rank population in
+  (* Tokenized management ([?sts]): the token gate fails closed on
+     credential-less queries, and challenges are per-gatekeeper, so the
+     credential is minted only once the fleet has located the owning
+     member — [mint_credential] is handed to [Fleet.manage]'s
+     [credential_for]. Ranks are remembered per requester DN so the
+     batched lane can mint at flush time. *)
+  let rank_of_dn : (string, int) Hashtbl.t = Hashtbl.create 64 in
+  let mint_credential rank resource =
+    match sts with
+    | None -> None
+    | Some s -> begin
+      let now = Grid_sim.Engine.now engine in
+      let identity = Population.identity population ~ca ~now rank in
+      match Grid_sts.Service.proxy_with_token s ~now identity with
+      | Ok (proxy, _token) ->
+        Some
+          (Grid_gsi.Credential.of_identity proxy
+             ~challenge:(Grid_gram.Resource.new_challenge resource))
+      | Error _ -> None
+    end
+  in
+  let mint_for_request resource (r : Grid_gram.Resource.manage_request) =
+    match
+      Hashtbl.find_opt rank_of_dn
+        (Grid_gsi.Dn.to_string r.Grid_gram.Resource.requester)
+    with
+    | None -> None
+    | Some rank -> mint_credential rank resource
+  in
   let pending : Grid_gram.Resource.manage_request list ref = ref [] in
   let pending_count = ref 0 in
   let flush_pending () =
@@ -265,7 +304,9 @@ let run_population ~(fleet : Fleet.t) ~(population : Population.t)
         (function
           | Ok _ -> ()
           | Error _ -> stats.management_denied <- stats.management_denied + 1)
-        (Fleet.manage_many fleet batch)
+        (Fleet.manage_many
+           ?credential_for:(Option.map (fun _ -> mint_for_request) sts)
+           fleet batch)
     end
   in
   let manage_followup ~owner_rank ~contact =
@@ -288,7 +329,11 @@ let run_population ~(fleet : Fleet.t) ~(population : Population.t)
         in
         if config.pop_management_batch = 1 then begin
           stats.management_requests <- stats.management_requests + 1;
-          Fleet.manage fleet ~requester ~contact action ~reply:(fun result ->
+          Fleet.manage
+            ?credential_for:
+              (Option.map (fun _ -> mint_credential requester_rank) sts)
+            fleet ~requester ~contact action
+            ~reply:(fun result ->
               match result with
               | Ok _ -> ()
               | Error (Grid_gram.Protocol.Request_timed_out _) ->
@@ -296,6 +341,7 @@ let run_population ~(fleet : Fleet.t) ~(population : Population.t)
               | Error _ -> stats.management_denied <- stats.management_denied + 1)
         end
         else begin
+          Hashtbl.replace rank_of_dn (Grid_gsi.Dn.to_string requester) requester_rank;
           pending :=
             { Grid_gram.Resource.requester; credential = None; contact; action }
             :: !pending;
@@ -311,9 +357,24 @@ let run_population ~(fleet : Fleet.t) ~(population : Population.t)
     Grid_sim.Engine.schedule_at engine !arrival_time (fun () ->
         stats.submitted <- stats.submitted + 1;
         mark_seen rank;
-        (* Identity minted at arrival, dropped with this closure. *)
+        (* Identity minted at arrival, dropped with this closure. Under
+           [?sts] the arrival first exchanges it for a token-carrying
+           proxy — an exchange refusal leaves the bare identity to be
+           denied at the member's token gate, ordinary traffic. *)
         let identity =
           Population.identity population ~ca ~now:(Grid_sim.Engine.now engine) rank
+        in
+        let identity =
+          match sts with
+          | None -> identity
+          | Some s -> begin
+            match
+              Grid_sts.Service.proxy_with_token s
+                ~now:(Grid_sim.Engine.now engine) identity
+            with
+            | Ok (proxy, _token) -> proxy
+            | Error _ -> identity
+          end
         in
         let rsl = Population.template population rng rank in
         let sent = Grid_sim.Engine.now engine in

@@ -37,13 +37,17 @@ type stats = {
 val pp_stats : stats Fmt.t
 
 val run :
+  ?sts:Grid_sts.Service.t ->
   engine:Grid_sim.Engine.t ->
   resource:Grid_gram.Resource.t ->
   profiles:user_profile list ->
   config ->
   stats
 (** Schedule the whole arrival stream, drain the engine, and tally the
-    outcomes. Deterministic for a given seed. *)
+    outcomes. Deterministic for a given seed. Pass [sts] when the
+    resource runs tokenized: the service's validators are quiesced after
+    the stream settles so a pull-mode CRL poll loop cannot keep the
+    engine from draining. *)
 
 (** {1 Population-scale workloads over a fleet} *)
 
@@ -89,6 +93,7 @@ val latency_percentile : population_stats -> float -> float option
 val pp_population_stats : population_stats Fmt.t
 
 val run_population :
+  ?sts:Grid_sts.Service.t ->
   fleet:Fleet.t ->
   population:Population.t ->
   ca:Grid_gsi.Ca.t ->
@@ -99,4 +104,6 @@ val run_population :
     placement goes through the fleet's asynchronous brokered lane,
     management follow-ups route cross-resource, and churn points swap
     policy generations mid-flight. Deterministic for a given seed.
-    Quiesces the fleet's providers before returning. *)
+    Quiesces the fleet's providers before returning. [sts] exchanges
+    each arrival's identity for a token-carrying proxy first — pair it
+    with a fleet built over the same service ([Fleet.create ?sts]). *)

@@ -16,7 +16,9 @@ type deposit = {
 
 type t = {
   deposits : (string, deposit) Hashtbl.t; (* keyed by owner DN *)
+  obs : Grid_obs.Obs.t;
   mutable renewals : int;
+  mutable replacements : int;
 }
 
 type error =
@@ -34,17 +36,31 @@ let error_to_string = function
   | Escrowed_credential_expired dn ->
     "escrowed credential expired for " ^ Dn.to_string dn
 
-let create () = { deposits = Hashtbl.create 8; renewals = 0 }
+let create ?(obs = Grid_obs.Obs.noop) () =
+  { deposits = Hashtbl.create 8; obs; renewals = 0; replacements = 0 }
 
+(* An attacker who can deposit under a victim's DN silently hijacks every
+   later renewal, so a replacement is never silent: it is reported to the
+   caller and audited. *)
 let deposit t ~(identity : Identity.t) ~authorized_renewers
     ?(max_proxy_lifetime = Grid_sim.Clock.hours 12.0) ~now () =
-  Hashtbl.replace t.deposits
-    (Dn.to_string (Identity.effective_subject identity))
-    { identity; authorized_renewers; max_proxy_lifetime; deposited_at = now }
+  let owner = Dn.to_string (Identity.effective_subject identity) in
+  let replaced = Hashtbl.mem t.deposits owner in
+  Hashtbl.replace t.deposits owner
+    { identity; authorized_renewers; max_proxy_lifetime; deposited_at = now };
+  if replaced then begin
+    t.replacements <- t.replacements + 1;
+    Grid_obs.Obs.incr t.obs "renewal_redeposits_total";
+    Grid_obs.Obs.emit t.obs ~layer:"gsi" "renewal.redeposit"
+      [ ("owner", owner); ("at", Printf.sprintf "%.6f" now) ];
+    `Replaced
+  end
+  else `Deposited
 
 let has_deposit t owner = Hashtbl.mem t.deposits (Dn.to_string owner)
 
 let renewals t = t.renewals
+let replacements t = t.replacements
 
 (* Draw a fresh proxy of [owner]'s escrowed identity. The renewer
    authenticates with their own credential; self-renewal (owner drawing

@@ -12,7 +12,7 @@ type error =
 
 val error_to_string : error -> string
 
-val create : unit -> t
+val create : ?obs:Grid_obs.Obs.t -> unit -> t
 
 val deposit :
   t ->
@@ -21,13 +21,19 @@ val deposit :
   ?max_proxy_lifetime:Grid_sim.Clock.time ->
   now:Grid_sim.Clock.time ->
   unit ->
-  unit
-(** Escrow an identity (replacing any previous deposit by the same
-    subject). Default proxy-lifetime cap: 12 h. *)
+  [ `Deposited | `Replaced ]
+(** Escrow an identity. Default proxy-lifetime cap: 12 h. A deposit
+    under a subject that already holds one replaces it — reported as
+    [`Replaced], counted ([renewal_redeposits_total]) and audited
+    (["renewal.redeposit"]) because a silent replacement is a renewal
+    hijack primitive. *)
 
 val has_deposit : t -> Dn.t -> bool
 
 val renewals : t -> int
+
+val replacements : t -> int
+(** Deposits that displaced an existing escrow. *)
 
 val renew :
   t ->

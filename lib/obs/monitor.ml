@@ -30,6 +30,7 @@ type violation_class =
   | Expired_credential
   | Recovery_divergence
   | Fail_open_upgrade
+  | Token_revocation
 
 let class_to_string = function
   | Default_deny -> "default_deny"
@@ -37,6 +38,7 @@ let class_to_string = function
   | Expired_credential -> "expired_credential"
   | Recovery_divergence -> "recovery_divergence"
   | Fail_open_upgrade -> "fail_open_upgrade"
+  | Token_revocation -> "token_revocation"
 
 let class_of_string = function
   | "default_deny" -> Some Default_deny
@@ -44,11 +46,12 @@ let class_of_string = function
   | "expired_credential" -> Some Expired_credential
   | "recovery_divergence" -> Some Recovery_divergence
   | "fail_open_upgrade" -> Some Fail_open_upgrade
+  | "token_revocation" -> Some Token_revocation
   | _ -> None
 
 let all_classes =
   [ Default_deny; Stale_epoch; Expired_credential; Recovery_divergence;
-    Fail_open_upgrade ]
+    Fail_open_upgrade; Token_revocation ]
 
 type violation = {
   vclass : violation_class;
@@ -91,6 +94,7 @@ type t = {
      collapse to one scope, behaving exactly as before. *)
   epochs : (string, int * Grid_sim.Clock.time) Hashtbl.t;
   revoked : (string, Grid_sim.Clock.time) Hashtbl.t;  (* subject -> revoked at *)
+  revoked_jti : (string, Grid_sim.Clock.time) Hashtbl.t;  (* jti -> revoked at *)
   (* Crash/recovery bookkeeping is scoped per resource (the "resource"
      event attribute; "" when absent, which keeps single-site event
      streams behaving exactly as before): in a fleet, site A's recovery
@@ -118,7 +122,9 @@ type t = {
 let rank kind =
   match kind with
   | "policy.epoch" -> 0
-  | "credential.revoked" -> 1
+  (* "token.revoked" shares the revocation rank; the string tie-break
+     below keeps intra-rank order canonical. *)
+  | "credential.revoked" | "token.revoked" -> 1
   | "credential.renewed" -> 2
   | "job.created" -> 3
   | "job.terminal" -> 4
@@ -178,6 +184,13 @@ let apply_state t (e : Event.t) =
     | Some subject ->
       if not (Hashtbl.mem t.revoked subject) then
         Hashtbl.replace t.revoked subject e.Event.at
+    | None -> ()
+  end
+  | "token.revoked" -> begin
+    match Event.attr e "jti" with
+    | Some jti ->
+      if not (Hashtbl.mem t.revoked_jti jti) then
+        Hashtbl.replace t.revoked_jti jti e.Event.at
     | None -> ()
   end
   | "job.created" -> begin
@@ -291,6 +304,29 @@ let check_decision t (e : Event.t) =
     end
   end
 
+(* Invariant 6 (token revocation): an accepted token check must rest on
+   a token that is within its window and not revoked longer ago than the
+   propagation window the deployment's revocation mode promises. *)
+let check_token t (e : Event.t) =
+  if Event.attr e "outcome" = Some "accepted" then begin
+    (match Event.attr_float e "not_after" with
+    | Some not_after when e.Event.at > not_after ->
+      violate t ~event:e Expired_credential
+        (Printf.sprintf "token accepted past its expiry at t=%.3fs" not_after)
+    | _ -> ());
+    match Event.attr e "jti" with
+    | None -> ()
+    | Some jti -> begin
+      match Hashtbl.find_opt t.revoked_jti jti with
+      | Some revoked_at when e.Event.at > revoked_at +. t.propagation_window ->
+        violate t ~event:e Token_revocation
+          (Printf.sprintf
+             "token %s accepted although revoked at t=%.3fs (window %.0fs)" jti
+             revoked_at t.propagation_window)
+      | _ -> ()
+    end
+  end
+
 let check_degraded t (e : Event.t) =
   (* Invariant 5: fail-closed degradation converts outages to refusals,
      never to permits. *)
@@ -308,6 +344,7 @@ let process t (e : Event.t) =
   | "authz.decision" -> check_decision t e
   | "cache.hit" -> check_epoch t e
   | "authz.degraded" -> check_degraded t e
+  | "token.validated" -> check_token t e
   | _ -> ()
 
 (* --- Tick buffering ----------------------------------------------------- *)
@@ -344,6 +381,7 @@ let create ?oracle ?(propagation_window = 300.0) ?(chain_limit = 500_000) bus =
       chain_limit;
       epochs = Hashtbl.create 8;
       revoked = Hashtbl.create 8;
+      revoked_jti = Hashtbl.create 8;
       live_durable = Hashtbl.create 64;
       restored = Hashtbl.create 64;
       crashed_at = Hashtbl.create 8;

@@ -26,6 +26,10 @@ type violation_class =
           although the store reported no loss *)
   | Fail_open_upgrade
       (** fail-closed degradation produced a Permit *)
+  | Token_revocation
+      (** a revoked STS token was accepted by a validating PEP past the
+          revocation mode's propagation window (["token.validated"]
+          events checked against ["token.revoked"] state) *)
 
 val class_to_string : violation_class -> string
 val class_of_string : string -> violation_class option

@@ -1,0 +1,366 @@
+(* The Security Token Service: token exchange + revocation distribution. *)
+
+module Dn = Grid_gsi.Dn
+module Obs = Grid_obs.Obs
+
+type exchange_error =
+  | Claim_invalid of string
+  | No_matching_relation of {
+      source : Trust.claim_source;
+      issuer : string;
+      subject : Dn.t;
+    }
+  | Subject_revoked of Dn.t
+
+let exchange_error_to_string = function
+  | Claim_invalid reason -> Printf.sprintf "claim invalid: %s" reason
+  | No_matching_relation { source; issuer; subject } ->
+    Printf.sprintf "no trust relation matches %s claim from %s for %s"
+      (Trust.claim_source_to_string source)
+      issuer (Dn.to_string subject)
+  | Subject_revoked dn ->
+    Printf.sprintf "subject revoked: %s" (Dn.to_string dn)
+
+type refresh_error =
+  | Renewal of Grid_gsi.Renewal.error
+  | Exchange of exchange_error
+
+let refresh_error_to_string = function
+  | Renewal e -> Grid_gsi.Renewal.error_to_string e
+  | Exchange e -> exchange_error_to_string e
+
+type issued = {
+  i_subject : Dn.t;
+  i_not_after : Grid_sim.Clock.time;
+}
+
+type t = {
+  s_name : string;
+  s_ttl : Grid_sim.Clock.time;
+  s_mode : Validator.mode;
+  mutable relations : Trust.relation list;
+  mutable s_epoch : int;
+  engine : Grid_sim.Engine.t;
+  trust : Grid_gsi.Ca.Trust_store.store;
+  obs : Obs.t;
+  network : Grid_sim.Network.t;
+  disk : Grid_sim.Disk.t;
+  push_window : Grid_sim.Clock.time;
+  poll_interval : Grid_sim.Clock.time;
+  cas_key : Grid_crypto.Keypair.public option;
+  key : Grid_crypto.Keypair.t;
+  escrow : Grid_gsi.Renewal.t;
+  (* jti -> grant; the index revoke_jti and subject-wide revocation walk *)
+  issued : (string, issued) Hashtbl.t;
+  revoked_jti : (string, Grid_sim.Clock.time) Hashtbl.t;
+  revoked_subjects : (string, Grid_sim.Clock.time) Hashtbl.t;
+  mutable crl_entries : Validator.entry list;  (* newest first *)
+  mutable attached : Validator.t list;
+  mutable issue_count : int;
+  mutable revocation_count : int;
+  mutable counter : int;
+  crl_file : string;
+}
+
+let create ?(name = "sts") ?(default_ttl = 900.0) ?(mode = Validator.Short_ttl)
+    ?relations ?network ?disk ?(push_window = 1.0) ?(poll_interval = 60.0)
+    ?cas_key ~engine ~trust ~obs () =
+  if default_ttl <= 0.0 then
+    invalid_arg "Service.create: default_ttl must be positive";
+  let relations =
+    match relations with
+    | Some rs -> rs
+    | None -> [ Trust.relation ~max_ttl:default_ttl (name ^ "-default") ]
+  in
+  let network =
+    match network with
+    | Some n -> n
+    | None -> Grid_sim.Network.create engine
+  in
+  let disk =
+    match disk with
+    | Some d -> d
+    | None -> Grid_sim.Disk.create ()
+  in
+  let key = Grid_crypto.Keypair.generate ~seed_material:("sts|" ^ name) in
+  Grid_crypto.Keypair.register key;
+  { s_name = name;
+    s_ttl = default_ttl;
+    s_mode = mode;
+    relations;
+    s_epoch = 1;
+    engine;
+    trust;
+    obs;
+    network;
+    disk;
+    push_window;
+    poll_interval;
+    cas_key;
+    key;
+    escrow = Grid_gsi.Renewal.create ~obs ();
+    issued = Hashtbl.create 256;
+    revoked_jti = Hashtbl.create 64;
+    revoked_subjects = Hashtbl.create 64;
+    crl_entries = [];
+    attached = [];
+    issue_count = 0;
+    revocation_count = 0;
+    counter = 0;
+    crl_file = name ^ "-crl" }
+
+let name t = t.s_name
+let mode t = t.s_mode
+let public_key t = Grid_crypto.Keypair.public t.key
+let epoch t = t.s_epoch
+let default_ttl t = t.s_ttl
+
+let propagation_window t =
+  match t.s_mode with
+  | Validator.Short_ttl -> t.s_ttl
+  | Validator.Push -> t.push_window
+  | Validator.Pull -> t.poll_interval +. 1.0
+
+let reload t relations =
+  t.relations <- relations;
+  t.s_epoch <- t.s_epoch + 1;
+  Obs.incr t.obs ~labels:[ ("service", t.s_name) ] "sts_reloads_total";
+  Obs.emit t.obs ~layer:"sts" "sts.reload"
+    [ ("service", t.s_name);
+      ("epoch", string_of_int t.s_epoch);
+      ("relations", string_of_int (List.length relations)) ]
+
+let next_counter t =
+  t.counter <- t.counter + 1;
+  t.counter
+
+let fresh_challenge t =
+  Printf.sprintf "%s-challenge-%d" t.s_name (next_counter t)
+
+let subject_revoked_at t subject =
+  Hashtbl.find_opt t.revoked_subjects (Dn.to_string subject)
+
+(* Mint a token once the claim is verified: relation lookup, TTL cap,
+   grant bookkeeping, audit. *)
+let mint t ~now ~source ~issuer subject =
+  match subject_revoked_at t subject with
+  | Some _ -> Error (Subject_revoked subject)
+  | None -> begin
+    match Trust.first_match t.relations ~source ~issuer ~subject with
+    | None -> Error (No_matching_relation { source; issuer; subject })
+    | Some rel ->
+      let ttl = Float.min t.s_ttl rel.Trust.max_ttl in
+      let jti = Printf.sprintf "%s-jti-%d" t.s_name (next_counter t) in
+      let token =
+        Token.make ~subject ~audience:rel.Trust.audience
+          ~entitlements:rel.Trust.entitlements ~jti ~epoch:t.s_epoch
+          ~issued_at:now ~not_after:(now +. ttl)
+          ~signing_key:(Grid_crypto.Keypair.secret t.key)
+      in
+      Hashtbl.replace t.issued jti
+        { i_subject = subject; i_not_after = token.Token.not_after };
+      t.issue_count <- t.issue_count + 1;
+      Obs.incr t.obs
+        ~labels:[ ("service", t.s_name); ("relation", rel.Trust.rel_name) ]
+        "tokens_issued_total";
+      Obs.emit t.obs ~layer:"sts" "token.issued"
+        [ ("service", t.s_name);
+          ("jti", jti);
+          ("subject", Dn.to_string subject);
+          ("audience", rel.Trust.audience);
+          ("relation", rel.Trust.rel_name);
+          ("source", Trust.claim_source_to_string source);
+          ("epoch", string_of_int t.s_epoch);
+          ("not_after", Printf.sprintf "%.6f" token.Token.not_after) ];
+      Ok token
+  end
+
+(* The claim issuer of a GSI identity is the CA that certified the
+   end-entity beneath any proxies. *)
+let end_entity_issuer (cred : Grid_gsi.Credential.t) =
+  let rec go = function
+    | [] -> None
+    | (c : Grid_gsi.Cert.t) :: rest ->
+      if c.Grid_gsi.Cert.kind = Grid_gsi.Cert.End_entity then
+        Some (Dn.to_string c.Grid_gsi.Cert.issuer)
+      else go rest
+  in
+  go cred.Grid_gsi.Credential.chain
+
+let exchange t ~now credential =
+  match Grid_gsi.Credential.validate credential ~trust:t.trust ~now with
+  | Error e -> Error (Claim_invalid (Grid_gsi.Credential.error_to_string e))
+  | Ok subject ->
+    let issuer =
+      match end_entity_issuer credential with
+      | Some i -> i
+      | None -> ""
+    in
+    mint t ~now ~source:Trust.Gsi_identity ~issuer subject
+
+let exchange_capability t ~now ~presenter capability =
+  match t.cas_key with
+  | None -> Error (Claim_invalid "service holds no CAS community key")
+  | Some cas_key -> begin
+    match Grid_cas.Capability.verify capability ~cas_key ~presenter ~now with
+    | Error e ->
+      Error (Claim_invalid (Grid_cas.Capability.verify_error_to_string e))
+    | Ok () ->
+      mint t ~now ~source:Trust.Cas_capability
+        ~issuer:capability.Grid_cas.Capability.vo
+        capability.Grid_cas.Capability.holder
+  end
+
+let proxy_with_token t ~now identity =
+  let credential =
+    Grid_gsi.Credential.of_identity identity ~challenge:(fresh_challenge t)
+  in
+  match exchange t ~now credential with
+  | Error e -> Error e
+  | Ok token ->
+    let lifetime = token.Token.not_after -. now in
+    let proxy =
+      Grid_gsi.Identity.delegate identity ~now ~lifetime
+        ~extensions:[ Token.to_extension token ]
+    in
+    Ok (proxy, token)
+
+(* Escrow *)
+
+let deposit t ~identity ~authorized_renewers ?max_proxy_lifetime ~now () =
+  Grid_gsi.Renewal.deposit t.escrow ~identity ~authorized_renewers
+    ?max_proxy_lifetime ~now ()
+
+let refresh t ~now ?lifetime ~owner renewer_credential =
+  match subject_revoked_at t owner with
+  | Some _ -> Error (Exchange (Subject_revoked owner))
+  | None -> begin
+    match
+      Grid_gsi.Renewal.renew t.escrow ~trust:t.trust ~now ?lifetime ~owner
+        renewer_credential
+    with
+    | Error e -> Error (Renewal e)
+    | Ok proxy -> begin
+      match proxy_with_token t ~now proxy with
+      | Error e -> Error (Exchange e)
+      | Ok (tokenized, token) -> Ok (tokenized, token)
+    end
+  end
+
+(* Revocation + distribution *)
+
+let crl t = List.rev t.crl_entries
+
+let write_crl t =
+  let snapshot = Validator.encode_crl (crl t) in
+  Grid_sim.Disk.truncate t.disk ~file:t.crl_file;
+  Grid_sim.Disk.append t.disk ~file:t.crl_file snapshot;
+  ignore (Grid_sim.Disk.sync t.disk ~file:t.crl_file)
+
+let distribute t entries =
+  match t.s_mode with
+  | Validator.Short_ttl -> ()
+  | Validator.Push ->
+    List.iter
+      (fun v ->
+        Grid_sim.Network.send ~link:("sts->" ^ Validator.name v) t.network
+          (fun () ->
+            Validator.deliver v ~now:(Grid_sim.Engine.now t.engine) entries))
+      t.attached
+  | Validator.Pull -> write_crl t
+
+let record_revocation t ~now ~jti ~subject =
+  let entry =
+    { Validator.jti; subject = Dn.to_string subject; revoked_at = now }
+  in
+  t.crl_entries <- entry :: t.crl_entries;
+  t.revocation_count <- t.revocation_count + 1;
+  Hashtbl.replace t.revoked_jti jti now;
+  Obs.incr t.obs
+    ~labels:[ ("service", t.s_name);
+              ("mode", Validator.mode_to_string t.s_mode) ]
+    "revocation_events_total";
+  Obs.emit t.obs ~layer:"sts" "token.revoked"
+    [ ("service", t.s_name);
+      ("jti", jti);
+      ("subject", Dn.to_string subject);
+      ("revoked_at", Printf.sprintf "%.6f" now) ];
+  entry
+
+let revoke_jti t ~now jti =
+  match Hashtbl.find_opt t.issued jti with
+  | None -> ()
+  | Some grant ->
+    if not (Hashtbl.mem t.revoked_jti jti) then begin
+      let entry = record_revocation t ~now ~jti ~subject:grant.i_subject in
+      distribute t [ entry ]
+    end
+
+let revoke_subject t ~now subject =
+  let key = Dn.to_string subject in
+  if not (Hashtbl.mem t.revoked_subjects key) then begin
+    Hashtbl.replace t.revoked_subjects key now;
+    (* Every outstanding grant dies, plus a subject-wide entry so
+       validators refuse tokens whose jti they never saw minted. *)
+    let outstanding =
+      Hashtbl.fold
+        (fun jti grant acc ->
+          if Dn.equal grant.i_subject subject
+             && not (Hashtbl.mem t.revoked_jti jti)
+          then jti :: acc
+          else acc)
+        t.issued []
+      |> List.sort String.compare
+    in
+    let entries =
+      List.map (fun jti -> record_revocation t ~now ~jti ~subject) outstanding
+    in
+    let wide =
+      record_revocation t ~now ~jti:("subject-revocation:" ^ key) ~subject
+    in
+    (* The subject-level audit record the monitor's expired-credential
+       invariant keys on. *)
+    Obs.emit t.obs ~layer:"sts" "credential.revoked"
+      [ ("service", t.s_name); ("subject", key);
+        ("revoked_at", Printf.sprintf "%.6f" now) ];
+    distribute t (entries @ [ wide ])
+  end
+
+let outstanding_not_after t subject =
+  Hashtbl.fold
+    (fun _jti grant acc ->
+      if Dn.equal grant.i_subject subject then
+        match acc with
+        | None -> Some grant.i_not_after
+        | Some best -> Some (Float.max best grant.i_not_after)
+      else acc)
+    t.issued None
+
+(* Validators *)
+
+let attach_validator t ?obs ~name () =
+  let obs = match obs with Some o -> o | None -> t.obs in
+  let v =
+    Validator.create ~mode:t.s_mode ~engine:t.engine ~obs ~token_ttl:t.s_ttl
+      ~push_window:t.push_window ~poll_interval:t.poll_interval
+      ~disk:t.disk ~crl_file:t.crl_file ~name ()
+  in
+  t.attached <- v :: t.attached;
+  (* A late joiner must not miss earlier revocations: seed push-mode
+     state in-band, and arm the pull loop. *)
+  (match t.s_mode with
+  | Validator.Short_ttl -> ()
+  | Validator.Push ->
+    let entries = crl t in
+    if entries <> [] then
+      Grid_sim.Network.send ~link:("sts->" ^ name) t.network (fun () ->
+          Validator.deliver v ~now:(Grid_sim.Engine.now t.engine) entries)
+  | Validator.Pull -> Validator.start v);
+  v
+
+let validators t = t.attached
+let quiesce t = List.iter Validator.stop t.attached
+
+let tokens_issued t = t.issue_count
+let revocations t = t.revocation_count
+let escrow_replacements t = Grid_gsi.Renewal.replacements t.escrow

@@ -1,0 +1,133 @@
+(* Signed short-TTL capability tokens. *)
+
+type t = {
+  subject : Grid_gsi.Dn.t;
+  audience : string;
+  entitlements : string list;
+  jti : string;
+  epoch : int;
+  issued_at : Grid_sim.Clock.time;
+  not_after : Grid_sim.Clock.time;
+  signature : string;
+}
+
+(* Canonical to-be-signed bytes. Length-prefixed so no field boundary
+   can be moved by adversarial bytes in a DN component or entitlement
+   string: two different tokens never share signing bytes. Timestamps
+   use the lossless hex-float form: a decimal rendering can round
+   [issued_at] up by a fraction of a microsecond, making a token
+   invalid at the very instant it was minted (seen by in-process batch
+   validation, where no network delay masks the skew). *)
+let signing_parts ~subject ~audience ~entitlements ~jti ~epoch ~issued_at ~not_after =
+  "sts-token" :: Grid_gsi.Dn.to_string subject :: audience
+  :: string_of_int (List.length entitlements)
+  :: entitlements
+  @ [ jti; string_of_int epoch;
+      Printf.sprintf "%h" issued_at; Printf.sprintf "%h" not_after ]
+
+let signing_bytes t =
+  Grid_util.Wire.encode
+    (signing_parts ~subject:t.subject ~audience:t.audience
+       ~entitlements:t.entitlements ~jti:t.jti ~epoch:t.epoch
+       ~issued_at:t.issued_at ~not_after:t.not_after)
+
+let make ~subject ~audience ~entitlements ~jti ~epoch ~issued_at ~not_after
+    ~signing_key =
+  let body =
+    Grid_util.Wire.encode
+      (signing_parts ~subject ~audience ~entitlements ~jti ~epoch ~issued_at
+         ~not_after)
+  in
+  { subject; audience; entitlements; jti; epoch; issued_at; not_after;
+    signature = Grid_crypto.Keypair.sign signing_key body }
+
+type verify_error =
+  | Bad_signature
+  | Expired
+  | Not_yet_valid
+  | Audience_mismatch of { bound : string; presented_to : string }
+  | Subject_mismatch of { bound : Grid_gsi.Dn.t; presenter : Grid_gsi.Dn.t }
+
+let verify_error_to_string = function
+  | Bad_signature -> "token signature invalid"
+  | Expired -> "token expired"
+  | Not_yet_valid -> "token not yet valid"
+  | Audience_mismatch { bound; presented_to } ->
+    Printf.sprintf "token bound to audience %s presented to %s" bound presented_to
+  | Subject_mismatch { bound; presenter } ->
+    Printf.sprintf "token bound to %s presented by %s"
+      (Grid_gsi.Dn.to_string bound) (Grid_gsi.Dn.to_string presenter)
+
+let verify t ~sts_key ~presenter ~audience ~now =
+  if not (Grid_crypto.Keypair.verify sts_key ~signature:t.signature (signing_bytes t))
+  then Error Bad_signature
+  else if now > t.not_after then Error Expired
+  else if now < t.issued_at then Error Not_yet_valid
+  else if not (t.audience = "*" || String.equal t.audience audience) then
+    Error (Audience_mismatch { bound = t.audience; presented_to = audience })
+  else if not (Grid_gsi.Dn.equal t.subject presenter) then
+    Error (Subject_mismatch { bound = t.subject; presenter })
+  else Ok ()
+
+let permits t action =
+  match t.entitlements with
+  | [ "*" ] -> true
+  | entitlements ->
+    let name = Grid_policy.Types.Action.to_string action in
+    List.exists (String.equal name) entitlements
+
+(* --- Wire encoding ----------------------------------------------------- *)
+
+let encode t =
+  Grid_util.Wire.encode
+    (signing_parts ~subject:t.subject ~audience:t.audience
+       ~entitlements:t.entitlements ~jti:t.jti ~epoch:t.epoch
+       ~issued_at:t.issued_at ~not_after:t.not_after
+    @ [ t.signature ])
+
+let decode s =
+  match Grid_util.Wire.decode s with
+  | None -> Error "malformed token encoding"
+  | Some ("sts-token" :: subject :: audience :: count :: rest) -> begin
+    match int_of_string_opt count with
+    | Some n when n >= 0 && List.length rest = n + 5 -> begin
+      let entitlements = List.filteri (fun i _ -> i < n) rest in
+      match List.filteri (fun i _ -> i >= n) rest with
+      | [ jti; epoch; issued; expiry; signature ] -> begin
+        try
+          Ok
+            { subject = Grid_gsi.Dn.parse subject;
+              audience;
+              entitlements;
+              jti;
+              epoch = int_of_string epoch;
+              issued_at = float_of_string issued;
+              not_after = float_of_string expiry;
+              signature }
+        with
+        | Grid_gsi.Dn.Parse_error m -> Error ("bad subject DN: " ^ m)
+        | Failure _ -> Error "malformed token encoding"
+      end
+      | _ -> Error "malformed token encoding"
+    end
+    | _ -> Error "malformed token encoding"
+  end
+  | Some _ -> Error "malformed token encoding"
+
+let extension_oid = "sts-token"
+
+let to_extension t =
+  { Grid_gsi.Cert.oid = extension_oid; critical = false; payload = encode t }
+
+let find_in_credential (cred : Grid_gsi.Credential.t) =
+  List.find_map
+    (fun cert ->
+      match Grid_gsi.Cert.find_extension cert extension_oid with
+      | Some ext -> Some (decode ext.Grid_gsi.Cert.payload)
+      | None -> None)
+    cred.Grid_gsi.Credential.chain
+
+let credential_deadline cred =
+  match find_in_credential cred with
+  | Some (Ok token) -> Some token.not_after
+  | Some (Error _) | None -> None

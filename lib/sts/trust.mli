@@ -1,0 +1,53 @@
+(** Trust relations: the STS's exchange configuration.
+
+    A relation states that claims from a given issuer, under given
+    claim conditions, exchange for given entitlements — the access-token
+    RFC shape (issuer + claim conditions -> entitlements). Two claim
+    sources exist: an authenticated GSI identity (the issuer is the CA
+    that certified it) and a verified CAS capability (the issuer is the
+    community that minted it). *)
+
+type claim_source =
+  | Gsi_identity
+  | Cas_capability
+
+val claim_source_to_string : claim_source -> string
+
+type relation = {
+  rel_name : string;
+  source : claim_source;
+  issuer : string;
+      (** trusted issuer: the CA's DN string for GSI claims, the VO name
+          for CAS claims; ["*"] accepts any issuer the claim itself
+          verified against *)
+  subject_prefix : Grid_gsi.Dn.t;
+      (** claim condition: the subject must extend this DN prefix ([[]]
+          places no condition) *)
+  entitlements : string list;  (** granted action names; [["*"]] = all *)
+  max_ttl : Grid_sim.Clock.time;  (** cap on the minted token lifetime *)
+  audience : string;  (** audience minted tokens are bound to *)
+}
+
+val relation :
+  ?source:claim_source ->
+  ?issuer:string ->
+  ?subject_prefix:Grid_gsi.Dn.t ->
+  ?entitlements:string list ->
+  ?max_ttl:Grid_sim.Clock.time ->
+  ?audience:string ->
+  string ->
+  relation
+(** [relation name] with permissive defaults: GSI claims from any
+    issuer, no subject condition, all entitlements, 1 h cap, audience
+    ["*"]. *)
+
+val matches :
+  relation -> source:claim_source -> issuer:string -> subject:Grid_gsi.Dn.t -> bool
+
+val first_match :
+  relation list ->
+  source:claim_source ->
+  issuer:string ->
+  subject:Grid_gsi.Dn.t ->
+  relation option
+(** Relations are ordered; the first match wins (the RFC's rule list). *)

@@ -1,0 +1,32 @@
+(* Length-prefixed part encoding: [<len>.<bytes>] per part. *)
+
+let add_part buf s =
+  Buffer.add_string buf (string_of_int (String.length s));
+  Buffer.add_char buf '.';
+  Buffer.add_string buf s
+
+let encode parts =
+  let buf = Buffer.create 64 in
+  List.iter (add_part buf) parts;
+  Buffer.contents buf
+
+let decode s =
+  let n = String.length s in
+  let rec go acc i =
+    if i = n then Some (List.rev acc)
+    else begin
+      (* Parse the decimal length up to the '.' delimiter. A leading
+         zero is only legal for the empty part ("0."), keeping the
+         encoding canonical (one string per part list). *)
+      let rec length_end j = if j < n && s.[j] <> '.' then length_end (j + 1) else j in
+      let dot = length_end i in
+      if dot >= n || dot = i || (s.[i] = '0' && dot > i + 1) then None
+      else
+        match int_of_string_opt (String.sub s i (dot - i)) with
+        | None -> None
+        | Some len ->
+          if len < 0 || dot + 1 + len > n then None
+          else go (String.sub s (dot + 1) len :: acc) (dot + 1 + len)
+    end
+  in
+  go [] 0

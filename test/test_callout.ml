@@ -358,6 +358,62 @@ let test_cache_expired_credential_bypasses () =
   Alcotest.(check int) "expired credential: every call reaches the backend" 3 (calls ());
   Alcotest.(check int) "bypasses counted" 2 (Cache.bypasses cache)
 
+let test_cache_revoked_credential_bypasses () =
+  let clock = ref 0.0 in
+  let trust = Grid_gsi.Ca.Trust_store.create () in
+  let ca = Grid_gsi.Ca.create ~now:0.0 "/O=Grid/CN=Cache CA" in
+  Grid_gsi.Ca.Trust_store.add trust (Grid_gsi.Ca.certificate ca);
+  let identity = Grid_gsi.Identity.create ~ca ~now:0.0 ~lifetime:1e6 "/O=Grid/CN=U" in
+  let credential = Grid_gsi.Credential.of_identity identity ~challenge:"c" in
+  let backend, calls = Callout.counting Callout.permit_all in
+  let cache =
+    Cache.create ~capacity:8 ~ttl:1000.0
+      ~revoked:(fun cred ->
+        List.exists
+          (Grid_gsi.Ca.Trust_store.is_revoked trust)
+          cred.Grid_gsi.Credential.chain)
+      ~now:(fun () -> !clock) ()
+  in
+  let pep = Cache.with_cache cache backend in
+  let q = keyed_query ~credential ~job_id:"job-1" () in
+  ignore (pep q);
+  ignore (pep q);
+  Alcotest.(check int) "live credential: cached" 1 (calls ());
+  (* CRL update: a cert in the proxy's chain is revoked mid-lifetime.
+     The cached permit is unexpired — TTL and chain validity both still
+     hold — yet it must stop being served: a revoked credential
+     bypasses the cache on read and write, exactly like an expired
+     one. *)
+  List.iter
+    (fun c -> Grid_gsi.Ca.Trust_store.revoke_serial trust c.Grid_gsi.Cert.serial)
+    credential.Grid_gsi.Credential.chain;
+  clock := 1.0;
+  ignore (pep q);
+  ignore (pep q);
+  Alcotest.(check int) "revoked credential: every call reaches the backend" 3
+    (calls ());
+  Alcotest.(check int) "bypasses counted" 2 (Cache.bypasses cache);
+  (* The batch lane classifies per query: the revoked credential's query
+     bypasses while its credential-less neighbour is served from cache. *)
+  let many_calls = ref 0 in
+  let batch =
+    Cache.with_cache_many cache
+      (Callout.Batch.make
+         ~single:(fun _ ->
+           incr many_calls;
+           Ok ())
+         ~many:(fun qs ->
+           many_calls := !many_calls + Array.length qs;
+           Array.map (fun _ -> Callout.permitted) qs))
+  in
+  let bare = keyed_query ~job_id:"job-2" () in
+  let q2 = keyed_query ~credential ~job_id:"job-2" () in
+  ignore (Callout.Batch.evaluate_many batch [| bare; q2 |]);
+  ignore (Callout.Batch.evaluate_many batch [| bare; q2 |]);
+  Alcotest.(check int)
+    "batch lane: bare query cached once, revoked query re-evaluated twice" 3
+    !many_calls
+
 let test_cache_never_caches_system_error_or_fail_open () =
   let clock = ref 0.0 in
   let backend, calls = Callout.counting (Callout.failing ~message:"backend down") in
@@ -590,6 +646,8 @@ let () =
           Alcotest.test_case "ttl expiry" `Quick test_cache_ttl_expiry;
           Alcotest.test_case "expired credential bypasses" `Quick
             test_cache_expired_credential_bypasses;
+          Alcotest.test_case "revoked credential bypasses" `Quick
+            test_cache_revoked_credential_bypasses;
           Alcotest.test_case "system_error/fail-open never cached" `Quick
             test_cache_never_caches_system_error_or_fail_open;
           Alcotest.test_case "lru bound under churn" `Quick

@@ -112,6 +112,51 @@ let test_decode_garbage () =
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "malformed fields decoded"
 
+(* Round-trip as a property: the Wire-based codec must carry adversarial
+   bytes — newline-laden VO names, policy texts that look like the old
+   separator-joined fields, NUL bytes — without confusing field
+   boundaries. Holder DNs stay within what [Dn.parse] can re-read ('/'
+   and '=' are structural to DNs, not to the codec). *)
+let qcheck_capability_roundtrip =
+  let gen_holder =
+    QCheck.Gen.(
+      let rdn =
+        let* attr = oneofl [ "O"; "OU"; "CN"; "a1" ] in
+        let* value =
+          oneofl [ "Grid"; "a b"; "a\nb"; "x\x00y"; "mcs.anl.gov"; "1" ]
+        in
+        return { Grid_gsi.Dn.attr; value }
+      in
+      list_size (int_range 1 3) rdn)
+  in
+  let gen_cap =
+    QCheck.Gen.(
+      let* holder = gen_holder in
+      let* vo = oneofl [ "fusion"; ""; "e\nng"; "19.|x"; "v\x00o" ] in
+      let* policy_text =
+        oneofl
+          [ "";
+            "/O=Grid: &(action = start)(jobtag = NFC)";
+            "line1\nline2\n";
+            "\x00\x01\xff";
+            "12.cas-capability";
+            String.make 300 '\n' ]
+      in
+      let* issued_at = pfloat in
+      let* not_after = pfloat in
+      let* signature = string_size ~gen:char (int_range 0 24) in
+      return
+        { Capability.holder; vo; policy_text; issued_at; not_after; signature })
+  in
+  QCheck.Test.make ~name:"wire codec round-trips adversarial capabilities"
+    ~count:1000 (QCheck.make gen_cap) (fun cap ->
+      match Capability.decode (Capability.encode cap) with
+      | Ok cap' -> cap = cap'
+      | Error m -> QCheck.Test.fail_reportf "decode failed: %s" m)
+
+let pinned test =
+  QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 0x5EED; 1005 |]) test
+
 (* --- PEP -------------------------------------------------------------------- *)
 
 let pep_query ~credential ~who rsl =
@@ -212,7 +257,8 @@ let () =
       ( "capability",
         [ Alcotest.test_case "verification" `Quick test_capability_verification;
           Alcotest.test_case "encoding roundtrip" `Quick test_capability_encoding_roundtrip;
-          Alcotest.test_case "decode garbage" `Quick test_decode_garbage ] );
+          Alcotest.test_case "decode garbage" `Quick test_decode_garbage;
+          pinned qcheck_capability_roundtrip ] );
       ( "pep",
         [ Alcotest.test_case "full flow" `Quick test_pep_full_flow;
           Alcotest.test_case "push-model staleness" `Quick test_push_model_staleness;

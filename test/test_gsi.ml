@@ -355,9 +355,9 @@ let test_renewal_flow () =
   let kate = Identity.create ~ca ~now:0.0 ~lifetime:100000.0 "/O=Grid/CN=Kate" in
   let robot = Identity.create ~ca ~now:0.0 "/O=Grid/CN=Renewal Robot" in
   let server = Renewal.create () in
-  Renewal.deposit server ~identity:kate
+  ignore (Renewal.deposit server ~identity:kate
     ~authorized_renewers:[ Identity.subject robot ]
-    ~max_proxy_lifetime:500.0 ~now:0.0 ();
+    ~max_proxy_lifetime:500.0 ~now:0.0 ());
   Alcotest.(check bool) "deposited" true (Renewal.has_deposit server (Identity.subject kate));
   (* The robot draws a fresh proxy at t=1000, well after Kate's original
      short proxy would have died. *)
@@ -385,7 +385,7 @@ let test_renewal_authorization () =
   let kate = Identity.create ~ca ~now:0.0 "/O=Grid/CN=Kate" in
   let stranger = Identity.create ~ca ~now:0.0 "/O=Grid/CN=Stranger" in
   let server = Renewal.create () in
-  Renewal.deposit server ~identity:kate ~authorized_renewers:[] ~now:0.0 ();
+  ignore (Renewal.deposit server ~identity:kate ~authorized_renewers:[] ~now:0.0 ());
   (* A stranger cannot renew... *)
   (match
      Renewal.renew server ~trust ~now:1.0 ~owner:(Identity.subject kate)
@@ -414,7 +414,7 @@ let test_renewal_rejects_bad_credential_and_expired_escrow () =
   let trust = trust_of ca in
   let kate = Identity.create ~ca ~now:0.0 ~lifetime:50.0 "/O=Grid/CN=Kate" in
   let server = Renewal.create () in
-  Renewal.deposit server ~identity:kate ~authorized_renewers:[] ~now:0.0 ();
+  ignore (Renewal.deposit server ~identity:kate ~authorized_renewers:[] ~now:0.0 ());
   (* Rogue renewer credential. *)
   let rogue_ca = Ca.create ~now:0.0 "/O=Rogue/CN=CA" in
   let mallory = Identity.create ~ca:rogue_ca ~now:0.0 "/O=Grid/CN=Kate" in
@@ -426,7 +426,7 @@ let test_renewal_rejects_bad_credential_and_expired_escrow () =
   | _ -> Alcotest.fail "rogue renewer accepted");
   (* The escrow itself expires at t=50; nothing can be drawn after. *)
   let late = Identity.create ~ca ~now:0.0 "/O=Grid/CN=Kate Two" in
-  Renewal.deposit server ~identity:late ~authorized_renewers:[] ~now:0.0 ();
+  ignore (Renewal.deposit server ~identity:late ~authorized_renewers:[] ~now:0.0 ());
   ignore late;
   match
     Renewal.renew server ~trust ~now:60.0 ~owner:(Identity.subject kate)
